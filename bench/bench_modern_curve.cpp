@@ -1,0 +1,85 @@
+// E17: the 2005 instantiation vs the modern one.
+//
+// Same scheme, two GDH instantiations twenty years apart:
+//   * type-1 supersingular curve, ~80-bit security (the paper's era);
+//   * BLS12-381 type-3 pairing, ~128-bit security (what drand/tlock run
+//     this very construction on today).
+// The headline: the modern curve gives SHORTER updates (48-byte G_1
+// points vs 64) at much higher security; our BLS12 pairing is a
+// reference implementation (no sparse/cyclotomic optimizations), so its
+// timings are upper bounds.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "bls12/tre381.h"
+#include "core/tre.h"
+#include "hashing/drbg.h"
+
+int main() {
+  using namespace tre;
+  bench::header("E17: 2005 type-1 curve vs BLS12-381 type-3 (reference impl)",
+                "the paper's scheme ports unchanged to modern asymmetric "
+                "pairings; updates get SHORTER (48 B vs 64 B) while security "
+                "rises from ~80 to ~128 bits");
+
+  hashing::HmacDrbg rng(to_bytes("bench-e17"));
+  Bytes msg = rng.bytes(256);
+  const char* tag = "2030-01-01T00:00:00Z";
+
+  // Type-1 (tre-512).
+  core::TreScheme t1(params::load("tre-512"));
+  core::ServerKeyPair s1 = t1.server_keygen(rng);
+  core::UserKeyPair u1 = t1.user_keygen(s1.pub, rng);
+  core::KeyUpdate upd1 = t1.issue_update(s1, tag);
+  auto ct1 = t1.encrypt(msg, u1.pub, s1.pub, tag, rng, core::KeyCheck::kSkip);
+
+  // Type-3 (BLS12-381).
+  bls12::Tre381 t3;
+  bls12::ServerKey381 s3 = t3.server_keygen(rng);
+  bls12::UserKey381 u3 = t3.user_keygen(s3.pk, rng);
+  bls12::Update381 upd3 = t3.issue_update(s3, tag);
+  auto ct3 = t3.encrypt(msg, u3.a1, u3.a2, s3.pk, tag, rng);
+
+  const int reps = 5;
+  struct Row {
+    const char* name;
+    double issue, verify, enc, dec;
+    size_t update_bytes, ct_overhead;
+    const char* security;
+  };
+  Row rows[2];
+
+  rows[0] = Row{"type-1 supersingular (tre-512)",
+                bench::time_ms(reps, [&] { (void)t1.issue_update(s1, tag); }),
+                bench::time_ms(reps, [&] { (void)t1.verify_update(s1.pub, upd1); }),
+                bench::time_ms(reps, [&] {
+                  (void)t1.encrypt(msg, u1.pub, s1.pub, tag, rng, core::KeyCheck::kSkip);
+                }),
+                bench::time_ms(reps, [&] { (void)t1.decrypt(ct1, u1.a, upd1); }),
+                t1.params().g1_compressed_bytes(),
+                t1.params().g1_compressed_bytes(),
+                "~80-bit"};
+
+  rows[1] = Row{"type-3 BLS12-381 (reference)",
+                bench::time_ms(reps, [&] { (void)t3.issue_update(s3, tag); }),
+                bench::time_ms(reps, [&] { (void)t3.verify_update(s3.pk, upd3); }),
+                bench::time_ms(reps, [&] {
+                  (void)t3.encrypt(msg, u3.a1, u3.a2, s3.pk, tag, rng);
+                }),
+                bench::time_ms(reps, [&] { (void)t3.decrypt(ct3, u3.a, upd3); }),
+                t3.update_bytes(), t3.ciphertext_header_bytes(), "~128-bit"};
+
+  std::printf("%-32s | %8s | %9s | %8s | %8s | %9s | %9s | %s\n", "backend",
+              "issue ms", "verify ms", "enc ms", "dec ms", "update B",
+              "ct-hdr B", "security");
+  std::printf("---------------------------------+----------+-----------+----------+----------+-----------+-----------+---------\n");
+  for (const Row& row : rows) {
+    std::printf("%-32s | %8.1f | %9.1f | %8.1f | %8.1f | %9zu | %9zu | %s\n",
+                row.name, row.issue, row.verify, row.enc, row.dec,
+                row.update_bytes, row.ct_overhead, row.security);
+  }
+  std::printf("\n(the BLS12 Miller loop runs untwisted over full F_p12 with no "
+              "sparse-line shortcuts — production pairings are ~20-50x faster; "
+              "the SIZE comparison is exact either way)\n");
+  return 0;
+}

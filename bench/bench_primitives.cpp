@@ -1,0 +1,117 @@
+// E1 (part 1): cryptographic primitive microbenchmarks across parameter
+// sets — the cost model every other experiment builds on.
+#include <benchmark/benchmark.h>
+
+#include "hashing/drbg.h"
+#include "pairing/pairing.h"
+#include "params/params.h"
+
+namespace {
+
+using namespace tre;
+
+struct Fixture {
+  std::shared_ptr<const params::GdhParams> params;
+  hashing::HmacDrbg rng{to_bytes("bench-primitives")};
+  ec::G1Point g, h;
+  field::FpInt scalar;
+
+  explicit Fixture(const std::string& name) : params(params::load(name)) {
+    g = params->base;
+    h = ec::hash_to_g1(params->ctx(), to_bytes("bench-point"));
+    scalar = params::random_scalar(*params, rng);
+  }
+};
+
+Fixture& fixture(const benchmark::State& state) {
+  static Fixture toy("tre-toy-96");
+  static Fixture mid("tre-512");
+  static Fixture big("tre-768");
+  switch (state.range(0)) {
+    case 0:
+      return toy;
+    case 1:
+      return mid;
+    default:
+      return big;
+  }
+}
+
+void args(benchmark::internal::Benchmark* b) {
+  b->Arg(0)->Arg(1)->Arg(2)->ArgName("set(0=toy96,1=512,2=768)");
+}
+
+void BM_Pairing(benchmark::State& state) {
+  Fixture& f = fixture(state);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pairing::pair(f.g, f.h));
+  }
+}
+BENCHMARK(BM_Pairing)->Apply(args)->Unit(benchmark::kMicrosecond);
+
+void BM_ScalarMul(benchmark::State& state) {
+  Fixture& f = fixture(state);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.g.mul(f.scalar));
+  }
+}
+BENCHMARK(BM_ScalarMul)->Apply(args)->Unit(benchmark::kMicrosecond);
+
+void BM_HashToG1(benchmark::State& state) {
+  Fixture& f = fixture(state);
+  std::uint32_t i = 0;
+  for (auto _ : state) {
+    Bytes msg = concat({to_bytes("tag"), be32(i++)});
+    benchmark::DoNotOptimize(ec::hash_to_g1(f.params->ctx(), msg));
+  }
+}
+BENCHMARK(BM_HashToG1)->Apply(args)->Unit(benchmark::kMicrosecond);
+
+void BM_GtPow(benchmark::State& state) {
+  Fixture& f = fixture(state);
+  pairing::Gt e = pairing::pair(f.g, f.h);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(e.pow(f.scalar));
+  }
+}
+BENCHMARK(BM_GtPow)->Apply(args)->Unit(benchmark::kMicrosecond);
+
+void BM_FpInverse(benchmark::State& state) {
+  Fixture& f = fixture(state);
+  field::Fp x = field::Fp::random(f.params->ctx()->fp.get(), f.rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(x.inverse());
+  }
+}
+BENCHMARK(BM_FpInverse)->Apply(args)->Unit(benchmark::kNanosecond);
+
+void BM_FpMul(benchmark::State& state) {
+  Fixture& f = fixture(state);
+  field::Fp x = field::Fp::random(f.params->ctx()->fp.get(), f.rng);
+  field::Fp y = field::Fp::random(f.params->ctx()->fp.get(), f.rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(x * y);
+  }
+}
+BENCHMARK(BM_FpMul)->Apply(args)->Unit(benchmark::kNanosecond);
+
+void BM_PointSerialize(benchmark::State& state) {
+  Fixture& f = fixture(state);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.h.to_bytes_compressed());
+  }
+}
+BENCHMARK(BM_PointSerialize)->Apply(args)->Unit(benchmark::kNanosecond);
+
+void BM_PointDeserializeCompressed(benchmark::State& state) {
+  Fixture& f = fixture(state);
+  Bytes enc = f.h.to_bytes_compressed();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ec::G1Point::from_bytes(f.params->ctx(), enc));
+  }
+}
+BENCHMARK(BM_PointDeserializeCompressed)->Apply(args)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,129 @@
+// E1 (part 2): every TRE protocol operation at the default (tre-512)
+// parameter set — the practicality claim of §5.1/§5.3.1.
+#include <benchmark/benchmark.h>
+
+#include "core/tre.h"
+#include "hashing/drbg.h"
+
+namespace {
+
+using namespace tre;
+
+struct SchemeFixture {
+  core::TreScheme scheme{params::load("tre-512")};
+  hashing::HmacDrbg rng{to_bytes("bench-tre-ops")};
+  core::ServerKeyPair server = scheme.server_keygen(rng);
+  core::UserKeyPair user = scheme.user_keygen(server.pub, rng);
+  core::KeyUpdate update = scheme.issue_update(server, "2030-01-01T00:00:00Z");
+  Bytes msg = rng.bytes(256);
+  core::Ciphertext ct =
+      scheme.encrypt(msg, user.pub, server.pub, "2030-01-01T00:00:00Z", rng);
+};
+
+SchemeFixture& fx() {
+  static SchemeFixture f;
+  return f;
+}
+
+void BM_ServerKeygen(benchmark::State& state) {
+  auto& f = fx();
+  for (auto _ : state) benchmark::DoNotOptimize(f.scheme.server_keygen(f.rng));
+}
+BENCHMARK(BM_ServerKeygen)->Unit(benchmark::kMillisecond);
+
+void BM_UserKeygen(benchmark::State& state) {
+  auto& f = fx();
+  for (auto _ : state) benchmark::DoNotOptimize(f.scheme.user_keygen(f.server.pub, f.rng));
+}
+BENCHMARK(BM_UserKeygen)->Unit(benchmark::kMillisecond);
+
+void BM_VerifyUserKey(benchmark::State& state) {
+  auto& f = fx();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.scheme.verify_user_public_key(f.server.pub, f.user.pub));
+  }
+}
+BENCHMARK(BM_VerifyUserKey)->Unit(benchmark::kMillisecond);
+
+void BM_IssueUpdate(benchmark::State& state) {
+  auto& f = fx();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.scheme.issue_update(f.server, "2030-01-01T00:00:00Z"));
+  }
+}
+BENCHMARK(BM_IssueUpdate)->Unit(benchmark::kMillisecond);
+
+void BM_VerifyUpdate(benchmark::State& state) {
+  auto& f = fx();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.scheme.verify_update(f.server.pub, f.update));
+  }
+}
+BENCHMARK(BM_VerifyUpdate)->Unit(benchmark::kMillisecond);
+
+void BM_EncryptWithKeyCheck(benchmark::State& state) {
+  auto& f = fx();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.scheme.encrypt(f.msg, f.user.pub, f.server.pub,
+                                              "2030-01-01T00:00:00Z", f.rng,
+                                              core::KeyCheck::kVerify));
+  }
+}
+BENCHMARK(BM_EncryptWithKeyCheck)->Unit(benchmark::kMillisecond);
+
+void BM_EncryptKeyPrechecked(benchmark::State& state) {
+  auto& f = fx();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.scheme.encrypt(f.msg, f.user.pub, f.server.pub,
+                                              "2030-01-01T00:00:00Z", f.rng,
+                                              core::KeyCheck::kSkip));
+  }
+}
+BENCHMARK(BM_EncryptKeyPrechecked)->Unit(benchmark::kMillisecond);
+
+void BM_Decrypt(benchmark::State& state) {
+  auto& f = fx();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.scheme.decrypt(f.ct, f.user.a, f.update));
+  }
+}
+BENCHMARK(BM_Decrypt)->Unit(benchmark::kMillisecond);
+
+void BM_DeriveEpochKey(benchmark::State& state) {
+  auto& f = fx();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.scheme.derive_epoch_key(f.user.a, f.update));
+  }
+}
+BENCHMARK(BM_DeriveEpochKey)->Unit(benchmark::kMillisecond);
+
+void BM_DecryptWithEpochKey(benchmark::State& state) {
+  auto& f = fx();
+  core::EpochKey ek = f.scheme.derive_epoch_key(f.user.a, f.update);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.scheme.decrypt_with_epoch_key(f.ct, ek));
+  }
+}
+BENCHMARK(BM_DecryptWithEpochKey)->Unit(benchmark::kMillisecond);
+
+void BM_RebindUserKey(benchmark::State& state) {
+  auto& f = fx();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.scheme.rebind_user_key(f.user.a, f.server.pub));
+  }
+}
+BENCHMARK(BM_RebindUserKey)->Unit(benchmark::kMillisecond);
+
+void BM_VerifyReboundKey(benchmark::State& state) {
+  auto& f = fx();
+  core::UserPublicKey rebound = f.scheme.rebind_user_key(f.user.a, f.server.pub);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.scheme.verify_rebound_key(f.user.pub.ag, f.server.pub.g,
+                                                         f.server.pub, rebound));
+  }
+}
+BENCHMARK(BM_VerifyReboundKey)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,35 @@
+#include "baselines/bf_ibe.h"
+
+namespace tre::baselines {
+
+BfIbe::BfIbe(std::shared_ptr<const params::GdhParams> params)
+    : scheme_(std::move(params)) {}
+
+ServerKeyPair BfIbe::setup(tre::hashing::RandomSource& rng) const {
+  return scheme_.server_keygen(rng);
+}
+
+IbePrivateKey BfIbe::extract(const ServerKeyPair& master, std::string_view id) const {
+  return IbePrivateKey{std::string(id), scheme_.hash_tag(id).mul(master.s)};
+}
+
+bool BfIbe::verify_private_key(const ServerPublicKey& master,
+                               const IbePrivateKey& key) const {
+  if (key.d.is_infinity()) return false;
+  return pairing::pairings_equal(master.sg, scheme_.hash_tag(key.id), master.g, key.d);
+}
+
+Ciphertext BfIbe::encrypt(ByteSpan msg, std::string_view id,
+                          const ServerPublicKey& master,
+                          tre::hashing::RandomSource& rng) const {
+  Scalar r = params::random_scalar(scheme_.params(), rng);
+  core::Gt k = pairing::pair(master.sg, scheme_.hash_tag(id)).pow(r);
+  return Ciphertext{master.g.mul(r), xor_bytes(msg, scheme_.mask_h2(k, msg.size()))};
+}
+
+Bytes BfIbe::decrypt(const Ciphertext& ct, const IbePrivateKey& key) const {
+  core::Gt k = pairing::pair(ct.u, key.d);
+  return xor_bytes(ct.v, scheme_.mask_h2(k, ct.v.size()));
+}
+
+}  // namespace tre::baselines

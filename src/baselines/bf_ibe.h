@@ -1,0 +1,42 @@
+// Boneh-Franklin BasicIdent IBE [4] — substrate for the hybrid baseline
+// (paper footnote 3) and the Mont et al. time-vault model.
+//
+//   setup   : master secret s, public (G, sG)
+//   extract : d_ID = s·H1(ID)
+//   encrypt : U = rG, V = M ⊕ H2(ê(sG, H1(ID))^r)
+//   decrypt : M = V ⊕ H2(ê(U, d_ID))
+#pragma once
+
+#include "core/tre.h"
+
+namespace tre::baselines {
+
+using core::Ciphertext;
+using core::Scalar;
+using core::ServerKeyPair;
+using core::ServerPublicKey;
+
+struct IbePrivateKey {
+  std::string id;
+  ec::G1Point d;
+};
+
+class BfIbe {
+ public:
+  explicit BfIbe(std::shared_ptr<const params::GdhParams> params);
+
+  const params::GdhParams& params() const { return scheme_.params(); }
+
+  ServerKeyPair setup(tre::hashing::RandomSource& rng) const;
+  IbePrivateKey extract(const ServerKeyPair& master, std::string_view id) const;
+  bool verify_private_key(const ServerPublicKey& master, const IbePrivateKey& key) const;
+
+  Ciphertext encrypt(ByteSpan msg, std::string_view id, const ServerPublicKey& master,
+                     tre::hashing::RandomSource& rng) const;
+  Bytes decrypt(const Ciphertext& ct, const IbePrivateKey& key) const;
+
+ private:
+  core::TreScheme scheme_;  // reuse H1/H2 and key plumbing
+};
+
+}  // namespace tre::baselines

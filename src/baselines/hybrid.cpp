@@ -1,0 +1,79 @@
+#include "baselines/hybrid.h"
+
+#include "hashing/kdf.h"
+
+namespace tre::baselines {
+
+using core::Gt;
+using core::Scalar;
+using ec::G1Point;
+
+Bytes HybridCiphertext::to_bytes() const {
+  Bytes out = concat({c_pke.to_bytes_compressed(), c_ibe.to_bytes_compressed()});
+  require(body.size() <= 0xffff, "HybridCiphertext: body too long");
+  out.push_back(static_cast<std::uint8_t>(body.size() >> 8));
+  out.push_back(static_cast<std::uint8_t>(body.size() & 0xff));
+  out.insert(out.end(), body.begin(), body.end());
+  return out;
+}
+
+HybridCiphertext HybridCiphertext::from_bytes(const params::GdhParams& params,
+                                              ByteSpan bytes) {
+  size_t w = params.g1_compressed_bytes();
+  require(bytes.size() >= 2 * w + 2, "HybridCiphertext: truncated");
+  HybridCiphertext ct;
+  ct.c_pke = G1Point::from_bytes(params.ctx(), bytes.subspan(0, w));
+  ct.c_ibe = G1Point::from_bytes(params.ctx(), bytes.subspan(w, w));
+  require(ct.c_pke.in_subgroup() && ct.c_ibe.in_subgroup(),
+          "HybridCiphertext: point outside the order-q subgroup");
+  size_t n = static_cast<size_t>(bytes[2 * w]) << 8 | bytes[2 * w + 1];
+  require(bytes.size() == 2 * w + 2 + n, "HybridCiphertext: bad body length");
+  ct.body.assign(bytes.begin() + static_cast<long>(2 * w + 2), bytes.end());
+  return ct;
+}
+
+HybridTre::HybridTre(std::shared_ptr<const params::GdhParams> params)
+    : ibe_(std::move(params)) {}
+
+PkeKeyPair HybridTre::pke_keygen(tre::hashing::RandomSource& rng) const {
+  Scalar b = params::random_scalar(params(), rng);
+  return PkeKeyPair{b, params().base.mul(b)};
+}
+
+Bytes HybridTre::dem_key(const G1Point& k1_point, const Gt& k2) const {
+  // K1 ⊕ K2 fed to the DEM, per the footnote: derive fixed sub-keys first.
+  Bytes k1 = hashing::oracle_bytes("HYB-K1", k1_point.to_bytes_compressed(), 32);
+  Bytes k2b = hashing::oracle_bytes("HYB-K2", k2.to_bytes(), 32);
+  return xor_bytes(k1, k2b);
+}
+
+HybridCiphertext HybridTre::encrypt(ByteSpan msg, const PkeKeyPair& receiver_pub,
+                                    const core::ServerPublicKey& time_server,
+                                    std::string_view tag,
+                                    tre::hashing::RandomSource& rng) const {
+  // PKE share: ElGamal KEM under the receiver key.
+  Scalar x = params::random_scalar(params(), rng);
+  G1Point c_pke = params().base.mul(x);
+  G1Point k1_point = receiver_pub.bg.mul(x);
+
+  // IBE share to identity T under the time server's master key.
+  Scalar r = params::random_scalar(params(), rng);
+  G1Point c_ibe = time_server.g.mul(r);
+  Gt k2 = pairing::pair(time_server.sg, ec::hash_to_g1(params().ctx(), to_bytes(tag)))
+              .pow(r);
+
+  Bytes key = dem_key(k1_point, k2);
+  Bytes stream = hashing::keystream(key, to_bytes(tag), msg.size());
+  return HybridCiphertext{c_pke, c_ibe, xor_bytes(msg, stream)};
+}
+
+Bytes HybridTre::decrypt(const HybridCiphertext& ct, const Scalar& b,
+                         const core::KeyUpdate& update) const {
+  G1Point k1_point = ct.c_pke.mul(b);
+  Gt k2 = pairing::pair(ct.c_ibe, update.sig);
+  Bytes key = dem_key(k1_point, k2);
+  Bytes stream = hashing::keystream(key, to_bytes(update.tag), ct.body.size());
+  return xor_bytes(ct.body, stream);
+}
+
+}  // namespace tre::baselines

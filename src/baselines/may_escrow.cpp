@@ -1,0 +1,32 @@
+#include "baselines/may_escrow.h"
+
+#include <algorithm>
+
+namespace tre::baselines {
+
+void MayEscrowAgent::deposit(std::string_view sender, std::string_view recipient,
+                             ByteSpan msg, std::int64_t release_at) {
+  Deposit d{std::string(sender), std::string(recipient), Bytes(msg.begin(), msg.end()),
+            release_at};
+  stored_bytes_ += d.sender.size() + d.recipient.size() + d.message.size();
+  ++total_deposits_;
+  pending_.push_back(std::move(d));
+}
+
+std::vector<MayEscrowAgent::Deposit> MayEscrowAgent::release_due(std::int64_t now) {
+  std::vector<Deposit> due;
+  auto it = std::stable_partition(
+      pending_.begin(), pending_.end(),
+      [now](const Deposit& d) { return d.release_at > now; });
+  due.assign(std::make_move_iterator(it), std::make_move_iterator(pending_.end()));
+  pending_.erase(it, pending_.end());
+  std::sort(due.begin(), due.end(), [](const Deposit& a, const Deposit& b) {
+    return a.release_at < b.release_at;
+  });
+  for (const Deposit& d : due) {
+    stored_bytes_ -= d.sender.size() + d.recipient.size() + d.message.size();
+  }
+  return due;
+}
+
+}  // namespace tre::baselines

@@ -1,0 +1,44 @@
+// May's trusted escrow agent [15, paper §2.2].
+//
+// The earliest design: senders hand the plaintext, recipient and release
+// time to an agent who stores everything and forwards at the release
+// time. Storage grows with every in-flight message, and the agent knows
+// message, release time, sender and receiver — the baseline TRE's §3
+// model is defined against. Experiment E3 measures the storage curve.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+
+namespace tre::baselines {
+
+class MayEscrowAgent {
+ public:
+  struct Deposit {
+    std::string sender;
+    std::string recipient;
+    Bytes message;
+    std::int64_t release_at;
+  };
+
+  /// The sender-agent interaction (plaintext disclosure included).
+  void deposit(std::string_view sender, std::string_view recipient, ByteSpan msg,
+               std::int64_t release_at);
+
+  /// Messages due at or before `now`, removed from storage, delivery order.
+  std::vector<Deposit> release_due(std::int64_t now);
+
+  size_t stored_messages() const { return pending_.size(); }
+  size_t stored_bytes() const { return stored_bytes_; }
+  std::uint64_t total_deposits() const { return total_deposits_; }
+
+ private:
+  std::vector<Deposit> pending_;
+  size_t stored_bytes_ = 0;
+  std::uint64_t total_deposits_ = 0;
+};
+
+}  // namespace tre::baselines

@@ -1,0 +1,62 @@
+// Functional model of the Mont et al. HP Time Vault service [17].
+//
+// The IBE-based *active-server* design the paper contrasts against: the
+// sender encrypts to the identity "ID || T"; when T arrives, the server
+// extracts the private key s·H1(ID||T) for EVERY registered receiver and
+// transmits each key individually over a unicast channel. Server CPU and
+// bandwidth per epoch therefore grow linearly in the number of users,
+// and the server can read all traffic — both measured by experiment E3.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "baselines/bf_ibe.h"
+
+namespace tre::baselines {
+
+class MontTimeVault {
+ public:
+  MontTimeVault(std::shared_ptr<const params::GdhParams> params,
+                tre::hashing::RandomSource& rng);
+
+  const core::ServerPublicKey& public_key() const { return master_.pub; }
+  const params::GdhParams& params() const { return ibe_.params(); }
+
+  /// The server must know every receiver (no user anonymity).
+  void register_user(std::string_view id);
+  size_t user_count() const { return users_.size(); }
+
+  /// Sender side: IBE encryption to identity "id || tag".
+  core::Ciphertext encrypt(ByteSpan msg, std::string_view id, std::string_view tag,
+                           tre::hashing::RandomSource& rng) const;
+
+  /// Epoch boundary: extract and unicast one key per registered user.
+  /// Returns the per-user keys (the "transmissions").
+  std::vector<IbePrivateKey> epoch_tick(std::string_view tag);
+
+  /// Receiver side, with the key unicast to them this epoch.
+  Bytes decrypt(const core::Ciphertext& ct, const IbePrivateKey& key) const;
+
+  struct Stats {
+    std::uint64_t keys_extracted = 0;
+    std::uint64_t bytes_unicast = 0;  // sum over per-user transmissions
+    std::uint64_t epochs = 0;
+  };
+  const Stats& stats() const { return stats_; }
+
+  /// The escrow problem (paper §2.2): the server decrypts anyone's mail.
+  Bytes server_decrypt(const core::Ciphertext& ct, std::string_view id,
+                       std::string_view tag) const;
+
+ private:
+  static std::string joint_id(std::string_view id, std::string_view tag);
+
+  BfIbe ibe_;
+  core::ServerKeyPair master_;
+  std::map<std::string, size_t> users_;  // id -> registration order
+  Stats stats_;
+};
+
+}  // namespace tre::baselines

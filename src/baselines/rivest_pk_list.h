@@ -1,0 +1,54 @@
+// Rivest-Shamir-Wagner offline public-key variant [19, paper footnote 2].
+//
+// To avoid sender-server interaction, the server pre-generates one
+// keypair per future epoch and publishes the whole public-key list; it
+// releases the epoch secret key when the epoch arrives. The sender can
+// only target epochs the server has already provisioned — encrypting
+// past the horizon fails — and the published list grows linearly with
+// the horizon, which is the non-scalability experiment E3/E9 measures.
+// (Contrast: a TRE sender needs two public keys for ANY future instant.)
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/tre.h"
+
+namespace tre::baselines {
+
+struct EpochCiphertext {
+  std::uint64_t epoch;
+  ec::G1Point c1;  // x·G
+  Bytes body;      // M ⊕ KDF(x·B_e)
+};
+
+class RivestPkList {
+ public:
+  /// Pre-generates `horizon` epoch keypairs up front.
+  RivestPkList(std::shared_ptr<const params::GdhParams> params, size_t horizon,
+               tre::hashing::RandomSource& rng);
+
+  size_t horizon() const { return secrets_.size(); }
+
+  /// Wire size of the published public-key list (what every sender must
+  /// fetch and the server must host).
+  size_t published_bytes() const;
+
+  /// Throws if `epoch` is beyond the provisioned horizon — the scheme's
+  /// defining limitation.
+  EpochCiphertext encrypt(ByteSpan msg, std::uint64_t epoch,
+                          tre::hashing::RandomSource& rng) const;
+
+  /// The secret the server releases when `epoch` arrives.
+  core::Scalar release_epoch_secret(std::uint64_t epoch) const;
+
+  static Bytes decrypt(const params::GdhParams& params, const EpochCiphertext& ct,
+                       const core::Scalar& epoch_secret);
+
+ private:
+  std::shared_ptr<const params::GdhParams> params_;
+  std::vector<core::Scalar> secrets_;
+  std::vector<ec::G1Point> public_list_;
+};
+
+}  // namespace tre::baselines

@@ -1,0 +1,37 @@
+#include "baselines/rivest_server.h"
+
+#include "common/error.h"
+#include "hashing/hmac.h"
+#include "hashing/kdf.h"
+
+namespace tre::baselines {
+
+RivestServer::RivestServer(ByteSpan seed) : seed_(seed.begin(), seed.end()) {
+  require(!seed_.empty(), "RivestServer: empty seed");
+}
+
+Bytes RivestServer::epoch_key(std::uint64_t e) const {
+  // k_e = HMAC(seed, e): derivable from the seed alone, nothing to store.
+  return hashing::hmac_sha256(seed_, be64(e));
+}
+
+RivestCiphertext RivestServer::submit(std::string_view sender_id, ByteSpan msg,
+                                      std::uint64_t release_epoch) {
+  ++interactions_;
+  knowledge_.push_back(KnowledgeRecord{std::string(sender_id),
+                                       Bytes(msg.begin(), msg.end()), release_epoch});
+  Bytes key = epoch_key(release_epoch);
+  Bytes body = xor_bytes(msg, hashing::keystream(key, be64(release_epoch), msg.size()));
+  Bytes mac = hashing::hmac_sha256_concat(key, {be64(release_epoch), body});
+  return RivestCiphertext{release_epoch, std::move(body), std::move(mac)};
+}
+
+Bytes RivestServer::publish_epoch_key(std::uint64_t e) { return epoch_key(e); }
+
+Bytes RivestServer::decrypt(const RivestCiphertext& ct, ByteSpan epoch_key) {
+  Bytes mac = hashing::hmac_sha256_concat(epoch_key, {be64(ct.epoch), ct.body});
+  require(ct_equal(mac, ct.mac), "RivestServer: MAC mismatch");
+  return xor_bytes(ct.body, hashing::keystream(epoch_key, be64(ct.epoch), ct.body.size()));
+}
+
+}  // namespace tre::baselines

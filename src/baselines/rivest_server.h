@@ -1,0 +1,58 @@
+// Rivest-Shamir-Wagner interactive symmetric-key server [19, §2.2].
+//
+// The server derives epoch keys from a hash chain (it remembers only the
+// seed); a sender must SUBMIT the plaintext and release epoch to the
+// server, which returns the symmetric ciphertext; at each epoch the
+// server publishes that epoch's key. The model records exactly what the
+// server learns per interaction — message, release time, sender identity
+// — which is the anonymity loss the paper criticizes, plus the
+// interaction count that limits scalability (experiment E3).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "hashing/drbg.h"
+
+namespace tre::baselines {
+
+struct RivestCiphertext {
+  std::uint64_t epoch;
+  Bytes body;  // stream-encrypted
+  Bytes mac;
+};
+
+class RivestServer {
+ public:
+  explicit RivestServer(ByteSpan seed);
+
+  /// The sender-server interaction. The server sees everything.
+  RivestCiphertext submit(std::string_view sender_id, ByteSpan msg,
+                          std::uint64_t release_epoch);
+
+  /// Published when epoch `e` arrives (anyone may call afterwards).
+  Bytes publish_epoch_key(std::uint64_t e);
+
+  /// Receiver side with a published key.
+  static Bytes decrypt(const RivestCiphertext& ct, ByteSpan epoch_key);
+
+  /// Everything the server learned — the privacy cost of this design.
+  struct KnowledgeRecord {
+    std::string sender_id;
+    Bytes message;
+    std::uint64_t release_epoch;
+  };
+  const std::vector<KnowledgeRecord>& server_knowledge() const { return knowledge_; }
+  std::uint64_t interactions() const { return interactions_; }
+
+ private:
+  Bytes epoch_key(std::uint64_t e) const;
+
+  Bytes seed_;
+  std::vector<KnowledgeRecord> knowledge_;
+  std::uint64_t interactions_ = 0;
+};
+
+}  // namespace tre::baselines

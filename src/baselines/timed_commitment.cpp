@@ -1,0 +1,50 @@
+#include "baselines/timed_commitment.h"
+
+#include "common/error.h"
+#include "hashing/kdf.h"
+#include "hashing/sha256.h"
+
+namespace tre::baselines {
+
+namespace {
+
+Bytes binding_of(ByteSpan key, ByteSpan msg) {
+  return hashing::sha256_concat({to_bytes("TC-BIND"), key, msg});
+}
+
+Bytes stream_of(ByteSpan key, size_t len) {
+  return hashing::keystream(key, to_bytes("TC-STREAM"), len);
+}
+
+}  // namespace
+
+std::pair<TimedCommitment, Bytes> TimedCommitmentScheme::commit(
+    const RswTrapdoor& trapdoor, ByteSpan msg, std::uint64_t t,
+    tre::hashing::RandomSource& rng) {
+  Bytes key = rng.bytes(32);
+  TimedCommitment c;
+  c.puzzle = Rsw::seal(trapdoor, key, t, rng);
+  c.binding = binding_of(key, msg);
+  c.sealed_msg = xor_bytes(msg, stream_of(key, msg.size()));
+  return {std::move(c), std::move(key)};
+}
+
+Bytes TimedCommitmentScheme::open(const TimedCommitment& c, ByteSpan key) {
+  Bytes msg = xor_bytes(c.sealed_msg, stream_of(key, c.sealed_msg.size()));
+  require(ct_equal(binding_of(key, msg), c.binding),
+          "TimedCommitment: opening fails the binding check");
+  return msg;
+}
+
+Bytes TimedCommitmentScheme::forced_open(const TimedCommitment& c) {
+  Bytes key = Rsw::solve(c.puzzle);
+  return open(c, key);
+}
+
+bool TimedCommitmentScheme::verify_opening(const TimedCommitment& c, ByteSpan key,
+                                           ByteSpan msg) {
+  if (!ct_equal(binding_of(key, msg), c.binding)) return false;
+  return ct_equal(xor_bytes(msg, stream_of(key, msg.size())), c.sealed_msg);
+}
+
+}  // namespace tre::baselines

@@ -1,0 +1,126 @@
+// Montgomery modular arithmetic with a runtime limb count.
+//
+// One `MontCtx<L>` is built per modulus (base field p, scalar field q,
+// RSW modulus n, ...). The active limb count `n` is derived from the
+// modulus so that a 96-bit toy field does not pay for the 768-bit
+// capacity of the limb array. Multiplication is CIOS.
+#pragma once
+
+#include <cstdint>
+
+#include "bigint/bigint.h"
+
+namespace tre::bigint {
+
+template <size_t L>
+class MontCtx {
+ public:
+  /// `modulus` must be odd and > 1.
+  explicit MontCtx(const BigInt<L>& modulus) : m_(modulus) {
+    require(modulus.is_odd() && modulus.bit_length() > 1, "MontCtx: modulus must be odd and > 1");
+    n_ = (modulus.bit_length() + 63) / 64;
+
+    // n0inv = -m^{-1} mod 2^64 via Newton iteration.
+    std::uint64_t inv = m_.w[0];
+    for (int i = 0; i < 6; ++i) inv *= 2 - m_.w[0] * inv;
+    n0inv_ = ~inv + 1;  // = -inv mod 2^64
+
+    // R mod m by 64n doublings, then R^2 mod m with one wide reduction.
+    BigInt<L> r = mod(BigInt<L>::from_u64(1), m_);
+    for (size_t i = 0; i < 64 * n_; ++i) r = addmod(r, r, m_);
+    one_ = r;
+    r2_ = mod_wide(mul_wide(r, r), m_);
+  }
+
+  const BigInt<L>& modulus() const { return m_; }
+  size_t active_limbs() const { return n_; }
+  const BigInt<L>& one() const { return one_; }  // 1 in Montgomery form
+
+  BigInt<L> to_mont(const BigInt<L>& x) const { return mul(x, r2_); }
+
+  BigInt<L> from_mont(const BigInt<L>& x) const {
+    return mul(x, BigInt<L>::from_u64(1));
+  }
+
+  /// Montgomery product a*b*R^{-1} mod m (CIOS over the active limbs).
+  BigInt<L> mul(const BigInt<L>& a, const BigInt<L>& b) const {
+    const size_t n = n_;
+    // t has n+2 limbs of live state.
+    std::uint64_t t[L + 2] = {};
+    for (size_t i = 0; i < n; ++i) {
+      // t += a[i] * b
+      unsigned __int128 carry = 0;
+      for (size_t j = 0; j < n; ++j) {
+        unsigned __int128 s = static_cast<unsigned __int128>(a.w[i]) * b.w[j] + t[j] + carry;
+        t[j] = static_cast<std::uint64_t>(s);
+        carry = s >> 64;
+      }
+      unsigned __int128 s = static_cast<unsigned __int128>(t[n]) + carry;
+      t[n] = static_cast<std::uint64_t>(s);
+      t[n + 1] = static_cast<std::uint64_t>(s >> 64);
+
+      // t += (t[0] * n0inv mod 2^64) * m;  then t >>= 64
+      std::uint64_t u = t[0] * n0inv_;
+      carry = 0;
+      for (size_t j = 0; j < n; ++j) {
+        unsigned __int128 s2 = static_cast<unsigned __int128>(u) * m_.w[j] + t[j] + carry;
+        t[j] = static_cast<std::uint64_t>(s2);
+        carry = s2 >> 64;
+      }
+      unsigned __int128 s2 = static_cast<unsigned __int128>(t[n]) + carry;
+      t[n] = static_cast<std::uint64_t>(s2);
+      t[n + 1] += static_cast<std::uint64_t>(s2 >> 64);
+
+      for (size_t j = 0; j <= n; ++j) t[j] = t[j + 1];
+      t[n + 1] = 0;
+    }
+
+    BigInt<L> r;
+    for (size_t j = 0; j < n; ++j) r.w[j] = t[j];
+    // Conditional final subtraction: the CIOS invariant keeps t < 2m.
+    // Subtract over the active limbs only so a borrow consumed by the
+    // carry limb t[n] does not corrupt the inactive high limbs.
+    if (t[n] != 0 || r >= m_) {
+      unsigned __int128 borrow = 0;
+      for (size_t j = 0; j < n; ++j) {
+        unsigned __int128 s = static_cast<unsigned __int128>(r.w[j]) - m_.w[j] - borrow;
+        r.w[j] = static_cast<std::uint64_t>(s);
+        borrow = (s >> 64) & 1;
+      }
+    }
+    return r;
+  }
+
+  BigInt<L> sqr(const BigInt<L>& a) const { return mul(a, a); }
+
+  BigInt<L> add(const BigInt<L>& a, const BigInt<L>& b) const { return addmod(a, b, m_); }
+  BigInt<L> sub(const BigInt<L>& a, const BigInt<L>& b) const { return submod(a, b, m_); }
+
+  /// a^e mod m with a in Montgomery form; result in Montgomery form.
+  /// Square-and-multiply, MSB first.
+  template <size_t LE>
+  BigInt<L> pow(const BigInt<L>& a_mont, const BigInt<LE>& e) const {
+    BigInt<L> acc = one_;
+    size_t bits = e.bit_length();
+    for (size_t i = bits; i-- > 0;) {
+      acc = sqr(acc);
+      if (e.bit(i)) acc = mul(acc, a_mont);
+    }
+    return acc;
+  }
+
+  /// Convenience: plain-representation modular exponentiation.
+  template <size_t LE>
+  BigInt<L> pow_plain(const BigInt<L>& base, const BigInt<LE>& e) const {
+    return from_mont(pow(to_mont(mod(base, m_)), e));
+  }
+
+ private:
+  BigInt<L> m_;
+  size_t n_;
+  std::uint64_t n0inv_;
+  BigInt<L> r2_;
+  BigInt<L> one_;
+};
+
+}  // namespace tre::bigint

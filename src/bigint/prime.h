@@ -1,0 +1,114 @@
+// Primality testing and prime generation (Miller–Rabin), plus uniform
+// random sampling of BigInt values. Used by the parameter generator and
+// by the RSW time-lock-puzzle baseline's RSA modulus generation.
+#pragma once
+
+#include "bigint/bigint.h"
+#include "bigint/montgomery.h"
+#include "hashing/drbg.h"
+
+namespace tre::bigint {
+
+/// Uniform value in [0, bound) by rejection sampling.
+template <size_t L>
+BigInt<L> random_below(tre::hashing::RandomSource& rng, const BigInt<L>& bound) {
+  require(!bound.is_zero(), "random_below: zero bound");
+  size_t bits = bound.bit_length();
+  size_t bytes = (bits + 7) / 8;
+  for (;;) {
+    Bytes buf = rng.bytes(bytes);
+    // Mask excess high bits so the rejection rate stays below 1/2.
+    if (bits % 8 != 0) buf[0] &= static_cast<std::uint8_t>((1u << (bits % 8)) - 1);
+    BigInt<L> v = BigInt<L>::from_bytes_be(buf);
+    if (v < bound) return v;
+  }
+}
+
+/// Uniform value in [1, bound).
+template <size_t L>
+BigInt<L> random_nonzero_below(tre::hashing::RandomSource& rng, const BigInt<L>& bound) {
+  for (;;) {
+    BigInt<L> v = random_below(rng, bound);
+    if (!v.is_zero()) return v;
+  }
+}
+
+/// Random integer with exactly `bits` bits (top bit set).
+template <size_t L>
+BigInt<L> random_bits(tre::hashing::RandomSource& rng, size_t bits) {
+  require(bits >= 2 && bits <= BigInt<L>::kBits, "random_bits: bad width");
+  size_t bytes = (bits + 7) / 8;
+  Bytes buf = rng.bytes(bytes);
+  if (bits % 8 != 0) buf[0] &= static_cast<std::uint8_t>((1u << (bits % 8)) - 1);
+  BigInt<L> v = BigInt<L>::from_bytes_be(buf);
+  v.w[(bits - 1) / 64] |= std::uint64_t{1} << ((bits - 1) % 64);
+  return v;
+}
+
+namespace detail {
+inline constexpr std::uint64_t kSmallPrimes[] = {
+    3,  5,  7,  11, 13, 17, 19, 23, 29, 31, 37,  41,  43,  47,  53,  59,
+    61, 67, 71, 73, 79, 83, 89, 97, 101, 103, 107, 109, 113, 127, 131, 137,
+    139, 149, 151, 157, 163, 167, 173, 179, 181, 191, 193, 197, 199, 211};
+}
+
+/// Miller–Rabin with `rounds` random bases. Composite inputs are rejected
+/// with probability >= 1 - 4^{-rounds}.
+template <size_t L>
+bool is_probable_prime(const BigInt<L>& n, tre::hashing::RandomSource& rng,
+                       int rounds = 40) {
+  if (n.bit_length() < 2) return false;            // 0, 1
+  if (n == BigInt<L>::from_u64(2)) return true;
+  if (!n.is_odd()) return false;
+
+  // Trial division by small primes.
+  for (std::uint64_t sp : detail::kSmallPrimes) {
+    BigInt<L> p = BigInt<L>::from_u64(sp);
+    if (n == p) return true;
+    BigInt<L> q, r;
+    divmod(n, p, q, r);
+    if (r.is_zero()) return false;
+  }
+
+  // n - 1 = d * 2^s
+  BigInt<L> n_minus_1 = sub(n, BigInt<L>::from_u64(1));
+  BigInt<L> d = n_minus_1;
+  size_t s = 0;
+  while (!d.is_odd()) {
+    d = shr(d, 1);
+    ++s;
+  }
+
+  MontCtx<L> mont(n);
+  const BigInt<L> one_m = mont.one();
+  const BigInt<L> minus_one_m = mont.sub(BigInt<L>{}, one_m);
+
+  for (int round = 0; round < rounds; ++round) {
+    BigInt<L> a = random_below(rng, sub(n, BigInt<L>::from_u64(3)));
+    add_assign(a, BigInt<L>::from_u64(2));  // a in [2, n-2]
+    BigInt<L> x = mont.pow(mont.to_mont(a), d);
+    if (x == one_m || x == minus_one_m) continue;
+    bool witness = true;
+    for (size_t i = 1; i < s; ++i) {
+      x = mont.sqr(x);
+      if (x == minus_one_m) {
+        witness = false;
+        break;
+      }
+    }
+    if (witness) return false;
+  }
+  return true;
+}
+
+/// Random prime with exactly `bits` bits.
+template <size_t L>
+BigInt<L> random_prime(tre::hashing::RandomSource& rng, size_t bits, int mr_rounds = 40) {
+  for (;;) {
+    BigInt<L> cand = random_bits<L>(rng, bits);
+    cand.w[0] |= 1;
+    if (is_probable_prime(cand, rng, mr_rounds)) return cand;
+  }
+}
+
+}  // namespace tre::bigint

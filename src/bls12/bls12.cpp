@@ -1,0 +1,527 @@
+#include "bls12/bls12.h"
+
+#include <mutex>
+
+#include "bigint/prime.h"
+#include "hashing/kdf.h"
+
+namespace tre::bls12 {
+
+namespace {
+
+// The entire curve family hangs off this one 64-bit parameter.
+constexpr std::uint64_t kAbsZ = 0xd201000000010000ull;  // z = -|z|
+
+using Wide = bigint::BigInt<24>;  // scratch width for p², twist orders
+
+// Integer square root (Newton), with exactness reported separately.
+Wide isqrt(const Wide& n) {
+  if (n.is_zero()) return Wide{};
+  Wide x = bigint::shl(Wide::from_u64(1), (n.bit_length() + 1) / 2);
+  for (;;) {
+    // x1 = (x + n/x) / 2
+    Wide q, rem;
+    bigint::divmod(n, x, q, rem);
+    Wide x1 = bigint::shr(bigint::add(x, q), 1);
+    if (!(x1 < x)) return x;
+    x = x1;
+  }
+}
+
+// Generic Jacobian arithmetic over any field element type T providing
+// ring operators, squared(), inverse(), is_zero() and a one() factory.
+// Valid for a = 0 short-Weierstrass curves (both E and E').
+template <class T>
+struct JacT {
+  T x, y, z;
+  bool inf() const { return z.is_zero(); }
+};
+
+template <class T>
+JacT<T> jac_dbl(const JacT<T>& p) {
+  if (p.inf() || p.y.is_zero()) return JacT<T>{p.x, p.y, p.z - p.z};  // zero z
+  T a = p.x.squared();
+  T b = p.y.squared();
+  T c = b.squared();
+  T d = (p.x + b).squared() - a - c;
+  d = d + d;
+  T e = a + a + a;
+  T x3 = e.squared() - (d + d);
+  T c8 = c + c;
+  c8 = c8 + c8;
+  c8 = c8 + c8;
+  T y3 = e * (d - x3) - c8;
+  T z3 = (p.y * p.z) + (p.y * p.z);
+  return JacT<T>{x3, y3, z3};
+}
+
+template <class T>
+JacT<T> jac_add(const JacT<T>& p, const JacT<T>& q) {
+  if (p.inf()) return q;
+  if (q.inf()) return p;
+  T z1z1 = p.z.squared();
+  T z2z2 = q.z.squared();
+  T u1 = p.x * z2z2;
+  T u2 = q.x * z1z1;
+  T s1 = p.y * q.z * z2z2;
+  T s2 = q.y * p.z * z1z1;
+  if (u1 == u2) {
+    if (s1 == s2) return jac_dbl(p);
+    return JacT<T>{p.x, p.y, p.z - p.z};
+  }
+  T h = u2 - u1;
+  T i = (h + h).squared();
+  T j = h * i;
+  T r = (s2 - s1);
+  r = r + r;
+  T v = u1 * i;
+  T x3 = r.squared() - j - (v + v);
+  T s1j = s1 * j;
+  T y3 = r * (v - x3) - (s1j + s1j);
+  T z3 = ((p.z + q.z).squared() - z1z1 - z2z2) * h;
+  return JacT<T>{x3, y3, z3};
+}
+
+template <class T, size_t L>
+JacT<T> jac_mul(const JacT<T>& base, const bigint::BigInt<L>& k) {
+  JacT<T> acc{base.x, base.y, base.z - base.z};  // infinity (z = 0)
+  for (size_t i = k.bit_length(); i-- > 0;) {
+    acc = jac_dbl(acc);
+    if (k.bit(i)) acc = jac_add(acc, base);
+  }
+  return acc;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Context construction: derive everything from z, validate everything.
+
+std::shared_ptr<const Bls12Ctx> Bls12Ctx::get() {
+  static std::mutex mu;
+  static std::shared_ptr<const Bls12Ctx> cached;
+  std::scoped_lock lock(mu);
+  if (!cached) cached = std::shared_ptr<const Bls12Ctx>(new Bls12Ctx());
+  return cached;
+}
+
+Bls12Ctx::Bls12Ctx() : abs_z_(kAbsZ) {
+  hashing::HmacDrbg validation_rng(to_bytes("bls12-381 validation"));
+
+  // r = z⁴ - z² + 1 (even powers: sign of z irrelevant).
+  FpInt z = FpInt::from_u64(abs_z_);
+  FpInt z2 = bigint::mul_wide(z, z).resized<field::kMaxFieldLimbs>();
+  FpInt z4 = bigint::mul_wide(z2, z2).resized<field::kMaxFieldLimbs>();
+  FpInt r = bigint::add(bigint::sub(z4, z2), FpInt::from_u64(1));
+
+  // p = ((z-1)²·r)/3 + z, with z negative: (z-1)² = (|z|+1)².
+  FpInt z_plus_1 = bigint::add(z, FpInt::from_u64(1));
+  FpInt zp1_sq = bigint::mul_wide(z_plus_1, z_plus_1).resized<field::kMaxFieldLimbs>();
+  auto prod = bigint::mul_wide(zp1_sq, r);  // 24 limbs
+  Wide quo, rem;
+  bigint::divmod(prod, Wide::from_u64(3), quo, rem);
+  require(rem.is_zero(), "Bls12Ctx: (z-1)²·r not divisible by 3");
+  FpInt p = bigint::sub(quo.resized<field::kMaxFieldLimbs>(), z);
+
+  require(p.bit_length() == 381, "Bls12Ctx: p has wrong size");
+  require(r.bit_length() == 255, "Bls12Ctx: r has wrong size");
+  require(bigint::is_probable_prime(p, validation_rng, 20), "Bls12Ctx: p not prime");
+  require(bigint::is_probable_prime(r, validation_rng, 20), "Bls12Ctx: r not prime");
+
+  fp_ = std::make_shared<const FpCtx>(p);
+  fr_ = std::make_shared<const FpCtx>(r);
+  require(fp_->p_mod_4_is_3, "Bls12Ctx: p != 3 (mod 4)");
+  tower_ = std::make_unique<TowerCtx>(fp_.get());
+
+  // G1 cofactor h1 = (z-1)²/3; #E(F_p) = p + |z| = h1·r.
+  FpInt h1, h1_rem;
+  bigint::divmod(zp1_sq, FpInt::from_u64(3), h1, h1_rem);
+  require(h1_rem.is_zero(), "Bls12Ctx: (z-1)² not divisible by 3");
+  g1_cofactor_ = h1;
+  FpInt n1 = bigint::add(p, z);  // p + 1 - t, t = z + 1
+  require(bigint::mul_wide(h1, r).resized<field::kMaxFieldLimbs>() == n1,
+          "Bls12Ctx: G1 order identity failed");
+
+  // Twist constant b' = 4(1+u).
+  twist_b_ = tower_->xi.scale(Fp::from_u64(fp_.get(), 4));
+
+  // Untwist constants 1/w², 1/w³ (w⁶ = ξ so w^{-1} = w⁵/ξ).
+  {
+    Fp12 w = fp12_zero(*tower_);
+    w.c1.c0 = Fp2::one(fp_.get());  // w
+    Fp12 w_inv = fp12_inv(*tower_, w);
+    w2_inv_ = fp12_mul(*tower_, w_inv, w_inv);
+    w3_inv_ = fp12_mul(*tower_, w2_inv_, w_inv);
+  }
+
+  // G2 cofactor: find the twist order among the six CM candidates.
+  {
+    // t = z + 1 (negative): t² = (|z|-1)². Frobenius over F_p2 has trace
+    // t2 = t² - 2p (< 0 here) and CM data t2² - 4p² = -3·f2².
+    FpInt abs_t = bigint::sub(z, FpInt::from_u64(1));
+    Wide t_sq = bigint::mul_wide(abs_t, abs_t).resized<Wide::kLimbs>();
+    Wide p_wide = p.resized<Wide::kLimbs>();
+    Wide p2 = bigint::mul_wide(p, p).resized<Wide::kLimbs>();
+    // |t2| = 2p - t² (t2 = t² - 2p < 0).
+    Wide abs_t2 = bigint::sub(bigint::shl(p_wide, 1), t_sq);
+    // f2 = sqrt((4p² - t2²)/3), exact by CM discriminant -3.
+    Wide f_sq_num = bigint::sub(
+        bigint::shl(p2, 2),
+        bigint::mul_wide(abs_t2.resized<12>(), abs_t2.resized<12>()).resized<Wide::kLimbs>());
+    Wide f_sq, f_rem;
+    bigint::divmod(f_sq_num, Wide::from_u64(3), f_sq, f_rem);
+    require(f_rem.is_zero(), "Bls12Ctx: CM identity failed");
+    Wide f2 = isqrt(f_sq);
+    require(bigint::mul_wide(f2.resized<12>(), f2.resized<12>()).resized<Wide::kLimbs>() ==
+                f_sq,
+            "Bls12Ctx: CM square root not exact");
+    Wide three_f = bigint::add(bigint::shl(f2, 1), f2);
+
+    Wide p2_plus_1 = bigint::add(p2, Wide::from_u64(1));
+    std::vector<Wide> candidates;
+    // Sextic-twist orders: n = p²+1-e for e in {±t2, ±(t2+3f2)/2,
+    // ±(t2-3f2)/2}; signs resolved via magnitudes (t2 < 0 and
+    // |t2| ≈ 2p dominates 3f2 ≈ 3·2^255).
+    auto push = [&](const Wide& magnitude, bool e_negative) {
+      candidates.push_back(e_negative ? bigint::add(p2_plus_1, magnitude)
+                                      : bigint::sub(p2_plus_1, magnitude));
+    };
+    push(abs_t2, true);
+    push(abs_t2, false);
+    Wide m1 = bigint::shr(bigint::sub(abs_t2, three_f), 1);  // |(t2+3f2)/2|
+    Wide m2 = bigint::shr(bigint::add(abs_t2, three_f), 1);  // |(t2-3f2)/2|
+    push(m1, true);
+    push(m1, false);
+    push(m2, true);
+    push(m2, false);
+
+    // Sample a twist point and find the candidate order that (a) is
+    // divisible by r and (b) annihilates the point.
+    G2Point381 sample = g2_infinity();
+    for (std::uint32_t ctr = 0; sample.inf; ++ctr) {
+      Bytes h = hashing::oracle_bytes("BLS12-G2-sample", be32(ctr), 4 * fp_->byte_len);
+      Fp2 x(Fp::from_bytes_wide(fp_.get(), ByteSpan(h.data(), 2 * fp_->byte_len)),
+            Fp::from_bytes_wide(fp_.get(),
+                                ByteSpan(h.data() + 2 * fp_->byte_len, 2 * fp_->byte_len)));
+      Fp2 rhs = x.squared() * x + twist_b_;
+      auto y = rhs.sqrt();
+      if (!y) continue;
+      sample = G2Point381{x, *y, false};
+    }
+    bool found = false;
+    for (const Wide& n : candidates) {
+      Wide q2, r2;
+      bigint::divmod(n, r.resized<Wide::kLimbs>(), q2, r2);
+      if (!r2.is_zero()) continue;
+      // n must annihilate the sampled point.
+      JacT<Fp2> jac{sample.x, sample.y, Fp2::one(fp_.get())};
+      if (!jac_mul(jac, n).inf()) continue;
+      require(q2.bit_length() <= 64 * field::kMaxFieldLimbs,
+              "Bls12Ctx: G2 cofactor too large");
+      g2_cofactor_ = q2.resized<field::kMaxFieldLimbs>();
+      found = true;
+      break;
+    }
+    require(found, "Bls12Ctx: no twist order candidate matched");
+  }
+
+  // Hard exponent (p⁴ - p² + 1)/r for the final exponentiation.
+  {
+    Wide p2 = bigint::mul_wide(p, p).resized<Wide::kLimbs>();
+    Wide p4 = bigint::mul_wide(p2.resized<12>(), p2.resized<12>()).resized<Wide::kLimbs>();
+    Wide hard = bigint::add(bigint::sub(p4, p2), Wide::from_u64(1));
+    Wide quo2, rem2;
+    bigint::divmod(hard, r.resized<Wide::kLimbs>(), quo2, rem2);
+    require(rem2.is_zero(), "Bls12Ctx: r does not divide p⁴ - p² + 1");
+    hard_exponent_ = quo2;
+  }
+
+  // Generators.
+  g1_gen_ = hash_to_g1(to_bytes("BLS12-381 G1 generator / TRE-v1"));
+  {
+    for (std::uint32_t ctr = 0;; ++ctr) {
+      Bytes h = hashing::oracle_bytes("BLS12-G2-gen", be32(ctr), 4 * fp_->byte_len);
+      Fp2 x(Fp::from_bytes_wide(fp_.get(), ByteSpan(h.data(), 2 * fp_->byte_len)),
+            Fp::from_bytes_wide(fp_.get(),
+                                ByteSpan(h.data() + 2 * fp_->byte_len, 2 * fp_->byte_len)));
+      Fp2 rhs = x.squared() * x + twist_b_;
+      auto y = rhs.sqrt();
+      if (!y) continue;
+      G2Point381 cleared = g2_mul(G2Point381{x, *y, false}, g2_cofactor_);
+      if (cleared.inf) continue;
+      g2_gen_ = cleared;
+      break;
+    }
+    require(g2_in_subgroup(g2_gen_), "Bls12Ctx: G2 generator escaped the subgroup");
+    // Frobenius eigenvalue check: the untwisted generator satisfies
+    // π(Q) = [p]Q — the defining property of G2 the ate pairing needs.
+    PointFp12 qu = untwist(g2_gen_);
+    PointFp12 frob_q = fp12_point_frobenius(qu);
+    // [p]Q computed on the twist side (cheap): p ≡ p mod r on order-r points.
+    FpInt p_mod_r = bigint::mod(p, r);
+    G2Point381 pq = g2_mul(g2_gen_, p_mod_r);
+    PointFp12 pq_untwisted = untwist(pq);
+    require(!frob_q.inf && !pq_untwisted.inf &&
+                fp12_eq(frob_q.x, pq_untwisted.x) && fp12_eq(frob_q.y, pq_untwisted.y),
+            "Bls12Ctx: G2 generator fails the Frobenius eigenvalue check");
+  }
+}
+
+// ---------------------------------------------------------------------------
+// G1.
+
+G1Point381 Bls12Ctx::g1_infinity() const {
+  return G1Point381{Fp::zero(fp_.get()), Fp::zero(fp_.get()), true};
+}
+
+bool Bls12Ctx::g1_on_curve(const G1Point381& a) const {
+  if (a.inf) return true;
+  return a.y.squared() == a.x.squared() * a.x + Fp::from_u64(fp_.get(), 4);
+}
+
+bool Bls12Ctx::g1_eq(const G1Point381& a, const G1Point381& b) const {
+  if (a.inf || b.inf) return a.inf == b.inf;
+  return a.x == b.x && a.y == b.y;
+}
+
+G1Point381 Bls12Ctx::g1_neg(const G1Point381& a) const {
+  if (a.inf) return a;
+  return G1Point381{a.x, -a.y, false};
+}
+
+namespace {
+
+G1Point381 jac_to_g1(const JacT<Fp>& j, const FpCtx* fp) {
+  if (j.inf()) return G1Point381{Fp::zero(fp), Fp::zero(fp), true};
+  Fp zi = j.z.inverse();
+  Fp zi2 = zi.squared();
+  return G1Point381{j.x * zi2, j.y * zi2 * zi, false};
+}
+
+G2Point381 jac_to_g2(const JacT<Fp2>& j, const FpCtx* fp) {
+  if (j.inf()) return G2Point381{Fp2::zero(fp), Fp2::zero(fp), true};
+  Fp2 zi = j.z.inverse();
+  Fp2 zi2 = zi.squared();
+  return G2Point381{j.x * zi2, j.y * zi2 * zi, false};
+}
+
+}  // namespace
+
+G1Point381 Bls12Ctx::g1_add(const G1Point381& a, const G1Point381& b) const {
+  if (a.inf) return b;
+  if (b.inf) return a;
+  JacT<Fp> ja{a.x, a.y, Fp::one(fp_.get())};
+  JacT<Fp> jb{b.x, b.y, Fp::one(fp_.get())};
+  return jac_to_g1(jac_add(ja, jb), fp_.get());
+}
+
+G1Point381 Bls12Ctx::g1_mul(const G1Point381& a, const Scalar& k) const {
+  if (a.inf || k.is_zero()) return g1_infinity();
+  JacT<Fp> ja{a.x, a.y, Fp::one(fp_.get())};
+  return jac_to_g1(jac_mul(ja, k), fp_.get());
+}
+
+bool Bls12Ctx::g1_in_subgroup(const G1Point381& a) const {
+  if (!g1_on_curve(a)) return false;
+  return g1_mul(a, r()).inf;
+}
+
+G1Point381 Bls12Ctx::hash_to_g1(ByteSpan msg) const {
+  for (std::uint32_t ctr = 0;; ++ctr) {
+    Bytes input = concat({msg, be32(ctr)});
+    Bytes h = hashing::oracle_bytes("BLS12-H1", input, 2 * fp_->byte_len);
+    Fp x = Fp::from_bytes_wide(fp_.get(), h);
+    Fp rhs = x.squared() * x + Fp::from_u64(fp_.get(), 4);
+    auto y = rhs.sqrt();
+    if (!y) continue;
+    G1Point381 cleared = g1_mul(G1Point381{x, *y, false}, g1_cofactor_);
+    if (!cleared.inf) return cleared;
+  }
+}
+
+Bytes Bls12Ctx::g1_to_bytes(const G1Point381& a) const {
+  Bytes out(1 + fp_->byte_len, 0);
+  if (a.inf) return out;
+  out[0] = static_cast<std::uint8_t>(0x02 | (a.y.to_int().w[0] & 1));
+  Bytes xb = a.x.to_bytes();
+  std::copy(xb.begin(), xb.end(), out.begin() + 1);
+  return out;
+}
+
+G1Point381 Bls12Ctx::g1_from_bytes(ByteSpan bytes) const {
+  require(bytes.size() == 1 + fp_->byte_len, "g1_from_bytes: wrong length");
+  if (bytes[0] == 0x00) return g1_infinity();
+  require(bytes[0] == 0x02 || bytes[0] == 0x03, "g1_from_bytes: bad tag");
+  Fp x = Fp::from_bytes(fp_.get(), bytes.subspan(1));
+  auto y = (x.squared() * x + Fp::from_u64(fp_.get(), 4)).sqrt();
+  require(y.has_value(), "g1_from_bytes: not on curve");
+  if ((y->to_int().w[0] & 1) != (bytes[0] & 1)) *y = -*y;
+  G1Point381 p{x, *y, false};
+  require(g1_in_subgroup(p), "g1_from_bytes: outside the order-r subgroup");
+  return p;
+}
+
+// ---------------------------------------------------------------------------
+// G2 (twist coordinates).
+
+G2Point381 Bls12Ctx::g2_infinity() const {
+  return G2Point381{Fp2::zero(fp_.get()), Fp2::zero(fp_.get()), true};
+}
+
+bool Bls12Ctx::g2_on_curve(const G2Point381& a) const {
+  if (a.inf) return true;
+  return a.y.squared() == a.x.squared() * a.x + twist_b_;
+}
+
+bool Bls12Ctx::g2_eq(const G2Point381& a, const G2Point381& b) const {
+  if (a.inf || b.inf) return a.inf == b.inf;
+  return a.x == b.x && a.y == b.y;
+}
+
+G2Point381 Bls12Ctx::g2_neg(const G2Point381& a) const {
+  if (a.inf) return a;
+  return G2Point381{a.x, -a.y, false};
+}
+
+G2Point381 Bls12Ctx::g2_add(const G2Point381& a, const G2Point381& b) const {
+  if (a.inf) return b;
+  if (b.inf) return a;
+  JacT<Fp2> ja{a.x, a.y, Fp2::one(fp_.get())};
+  JacT<Fp2> jb{b.x, b.y, Fp2::one(fp_.get())};
+  return jac_to_g2(jac_add(ja, jb), fp_.get());
+}
+
+G2Point381 Bls12Ctx::g2_mul(const G2Point381& a, const Scalar& k) const {
+  if (a.inf || k.is_zero()) return g2_infinity();
+  JacT<Fp2> ja{a.x, a.y, Fp2::one(fp_.get())};
+  return jac_to_g2(jac_mul(ja, k), fp_.get());
+}
+
+bool Bls12Ctx::g2_in_subgroup(const G2Point381& a) const {
+  if (!g2_on_curve(a)) return false;
+  return g2_mul(a, r()).inf;
+}
+
+Bytes Bls12Ctx::g2_to_bytes(const G2Point381& a) const {
+  Bytes out(1 + 2 * fp_->byte_len, 0);
+  if (a.inf) return out;
+  std::uint64_t parity =
+      a.y.re().is_zero() ? (a.y.im().to_int().w[0] & 1) : (a.y.re().to_int().w[0] & 1);
+  out[0] = static_cast<std::uint8_t>(0x02 | parity);
+  Bytes xb = a.x.to_bytes();
+  std::copy(xb.begin(), xb.end(), out.begin() + 1);
+  return out;
+}
+
+G2Point381 Bls12Ctx::g2_from_bytes(ByteSpan bytes) const {
+  require(bytes.size() == 1 + 2 * fp_->byte_len, "g2_from_bytes: wrong length");
+  if (bytes[0] == 0x00) return g2_infinity();
+  require(bytes[0] == 0x02 || bytes[0] == 0x03, "g2_from_bytes: bad tag");
+  Fp2 x = Fp2::from_bytes(fp_.get(), bytes.subspan(1));
+  auto y = (x.squared() * x + twist_b_).sqrt();
+  require(y.has_value(), "g2_from_bytes: not on curve");
+  std::uint64_t parity =
+      y->re().is_zero() ? (y->im().to_int().w[0] & 1) : (y->re().to_int().w[0] & 1);
+  if (parity != (bytes[0] & 1u)) *y = -*y;
+  G2Point381 p{x, *y, false};
+  require(g2_in_subgroup(p), "g2_from_bytes: outside the order-r subgroup");
+  return p;
+}
+
+// ---------------------------------------------------------------------------
+// Pairing.
+
+Bls12Ctx::PointFp12 Bls12Ctx::untwist(const G2Point381& q) const {
+  if (q.inf) return PointFp12{fp12_zero(*tower_), fp12_zero(*tower_), true};
+  Fp12 x = fp12_mul(*tower_, fp12_from_fp2(*tower_, q.x), w2_inv_);
+  Fp12 y = fp12_mul(*tower_, fp12_from_fp2(*tower_, q.y), w3_inv_);
+  return PointFp12{x, y, false};
+}
+
+Bls12Ctx::PointFp12 Bls12Ctx::fp12_point_frobenius(const PointFp12& a) const {
+  if (a.inf) return a;
+  return PointFp12{fp12_frobenius(*tower_, a.x), fp12_frobenius(*tower_, a.y), false};
+}
+
+Fp12 Bls12Ctx::miller_ate(const G1Point381& p, const G2Point381& q) const {
+  const TowerCtx& t = *tower_;
+  PointFp12 quntw = untwist(q);
+  const Fp12 xp = fp12_from_fp(t, p.x);
+  const Fp12 yp = fp12_from_fp(t, p.y);
+
+  Fp12 f_num = fp12_one(t);
+  Fp12 f_den = fp12_one(t);
+  Fp12 tx = quntw.x, ty = quntw.y;  // running point T (affine over F_p12)
+
+  FpInt loop = FpInt::from_u64(kAbsZ);
+  for (size_t i = loop.bit_length() - 1; i-- > 0;) {
+    f_num = fp12_sqr(t, f_num);
+    f_den = fp12_sqr(t, f_den);
+
+    // Tangent at T, evaluated at P; then T = 2T.
+    Fp12 x2 = fp12_sqr(t, tx);
+    Fp12 three_x2 = fp12_add(fp12_add(x2, x2), x2);
+    Fp12 lambda = fp12_mul(t, three_x2, fp12_inv(t, fp12_add(ty, ty)));
+    Fp12 line = fp12_sub(fp12_sub(yp, ty), fp12_mul(t, lambda, fp12_sub(xp, tx)));
+    f_num = fp12_mul(t, f_num, line);
+    Fp12 x_new = fp12_sub(fp12_sub(fp12_sqr(t, lambda), tx), tx);
+    Fp12 y_new = fp12_sub(fp12_mul(t, lambda, fp12_sub(tx, x_new)), ty);
+    tx = x_new;
+    ty = y_new;
+    f_den = fp12_mul(t, f_den, fp12_sub(xp, tx));
+
+    if (loop.bit(i)) {
+      // Chord through T and Q, evaluated at P; then T = T + Q.
+      Fp12 lambda2 = fp12_mul(
+          t, fp12_sub(quntw.y, ty), fp12_inv(t, fp12_sub(quntw.x, tx)));
+      Fp12 line2 =
+          fp12_sub(fp12_sub(yp, ty), fp12_mul(t, lambda2, fp12_sub(xp, tx)));
+      f_num = fp12_mul(t, f_num, line2);
+      Fp12 x3 = fp12_sub(fp12_sub(fp12_sqr(t, lambda2), tx), quntw.x);
+      Fp12 y3 = fp12_sub(fp12_mul(t, lambda2, fp12_sub(tx, x3)), ty);
+      tx = x3;
+      ty = y3;
+      f_den = fp12_mul(t, f_den, fp12_sub(xp, tx));
+    }
+  }
+
+  // z < 0: f_{z} = 1 / f_{|z|} (the vertical correction dies in the
+  // final exponentiation).
+  return fp12_mul(t, f_den, fp12_inv(t, f_num));
+}
+
+Fp12 Bls12Ctx::final_exponentiation(const Fp12& f) const {
+  const TowerCtx& t = *tower_;
+  // Easy part: f^((p⁶-1)(p²+1)).
+  Fp12 g = f;
+  Fp12 frob6 = g;
+  for (int i = 0; i < 6; ++i) frob6 = fp12_frobenius(t, frob6);
+  Fp12 f1 = fp12_mul(t, frob6, fp12_inv(t, g));          // f^(p⁶-1)
+  Fp12 f2 = fp12_mul(t, fp12_frobenius(t, fp12_frobenius(t, f1)), f1);  // ^(p²+1)
+  // Hard part: generic power by (p⁴ - p² + 1)/r.
+  return fp12_pow(t, f2, hard_exponent_);
+}
+
+Gt381 Bls12Ctx::pair(const G1Point381& p, const G2Point381& q) const {
+  if (p.inf || q.inf) return fp12_one(*tower_);
+  return final_exponentiation(miller_ate(p, q));
+}
+
+bool Bls12Ctx::pairings_equal(const G1Point381& a1, const G2Point381& a2,
+                              const G1Point381& b1, const G2Point381& b2) const {
+  if (a1.inf || a2.inf || b1.inf || b2.inf) {
+    return fp12_eq(pair(a1, a2), pair(b1, b2));
+  }
+  Fp12 m = fp12_mul(*tower_, miller_ate(a1, a2), miller_ate(b1, g2_neg(b2)));
+  return fp12_is_one(*tower_, final_exponentiation(m));
+}
+
+Gt381 Bls12Ctx::gt_pow(const Gt381& a, const Scalar& e) const {
+  return fp12_pow(*tower_, a, e);
+}
+
+Scalar Bls12Ctx::random_scalar(tre::hashing::RandomSource& rng) const {
+  return bigint::random_nonzero_below(rng, r());
+}
+
+}  // namespace tre::bls12

@@ -1,0 +1,84 @@
+#include "bls12/threshold381.h"
+
+#include <algorithm>
+
+namespace tre::bls12 {
+
+std::pair<ThresholdKey381, std::vector<Share381>> Threshold381::setup(
+    size_t n, size_t k, tre::hashing::RandomSource& rng) const {
+  require(k >= 1 && k <= n && n >= 1 && n < 4096, "Threshold381: need 1 <= k <= n");
+  const FpCtx* fr = ctx_->fr();
+
+  std::vector<Fp> coeffs;
+  coeffs.reserve(k);
+  for (size_t i = 0; i < k; ++i) {
+    coeffs.push_back(Fp::from_int(fr, ctx_->random_scalar(rng)));
+  }
+
+  ThresholdKey381 key;
+  key.n = n;
+  key.k = k;
+  key.group_pk = ctx_->g2_mul(ctx_->g2_generator(), coeffs[0].to_int());
+
+  std::vector<Share381> shares;
+  shares.reserve(n);
+  for (size_t i = 1; i <= n; ++i) {
+    Fp x = Fp::from_u64(fr, static_cast<std::uint64_t>(i));
+    Fp acc = coeffs.back();
+    for (size_t c = coeffs.size() - 1; c-- > 0;) acc = acc * x + coeffs[c];
+    Scalar share = acc.to_int();
+    shares.push_back(Share381{i, share});
+    key.share_pks.push_back(ctx_->g2_mul(ctx_->g2_generator(), share));
+  }
+  return {std::move(key), std::move(shares)};
+}
+
+Partial381 Threshold381::issue_partial(const Share381& share,
+                                       std::string_view tag) const {
+  return Partial381{share.index, std::string(tag),
+                    ctx_->g1_mul(ctx_->hash_to_g1(to_bytes(tag)), share.share)};
+}
+
+bool Threshold381::verify_partial(const ThresholdKey381& key,
+                                  const Partial381& partial) const {
+  if (partial.index < 1 || partial.index > key.share_pks.size()) return false;
+  if (partial.sig.inf) return false;
+  return ctx_->pairings_equal(partial.sig, ctx_->g2_generator(),
+                              ctx_->hash_to_g1(to_bytes(partial.tag)),
+                              key.share_pks[partial.index - 1]);
+}
+
+Update381 Threshold381::combine(const ThresholdKey381& key,
+                                std::span<const Partial381> partials) const {
+  require(partials.size() >= key.k, "Threshold381::combine: below threshold");
+  std::vector<const Partial381*> chosen;
+  for (const auto& p : partials) {
+    require(p.tag == partials.front().tag, "Threshold381::combine: mixed tags");
+    require(p.index >= 1 && p.index <= key.n, "Threshold381::combine: bad index");
+    bool dup = std::any_of(chosen.begin(), chosen.end(),
+                           [&](const Partial381* q) { return q->index == p.index; });
+    require(!dup, "Threshold381::combine: duplicate index");
+    chosen.push_back(&p);
+    if (chosen.size() == key.k) break;
+  }
+  require(chosen.size() == key.k, "Threshold381::combine: not enough partials");
+
+  const FpCtx* fr = ctx_->fr();
+  G1Point381 combined = ctx_->g1_infinity();
+  for (const Partial381* pi : chosen) {
+    Fp num = Fp::one(fr);
+    Fp den = Fp::one(fr);
+    Fp xi = Fp::from_u64(fr, static_cast<std::uint64_t>(pi->index));
+    for (const Partial381* pj : chosen) {
+      if (pj == pi) continue;
+      Fp xj = Fp::from_u64(fr, static_cast<std::uint64_t>(pj->index));
+      num = num * xj;
+      den = den * (xj - xi);
+    }
+    Fp lambda = num * den.inverse();
+    combined = ctx_->g1_add(combined, ctx_->g1_mul(pi->sig, lambda.to_int()));
+  }
+  return Update381{partials.front().tag, combined};
+}
+
+}  // namespace tre::bls12

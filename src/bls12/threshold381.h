@@ -1,0 +1,55 @@
+// k-of-n threshold time service on BLS12-381 — structurally identical to
+// the drand network that tlock builds timed release on: operators hold
+// Shamir shares of s, publish partial G_1 signatures on the round/time
+// tag, and any k of them combine into the ordinary 48-byte update that
+// decrypts Tre381 ciphertexts.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "bls12/tre381.h"
+
+namespace tre::bls12 {
+
+struct ThresholdKey381 {
+  size_t n = 0;
+  size_t k = 0;
+  G2Point381 group_pk;                    // s·G_2: what users bind to
+  std::vector<G2Point381> share_pks;      // s_i·G_2 per operator
+};
+
+struct Share381 {
+  size_t index;  // 1..n
+  Scalar share;
+};
+
+struct Partial381 {
+  size_t index;
+  std::string tag;
+  G1Point381 sig;  // s_i·H1(tag)
+};
+
+class Threshold381 {
+ public:
+  Threshold381() : ctx_(Bls12Ctx::get()) {}
+
+  /// Dealer-based setup (a DKG can replace the dealer, same types).
+  std::pair<ThresholdKey381, std::vector<Share381>> setup(
+      size_t n, size_t k, tre::hashing::RandomSource& rng) const;
+
+  Partial381 issue_partial(const Share381& share, std::string_view tag) const;
+
+  /// ê(sig, G_2) == ê(H1(tag), s_i·G_2).
+  bool verify_partial(const ThresholdKey381& key, const Partial381& partial) const;
+
+  /// Lagrange combination of >= k distinct-index partials (same tag)
+  /// into a standard Update381 for the group key.
+  Update381 combine(const ThresholdKey381& key,
+                    std::span<const Partial381> partials) const;
+
+ private:
+  std::shared_ptr<const Bls12Ctx> ctx_;
+};
+
+}  // namespace tre::bls12

@@ -1,0 +1,152 @@
+#include "bls12/tower.h"
+
+#include "common/error.h"
+
+namespace tre::bls12 {
+
+TowerCtx::TowerCtx(const FpCtx* fp_ctx) : fp(fp_ctx) {
+  require(fp != nullptr, "TowerCtx: null field");
+  xi = Fp2(Fp::one(fp), Fp::one(fp));  // 1 + u
+
+  // (p - 1) / 6 must be exact for the sextic tower to close.
+  FpInt p_minus_1 = bigint::sub(fp->p, FpInt::from_u64(1));
+  FpInt e, rem;
+  bigint::divmod(p_minus_1, FpInt::from_u64(6), e, rem);
+  require(rem.is_zero(), "TowerCtx: p != 1 (mod 6)");
+
+  frob_gamma[0] = Fp2::one(fp);
+  frob_gamma[1] = xi.pow(e);
+  for (size_t k = 2; k < 6; ++k) frob_gamma[k] = frob_gamma[k - 1] * frob_gamma[1];
+  // γ_1 must have multiplicative order 12 over the conjugation action;
+  // in particular it cannot be 1, or ξ is a 6th power and the tower is
+  // degenerate.
+  require(!frob_gamma[1].is_one(), "TowerCtx: xi is a sextic residue");
+}
+
+// --- F_p6 ----------------------------------------------------------------------
+
+Fp6 fp6_zero(const TowerCtx& t) {
+  return Fp6{Fp2::zero(t.fp), Fp2::zero(t.fp), Fp2::zero(t.fp)};
+}
+
+Fp6 fp6_one(const TowerCtx& t) {
+  return Fp6{Fp2::one(t.fp), Fp2::zero(t.fp), Fp2::zero(t.fp)};
+}
+
+bool fp6_is_zero(const Fp6& a) {
+  return a.c0.is_zero() && a.c1.is_zero() && a.c2.is_zero();
+}
+
+bool fp6_eq(const Fp6& a, const Fp6& b) {
+  return a.c0 == b.c0 && a.c1 == b.c1 && a.c2 == b.c2;
+}
+
+Fp6 fp6_add(const Fp6& a, const Fp6& b) {
+  return Fp6{a.c0 + b.c0, a.c1 + b.c1, a.c2 + b.c2};
+}
+
+Fp6 fp6_sub(const Fp6& a, const Fp6& b) {
+  return Fp6{a.c0 - b.c0, a.c1 - b.c1, a.c2 - b.c2};
+}
+
+Fp6 fp6_neg(const Fp6& a) { return Fp6{-a.c0, -a.c1, -a.c2}; }
+
+Fp6 fp6_mul(const TowerCtx& t, const Fp6& a, const Fp6& b) {
+  // Schoolbook with v³ = ξ.
+  Fp2 a0b0 = a.c0 * b.c0, a0b1 = a.c0 * b.c1, a0b2 = a.c0 * b.c2;
+  Fp2 a1b0 = a.c1 * b.c0, a1b1 = a.c1 * b.c1, a1b2 = a.c1 * b.c2;
+  Fp2 a2b0 = a.c2 * b.c0, a2b1 = a.c2 * b.c1, a2b2 = a.c2 * b.c2;
+  return Fp6{a0b0 + t.xi * (a1b2 + a2b1), a0b1 + a1b0 + t.xi * a2b2,
+             a0b2 + a1b1 + a2b0};
+}
+
+Fp6 fp6_sqr(const TowerCtx& t, const Fp6& a) { return fp6_mul(t, a, a); }
+
+Fp6 fp6_inv(const TowerCtx& t, const Fp6& a) {
+  require(!fp6_is_zero(a), "fp6_inv: zero");
+  // Standard tower inversion.
+  Fp2 big_a = a.c0.squared() - t.xi * (a.c1 * a.c2);
+  Fp2 big_b = t.xi * a.c2.squared() - a.c0 * a.c1;
+  Fp2 big_c = a.c1.squared() - a.c0 * a.c2;
+  Fp2 f = a.c0 * big_a + t.xi * (a.c2 * big_b + a.c1 * big_c);
+  Fp2 finv = f.inverse();
+  return Fp6{big_a * finv, big_b * finv, big_c * finv};
+}
+
+Fp6 fp6_mul_by_v(const TowerCtx& t, const Fp6& a) {
+  return Fp6{t.xi * a.c2, a.c0, a.c1};
+}
+
+// --- F_p12 ---------------------------------------------------------------------
+
+Fp12 fp12_zero(const TowerCtx& t) { return Fp12{fp6_zero(t), fp6_zero(t)}; }
+
+Fp12 fp12_one(const TowerCtx& t) { return Fp12{fp6_one(t), fp6_zero(t)}; }
+
+bool fp12_is_one(const TowerCtx& t, const Fp12& a) {
+  return fp6_eq(a.c0, fp6_one(t)) && fp6_is_zero(a.c1);
+}
+
+bool fp12_eq(const Fp12& a, const Fp12& b) {
+  return fp6_eq(a.c0, b.c0) && fp6_eq(a.c1, b.c1);
+}
+
+Fp12 fp12_add(const Fp12& a, const Fp12& b) {
+  return Fp12{fp6_add(a.c0, b.c0), fp6_add(a.c1, b.c1)};
+}
+
+Fp12 fp12_sub(const Fp12& a, const Fp12& b) {
+  return Fp12{fp6_sub(a.c0, b.c0), fp6_sub(a.c1, b.c1)};
+}
+
+Fp12 fp12_neg(const Fp12& a) { return Fp12{fp6_neg(a.c0), fp6_neg(a.c1)}; }
+
+Fp12 fp12_mul(const TowerCtx& t, const Fp12& a, const Fp12& b) {
+  // Karatsuba over w² = v.
+  Fp6 t0 = fp6_mul(t, a.c0, b.c0);
+  Fp6 t1 = fp6_mul(t, a.c1, b.c1);
+  Fp6 mixed = fp6_mul(t, fp6_add(a.c0, a.c1), fp6_add(b.c0, b.c1));
+  return Fp12{fp6_add(t0, fp6_mul_by_v(t, t1)),
+              fp6_sub(fp6_sub(mixed, t0), t1)};
+}
+
+Fp12 fp12_sqr(const TowerCtx& t, const Fp12& a) { return fp12_mul(t, a, a); }
+
+Fp12 fp12_inv(const TowerCtx& t, const Fp12& a) {
+  // (a0 − a1 w) / (a0² − v a1²)
+  Fp6 denom = fp6_sub(fp6_sqr(t, a.c0), fp6_mul_by_v(t, fp6_sqr(t, a.c1)));
+  Fp6 dinv = fp6_inv(t, denom);
+  return Fp12{fp6_mul(t, a.c0, dinv), fp6_neg(fp6_mul(t, a.c1, dinv))};
+}
+
+Fp12 fp12_from_fp(const TowerCtx& t, const Fp& a) {
+  Fp12 r = fp12_zero(t);
+  r.c0.c0 = Fp2::from_fp(a);
+  return r;
+}
+
+Fp12 fp12_from_fp2(const TowerCtx& t, const Fp2& a) {
+  Fp12 r = fp12_zero(t);
+  r.c0.c0 = a;
+  return r;
+}
+
+Fp12 fp12_frobenius(const TowerCtx& t, const Fp12& a) {
+  // Basis monomials w^m, m = i + 2j for coefficient (i, j):
+  //   (w^m)^p = γ_m · w^m, coefficients conjugated.
+  Fp12 r;
+  r.c0.c0 = a.c0.c0.conjugate();                       // m = 0
+  r.c0.c1 = a.c0.c1.conjugate() * t.frob_gamma[2];     // v   (m = 2)
+  r.c0.c2 = a.c0.c2.conjugate() * t.frob_gamma[4];     // v²  (m = 4)
+  r.c1.c0 = a.c1.c0.conjugate() * t.frob_gamma[1];     // w   (m = 1)
+  r.c1.c1 = a.c1.c1.conjugate() * t.frob_gamma[3];     // wv  (m = 3)
+  r.c1.c2 = a.c1.c2.conjugate() * t.frob_gamma[5];     // wv² (m = 5)
+  return r;
+}
+
+Bytes fp12_to_bytes(const Fp12& a) {
+  return concat({a.c0.c0.to_bytes(), a.c0.c1.to_bytes(), a.c0.c2.to_bytes(),
+                 a.c1.c0.to_bytes(), a.c1.c1.to_bytes(), a.c1.c2.to_bytes()});
+}
+
+}  // namespace tre::bls12

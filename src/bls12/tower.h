@@ -1,0 +1,86 @@
+// The F_p12 extension tower for BLS12-381.
+//
+//   F_p2  = F_p[u]/(u² + 1)            (reused from field/fp2.h)
+//   F_p6  = F_p2[v]/(v³ − ξ), ξ = 1+u
+//   F_p12 = F_p6[w]/(w² − v)           (so w⁶ = ξ)
+//
+// Elements are value types; operations take the shared TowerCtx, which
+// owns ξ and the runtime-computed Frobenius constants γ_k = ξ^(k(p−1)/6)
+// (no hardcoded tables — everything derives from the modulus).
+#pragma once
+
+#include <array>
+
+#include "field/fp2.h"
+
+namespace tre::bls12 {
+
+using field::Fp;
+using field::Fp2;
+using field::FpCtx;
+using field::FpInt;
+
+struct Fp6 {
+  Fp2 c0, c1, c2;  // c0 + c1·v + c2·v²
+};
+
+struct Fp12 {
+  Fp6 c0, c1;  // c0 + c1·w
+};
+
+struct TowerCtx {
+  const FpCtx* fp;
+  Fp2 xi;                        // 1 + u
+  std::array<Fp2, 6> frob_gamma; // γ_k = ξ^(k(p−1)/6), k = 0..5
+
+  explicit TowerCtx(const FpCtx* fp_ctx);
+};
+
+// --- F_p6 ---------------------------------------------------------------------
+
+Fp6 fp6_zero(const TowerCtx& t);
+Fp6 fp6_one(const TowerCtx& t);
+bool fp6_is_zero(const Fp6& a);
+bool fp6_eq(const Fp6& a, const Fp6& b);
+Fp6 fp6_add(const Fp6& a, const Fp6& b);
+Fp6 fp6_sub(const Fp6& a, const Fp6& b);
+Fp6 fp6_neg(const Fp6& a);
+Fp6 fp6_mul(const TowerCtx& t, const Fp6& a, const Fp6& b);
+Fp6 fp6_sqr(const TowerCtx& t, const Fp6& a);
+Fp6 fp6_inv(const TowerCtx& t, const Fp6& a);
+/// Multiplication by v: (c0, c1, c2) -> (ξ·c2, c0, c1).
+Fp6 fp6_mul_by_v(const TowerCtx& t, const Fp6& a);
+
+// --- F_p12 --------------------------------------------------------------------
+
+Fp12 fp12_zero(const TowerCtx& t);
+Fp12 fp12_one(const TowerCtx& t);
+bool fp12_is_one(const TowerCtx& t, const Fp12& a);
+bool fp12_eq(const Fp12& a, const Fp12& b);
+Fp12 fp12_add(const Fp12& a, const Fp12& b);
+Fp12 fp12_sub(const Fp12& a, const Fp12& b);
+Fp12 fp12_neg(const Fp12& a);
+Fp12 fp12_mul(const TowerCtx& t, const Fp12& a, const Fp12& b);
+Fp12 fp12_sqr(const TowerCtx& t, const Fp12& a);
+Fp12 fp12_inv(const TowerCtx& t, const Fp12& a);
+Fp12 fp12_from_fp(const TowerCtx& t, const Fp& a);
+Fp12 fp12_from_fp2(const TowerCtx& t, const Fp2& a);
+
+/// The p-power Frobenius endomorphism (cheap: conjugations + γ scaling).
+Fp12 fp12_frobenius(const TowerCtx& t, const Fp12& a);
+
+/// Square-and-multiply exponentiation, MSB first.
+template <size_t L>
+Fp12 fp12_pow(const TowerCtx& t, const Fp12& a, const bigint::BigInt<L>& e) {
+  Fp12 acc = fp12_one(t);
+  for (size_t i = e.bit_length(); i-- > 0;) {
+    acc = fp12_sqr(t, acc);
+    if (e.bit(i)) acc = fp12_mul(t, acc, a);
+  }
+  return acc;
+}
+
+/// Serialization (fixed width, re-to-im order) — for H2 mask inputs.
+Bytes fp12_to_bytes(const Fp12& a);
+
+}  // namespace tre::bls12

@@ -1,0 +1,103 @@
+// The paper's TRE instantiated on BLS12-381 (type-3 pairing) — the
+// layout today's deployments of this scheme (drand/tlock) use.
+//
+// With asymmetric groups the artifacts split:
+//   * time-bound key updates live in G_1 (48-byte points — even shorter
+//     than the 2005 curve's 65 bytes at a higher security level);
+//   * the ciphertext header U = r·G_2 and the keys live in G_2.
+//
+//   server : s, public S = s·G_2 (generator fixed by the context)
+//   user   : a, public (A1 = a·G_1gen, A2 = a·S ∈ G_2); the sender's
+//            §5.1-step-1 check becomes ê(A1, S) == ê(G_1gen, A2)
+//   update : I_T = s·H1(T) ∈ G_1; verify ê(I_T, G_2) == ê(H1(T), S)
+//   encrypt: K = ê(H1(T), r·A2) = ê(H1(T), G_2)^{ras};  C = ⟨rG_2, M⊕H2(K)⟩
+//   decrypt: K' = ê(I_T, U)^a
+#pragma once
+
+#include <optional>
+#include <string_view>
+
+#include "bls12/bls12.h"
+
+namespace tre::bls12 {
+
+struct ServerKey381 {
+  Scalar s;
+  G2Point381 pk;  // s·G_2
+};
+
+struct UserKey381 {
+  Scalar a;
+  G1Point381 a1;  // a·G_1gen (the CA-certifiable anchor)
+  G2Point381 a2;  // a·(s·G_2)
+};
+
+struct Update381 {
+  std::string tag;
+  G1Point381 sig;  // s·H1(tag): a 48-byte BLS signature
+};
+
+struct Ciphertext381 {
+  G2Point381 u;  // r·G_2
+  Bytes v;
+};
+
+/// Fujisaki-Okamoto-hardened ciphertext (CCA in the ROM), mirroring the
+/// type-1 backend's FoCiphertext.
+struct FoCiphertext381 {
+  G2Point381 u;
+  Bytes c_sigma;
+  Bytes c_msg;
+};
+
+class Tre381 {
+ public:
+  Tre381() : ctx_(Bls12Ctx::get()) {}
+
+  const Bls12Ctx& curve() const { return *ctx_; }
+
+  ServerKey381 server_keygen(tre::hashing::RandomSource& rng) const;
+  UserKey381 user_keygen(const G2Point381& server_pk,
+                         tre::hashing::RandomSource& rng) const;
+
+  /// ê(A1, S) == ê(G_1gen, A2): the receiver really needs the update.
+  bool verify_user_key(const G2Point381& server_pk, const G1Point381& a1,
+                       const G2Point381& a2) const;
+
+  Update381 issue_update(const ServerKey381& server, std::string_view tag) const;
+  bool verify_update(const G2Point381& server_pk, const Update381& update) const;
+
+  Ciphertext381 encrypt(ByteSpan msg, const G1Point381& user_a1,
+                        const G2Point381& user_a2, const G2Point381& server_pk,
+                        std::string_view tag, tre::hashing::RandomSource& rng) const;
+
+  Bytes decrypt(const Ciphertext381& ct, const Scalar& a, const Update381& update) const;
+
+  /// FO transform: r = H3(σ, M); decryption re-derives and checks U.
+  FoCiphertext381 encrypt_fo(ByteSpan msg, const G1Point381& user_a1,
+                             const G2Point381& user_a2, const G2Point381& server_pk,
+                             std::string_view tag,
+                             tre::hashing::RandomSource& rng) const;
+  std::optional<Bytes> decrypt_fo(const FoCiphertext381& ct, const Scalar& a,
+                                  const Update381& update) const;
+
+  /// Wire formats (update = tag || 48-byte point; ciphertexts length-framed).
+  Bytes update_to_bytes(const Update381& u) const;
+  Update381 update_from_bytes(ByteSpan bytes) const;
+  Bytes ciphertext_to_bytes(const Ciphertext381& ct) const;
+  Ciphertext381 ciphertext_from_bytes(ByteSpan bytes) const;
+
+  /// Wire sizes for the E17 comparison.
+  size_t update_bytes() const { return 1 + 48; }
+  size_t ciphertext_header_bytes() const { return 1 + 96; }
+
+ private:
+  Bytes mask(const Gt381& k, size_t len) const;
+  Scalar hash_to_scalar(ByteSpan input) const;
+  Gt381 session_key(const G2Point381& user_a2, std::string_view tag,
+                    const Scalar& r) const;
+
+  std::shared_ptr<const Bls12Ctx> ctx_;
+};
+
+}  // namespace tre::bls12

@@ -1,0 +1,97 @@
+#include "common/bytes.h"
+
+#include <atomic>
+#include <cstring>
+
+#include "common/error.h"
+
+namespace tre {
+
+Bytes to_bytes(std::string_view s) { return Bytes(s.begin(), s.end()); }
+
+std::string to_hex(ByteSpan data) {
+  static const char* kDigits = "0123456789abcdef";
+  std::string out;
+  out.reserve(data.size() * 2);
+  for (std::uint8_t b : data) {
+    out.push_back(kDigits[b >> 4]);
+    out.push_back(kDigits[b & 0xf]);
+  }
+  return out;
+}
+
+namespace {
+int hex_nibble(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+}  // namespace
+
+Bytes from_hex(std::string_view hex) {
+  require(hex.size() % 2 == 0, "from_hex: odd-length input");
+  Bytes out(hex.size() / 2);
+  for (size_t i = 0; i < out.size(); ++i) {
+    int hi = hex_nibble(hex[2 * i]);
+    int lo = hex_nibble(hex[2 * i + 1]);
+    require(hi >= 0 && lo >= 0, "from_hex: non-hex character");
+    out[i] = static_cast<std::uint8_t>(hi << 4 | lo);
+  }
+  return out;
+}
+
+Bytes concat(std::initializer_list<ByteSpan> parts) {
+  size_t total = 0;
+  for (const auto& p : parts) total += p.size();
+  Bytes out;
+  out.reserve(total);
+  for (const auto& p : parts) out.insert(out.end(), p.begin(), p.end());
+  return out;
+}
+
+void xor_inplace(std::span<std::uint8_t> a, ByteSpan b) {
+  require(a.size() == b.size(), "xor_inplace: size mismatch");
+  for (size_t i = 0; i < a.size(); ++i) a[i] ^= b[i];
+}
+
+Bytes xor_bytes(ByteSpan a, ByteSpan b) {
+  require(a.size() == b.size(), "xor_bytes: size mismatch");
+  Bytes out(a.begin(), a.end());
+  xor_inplace(out, b);
+  return out;
+}
+
+bool ct_equal(ByteSpan a, ByteSpan b) {
+  if (a.size() != b.size()) return false;
+  std::uint8_t diff = 0;
+  for (size_t i = 0; i < a.size(); ++i) diff |= a[i] ^ b[i];
+  return diff == 0;
+}
+
+void secure_wipe(std::span<std::uint8_t> data) {
+  // volatile pointer write defeats dead-store elimination.
+  volatile std::uint8_t* p = data.data();
+  for (size_t i = 0; i < data.size(); ++i) p[i] = 0;
+  std::atomic_signal_fence(std::memory_order_seq_cst);
+}
+
+Bytes be64(std::uint64_t v) {
+  Bytes out(8);
+  for (int i = 7; i >= 0; --i) {
+    out[static_cast<size_t>(i)] = static_cast<std::uint8_t>(v & 0xff);
+    v >>= 8;
+  }
+  return out;
+}
+
+Bytes be32(std::uint32_t v) {
+  Bytes out(4);
+  for (int i = 3; i >= 0; --i) {
+    out[static_cast<size_t>(i)] = static_cast<std::uint8_t>(v & 0xff);
+    v >>= 8;
+  }
+  return out;
+}
+
+}  // namespace tre

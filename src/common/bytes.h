@@ -1,0 +1,49 @@
+// Byte-string utilities shared across the library.
+//
+// All protocol artifacts (hash inputs, ciphertexts, serialized group
+// elements) are carried as `tre::Bytes`. Helpers here are deliberately
+// small and allocation-honest; hot paths operate on spans.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace tre {
+
+using Bytes = std::vector<std::uint8_t>;
+using ByteSpan = std::span<const std::uint8_t>;
+
+/// Builds a Bytes value from a text string (no encoding change).
+Bytes to_bytes(std::string_view s);
+
+/// Renders bytes as lowercase hex.
+std::string to_hex(ByteSpan data);
+
+/// Parses lowercase/uppercase hex; throws tre::Error on malformed input.
+Bytes from_hex(std::string_view hex);
+
+/// Concatenates any number of byte spans.
+Bytes concat(std::initializer_list<ByteSpan> parts);
+
+/// XORs `b` into `a` element-wise; requires equal sizes.
+void xor_inplace(std::span<std::uint8_t> a, ByteSpan b);
+
+/// Returns a XOR b; requires equal sizes.
+Bytes xor_bytes(ByteSpan a, ByteSpan b);
+
+/// Constant-time equality (for MACs / FO re-encryption checks).
+bool ct_equal(ByteSpan a, ByteSpan b);
+
+/// Best-effort secure zeroization that the optimizer cannot elide.
+void secure_wipe(std::span<std::uint8_t> data);
+
+/// Big-endian encoding of a 64-bit counter (used by KDFs and DEM).
+Bytes be64(std::uint64_t v);
+
+/// Big-endian encoding of a 32-bit counter.
+Bytes be32(std::uint32_t v);
+
+}  // namespace tre

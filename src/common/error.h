@@ -1,0 +1,24 @@
+// Error-handling policy for the library.
+//
+// Contract violations and malformed public inputs throw `tre::Error`.
+// Expected runtime failures that callers must handle (e.g. CCA decryption
+// of a tampered ciphertext) are reported via std::optional returns, never
+// via exceptions, so a hostile ciphertext cannot drive control flow.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace tre {
+
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Throws tre::Error with `msg` when `cond` is false.
+inline void require(bool cond, const char* msg) {
+  if (!cond) throw Error(msg);
+}
+
+}  // namespace tre

@@ -1,0 +1,147 @@
+#include "core/multiserver.h"
+
+namespace tre::core {
+
+using ec::G1Point;
+
+namespace {
+
+void put_u16(Bytes& out, size_t v) {
+  require(v <= 0xffff, "serialization: length exceeds u16");
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v & 0xff));
+}
+
+size_t get_u16(ByteSpan bytes, size_t& off) {
+  require(off + 2 <= bytes.size(), "deserialization: truncated length");
+  size_t v = static_cast<size_t>(bytes[off]) << 8 | bytes[off + 1];
+  off += 2;
+  return v;
+}
+
+G1Point get_point(const params::GdhParams& params, ByteSpan bytes, size_t& off) {
+  size_t n = params.g1_compressed_bytes();
+  require(off + n <= bytes.size(), "deserialization: truncated point");
+  G1Point p = G1Point::from_bytes(params.ctx(), bytes.subspan(off, n));
+  require(p.in_subgroup(), "deserialization: point outside the order-q subgroup");
+  off += n;
+  return p;
+}
+
+}  // namespace
+
+Bytes MultiServerUserKey::to_bytes() const {
+  Bytes out = ag.to_bytes_compressed();
+  put_u16(out, parts.size());
+  for (const auto& part : parts) {
+    Bytes pb = part.to_bytes_compressed();
+    out.insert(out.end(), pb.begin(), pb.end());
+  }
+  return out;
+}
+
+MultiServerUserKey MultiServerUserKey::from_bytes(const params::GdhParams& params,
+                                                  ByteSpan bytes) {
+  size_t off = 0;
+  MultiServerUserKey key;
+  key.ag = get_point(params, bytes, off);
+  size_t n = get_u16(bytes, off);
+  key.parts.reserve(n);
+  for (size_t i = 0; i < n; ++i) key.parts.push_back(get_point(params, bytes, off));
+  require(off == bytes.size(), "MultiServerUserKey: trailing bytes");
+  return key;
+}
+
+Bytes MultiServerCiphertext::to_bytes() const {
+  Bytes out;
+  put_u16(out, us.size());
+  for (const auto& u : us) {
+    Bytes ub = u.to_bytes_compressed();
+    out.insert(out.end(), ub.begin(), ub.end());
+  }
+  put_u16(out, v.size());
+  out.insert(out.end(), v.begin(), v.end());
+  return out;
+}
+
+MultiServerCiphertext MultiServerCiphertext::from_bytes(const params::GdhParams& params,
+                                                        ByteSpan bytes) {
+  size_t off = 0;
+  MultiServerCiphertext ct;
+  size_t n = get_u16(bytes, off);
+  ct.us.reserve(n);
+  for (size_t i = 0; i < n; ++i) ct.us.push_back(get_point(params, bytes, off));
+  size_t vlen = get_u16(bytes, off);
+  require(off + vlen == bytes.size(), "MultiServerCiphertext: bad body length");
+  ct.v.assign(bytes.begin() + static_cast<long>(off), bytes.end());
+  return ct;
+}
+
+MultiServerTre::MultiServerTre(std::shared_ptr<const params::GdhParams> params)
+    : scheme_(std::move(params)) {}
+
+MultiServerUserKey MultiServerTre::user_key(
+    const Scalar& a, std::span<const ServerPublicKey> servers) const {
+  require(!servers.empty(), "MultiServerTre: no servers");
+  MultiServerUserKey key;
+  key.ag = scheme_.params().base.mul(a);
+  key.parts.reserve(servers.size());
+  for (const auto& server : servers) key.parts.push_back(server.sg.mul(a));
+  return key;
+}
+
+bool MultiServerTre::verify_user_key(const MultiServerUserKey& user,
+                                     std::span<const ServerPublicKey> servers) const {
+  if (user.parts.size() != servers.size() || servers.empty()) return false;
+  if (user.ag.is_infinity()) return false;
+  const G1Point& base = scheme_.params().base;
+  for (size_t i = 0; i < servers.size(); ++i) {
+    if (user.parts[i].is_infinity()) return false;
+    // ê(base, a·s_iG_i) == ê(aG, s_iG_i): both are ê(base, s_iG_i)^a.
+    if (!pairing::pairings_equal(base, user.parts[i], user.ag, servers[i].sg)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+MultiServerCiphertext MultiServerTre::encrypt(ByteSpan msg,
+                                              const MultiServerUserKey& user,
+                                              std::span<const ServerPublicKey> servers,
+                                              std::string_view tag,
+                                              tre::hashing::RandomSource& rng) const {
+  require(verify_user_key(user, servers),
+          "MultiServerTre encrypt: user key fails verification");
+  Scalar r = params::random_scalar(scheme_.params(), rng);
+
+  // K_new = Σ a·s_iG_i; K = ê(r·K_new, H1(T)).
+  G1Point combined = G1Point::infinity(scheme_.params().ctx());
+  for (const auto& part : user.parts) combined = combined + part;
+  Gt k = pairing::pair(combined.mul(r), scheme_.hash_tag(tag));
+
+  MultiServerCiphertext ct;
+  ct.us.reserve(servers.size());
+  for (const auto& server : servers) ct.us.push_back(server.g.mul(r));
+  ct.v = xor_bytes(msg, scheme_.mask_h2(k, msg.size()));
+  return ct;
+}
+
+Bytes MultiServerTre::decrypt(const MultiServerCiphertext& ct, const Scalar& a,
+                              std::span<const KeyUpdate> updates) const {
+  require(!ct.us.empty() && ct.us.size() == updates.size(),
+          "MultiServerTre decrypt: need one update per server");
+  for (const auto& update : updates) {
+    require(update.tag == updates.front().tag,
+            "MultiServerTre decrypt: updates disagree on the tag");
+  }
+  // K = Π ê(r·G_i, s_i·H1(T))^a — N Miller loops, one final exponentiation.
+  std::vector<std::pair<G1Point, G1Point>> pairs;
+  pairs.reserve(ct.us.size());
+  for (size_t i = 0; i < ct.us.size(); ++i) {
+    pairs.emplace_back(ct.us[i].mul(a), updates[i].sig);
+  }
+  Gt k = pairing::pair_product(pairs);
+  return xor_bytes(ct.v, scheme_.mask_h2(k, ct.v.size()));
+}
+
+}  // namespace tre::core

@@ -1,0 +1,70 @@
+// §5.3.5 — multiple time servers.
+//
+// The sender distributes trust over N servers: decryption needs *all* N
+// time-bound key updates s_i·H1(T) plus the receiver's secret, so a
+// receiver must corrupt every server to open a message early.
+//
+//   user key   : aG (CA-certified) + parts a·s_i·G_i, one per server
+//   ciphertext : ⟨rG_1, ..., rG_N, M ⊕ H2(K)⟩
+//   K          : ê(r·Σ parts, H1(T)) = Π ê(G_i, H1(T))^{r·a·s_i}
+//
+// Each part is verifiable against the certified aG with one pairing
+// equation (no re-certification), generalizing the §5.3.4 trick.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/tre.h"
+
+namespace tre::core {
+
+struct MultiServerUserKey {
+  ec::G1Point ag;                  // a·base, the CA-certified anchor
+  std::vector<ec::G1Point> parts;  // a·s_i·G_i per server, same order as servers
+
+  Bytes to_bytes() const;
+  static MultiServerUserKey from_bytes(const params::GdhParams& params, ByteSpan bytes);
+};
+
+struct MultiServerCiphertext {
+  std::vector<ec::G1Point> us;  // r·G_i per server
+  Bytes v;
+
+  Bytes to_bytes() const;
+  static MultiServerCiphertext from_bytes(const params::GdhParams& params,
+                                          ByteSpan bytes);
+};
+
+class MultiServerTre {
+ public:
+  explicit MultiServerTre(std::shared_ptr<const params::GdhParams> params);
+
+  const params::GdhParams& params() const { return scheme_.params(); }
+
+  /// The receiver publishes aG w.r.t. the system base plus one part per
+  /// server the sender may require.
+  MultiServerUserKey user_key(const Scalar& a,
+                              std::span<const ServerPublicKey> servers) const;
+
+  /// Sender-side validation: every part i satisfies
+  /// ê(base, a·s_iG_i) == ê(aG, s_iG_i).
+  bool verify_user_key(const MultiServerUserKey& user,
+                       std::span<const ServerPublicKey> servers) const;
+
+  /// One pairing regardless of N: K = ê(r·Σ parts, H1(T)).
+  MultiServerCiphertext encrypt(ByteSpan msg, const MultiServerUserKey& user,
+                                std::span<const ServerPublicKey> servers,
+                                std::string_view tag,
+                                tre::hashing::RandomSource& rng) const;
+
+  /// Needs all N updates for the same tag, one per server, in order.
+  /// Throws on count/tag mismatch; N pairings.
+  Bytes decrypt(const MultiServerCiphertext& ct, const Scalar& a,
+                std::span<const KeyUpdate> updates) const;
+
+ private:
+  TreScheme scheme_;
+};
+
+}  // namespace tre::core

@@ -1,0 +1,113 @@
+#include "core/threshold.h"
+
+#include <algorithm>
+
+namespace tre::core {
+
+using ec::G1Point;
+using field::Fp;
+
+namespace {
+
+// Scalar-field element (mod q) from a share index.
+Fp index_scalar(const field::FpCtx* fq, size_t index) {
+  return Fp::from_u64(fq, static_cast<std::uint64_t>(index));
+}
+
+}  // namespace
+
+ThresholdTre::ThresholdTre(std::shared_ptr<const params::GdhParams> params)
+    : scheme_(std::move(params)) {}
+
+std::pair<ThresholdServerKey, std::vector<ServerShare>> ThresholdTre::setup(
+    ThresholdConfig config, tre::hashing::RandomSource& rng) const {
+  require(config.k >= 1 && config.k <= config.n && config.n >= 1,
+          "ThresholdTre: need 1 <= k <= n");
+  require(config.n < scheme_.params().group_order().bit_length() * 64,
+          "ThresholdTre: implausible n");
+  const field::FpCtx* fq = scheme_.params().ctx()->fq.get();
+
+  // f(x) = s + c_1 x + ... + c_{k-1} x^{k-1} over Z_q.
+  std::vector<Fp> coeffs;
+  coeffs.reserve(config.k);
+  for (size_t i = 0; i < config.k; ++i) {
+    coeffs.push_back(Fp::from_int(fq, params::random_scalar(scheme_.params(), rng)));
+  }
+  const Scalar s = coeffs[0].to_int();
+
+  Scalar h = params::random_scalar(scheme_.params(), rng);
+  G1Point g = scheme_.params().base.mul(h);
+
+  ThresholdServerKey key;
+  key.config = config;
+  key.group = ServerPublicKey{g, g.mul(s)};
+
+  std::vector<ServerShare> shares;
+  shares.reserve(config.n);
+  for (size_t i = 1; i <= config.n; ++i) {
+    // Horner evaluation at x = i.
+    Fp x = index_scalar(fq, i);
+    Fp acc = coeffs.back();
+    for (size_t c = coeffs.size() - 1; c-- > 0;) acc = acc * x + coeffs[c];
+    Scalar share = acc.to_int();
+    shares.push_back(ServerShare{i, share});
+    key.pub_shares.push_back(g.mul(share));
+  }
+  return {std::move(key), std::move(shares)};
+}
+
+PartialUpdate ThresholdTre::issue_partial(const ServerShare& share,
+                                          std::string_view tag) const {
+  return PartialUpdate{share.index, std::string(tag),
+                       scheme_.hash_tag(tag).mul(share.share)};
+}
+
+bool ThresholdTre::verify_partial(const ThresholdServerKey& key,
+                                  const PartialUpdate& partial) const {
+  if (partial.index < 1 || partial.index > key.pub_shares.size()) return false;
+  if (partial.sig.is_infinity()) return false;
+  return pairing::pairings_equal(key.pub_shares[partial.index - 1],
+                                 scheme_.hash_tag(partial.tag), key.group.g,
+                                 partial.sig);
+}
+
+KeyUpdate ThresholdTre::combine(const ThresholdServerKey& key,
+                                std::span<const PartialUpdate> partials) const {
+  require(partials.size() >= key.config.k,
+          "ThresholdTre::combine: fewer partials than the threshold k");
+  // Use the first k distinct indices with the common tag.
+  std::vector<const PartialUpdate*> chosen;
+  for (const auto& p : partials) {
+    require(p.tag == partials.front().tag,
+            "ThresholdTre::combine: partials disagree on the tag");
+    require(p.index >= 1 && p.index <= key.config.n,
+            "ThresholdTre::combine: share index out of range");
+    bool duplicate = std::any_of(chosen.begin(), chosen.end(),
+                                 [&](const PartialUpdate* q) { return q->index == p.index; });
+    require(!duplicate, "ThresholdTre::combine: duplicate share index");
+    chosen.push_back(&p);
+    if (chosen.size() == key.config.k) break;
+  }
+  require(chosen.size() == key.config.k,
+          "ThresholdTre::combine: not enough distinct partials");
+
+  // Lagrange coefficients at 0: λ_i = Π_{j≠i} x_j / (x_j - x_i) (mod q).
+  const field::FpCtx* fq = scheme_.params().ctx()->fq.get();
+  G1Point combined = G1Point::infinity(scheme_.params().ctx());
+  for (const PartialUpdate* pi : chosen) {
+    Fp num = Fp::one(fq);
+    Fp den = Fp::one(fq);
+    Fp xi = index_scalar(fq, pi->index);
+    for (const PartialUpdate* pj : chosen) {
+      if (pj == pi) continue;
+      Fp xj = index_scalar(fq, pj->index);
+      num = num * xj;
+      den = den * (xj - xi);
+    }
+    Fp lambda = num * den.inverse();
+    combined = combined + pi->sig.mul(lambda.to_int());
+  }
+  return KeyUpdate{partials.front().tag, combined};
+}
+
+}  // namespace tre::core

@@ -1,0 +1,355 @@
+#include "core/tre.h"
+
+#include "bigint/prime.h"
+#include "hashing/kdf.h"
+
+namespace tre::core {
+
+using ec::G1Point;
+using field::FpInt;
+
+namespace {
+
+constexpr size_t kSigmaBytes = 32;  // FO commitment / REACT witness size
+constexpr size_t kMacBytes = 32;
+
+void put_u16(Bytes& out, size_t v) {
+  require(v <= 0xffff, "serialization: length exceeds u16");
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v & 0xff));
+}
+
+size_t get_u16(ByteSpan bytes, size_t& off) {
+  require(off + 2 <= bytes.size(), "deserialization: truncated length");
+  size_t v = static_cast<size_t>(bytes[off]) << 8 | bytes[off + 1];
+  off += 2;
+  return v;
+}
+
+Bytes get_exact(ByteSpan bytes, size_t& off, size_t n, const char* what) {
+  require(off + n <= bytes.size(), what);
+  Bytes out(bytes.begin() + static_cast<long>(off),
+            bytes.begin() + static_cast<long>(off + n));
+  off += n;
+  return out;
+}
+
+G1Point get_point(const params::GdhParams& params, ByteSpan bytes, size_t& off) {
+  size_t n = params.g1_compressed_bytes();
+  Bytes raw = get_exact(bytes, off, n, "deserialization: truncated point");
+  G1Point p = G1Point::from_bytes(params.ctx(), raw);
+  // Small-subgroup hardening: curve membership alone admits points of
+  // order dividing the cofactor 12r; every protocol point must be in G_1.
+  require(p.in_subgroup(), "deserialization: point outside the order-q subgroup");
+  return p;
+}
+
+void expect_consumed(ByteSpan bytes, size_t off, const char* what) {
+  require(off == bytes.size(), what);
+}
+
+}  // namespace
+
+// --- Serialization -----------------------------------------------------------
+
+Bytes ServerPublicKey::to_bytes() const {
+  return concat({g.to_bytes_compressed(), sg.to_bytes_compressed()});
+}
+
+ServerPublicKey ServerPublicKey::from_bytes(const params::GdhParams& params,
+                                            ByteSpan bytes) {
+  size_t off = 0;
+  ServerPublicKey pk{get_point(params, bytes, off), get_point(params, bytes, off)};
+  expect_consumed(bytes, off, "ServerPublicKey: trailing bytes");
+  return pk;
+}
+
+Bytes UserPublicKey::to_bytes() const {
+  return concat({ag.to_bytes_compressed(), asg.to_bytes_compressed()});
+}
+
+UserPublicKey UserPublicKey::from_bytes(const params::GdhParams& params,
+                                        ByteSpan bytes) {
+  size_t off = 0;
+  UserPublicKey pk{get_point(params, bytes, off), get_point(params, bytes, off)};
+  expect_consumed(bytes, off, "UserPublicKey: trailing bytes");
+  return pk;
+}
+
+Bytes KeyUpdate::to_bytes() const {
+  Bytes out;
+  put_u16(out, tag.size());
+  Bytes tag_bytes = tre::to_bytes(tag);
+  out.insert(out.end(), tag_bytes.begin(), tag_bytes.end());
+  Bytes sig_bytes = sig.to_bytes_compressed();
+  out.insert(out.end(), sig_bytes.begin(), sig_bytes.end());
+  return out;
+}
+
+KeyUpdate KeyUpdate::from_bytes(const params::GdhParams& params, ByteSpan bytes) {
+  size_t off = 0;
+  size_t tag_len = get_u16(bytes, off);
+  Bytes tag_bytes = get_exact(bytes, off, tag_len, "KeyUpdate: truncated tag");
+  G1Point sig = get_point(params, bytes, off);
+  expect_consumed(bytes, off, "KeyUpdate: trailing bytes");
+  return KeyUpdate{std::string(tag_bytes.begin(), tag_bytes.end()), sig};
+}
+
+Bytes Ciphertext::to_bytes() const {
+  Bytes out = u.to_bytes_compressed();
+  put_u16(out, v.size());
+  out.insert(out.end(), v.begin(), v.end());
+  return out;
+}
+
+Ciphertext Ciphertext::from_bytes(const params::GdhParams& params, ByteSpan bytes) {
+  size_t off = 0;
+  G1Point u = get_point(params, bytes, off);
+  size_t n = get_u16(bytes, off);
+  Bytes v = get_exact(bytes, off, n, "Ciphertext: truncated body");
+  expect_consumed(bytes, off, "Ciphertext: trailing bytes");
+  return Ciphertext{u, std::move(v)};
+}
+
+Bytes FoCiphertext::to_bytes() const {
+  Bytes out = u.to_bytes_compressed();
+  put_u16(out, c_sigma.size());
+  out.insert(out.end(), c_sigma.begin(), c_sigma.end());
+  put_u16(out, c_msg.size());
+  out.insert(out.end(), c_msg.begin(), c_msg.end());
+  return out;
+}
+
+FoCiphertext FoCiphertext::from_bytes(const params::GdhParams& params, ByteSpan bytes) {
+  size_t off = 0;
+  G1Point u = get_point(params, bytes, off);
+  size_t n1 = get_u16(bytes, off);
+  Bytes c_sigma = get_exact(bytes, off, n1, "FoCiphertext: truncated sigma");
+  size_t n2 = get_u16(bytes, off);
+  Bytes c_msg = get_exact(bytes, off, n2, "FoCiphertext: truncated body");
+  expect_consumed(bytes, off, "FoCiphertext: trailing bytes");
+  return FoCiphertext{u, std::move(c_sigma), std::move(c_msg)};
+}
+
+Bytes ReactCiphertext::to_bytes() const {
+  Bytes out = u.to_bytes_compressed();
+  put_u16(out, c_r.size());
+  out.insert(out.end(), c_r.begin(), c_r.end());
+  put_u16(out, c_msg.size());
+  out.insert(out.end(), c_msg.begin(), c_msg.end());
+  put_u16(out, mac.size());
+  out.insert(out.end(), mac.begin(), mac.end());
+  return out;
+}
+
+ReactCiphertext ReactCiphertext::from_bytes(const params::GdhParams& params,
+                                            ByteSpan bytes) {
+  size_t off = 0;
+  G1Point u = get_point(params, bytes, off);
+  size_t n1 = get_u16(bytes, off);
+  Bytes c_r = get_exact(bytes, off, n1, "ReactCiphertext: truncated c_r");
+  size_t n2 = get_u16(bytes, off);
+  Bytes c_msg = get_exact(bytes, off, n2, "ReactCiphertext: truncated body");
+  size_t n3 = get_u16(bytes, off);
+  Bytes mac = get_exact(bytes, off, n3, "ReactCiphertext: truncated mac");
+  expect_consumed(bytes, off, "ReactCiphertext: trailing bytes");
+  return ReactCiphertext{u, std::move(c_r), std::move(c_msg), std::move(mac)};
+}
+
+// --- Scheme ------------------------------------------------------------------
+
+TreScheme::TreScheme(std::shared_ptr<const params::GdhParams> params)
+    : params_(std::move(params)) {
+  require(params_ != nullptr, "TreScheme: null params");
+}
+
+G1Point TreScheme::hash_tag(std::string_view tag) const {
+  return ec::hash_to_g1(params_->ctx(), tre::to_bytes(tag));
+}
+
+Bytes TreScheme::mask_h2(const Gt& k, size_t len) const {
+  return hashing::oracle_bytes("TRE-H2", k.to_bytes(), len);
+}
+
+Scalar TreScheme::hash_to_scalar(std::string_view label, ByteSpan input) const {
+  // Oversample by 16 bytes so the mod-q bias is negligible; map 0 -> 1.
+  Bytes wide = hashing::oracle_bytes(label, input, params_->scalar_bytes() + 16);
+  auto v = bigint::BigInt<2 * field::kMaxFieldLimbs>::from_bytes_be(wide);
+  Scalar r = bigint::mod_wide(v, params_->group_order());
+  if (r.is_zero()) r = Scalar::from_u64(1);
+  return r;
+}
+
+ServerKeyPair TreScheme::server_keygen(tre::hashing::RandomSource& rng) const {
+  // G = h·base for random h is a uniform generator of the order-q subgroup.
+  Scalar h = params::random_scalar(*params_, rng);
+  Scalar s = params::random_scalar(*params_, rng);
+  G1Point g = params_->base.mul(h);
+  return ServerKeyPair{s, ServerPublicKey{g, g.mul(s)}};
+}
+
+UserKeyPair TreScheme::user_keygen(const ServerPublicKey& server,
+                                   tre::hashing::RandomSource& rng) const {
+  Scalar a = params::random_scalar(*params_, rng);
+  return UserKeyPair{a, UserPublicKey{server.g.mul(a), server.sg.mul(a)}};
+}
+
+UserKeyPair TreScheme::user_keygen_from_password(const ServerPublicKey& server,
+                                                 std::string_view password) const {
+  // Domain-separate by the server key so one password yields unrelated
+  // secrets under different servers.
+  Bytes input = concat({tre::to_bytes(password), server.to_bytes()});
+  Scalar a = hash_to_scalar("TRE-PWKDF", input);
+  return UserKeyPair{a, UserPublicKey{server.g.mul(a), server.sg.mul(a)}};
+}
+
+bool TreScheme::verify_server_public_key(const ServerPublicKey& server) const {
+  return !server.g.is_infinity() && !server.sg.is_infinity() &&
+         server.g.in_subgroup() && server.sg.in_subgroup();
+}
+
+bool TreScheme::verify_user_public_key(const ServerPublicKey& server,
+                                       const UserPublicKey& user) const {
+  if (user.ag.is_infinity() || user.asg.is_infinity()) return false;
+  return pairing::pairings_equal(user.ag, server.sg, server.g, user.asg);
+}
+
+KeyUpdate TreScheme::issue_update(const ServerKeyPair& server,
+                                  std::string_view tag) const {
+  return KeyUpdate{std::string(tag), hash_tag(tag).mul(server.s)};
+}
+
+bool TreScheme::verify_update(const ServerPublicKey& server,
+                              const KeyUpdate& update) const {
+  if (update.sig.is_infinity()) return false;
+  return pairing::pairings_equal(server.sg, hash_tag(update.tag), server.g, update.sig);
+}
+
+Ciphertext TreScheme::encrypt(ByteSpan msg, const UserPublicKey& user,
+                              const ServerPublicKey& server, std::string_view tag,
+                              tre::hashing::RandomSource& rng, KeyCheck check) const {
+  if (check == KeyCheck::kVerify) {
+    require(verify_user_public_key(server, user),
+            "TRE encrypt: receiver public key fails the pairing check");
+  }
+  Scalar r = params::random_scalar(*params_, rng);
+  G1Point u = server.g.mul(r);
+  Gt k = pairing::pair(user.asg.mul(r), hash_tag(tag));
+  return Ciphertext{u, xor_bytes(msg, mask_h2(k, msg.size()))};
+}
+
+Bytes TreScheme::decrypt(const Ciphertext& ct, const Scalar& a,
+                         const KeyUpdate& update) const {
+  Gt k = pairing::pair(ct.u, update.sig).pow(a);
+  return xor_bytes(ct.v, mask_h2(k, ct.v.size()));
+}
+
+FoCiphertext TreScheme::encrypt_fo(ByteSpan msg, const UserPublicKey& user,
+                                   const ServerPublicKey& server, std::string_view tag,
+                                   tre::hashing::RandomSource& rng,
+                                   KeyCheck check) const {
+  if (check == KeyCheck::kVerify) {
+    require(verify_user_public_key(server, user),
+            "TRE encrypt_fo: receiver public key fails the pairing check");
+  }
+  Bytes sigma = rng.bytes(kSigmaBytes);
+  // r = H3(sigma, M): decryption re-derives it, making the scheme
+  // plaintext-aware (CCA in the ROM per Fujisaki-Okamoto).
+  Scalar r = hash_to_scalar("TRE-H3", concat({sigma, msg}));
+  G1Point u = server.g.mul(r);
+  Gt k = pairing::pair(user.asg.mul(r), hash_tag(tag));
+  Bytes c_sigma = xor_bytes(sigma, mask_h2(k, kSigmaBytes));
+  Bytes c_msg = xor_bytes(msg, hashing::oracle_bytes("TRE-H4", sigma, msg.size()));
+  return FoCiphertext{u, std::move(c_sigma), std::move(c_msg)};
+}
+
+std::optional<Bytes> TreScheme::decrypt_fo(const FoCiphertext& ct, const Scalar& a,
+                                           const KeyUpdate& update,
+                                           const ServerPublicKey& server) const {
+  if (ct.c_sigma.size() != kSigmaBytes) return std::nullopt;
+  Gt k = pairing::pair(ct.u, update.sig).pow(a);
+  Bytes sigma = xor_bytes(ct.c_sigma, mask_h2(k, kSigmaBytes));
+  Bytes msg = xor_bytes(ct.c_msg, hashing::oracle_bytes("TRE-H4", sigma, ct.c_msg.size()));
+  Scalar r = hash_to_scalar("TRE-H3", concat({sigma, msg}));
+  if (!(server.g.mul(r) == ct.u)) return std::nullopt;
+  return msg;
+}
+
+ReactCiphertext TreScheme::encrypt_react(ByteSpan msg, const UserPublicKey& user,
+                                         const ServerPublicKey& server,
+                                         std::string_view tag,
+                                         tre::hashing::RandomSource& rng,
+                                         KeyCheck check) const {
+  if (check == KeyCheck::kVerify) {
+    require(verify_user_public_key(server, user),
+            "TRE encrypt_react: receiver public key fails the pairing check");
+  }
+  Bytes witness = rng.bytes(kSigmaBytes);  // REACT's random R
+  Scalar r = params::random_scalar(*params_, rng);
+  G1Point u = server.g.mul(r);
+  Gt k = pairing::pair(user.asg.mul(r), hash_tag(tag));
+  Bytes c_r = xor_bytes(witness, mask_h2(k, kSigmaBytes));
+  Bytes c_msg = xor_bytes(msg, hashing::oracle_bytes("TRE-G", witness, msg.size()));
+  Bytes mac = hashing::oracle_bytes(
+      "TRE-H5", concat({witness, msg, u.to_bytes_compressed(), c_r, c_msg}), kMacBytes);
+  return ReactCiphertext{u, std::move(c_r), std::move(c_msg), std::move(mac)};
+}
+
+std::optional<Bytes> TreScheme::decrypt_react(const ReactCiphertext& ct,
+                                              const Scalar& a,
+                                              const KeyUpdate& update) const {
+  if (ct.c_r.size() != kSigmaBytes || ct.mac.size() != kMacBytes) return std::nullopt;
+  Gt k = pairing::pair(ct.u, update.sig).pow(a);
+  Bytes witness = xor_bytes(ct.c_r, mask_h2(k, kSigmaBytes));
+  Bytes msg = xor_bytes(ct.c_msg, hashing::oracle_bytes("TRE-G", witness, ct.c_msg.size()));
+  Bytes mac = hashing::oracle_bytes(
+      "TRE-H5",
+      concat({witness, msg, ct.u.to_bytes_compressed(), ct.c_r, ct.c_msg}), kMacBytes);
+  if (!ct_equal(mac, ct.mac)) return std::nullopt;
+  return msg;
+}
+
+EpochKey TreScheme::derive_epoch_key(const Scalar& a, const KeyUpdate& update) const {
+  // a·I_T = a·s·H1(T): all the secret material a ciphertext for tag T
+  // needs, and useless for any other tag (CDH). The paper's §5.3.3 text
+  // writes the epoch key as aH1(T_i); only a·(s·H1(T_i)) closes the
+  // decryption equation — see DESIGN.md for the fidelity note.
+  return EpochKey{update.tag, update.sig.mul(a)};
+}
+
+Bytes TreScheme::decrypt_with_epoch_key(const Ciphertext& ct, const EpochKey& key) const {
+  Gt k = pairing::pair(ct.u, key.d);
+  return xor_bytes(ct.v, mask_h2(k, ct.v.size()));
+}
+
+std::optional<Bytes> TreScheme::decrypt_fo_with_epoch_key(
+    const FoCiphertext& ct, const EpochKey& key, const ServerPublicKey& server) const {
+  if (ct.c_sigma.size() != kSigmaBytes) return std::nullopt;
+  Gt k = pairing::pair(ct.u, key.d);
+  Bytes sigma = xor_bytes(ct.c_sigma, mask_h2(k, kSigmaBytes));
+  Bytes msg = xor_bytes(ct.c_msg, hashing::oracle_bytes("TRE-H4", sigma, ct.c_msg.size()));
+  Scalar r = hash_to_scalar("TRE-H3", concat({sigma, msg}));
+  if (!(server.g.mul(r) == ct.u)) return std::nullopt;
+  return msg;
+}
+
+UserPublicKey TreScheme::rebind_user_key(const Scalar& a,
+                                         const ServerPublicKey& new_server) const {
+  return UserPublicKey{new_server.g.mul(a), new_server.sg.mul(a)};
+}
+
+bool TreScheme::verify_rebound_key(const ec::G1Point& certified_ag,
+                                   const ec::G1Point& old_generator,
+                                   const ServerPublicKey& new_server,
+                                   const UserPublicKey& candidate) const {
+  if (candidate.ag.is_infinity() || candidate.asg.is_infinity()) return false;
+  // (1) Same secret a as in the certified key: ê(aG', G_o) == ê(aG_o, G').
+  if (!pairing::pairings_equal(candidate.ag, old_generator, certified_ag,
+                               new_server.g)) {
+    return false;
+  }
+  // (2) Well-formed under the new server key.
+  return verify_user_public_key(new_server, candidate);
+}
+
+}  // namespace tre::core

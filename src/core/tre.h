@@ -1,0 +1,235 @@
+// Timed Release Encryption (TRE) — the paper's §5.1 construction with the
+// §5.3 extensions.
+//
+// Roles and artifacts:
+//   * Time server: secret s, public (G, sG) with G a server-chosen random
+//     generator. Completely passive: its only output is the time-bound key
+//     update I_T = s·H1(T), a BLS short signature on the time string T
+//     that is self-authenticating via ê(sG, H1(T)) == ê(G, I_T).
+//   * User: secret a, public (aG, a·sG) — bound to the server key so that
+//     decryption provably needs the server's update.
+//   * Sender: encrypts under the two public keys and a release tag T with
+//     no interaction: C = ⟨rG, M ⊕ H2(ê(r·asG, H1(T)))⟩.
+//   * Receiver: decrypts with K' = ê(U, I_T)^a once I_T is published.
+//
+// Three ciphertext flavours are provided:
+//   * Basic (§5.1 verbatim): one-way / CPA-secure under BDH in the ROM.
+//   * FO (Fujisaki-Okamoto, as the paper prescribes for CCA security).
+//   * REACT (Okamoto-Pointcheval, the paper's stated alternative).
+//
+// The tag argument is an opaque byte string: a canonical time string for
+// timed release (see timeserver/timespec.h) or any condition string for
+// the §5.3.2 policy-lock generalization.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "ec/curve.h"
+#include "hashing/drbg.h"
+#include "pairing/pairing.h"
+#include "params/params.h"
+
+namespace tre::core {
+
+using Scalar = field::FpInt;  // value in [1, q)
+using Gt = pairing::Gt;
+
+struct ServerPublicKey {
+  ec::G1Point g;   // G, server-chosen generator
+  ec::G1Point sg;  // s·G
+
+  Bytes to_bytes() const;
+  static ServerPublicKey from_bytes(const params::GdhParams& params, ByteSpan bytes);
+  friend bool operator==(const ServerPublicKey&, const ServerPublicKey&) = default;
+};
+
+struct ServerKeyPair {
+  Scalar s;
+  ServerPublicKey pub;
+};
+
+struct UserPublicKey {
+  ec::G1Point ag;   // a·G
+  ec::G1Point asg;  // a·s·G
+
+  Bytes to_bytes() const;
+  static UserPublicKey from_bytes(const params::GdhParams& params, ByteSpan bytes);
+  friend bool operator==(const UserPublicKey&, const UserPublicKey&) = default;
+};
+
+struct UserKeyPair {
+  Scalar a;
+  UserPublicKey pub;
+};
+
+/// The server's entire per-instant output: identical for every receiver.
+struct KeyUpdate {
+  std::string tag;  // the signed time / condition string T
+  ec::G1Point sig;  // s·H1(T)
+
+  /// Wire format: u16 tag length || tag || compressed point. This is what
+  /// the scalability experiment (E3) counts as "bytes broadcast".
+  Bytes to_bytes() const;
+  static KeyUpdate from_bytes(const params::GdhParams& params, ByteSpan bytes);
+  friend bool operator==(const KeyUpdate&, const KeyUpdate&) = default;
+};
+
+/// §5.1 ciphertext ⟨U, V⟩ = ⟨rG, M ⊕ H2(K)⟩.
+struct Ciphertext {
+  ec::G1Point u;
+  Bytes v;
+
+  Bytes to_bytes() const;
+  static Ciphertext from_bytes(const params::GdhParams& params, ByteSpan bytes);
+};
+
+/// Fujisaki-Okamoto ciphertext: U = rG with r = H3(σ, M),
+/// c_sigma = σ ⊕ H2(K), c_msg = M ⊕ H4(σ).
+struct FoCiphertext {
+  ec::G1Point u;
+  Bytes c_sigma;
+  Bytes c_msg;
+
+  Bytes to_bytes() const;
+  static FoCiphertext from_bytes(const params::GdhParams& params, ByteSpan bytes);
+};
+
+/// REACT ciphertext: c_r = R ⊕ H2(K), c_msg = M ⊕ G(R),
+/// mac = H5(R, M, U, c_r, c_msg).
+struct ReactCiphertext {
+  ec::G1Point u;
+  Bytes c_r;
+  Bytes c_msg;
+  Bytes mac;
+
+  Bytes to_bytes() const;
+  static ReactCiphertext from_bytes(const params::GdhParams& params, ByteSpan bytes);
+};
+
+/// §5.3.3 per-epoch decryption key a·I_T, derived on a safe device so the
+/// long-term secret a never reaches the decryption device. Compromise of
+/// one epoch key reveals nothing about other epochs (CDH).
+struct EpochKey {
+  std::string tag;
+  ec::G1Point d;  // a·s·H1(T)
+};
+
+/// Whether encrypt() performs the paper's step-1 pairing check on the
+/// receiver public key. The check proves asg is really a·(sG), i.e. the
+/// receiver cannot decrypt without the server's update.
+enum class KeyCheck { kVerify, kSkip };
+
+class TreScheme {
+ public:
+  explicit TreScheme(std::shared_ptr<const params::GdhParams> params);
+
+  const params::GdhParams& params() const { return *params_; }
+
+  // --- Key generation -------------------------------------------------------
+
+  /// Picks a random generator G and secret s (the server alone controls
+  /// its generator, mitigating the §5.1-point-6 rogue-generator concern
+  /// from the *user's* side: senders may additionally avoid G == H1(T)).
+  ServerKeyPair server_keygen(tre::hashing::RandomSource& rng) const;
+
+  UserKeyPair user_keygen(const ServerPublicKey& server,
+                          tre::hashing::RandomSource& rng) const;
+
+  /// Paper §5.1: the secret may be derived from a human-memorable password
+  /// through a good hash. Deterministic per (password, server key).
+  UserKeyPair user_keygen_from_password(const ServerPublicKey& server,
+                                        std::string_view password) const;
+
+  /// Structural validation of a server key (on-curve, order-q, not O).
+  bool verify_server_public_key(const ServerPublicKey& server) const;
+
+  /// The encryptor's check: ê(aG, sG) == ê(G, asG) (paper Encryption #1).
+  bool verify_user_public_key(const ServerPublicKey& server,
+                              const UserPublicKey& user) const;
+
+  // --- Time-bound key updates -----------------------------------------------
+
+  /// I_T = s·H1(T). Stateless: any tag, past or future, any order.
+  KeyUpdate issue_update(const ServerKeyPair& server, std::string_view tag) const;
+
+  /// Self-authentication check ê(sG, H1(T)) == ê(G, I_T).
+  bool verify_update(const ServerPublicKey& server, const KeyUpdate& update) const;
+
+  // --- §5.1 basic scheme ------------------------------------------------------
+
+  Ciphertext encrypt(ByteSpan msg, const UserPublicKey& user,
+                     const ServerPublicKey& server, std::string_view tag,
+                     tre::hashing::RandomSource& rng,
+                     KeyCheck check = KeyCheck::kVerify) const;
+
+  /// The basic scheme has no integrity: output is only meaningful when the
+  /// inputs match the ciphertext (use the FO/REACT variants otherwise).
+  Bytes decrypt(const Ciphertext& ct, const Scalar& a, const KeyUpdate& update) const;
+
+  // --- Fujisaki-Okamoto (CCA) -------------------------------------------------
+
+  FoCiphertext encrypt_fo(ByteSpan msg, const UserPublicKey& user,
+                          const ServerPublicKey& server, std::string_view tag,
+                          tre::hashing::RandomSource& rng,
+                          KeyCheck check = KeyCheck::kVerify) const;
+
+  /// nullopt on any tampering (re-encryption check fails). The server key
+  /// is needed to recompute U = H3(σ, M)·G.
+  std::optional<Bytes> decrypt_fo(const FoCiphertext& ct, const Scalar& a,
+                                  const KeyUpdate& update,
+                                  const ServerPublicKey& server) const;
+
+  // --- REACT (CCA) -------------------------------------------------------------
+
+  ReactCiphertext encrypt_react(ByteSpan msg, const UserPublicKey& user,
+                                const ServerPublicKey& server, std::string_view tag,
+                                tre::hashing::RandomSource& rng,
+                                KeyCheck check = KeyCheck::kVerify) const;
+
+  std::optional<Bytes> decrypt_react(const ReactCiphertext& ct, const Scalar& a,
+                                     const KeyUpdate& update) const;
+
+  // --- §5.3.3 key insulation ----------------------------------------------------
+
+  /// Safe-device step: combine the long-term secret with a fresh update.
+  EpochKey derive_epoch_key(const Scalar& a, const KeyUpdate& update) const;
+
+  /// Insecure-device step: decrypt using only the epoch key.
+  Bytes decrypt_with_epoch_key(const Ciphertext& ct, const EpochKey& key) const;
+  std::optional<Bytes> decrypt_fo_with_epoch_key(const FoCiphertext& ct,
+                                                 const EpochKey& key,
+                                                 const ServerPublicKey& server) const;
+
+  // --- §5.3.4 time-server change --------------------------------------------------
+
+  /// Produces the user's public key under a new server without touching
+  /// the CA: (a·G', a·s'·G').
+  UserPublicKey rebind_user_key(const Scalar& a, const ServerPublicKey& new_server) const;
+
+  /// Anyone can check a rebound key against the aG certified under the
+  /// *old* server (no re-certification, paper §5.3.4):
+  ///   (1) ê(a·G', G_old) == ê(a·G_old, G')  — same secret a;
+  ///   (2) ê(a·G', s'G') == ê(G', a·s'G')    — well-formed under s'.
+  bool verify_rebound_key(const ec::G1Point& certified_ag,
+                          const ec::G1Point& old_generator,
+                          const ServerPublicKey& new_server,
+                          const UserPublicKey& candidate) const;
+
+  // --- Shared internals (used by the multi-server and policy variants) ---
+
+  /// H1 onto G_1 with the scheme's domain separation.
+  ec::G1Point hash_tag(std::string_view tag) const;
+
+  /// Mask bytes H2(K) of a given length.
+  Bytes mask_h2(const Gt& k, size_t len) const;
+
+  /// Random-oracle hash to a nonzero scalar in Z_q (H3-style oracles).
+  Scalar hash_to_scalar(std::string_view label, ByteSpan input) const;
+
+ private:
+  std::shared_ptr<const params::GdhParams> params_;
+};
+
+}  // namespace tre::core

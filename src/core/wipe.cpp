@@ -1,0 +1,22 @@
+#include "core/wipe.h"
+
+namespace tre::core {
+
+void wipe(Scalar& s) {
+  volatile std::uint64_t* p = s.w.data();
+  for (size_t i = 0; i < s.w.size(); ++i) p[i] = 0;
+}
+
+void wipe(ServerKeyPair& keys) { wipe(keys.s); }
+
+void wipe(UserKeyPair& keys) { wipe(keys.a); }
+
+void wipe(EpochKey& key) {
+  // The epoch point is itself secret material for its epoch; replace it
+  // with infinity (coordinates are public-form anyway, so structural
+  // reset suffices).
+  key.d = ec::G1Point::infinity(key.d.curve());
+  key.tag.clear();
+}
+
+}  // namespace tre::core

@@ -1,0 +1,19 @@
+// Explicit zeroization of secret key material.
+//
+// Key types are plain value types (copyable, container-friendly), so
+// wiping is explicit rather than a destructor side effect: call these
+// when a secret's lifetime ends (the CLI and examples do).
+#pragma once
+
+#include "core/tre.h"
+
+namespace tre::core {
+
+/// Zeroizes a scalar's limbs (compiler-resistant).
+void wipe(Scalar& s);
+
+void wipe(ServerKeyPair& keys);
+void wipe(UserKeyPair& keys);
+void wipe(EpochKey& key);
+
+}  // namespace tre::core

@@ -1,0 +1,325 @@
+#include "ec/curve.h"
+
+
+#include <array>
+#include <vector>
+#include "hashing/kdf.h"
+
+namespace tre::ec {
+
+using field::Fp;
+using field::Fp2;
+using field::FpInt;
+
+namespace {
+
+// Exact division helper over a 13-limb scratch width (2p-1 can exceed the
+// 768-bit element width by one bit).
+using WideInt = bigint::BigInt<field::kMaxFieldLimbs + 1>;
+
+FpInt exact_div(const WideInt& num, const WideInt& den, const char* what) {
+  WideInt quo, rem;
+  bigint::divmod(num, den, quo, rem);
+  require(rem.is_zero(), what);
+  return quo.resized<field::kMaxFieldLimbs>();
+}
+
+}  // namespace
+
+std::shared_ptr<const CurveCtx> CurveCtx::create(std::string name, const FpInt& p,
+                                                 const FpInt& q) {
+  auto ctx = std::make_shared<CurveCtx>();
+  ctx->name = std::move(name);
+  ctx->p = p;
+  ctx->q = q;
+  ctx->fp = std::make_shared<const field::FpCtx>(p);
+  ctx->fq = std::make_shared<const field::FpCtx>(q);
+
+  require(ctx->fp->p_mod_4_is_3, "CurveCtx: p must be 3 (mod 4)");
+  {
+    FpInt quo, rem;
+    bigint::divmod(p, FpInt::from_u64(3), quo, rem);
+    require(rem == FpInt::from_u64(2), "CurveCtx: p must be 2 (mod 3)");
+  }
+
+  WideInt p_wide = p.resized<field::kMaxFieldLimbs + 1>();
+  WideInt p_plus_1 = bigint::add(p_wide, WideInt::from_u64(1));
+  ctx->cofactor = exact_div(p_plus_1, q.resized<field::kMaxFieldLimbs + 1>(),
+                            "CurveCtx: q must divide p + 1");
+
+  WideInt two_p_minus_1 = bigint::sub(bigint::shl(p_wide, 1), WideInt::from_u64(1));
+  ctx->cube_root_exp = exact_div(two_p_minus_1, WideInt::from_u64(3),
+                                 "CurveCtx: 2p - 1 must be divisible by 3");
+
+  // zeta = (-1 + sqrt(3) i) / 2. sqrt(3) exists in F_p for p ≡ 3 (mod 4),
+  // p ≡ 2 (mod 3) by quadratic reciprocity.
+  const field::FpCtx* fp = ctx->fp.get();
+  auto sqrt3 = Fp::from_u64(fp, 3).sqrt();
+  require(sqrt3.has_value(), "CurveCtx: 3 is not a square mod p");
+  Fp inv2 = Fp::from_u64(fp, 2).inverse();
+  ctx->zeta = Fp2(-inv2, *sqrt3 * inv2);
+  // Sanity: zeta^2 + zeta + 1 == 0 and zeta != 1.
+  require((ctx->zeta.squared() + ctx->zeta + Fp2::one(fp)).is_zero(),
+          "CurveCtx: zeta is not a primitive cube root of unity");
+  return ctx;
+}
+
+bool on_curve(const CurveCtx* curve, const Fp& x, const Fp& y) {
+  Fp rhs = x.squared() * x + Fp::one(curve->fp.get());
+  return y.squared() == rhs;
+}
+
+G1Point G1Point::infinity(const CurveCtx* curve) {
+  require(curve != nullptr, "G1Point: null curve");
+  const field::FpCtx* fp = curve->fp.get();
+  return G1Point(curve, Fp::zero(fp), Fp::zero(fp), true);
+}
+
+G1Point G1Point::make(const CurveCtx* curve, const Fp& x, const Fp& y) {
+  require(curve != nullptr, "G1Point: null curve");
+  require(on_curve(curve, x, y), "G1Point: point not on curve");
+  return G1Point(curve, x, y, false);
+}
+
+const Fp& G1Point::x() const {
+  require(!infinity_, "G1Point: infinity has no coordinates");
+  return x_;
+}
+
+const Fp& G1Point::y() const {
+  require(!infinity_, "G1Point: infinity has no coordinates");
+  return y_;
+}
+
+G1Point G1Point::operator-() const {
+  if (infinity_) return *this;
+  return G1Point(curve_, x_, -y_, false);
+}
+
+G1Point G1Point::doubled() const {
+  if (infinity_) return *this;
+  if (y_.is_zero()) return infinity(curve_);
+  // lambda = 3x^2 / 2y
+  Fp three_x2 = x_.squared();
+  three_x2 = three_x2 + three_x2 + three_x2;
+  Fp lambda = three_x2 * (y_ + y_).inverse();
+  Fp x3 = lambda.squared() - x_ - x_;
+  Fp y3 = lambda * (x_ - x3) - y_;
+  return G1Point(curve_, x3, y3, false);
+}
+
+G1Point G1Point::operator+(const G1Point& o) const {
+  require(curve_ != nullptr && curve_ == o.curve_, "G1Point: curve mismatch");
+  if (infinity_) return o;
+  if (o.infinity_) return *this;
+  if (x_ == o.x_) {
+    if (y_ == o.y_) return doubled();
+    return infinity(curve_);  // y1 == -y2
+  }
+  Fp lambda = (o.y_ - y_) * (o.x_ - x_).inverse();
+  Fp x3 = lambda.squared() - x_ - o.x_;
+  Fp y3 = lambda * (x_ - x3) - y_;
+  return G1Point(curve_, x3, y3, false);
+}
+
+namespace {
+
+// Jacobian coordinates: x = X/Z^2, y = Y/Z^3; Z == 0 encodes infinity.
+struct Jac {
+  Fp X, Y, Z;
+  bool is_infinity() const { return Z.is_zero(); }
+};
+
+Jac jac_from_affine(const G1Point& p, const field::FpCtx* fp) {
+  if (p.is_infinity()) return {Fp::one(fp), Fp::one(fp), Fp::zero(fp)};
+  return {p.x(), p.y(), Fp::one(fp)};
+}
+
+Jac jac_double(const Jac& p, const field::FpCtx* fp) {
+  if (p.is_infinity() || p.Y.is_zero()) return {Fp::one(fp), Fp::one(fp), Fp::zero(fp)};
+  // dbl-2009-l formulas for a = 0.
+  Fp a = p.X.squared();
+  Fp b = p.Y.squared();
+  Fp c = b.squared();
+  Fp d = (p.X + b).squared() - a - c;
+  d = d + d;
+  Fp e = a + a + a;
+  Fp f = e.squared();
+  Fp x3 = f - (d + d);
+  Fp c8 = c + c;
+  c8 = c8 + c8;
+  c8 = c8 + c8;
+  Fp y3 = e * (d - x3) - c8;
+  Fp z3 = (p.Y * p.Z).doubled();
+  return {x3, y3, z3};
+}
+
+Jac jac_add(const Jac& p, const Jac& q, const field::FpCtx* fp) {
+  if (p.is_infinity()) return q;
+  if (q.is_infinity()) return p;
+  // add-2007-bl general addition.
+  Fp z1z1 = p.Z.squared();
+  Fp z2z2 = q.Z.squared();
+  Fp u1 = p.X * z2z2;
+  Fp u2 = q.X * z1z1;
+  Fp s1 = p.Y * q.Z * z2z2;
+  Fp s2 = q.Y * p.Z * z1z1;
+  if (u1 == u2) {
+    if (s1 == s2) return jac_double(p, fp);
+    return {Fp::one(fp), Fp::one(fp), Fp::zero(fp)};
+  }
+  Fp h = u2 - u1;
+  Fp i = (h + h).squared();
+  Fp j = h * i;
+  Fp r = (s2 - s1).doubled();
+  Fp v = u1 * i;
+  Fp x3 = r.squared() - j - (v + v);
+  Fp s1j = s1 * j;
+  Fp y3 = r * (v - x3) - (s1j + s1j);
+  Fp z3 = ((p.Z + q.Z).squared() - z1z1 - z2z2) * h;
+  return {x3, y3, z3};
+}
+
+G1Point jac_to_affine(const Jac& p, const CurveCtx* curve) {
+  if (p.is_infinity()) return G1Point::infinity(curve);
+  Fp zinv = p.Z.inverse();
+  Fp zinv2 = zinv.squared();
+  return G1Point::make(curve, p.X * zinv2, p.Y * zinv2 * zinv);
+}
+
+}  // namespace
+
+namespace {
+
+// Width-4 NAF recoding: digits in {0, ±1, ±3, ..., ±15}, at most one
+// nonzero digit in any 4 consecutive positions — cuts the addition count
+// of double-and-add by ~2.4x for long scalars.
+std::vector<std::int8_t> wnaf4(const FpInt& k) {
+  std::vector<std::int8_t> digits;
+  digits.reserve(k.bit_length() + 1);
+  FpInt n = k;
+  while (!n.is_zero()) {
+    if (n.is_odd()) {
+      auto low = static_cast<std::int8_t>(n.w[0] & 0x0f);  // n mod 16
+      std::int8_t digit = low < 8 ? low : static_cast<std::int8_t>(low - 16);
+      digits.push_back(digit);
+      if (digit > 0) {
+        bigint::sub_assign(n, FpInt::from_u64(static_cast<std::uint64_t>(digit)));
+      } else {
+        bigint::add_assign(n, FpInt::from_u64(static_cast<std::uint64_t>(-digit)));
+      }
+    } else {
+      digits.push_back(0);
+    }
+    n = bigint::shr(n, 1);
+  }
+  return digits;
+}
+
+}  // namespace
+
+G1Point G1Point::mul(const FpInt& k) const {
+  require(curve_ != nullptr, "G1Point: null curve");
+  const field::FpCtx* fp = curve_->fp.get();
+  if (infinity_ || k.is_zero()) return infinity(curve_);
+
+  // Precompute odd multiples P, 3P, ..., 15P in Jacobian coordinates.
+  Jac base = jac_from_affine(*this, fp);
+  Jac twice = jac_double(base, fp);
+  std::array<Jac, 8> odd;  // odd[i] = (2i+1)P
+  odd[0] = base;
+  for (size_t i = 1; i < odd.size(); ++i) odd[i] = jac_add(odd[i - 1], twice, fp);
+
+  std::vector<std::int8_t> digits = wnaf4(k);
+  Jac acc = {Fp::one(fp), Fp::one(fp), Fp::zero(fp)};
+  for (size_t i = digits.size(); i-- > 0;) {
+    acc = jac_double(acc, fp);
+    std::int8_t d = digits[i];
+    if (d > 0) {
+      acc = jac_add(acc, odd[static_cast<size_t>(d) / 2], fp);
+    } else if (d < 0) {
+      Jac neg = odd[static_cast<size_t>(-d) / 2];
+      neg.Y = -neg.Y;
+      acc = jac_add(acc, neg, fp);
+    }
+  }
+  return jac_to_affine(acc, curve_);
+}
+
+bool G1Point::in_subgroup() const {
+  require(curve_ != nullptr, "G1Point: null curve");
+  return mul(curve_->q).is_infinity();
+}
+
+Bytes G1Point::to_bytes() const {
+  require(curve_ != nullptr, "G1Point: null curve");
+  size_t w = curve_->fp->byte_len;
+  Bytes out(1 + 2 * w, 0);
+  if (infinity_) return out;  // tag 0x00
+  out[0] = 0x04;
+  Bytes xb = x_.to_bytes();
+  Bytes yb = y_.to_bytes();
+  std::copy(xb.begin(), xb.end(), out.begin() + 1);
+  std::copy(yb.begin(), yb.end(), out.begin() + 1 + static_cast<long>(w));
+  return out;
+}
+
+Bytes G1Point::to_bytes_compressed() const {
+  require(curve_ != nullptr, "G1Point: null curve");
+  size_t w = curve_->fp->byte_len;
+  Bytes out(1 + w, 0);
+  if (infinity_) return out;  // tag 0x00
+  out[0] = static_cast<std::uint8_t>(0x02 | (y_.to_int().w[0] & 1));
+  Bytes xb = x_.to_bytes();
+  std::copy(xb.begin(), xb.end(), out.begin() + 1);
+  return out;
+}
+
+G1Point G1Point::from_bytes(const CurveCtx* curve, ByteSpan bytes) {
+  require(curve != nullptr, "G1Point: null curve");
+  const field::FpCtx* fp = curve->fp.get();
+  size_t w = fp->byte_len;
+  require(bytes.size() == 1 + 2 * w || bytes.size() == 1 + w,
+          "G1Point::from_bytes: wrong length");
+  std::uint8_t tag = bytes[0];
+  if (tag == 0x00) {
+    for (size_t i = 1; i < bytes.size(); ++i) {
+      require(bytes[i] == 0, "G1Point::from_bytes: malformed infinity");
+    }
+    return infinity(curve);
+  }
+  if (tag == 0x04) {
+    require(bytes.size() == 1 + 2 * w, "G1Point::from_bytes: wrong length for 0x04");
+    Fp x = Fp::from_bytes(fp, bytes.subspan(1, w));
+    Fp y = Fp::from_bytes(fp, bytes.subspan(1 + w, w));
+    return make(curve, x, y);
+  }
+  if (tag == 0x02 || tag == 0x03) {
+    require(bytes.size() == 1 + w, "G1Point::from_bytes: wrong length for compressed");
+    Fp x = Fp::from_bytes(fp, bytes.subspan(1, w));
+    Fp rhs = x.squared() * x + Fp::one(fp);
+    auto y = rhs.sqrt();
+    require(y.has_value(), "G1Point::from_bytes: x has no curve point");
+    std::uint64_t want_parity = tag & 1;
+    if ((y->to_int().w[0] & 1) != want_parity) *y = -*y;
+    return make(curve, x, *y);
+  }
+  throw Error("G1Point::from_bytes: unknown tag");
+}
+
+G1Point hash_to_g1(const CurveCtx* curve, ByteSpan msg) {
+  require(curve != nullptr, "hash_to_g1: null curve");
+  const field::FpCtx* fp = curve->fp.get();
+  for (std::uint32_t counter = 0;; ++counter) {
+    Bytes input = concat({msg, be32(counter)});
+    Bytes h = hashing::oracle_bytes("TRE-H1", input, 2 * fp->byte_len);
+    Fp y = Fp::from_bytes_wide(fp, h);
+    // x = (y^2 - 1)^((2p-1)/3) is the unique cube root of y^2 - 1.
+    Fp x = (y.squared() - Fp::one(fp)).pow(curve->cube_root_exp);
+    G1Point p = G1Point::make(curve, x, y);
+    G1Point cleared = p.mul(curve->cofactor);
+    if (!cleared.is_infinity()) return cleared;
+  }
+}
+
+}  // namespace tre::ec

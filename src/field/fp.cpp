@@ -1,0 +1,97 @@
+#include "field/fp.h"
+
+#include "bigint/prime.h"
+
+namespace tre::field {
+
+FpCtx::FpCtx(const FpInt& modulus) : p(modulus), mont(modulus) {
+  byte_len = (p.bit_length() + 7) / 8;
+  p_mod_4_is_3 = (p.w[0] & 3) == 3;
+  if (p_mod_4_is_3) {
+    FpInt e = bigint::add(p, FpInt::from_u64(1));
+    sqrt_exponent = bigint::shr(e, 2);
+  }
+}
+
+Fp Fp::from_int(const FpCtx* ctx, const FpInt& v) {
+  require(ctx != nullptr, "Fp: null context");
+  FpInt reduced = v >= ctx->p ? bigint::mod(v, ctx->p) : v;
+  return Fp(ctx, ctx->mont.to_mont(reduced));
+}
+
+Fp Fp::from_bytes_wide(const FpCtx* ctx, ByteSpan bytes) {
+  require(ctx != nullptr, "Fp: null context");
+  require(bytes.size() <= 2 * 8 * kMaxFieldLimbs, "Fp::from_bytes_wide: too long");
+  FpIntWide wide = FpIntWide::from_bytes_be(bytes);
+  FpInt reduced = bigint::mod_wide(wide, ctx->p);
+  return Fp(ctx, ctx->mont.to_mont(reduced));
+}
+
+Fp Fp::from_bytes(const FpCtx* ctx, ByteSpan bytes) {
+  require(ctx != nullptr, "Fp: null context");
+  require(bytes.size() == ctx->byte_len, "Fp::from_bytes: wrong length");
+  FpInt v = FpInt::from_bytes_be(bytes);
+  require(v < ctx->p, "Fp::from_bytes: value not reduced");
+  return Fp(ctx, ctx->mont.to_mont(v));
+}
+
+Fp Fp::random(const FpCtx* ctx, tre::hashing::RandomSource& rng) {
+  require(ctx != nullptr, "Fp: null context");
+  return Fp(ctx, ctx->mont.to_mont(bigint::random_below(rng, ctx->p)));
+}
+
+FpInt Fp::to_int() const {
+  require(ctx_ != nullptr, "Fp: null context");
+  return ctx_->mont.from_mont(v_);
+}
+
+Bytes Fp::to_bytes() const { return to_int().to_bytes_be(ctx_->byte_len); }
+
+Fp Fp::operator+(const Fp& o) const {
+  require(ctx_ != nullptr && ctx_ == o.ctx_, "Fp: context mismatch");
+  return Fp(ctx_, ctx_->mont.add(v_, o.v_));
+}
+
+Fp Fp::operator-(const Fp& o) const {
+  require(ctx_ != nullptr && ctx_ == o.ctx_, "Fp: context mismatch");
+  return Fp(ctx_, ctx_->mont.sub(v_, o.v_));
+}
+
+Fp Fp::operator*(const Fp& o) const {
+  require(ctx_ != nullptr && ctx_ == o.ctx_, "Fp: context mismatch");
+  return Fp(ctx_, ctx_->mont.mul(v_, o.v_));
+}
+
+Fp Fp::operator-() const {
+  require(ctx_ != nullptr, "Fp: null context");
+  return Fp(ctx_, ctx_->mont.sub(FpInt{}, v_));
+}
+
+Fp Fp::squared() const {
+  require(ctx_ != nullptr, "Fp: null context");
+  return Fp(ctx_, ctx_->mont.sqr(v_));
+}
+
+Fp Fp::inverse() const {
+  require(ctx_ != nullptr, "Fp: null context");
+  require(!is_zero(), "Fp: inverse of zero");
+  // v = a*R. mod_inverse gives a^{-1}R^{-1}; two to_mont hops restore
+  // Montgomery form: a^{-1}R^{-1} -> a^{-1} -> a^{-1}R.
+  FpInt u = bigint::mod_inverse(v_, ctx_->p);
+  return Fp(ctx_, ctx_->mont.to_mont(ctx_->mont.to_mont(u)));
+}
+
+Fp Fp::pow(const FpInt& e) const {
+  require(ctx_ != nullptr, "Fp: null context");
+  return Fp(ctx_, ctx_->mont.pow(v_, e));
+}
+
+std::optional<Fp> Fp::sqrt() const {
+  require(ctx_ != nullptr, "Fp: null context");
+  require(ctx_->p_mod_4_is_3, "Fp::sqrt: requires p = 3 (mod 4)");
+  Fp r = pow(ctx_->sqrt_exponent);
+  if (r.squared() == *this) return r;
+  return std::nullopt;
+}
+
+}  // namespace tre::field

@@ -1,0 +1,46 @@
+#include "field/fp2.h"
+
+namespace tre::field {
+
+bool Fp2::is_one() const {
+  return b_.is_zero() && a_ == Fp::one(a_.ctx());
+}
+
+std::optional<Fp2> Fp2::sqrt() const {
+  const FpCtx* fp = ctx();
+  if (is_zero()) return *this;
+  if (b_.is_zero()) {
+    // sqrt(a): in F_p when a is a QR; otherwise sqrt(-a)·i works because
+    // i² = -1 and exactly one of ±a is a QR (p ≡ 3 mod 4 makes -1 a
+    // non-residue).
+    if (auto r = a_.sqrt()) return Fp2(*r, Fp::zero(fp));
+    if (auto r = (-a_).sqrt()) return Fp2(Fp::zero(fp), *r);
+    return std::nullopt;
+  }
+  auto alpha = norm().sqrt();
+  if (!alpha) return std::nullopt;  // norm of any square is a square
+  Fp half = Fp::from_u64(fp, 2).inverse();
+  for (const Fp& delta : {(a_ + *alpha) * half, (a_ - *alpha) * half}) {
+    auto x = delta.sqrt();
+    if (!x || x->is_zero()) continue;
+    Fp y = b_ * (*x + *x).inverse();
+    Fp2 candidate(*x, y);
+    if (candidate.squared() == *this) return candidate;
+  }
+  return std::nullopt;
+}
+
+Bytes Fp2::to_bytes() const {
+  Bytes re_bytes = a_.to_bytes();
+  Bytes im_bytes = b_.to_bytes();
+  return concat({re_bytes, im_bytes});
+}
+
+Fp2 Fp2::from_bytes(const FpCtx* ctx, ByteSpan bytes) {
+  require(ctx != nullptr, "Fp2: null context");
+  require(bytes.size() == 2 * ctx->byte_len, "Fp2::from_bytes: wrong length");
+  return Fp2(Fp::from_bytes(ctx, bytes.subspan(0, ctx->byte_len)),
+             Fp::from_bytes(ctx, bytes.subspan(ctx->byte_len)));
+}
+
+}  // namespace tre::field

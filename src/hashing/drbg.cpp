@@ -1,0 +1,58 @@
+#include "hashing/drbg.h"
+
+#include <random>
+
+#include "hashing/hmac.h"
+#include "hashing/sha256.h"
+
+namespace tre::hashing {
+
+HmacDrbg::HmacDrbg(ByteSpan seed)
+    : k_(Sha256::kDigestSize, 0x00), v_(Sha256::kDigestSize, 0x01) {
+  update(seed);
+}
+
+void HmacDrbg::update(ByteSpan provided) {
+  const std::uint8_t zero = 0x00;
+  const std::uint8_t one = 0x01;
+  k_ = hmac_sha256_concat(k_, {v_, ByteSpan(&zero, 1), provided});
+  v_ = hmac_sha256(k_, v_);
+  if (!provided.empty()) {
+    k_ = hmac_sha256_concat(k_, {v_, ByteSpan(&one, 1), provided});
+    v_ = hmac_sha256(k_, v_);
+  }
+}
+
+void HmacDrbg::reseed(ByteSpan seed) { update(seed); }
+
+void HmacDrbg::fill(std::span<std::uint8_t> out) {
+  size_t off = 0;
+  while (off < out.size()) {
+    v_ = hmac_sha256(k_, v_);
+    size_t take = std::min(v_.size(), out.size() - off);
+    std::copy(v_.begin(), v_.begin() + static_cast<long>(take), out.begin() + static_cast<long>(off));
+    off += take;
+  }
+  update({});
+}
+
+namespace {
+Bytes os_entropy(size_t n) {
+  std::random_device rd;
+  Bytes out;
+  out.reserve(n);
+  while (out.size() < n) {
+    unsigned int word = rd();
+    for (size_t i = 0; i < sizeof(word) && out.size() < n; ++i) {
+      out.push_back(static_cast<std::uint8_t>(word >> (8 * i)));
+    }
+  }
+  return out;
+}
+}  // namespace
+
+SystemRandom::SystemRandom() : drbg_(os_entropy(48)) {}
+
+void SystemRandom::fill(std::span<std::uint8_t> out) { drbg_.fill(out); }
+
+}  // namespace tre::hashing

@@ -1,0 +1,56 @@
+// Randomness sources.
+//
+// All scheme operations take a `RandomSource&` so tests and experiments
+// are reproducible: the deterministic HMAC-DRBG (NIST SP 800-90A) is used
+// with fixed seeds in tests/benches, and `SystemRandom` (OS entropy via
+// std::random_device, whitened through the DRBG) in examples.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "common/bytes.h"
+
+namespace tre::hashing {
+
+class RandomSource {
+ public:
+  virtual ~RandomSource() = default;
+
+  /// Fills `out` with random bytes.
+  virtual void fill(std::span<std::uint8_t> out) = 0;
+
+  /// Convenience: returns `n` random bytes.
+  Bytes bytes(size_t n) {
+    Bytes out(n);
+    fill(out);
+    return out;
+  }
+};
+
+/// HMAC-DRBG with SHA-256 (SP 800-90A §10.1.2), deterministic per seed.
+class HmacDrbg final : public RandomSource {
+ public:
+  explicit HmacDrbg(ByteSpan seed);
+
+  void fill(std::span<std::uint8_t> out) override;
+  void reseed(ByteSpan seed);
+
+ private:
+  void update(ByteSpan provided);
+
+  Bytes k_;
+  Bytes v_;
+};
+
+/// OS-entropy-seeded DRBG for non-test use.
+class SystemRandom final : public RandomSource {
+ public:
+  SystemRandom();
+  void fill(std::span<std::uint8_t> out) override;
+
+ private:
+  HmacDrbg drbg_;
+};
+
+}  // namespace tre::hashing

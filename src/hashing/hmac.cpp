@@ -1,0 +1,52 @@
+#include "hashing/hmac.h"
+
+#include <array>
+
+#include "hashing/sha256.h"
+
+namespace tre::hashing {
+
+namespace {
+
+struct HmacKeySchedule {
+  std::array<std::uint8_t, Sha256::kBlockSize> ipad;
+  std::array<std::uint8_t, Sha256::kBlockSize> opad;
+};
+
+HmacKeySchedule schedule(ByteSpan key) {
+  std::array<std::uint8_t, Sha256::kBlockSize> k{};
+  if (key.size() > Sha256::kBlockSize) {
+    Bytes kh = sha256(key);
+    std::copy(kh.begin(), kh.end(), k.begin());
+  } else {
+    std::copy(key.begin(), key.end(), k.begin());
+  }
+  HmacKeySchedule ks;
+  for (size_t i = 0; i < Sha256::kBlockSize; ++i) {
+    ks.ipad[i] = static_cast<std::uint8_t>(k[i] ^ 0x36);
+    ks.opad[i] = static_cast<std::uint8_t>(k[i] ^ 0x5c);
+  }
+  return ks;
+}
+
+}  // namespace
+
+Bytes hmac_sha256_concat(ByteSpan key, std::initializer_list<ByteSpan> parts) {
+  HmacKeySchedule ks = schedule(key);
+  Sha256 inner;
+  inner.update(ks.ipad);
+  for (const auto& p : parts) inner.update(p);
+  auto inner_digest = inner.finalize();
+
+  Sha256 outer;
+  outer.update(ks.opad);
+  outer.update(inner_digest);
+  auto d = outer.finalize();
+  return Bytes(d.begin(), d.end());
+}
+
+Bytes hmac_sha256(ByteSpan key, ByteSpan data) {
+  return hmac_sha256_concat(key, {data});
+}
+
+}  // namespace tre::hashing

@@ -1,0 +1,14 @@
+// HMAC-SHA256 (RFC 2104 / FIPS 198-1).
+#pragma once
+
+#include "common/bytes.h"
+
+namespace tre::hashing {
+
+/// Computes HMAC-SHA256(key, data). Keys of any length are accepted.
+Bytes hmac_sha256(ByteSpan key, ByteSpan data);
+
+/// HMAC over the concatenation of several parts, without copying them.
+Bytes hmac_sha256_concat(ByteSpan key, std::initializer_list<ByteSpan> parts);
+
+}  // namespace tre::hashing

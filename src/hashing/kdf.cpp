@@ -1,0 +1,49 @@
+#include "hashing/kdf.h"
+
+#include "common/error.h"
+#include "hashing/hmac.h"
+#include "hashing/sha256.h"
+
+namespace tre::hashing {
+
+Bytes hkdf_sha256(ByteSpan salt, ByteSpan ikm, ByteSpan info, size_t out_len) {
+  require(out_len <= 255 * Sha256::kDigestSize, "hkdf: output too long");
+  Bytes prk = hmac_sha256(salt, ikm);
+  Bytes out;
+  out.reserve(out_len);
+  Bytes t;
+  std::uint8_t counter = 1;
+  while (out.size() < out_len) {
+    t = hmac_sha256_concat(prk, {t, info, ByteSpan(&counter, 1)});
+    size_t take = std::min(t.size(), out_len - out.size());
+    out.insert(out.end(), t.begin(), t.begin() + static_cast<long>(take));
+    ++counter;
+  }
+  return out;
+}
+
+Bytes oracle_bytes(std::string_view label, ByteSpan input, size_t out_len) {
+  Bytes label_bytes = to_bytes(label);
+  if (out_len <= 255 * Sha256::kDigestSize) {
+    return hkdf_sha256(label_bytes, input, /*info=*/{}, out_len);
+  }
+  // Very long outputs: fall back to the counter-mode stream keyed by a
+  // digest of the input.
+  Bytes key = sha256_concat({label_bytes, input});
+  return keystream(key, label_bytes, out_len);
+}
+
+Bytes keystream(ByteSpan key, ByteSpan nonce, size_t out_len) {
+  Bytes out;
+  out.reserve(out_len);
+  std::uint64_t counter = 0;
+  while (out.size() < out_len) {
+    Bytes block = sha256_concat({key, nonce, be64(counter)});
+    size_t take = std::min(block.size(), out_len - out.size());
+    out.insert(out.end(), block.begin(), block.begin() + static_cast<long>(take));
+    ++counter;
+  }
+  return out;
+}
+
+}  // namespace tre::hashing

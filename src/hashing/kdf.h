@@ -1,0 +1,25 @@
+// Key derivation and the data-encapsulation keystream.
+//
+// The paper's schemes mask a plaintext as M XOR H2(K) with
+// H2 : G2 -> {0,1}^n. For arbitrary-length messages we realize H2 as an
+// extendable-output function: HKDF-SHA256 keyed by the serialized pairing
+// value with a per-use domain-separation label. The same primitive doubles
+// as the DEM keystream for the baselines.
+#pragma once
+
+#include "common/bytes.h"
+
+namespace tre::hashing {
+
+/// HKDF-SHA256 extract-then-expand (RFC 5869).
+Bytes hkdf_sha256(ByteSpan salt, ByteSpan ikm, ByteSpan info, size_t out_len);
+
+/// Scheme random oracle: derives `out_len` mask bytes from `input` under
+/// the given domain-separation `label` ("TRE-H2", "TRE-H3", ...).
+Bytes oracle_bytes(std::string_view label, ByteSpan input, size_t out_len);
+
+/// Deterministic keystream (SHA-256 in counter mode) used as the DEM
+/// stream cipher by the hybrid/ escrow baselines.
+Bytes keystream(ByteSpan key, ByteSpan nonce, size_t out_len);
+
+}  // namespace tre::hashing

@@ -1,0 +1,47 @@
+// SHA-256 (FIPS 180-4), implemented from the specification.
+//
+// This is the only primitive hash in the library; H1 (hash-to-curve),
+// H2..H5 (scheme random oracles), HMAC, HKDF, the DEM keystream and the
+// DRBG are all derived from it with domain separation.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/bytes.h"
+
+namespace tre::hashing {
+
+class Sha256 {
+ public:
+  static constexpr size_t kDigestSize = 32;
+  static constexpr size_t kBlockSize = 64;
+
+  Sha256();
+
+  /// Absorbs more input; may be called any number of times.
+  void update(ByteSpan data);
+
+  /// Finalizes and returns the digest. The object must not be reused
+  /// afterwards without calling reset().
+  std::array<std::uint8_t, kDigestSize> finalize();
+
+  /// Returns the object to its freshly-constructed state.
+  void reset();
+
+ private:
+  void compress(const std::uint8_t* block);
+
+  std::array<std::uint32_t, 8> state_;
+  std::array<std::uint8_t, kBlockSize> buffer_;
+  size_t buffer_len_ = 0;
+  std::uint64_t total_len_ = 0;
+};
+
+/// One-shot convenience wrapper.
+Bytes sha256(ByteSpan data);
+
+/// One-shot over the concatenation of several parts (no copy of inputs).
+Bytes sha256_concat(std::initializer_list<ByteSpan> parts);
+
+}  // namespace tre::hashing

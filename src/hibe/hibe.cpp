@@ -1,0 +1,181 @@
+#include "hibe/hibe.h"
+
+#include "pairing/pairing.h"
+
+namespace tre::hibe {
+
+using ec::G1Point;
+using pairing::Gt;
+
+namespace {
+
+// Collision-free path encoding: u16 length prefix per component, so
+// ("ab","c") and ("a","bc") hash to different points.
+Bytes encode_path(const IdPath& path, size_t depth) {
+  Bytes out = to_bytes("HIBE-PATH");
+  for (size_t i = 0; i < depth; ++i) {
+    require(path[i].size() <= 0xffff, "GsHibe: path component too long");
+    out.push_back(static_cast<std::uint8_t>(path[i].size() >> 8));
+    out.push_back(static_cast<std::uint8_t>(path[i].size() & 0xff));
+    out.insert(out.end(), path[i].begin(), path[i].end());
+  }
+  return out;
+}
+
+}  // namespace
+
+Bytes NodeKey::to_bytes(const params::GdhParams& params) const {
+  require(path.size() <= 255 && q.size() + 1 == path.size(),
+          "NodeKey::to_bytes: malformed key");
+  Bytes out;
+  out.push_back(static_cast<std::uint8_t>(path.size()));
+  for (const auto& component : path) {
+    require(component.size() <= 0xffff, "NodeKey::to_bytes: component too long");
+    out.push_back(static_cast<std::uint8_t>(component.size() >> 8));
+    out.push_back(static_cast<std::uint8_t>(component.size() & 0xff));
+    out.insert(out.end(), component.begin(), component.end());
+  }
+  Bytes sb = s.to_bytes_compressed();
+  out.insert(out.end(), sb.begin(), sb.end());
+  for (const auto& qi : q) {
+    Bytes qb = qi.to_bytes_compressed();
+    out.insert(out.end(), qb.begin(), qb.end());
+  }
+  out.push_back(can_derive ? 1 : 0);
+  if (can_derive) {
+    Bytes secret_bytes = secret.to_bytes_be(params.scalar_bytes());
+    out.insert(out.end(), secret_bytes.begin(), secret_bytes.end());
+  }
+  return out;
+}
+
+NodeKey NodeKey::from_bytes(const params::GdhParams& params, ByteSpan bytes) {
+  size_t off = 0;
+  auto need = [&](size_t n, const char* what) {
+    require(off + n <= bytes.size(), what);
+  };
+  need(1, "NodeKey: truncated depth");
+  size_t depth = bytes[off++];
+  require(depth >= 1, "NodeKey: empty path");
+  NodeKey key;
+  for (size_t i = 0; i < depth; ++i) {
+    need(2, "NodeKey: truncated component length");
+    size_t len = static_cast<size_t>(bytes[off]) << 8 | bytes[off + 1];
+    off += 2;
+    need(len, "NodeKey: truncated component");
+    key.path.emplace_back(bytes.begin() + static_cast<long>(off),
+                          bytes.begin() + static_cast<long>(off + len));
+    off += len;
+  }
+  size_t w = params.g1_compressed_bytes();
+  auto read_point = [&](const char* what) {
+    need(w, what);
+    ec::G1Point p = ec::G1Point::from_bytes(params.ctx(), bytes.subspan(off, w));
+    require(p.in_subgroup(), "NodeKey: point outside the order-q subgroup");
+    off += w;
+    return p;
+  };
+  key.s = read_point("NodeKey: truncated S");
+  for (size_t i = 0; i + 1 < depth; ++i) key.q.push_back(read_point("NodeKey: truncated Q"));
+  need(1, "NodeKey: truncated flag");
+  std::uint8_t flag = bytes[off++];
+  require(flag <= 1, "NodeKey: bad derivation flag");
+  key.can_derive = flag == 1;
+  if (key.can_derive) {
+    need(params.scalar_bytes(), "NodeKey: truncated secret");
+    key.secret = Scalar::from_bytes_be(bytes.subspan(off, params.scalar_bytes()));
+    off += params.scalar_bytes();
+    require(!key.secret.is_zero() && key.secret < params.group_order(),
+            "NodeKey: invalid derivation secret");
+  }
+  require(off == bytes.size(), "NodeKey: trailing bytes");
+  return key;
+}
+
+GsHibe::GsHibe(std::shared_ptr<const params::GdhParams> params)
+    : params_(params), mask_(params) {
+  require(params_ != nullptr, "GsHibe: null params");
+}
+
+RootKey GsHibe::setup(tre::hashing::RandomSource& rng) const {
+  Scalar h = params::random_scalar(*params_, rng);
+  Scalar s0 = params::random_scalar(*params_, rng);
+  G1Point p0 = params_->base.mul(h);
+  return RootKey{s0, p0, p0.mul(s0)};
+}
+
+G1Point GsHibe::path_point(const IdPath& path) const {
+  require(!path.empty(), "GsHibe: empty path");
+  return ec::hash_to_g1(params_->ctx(), encode_path(path, path.size()));
+}
+
+NodeKey GsHibe::extract_root_child(const RootKey& root, std::string_view id,
+                                   const Scalar& child_secret) const {
+  require(!child_secret.is_zero(), "GsHibe: zero child secret");
+  NodeKey key;
+  key.path = {std::string(id)};
+  key.s = path_point(key.path).mul(root.s0);
+  key.secret = child_secret;
+  key.can_derive = true;
+  return key;
+}
+
+NodeKey GsHibe::derive_child(const G1Point& p0, const NodeKey& parent,
+                             std::string_view id, const Scalar& child_secret) const {
+  require(parent.can_derive, "GsHibe: parent key has no derivation secret");
+  require(!child_secret.is_zero(), "GsHibe: zero child secret");
+  NodeKey key;
+  key.path = parent.path;
+  key.path.emplace_back(id);
+  key.s = parent.s + path_point(key.path).mul(parent.secret);
+  key.q = parent.q;
+  key.q.push_back(p0.mul(parent.secret));  // Q_t = s_t·P0
+  key.secret = child_secret;
+  key.can_derive = true;
+  return key;
+}
+
+bool GsHibe::verify_node_key(const RootPublicKey& root, const NodeKey& key) const {
+  if (key.path.empty() || key.q.size() + 1 != key.path.size()) return false;
+  if (key.s.is_infinity()) return false;
+  // ê(P0, S_t) == ê(Q0, P_1) · Π_{i=2..t} ê(Q_{i-1}, P_i)
+  std::vector<std::pair<G1Point, G1Point>> pairs;
+  pairs.emplace_back(root.p0, key.s);
+  pairs.emplace_back(-root.q0, path_point(IdPath(key.path.begin(), key.path.begin() + 1)));
+  for (size_t i = 2; i <= key.path.size(); ++i) {
+    IdPath prefix(key.path.begin(), key.path.begin() + static_cast<long>(i));
+    pairs.emplace_back(-key.q[i - 2], path_point(prefix));
+  }
+  return pairing::pair_product(pairs).is_one();
+}
+
+HibeCiphertext GsHibe::encrypt(ByteSpan msg, const IdPath& path,
+                               const RootPublicKey& root,
+                               tre::hashing::RandomSource& rng) const {
+  require(!path.empty(), "GsHibe: empty path");
+  Scalar r = params::random_scalar(*params_, rng);
+  HibeCiphertext ct;
+  ct.u0 = root.p0.mul(r);
+  for (size_t i = 2; i <= path.size(); ++i) {
+    IdPath prefix(path.begin(), path.begin() + static_cast<long>(i));
+    ct.us.push_back(path_point(prefix).mul(r));
+  }
+  Gt g = pairing::pair(root.q0, path_point(IdPath(path.begin(), path.begin() + 1)));
+  ct.v = xor_bytes(msg, mask_.mask_h2(g.pow(r), msg.size()));
+  return ct;
+}
+
+Bytes GsHibe::decrypt(const HibeCiphertext& ct, const NodeKey& key) const {
+  require(ct.us.size() + 1 == key.path.size() && key.q.size() == ct.us.size(),
+          "GsHibe: ciphertext depth does not match key depth");
+  // K = ê(U0, S_t) · Π ê(Q_{i-1}, U_i)^{-1}, one final exponentiation.
+  std::vector<std::pair<G1Point, G1Point>> pairs;
+  pairs.emplace_back(ct.u0, key.s);
+  for (size_t i = 0; i < ct.us.size(); ++i) {
+    pairs.emplace_back(-key.q[i], ct.us[i]);
+  }
+  Gt k = pairing::pair_product(pairs);
+  return xor_bytes(ct.v, mask_.mask_h2(k, ct.v.size()));
+}
+
+}  // namespace tre::hibe

@@ -1,0 +1,49 @@
+// §5.2 with the roles separated: "the time server is the same entity as
+// the trusted server assigning private keys ...; in real cases, it could
+// be a different entity."
+//
+// Two independent masters over a common system generator G:
+//   * the identity authority TA: secret s1, issues d_ID = s1·H1(ID);
+//   * the time server TS: secret s2, broadcasts I_T = s2·H1(T).
+// Encryption (Chen et al.'s multi-authority composition):
+//   U = rG,  K = [ê(s1·G, H1(ID)) · ê(s2·G, H1(T))]^r
+// Decryption:
+//   K' = ê(U, d_ID) · ê(U, I_T)
+// Now neither entity alone can read mail: the TA lacks the time secret's
+// role only in *when*, but crucially the TS — the only always-online
+// party — can no longer decrypt anything (it would need s1). Escrow is
+// confined to the offline identity authority.
+#pragma once
+
+#include "idtre/idtre.h"
+
+namespace tre::idtre {
+
+class SplitAuthorityIdTre {
+ public:
+  explicit SplitAuthorityIdTre(std::shared_ptr<const params::GdhParams> params);
+
+  const params::GdhParams& params() const { return scheme_.params(); }
+
+  /// Both masters share the system base as generator (required so one
+  /// ciphertext component rG serves both pairings).
+  ServerKeyPair authority_keygen(tre::hashing::RandomSource& rng) const;
+
+  IdPrivateKey extract(const ServerKeyPair& ta, std::string_view id) const;
+  KeyUpdate issue_update(const ServerKeyPair& ts, std::string_view tag) const;
+
+  bool verify_private_key(const ServerPublicKey& ta, const IdPrivateKey& key) const;
+  bool verify_update(const ServerPublicKey& ts, const KeyUpdate& update) const;
+
+  Ciphertext encrypt(ByteSpan msg, std::string_view id, const ServerPublicKey& ta,
+                     const ServerPublicKey& ts, std::string_view tag,
+                     tre::hashing::RandomSource& rng) const;
+
+  Bytes decrypt(const Ciphertext& ct, const IdPrivateKey& key,
+                const KeyUpdate& update) const;
+
+ private:
+  core::TreScheme scheme_;
+};
+
+}  // namespace tre::idtre

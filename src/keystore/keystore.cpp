@@ -1,0 +1,62 @@
+#include "keystore/keystore.h"
+
+#include "common/error.h"
+#include "hashing/hmac.h"
+#include "hashing/kdf.h"
+
+namespace tre::keystore {
+
+namespace {
+constexpr size_t kSaltLen = 16;
+constexpr size_t kMacLen = 32;
+}  // namespace
+
+Bytes derive_key(std::string_view password, ByteSpan salt, std::uint32_t iterations,
+                 size_t out_len) {
+  require(iterations >= 1, "keystore: zero iterations");
+  Bytes pw = to_bytes(password);
+  Bytes state = hashing::hmac_sha256_concat(pw, {salt, to_bytes("KSv1")});
+  for (std::uint32_t i = 1; i < iterations; ++i) {
+    state = hashing::hmac_sha256(pw, state);
+  }
+  return hashing::hkdf_sha256(salt, state, to_bytes("keystore-key"), out_len);
+}
+
+Bytes seal(ByteSpan secret, std::string_view password, tre::hashing::RandomSource& rng,
+           std::uint32_t iterations) {
+  Bytes salt = rng.bytes(kSaltLen);
+  Bytes key = derive_key(password, salt, iterations, 64);
+  ByteSpan enc_key(key.data(), 32);
+  ByteSpan mac_key(key.data() + 32, 32);
+
+  Bytes body = xor_bytes(secret, hashing::keystream(enc_key, salt, secret.size()));
+  Bytes out = salt;
+  Bytes iters = be32(iterations);
+  out.insert(out.end(), iters.begin(), iters.end());
+  out.insert(out.end(), body.begin(), body.end());
+  Bytes mac = hashing::hmac_sha256_concat(mac_key, {salt, iters, body});
+  out.insert(out.end(), mac.begin(), mac.end());
+  return out;
+}
+
+std::optional<Bytes> open(ByteSpan blob, std::string_view password) {
+  if (blob.size() < kSaltLen + 4 + kMacLen) return std::nullopt;
+  ByteSpan salt = blob.subspan(0, kSaltLen);
+  ByteSpan iters_bytes = blob.subspan(kSaltLen, 4);
+  std::uint32_t iterations = static_cast<std::uint32_t>(iters_bytes[0]) << 24 |
+                             static_cast<std::uint32_t>(iters_bytes[1]) << 16 |
+                             static_cast<std::uint32_t>(iters_bytes[2]) << 8 |
+                             iters_bytes[3];
+  if (iterations == 0) return std::nullopt;
+  ByteSpan body = blob.subspan(kSaltLen + 4, blob.size() - kSaltLen - 4 - kMacLen);
+  ByteSpan mac = blob.subspan(blob.size() - kMacLen);
+
+  Bytes key = derive_key(password, salt, iterations, 64);
+  ByteSpan enc_key(key.data(), 32);
+  ByteSpan mac_key(key.data() + 32, 32);
+  Bytes expected = hashing::hmac_sha256_concat(mac_key, {salt, iters_bytes, body});
+  if (!ct_equal(expected, mac)) return std::nullopt;
+  return xor_bytes(body, hashing::keystream(enc_key, salt, body.size()));
+}
+
+}  // namespace tre::keystore

@@ -1,0 +1,33 @@
+// Password-protected storage of secret scalars.
+//
+// Used by tre_cli to keep server/user secret keys at rest: the scalar is
+// encrypted under a key derived from a password with an iterated-HMAC
+// PBKDF (cost-parameterized), and authenticated so wrong passwords and
+// corrupted files are detected rather than yielding garbage secrets.
+//
+// Blob layout: salt(16) || iters(be32) || body(scalar len) || mac(32).
+#pragma once
+
+#include <optional>
+#include <string_view>
+
+#include "common/bytes.h"
+#include "hashing/drbg.h"
+
+namespace tre::keystore {
+
+inline constexpr std::uint32_t kDefaultIterations = 50000;
+
+/// Seals `secret` under `password`.
+Bytes seal(ByteSpan secret, std::string_view password, tre::hashing::RandomSource& rng,
+           std::uint32_t iterations = kDefaultIterations);
+
+/// Opens a sealed blob; nullopt on wrong password or tampering.
+std::optional<Bytes> open(ByteSpan blob, std::string_view password);
+
+/// The PBKDF itself (exposed for tests and cost measurement):
+/// iterated HMAC-SHA256 chaining, then HKDF expansion to `out_len`.
+Bytes derive_key(std::string_view password, ByteSpan salt, std::uint32_t iterations,
+                 size_t out_len);
+
+}  // namespace tre::keystore

@@ -1,0 +1,290 @@
+#include "pairing/pairing.h"
+
+namespace tre::pairing {
+
+using ec::CurveCtx;
+using ec::G1Point;
+using field::Fp;
+using field::Fp2;
+using field::FpInt;
+
+namespace {
+
+MillerValue neutral(const field::FpCtx* fp) {
+  return MillerValue{Fp2::one(fp), Fp2::one(fp)};
+}
+
+// Evaluation point φ(Q) split into its precomputed pieces.
+struct DistortedQ {
+  Fp2 x;  // ζ·x_Q ∈ F_p2
+  Fp y;   // y_Q ∈ F_p
+};
+
+}  // namespace
+
+Gt gt_identity(const CurveCtx* curve) { return Fp2::one(curve->fp.get()); }
+
+// ---------------------------------------------------------------------------
+// Jacobian (inversion-free) Miller loop.
+//
+// V = (X : Y : Z), x_V = X/Z^2, y_V = Y/Z^3. Every line/vertical value is
+// multiplied through by its F_p* denominator, which the final
+// exponentiation annihilates.
+
+MillerValue miller_loop(const G1Point& p, const G1Point& q) {
+  require(p.curve() != nullptr && p.curve() == q.curve(), "miller_loop: curve mismatch");
+  const CurveCtx* curve = p.curve();
+  const field::FpCtx* fp = curve->fp.get();
+  if (p.is_infinity() || q.is_infinity()) return neutral(fp);
+
+  const DistortedQ dq{curve->zeta.scale(q.x()), q.y()};
+  const Fp xp = p.x();
+  const Fp yp = p.y();
+
+  Fp2 f_num = Fp2::one(fp);
+  Fp2 f_den = Fp2::one(fp);
+
+  // V starts at P in Jacobian coordinates with Z = 1.
+  Fp X = xp, Y = yp, Z = Fp::one(fp);
+  bool v_infinity = false;
+
+  const FpInt& order = curve->q;
+  for (size_t i = order.bit_length() - 1; i-- > 0;) {
+    f_num = f_num.squared();
+    f_den = f_den.squared();
+
+    if (!v_infinity) {
+      if (Y.is_zero()) {
+        // 2-torsion: tangent is the vertical x - x_V, scaled by Z^2.
+        f_num = f_num * (dq.x.scale(Z.squared()) - Fp2::from_fp(X));
+        v_infinity = true;
+      } else {
+        // Doubling with tangent-line evaluation (a = 0 curve).
+        Fp A = X.squared();         // X^2
+        Fp B = Y.squared();         // Y^2
+        Fp C = B.squared();         // Y^4
+        Fp Z2 = Z.squared();
+        Fp D = (X + B).squared() - A - C;
+        D = D + D;                  // 4XY^2
+        Fp E = A + A + A;           // 3X^2
+        Fp X3 = E.squared() - (D + D);
+        Fp C8 = C + C;
+        C8 = C8 + C8;
+        C8 = C8 + C8;               // 8Y^4
+        Fp Y3 = E * (D - X3) - C8;
+        Fp Z3 = (Y * Z).doubled();  // 2YZ
+
+        // Tangent at V evaluated at (x, y), cleared by 2YZ^3:
+        //   L = Z3·Z2·y − 2B + 3A·X − (3A·Z2)·x
+        Fp scalar_part = Z3 * Z2 * dq.y - (B + B) + E * X;
+        Fp2 line = Fp2::from_fp(scalar_part) - dq.x.scale(E * Z2);
+        f_num = f_num * line;
+
+        X = X3;
+        Y = Y3;
+        Z = Z3;
+        if (Z.is_zero()) {
+          v_infinity = true;  // doubled into infinity (adversarial input)
+        } else {
+          // Vertical at 2V, cleared by Z3^2: Z3^2·x − X3.
+          f_den = f_den * (dq.x.scale(Z.squared()) - Fp2::from_fp(X));
+        }
+      }
+    }
+
+    if (order.bit(i) && !v_infinity) {
+      // Mixed addition V + P with line evaluation.
+      Fp Z2 = Z.squared();
+      Fp U2 = xp * Z2;       // x_P lifted
+      Fp S2 = yp * Z2 * Z;   // y_P lifted
+      if (U2 == X) {
+        if (S2 == Y) {
+          // V == P (only reachable on adversarial low-order inputs):
+          // fall back to the affine tangent — inversions are fine on
+          // this cold path.
+          Fp xv = X * Z2.inverse();
+          Fp yv = Y * (Z2 * Z).inverse();
+          Fp lambda =
+              (xv.squared() + xv.squared() + xv.squared()) * (yv + yv).inverse();
+          Fp2 line = (Fp2::from_fp(dq.y) - Fp2::from_fp(yv)) -
+                     (dq.x - Fp2::from_fp(xv)).scale(lambda);
+          f_num = f_num * line;
+          Fp x_new = lambda.squared() - xv - xv;
+          Fp y_new = lambda * (xv - x_new) - yv;
+          X = x_new;
+          Y = y_new;
+          Z = Fp::one(fp);
+          f_den = f_den * (dq.x - Fp2::from_fp(X));
+        } else {
+          // V == -P: vertical through P; V + P = O. The final addition.
+          f_num = f_num * (dq.x - Fp2::from_fp(xp));
+          v_infinity = true;
+        }
+      } else {
+        Fp H = U2 - X;
+        Fp RR = S2 - Y;
+        Fp H2 = H.squared();
+        Fp H3 = H2 * H;
+        Fp XH2 = X * H2;
+        Fp X3 = RR.squared() - H3 - (XH2 + XH2);
+        Fp Y3 = RR * (XH2 - X3) - Y * H3;
+        Fp Z3 = Z * H;
+
+        // Line through V and P evaluated at (x, y), cleared by Z3:
+        //   L = Z3·(y − y_P) − RR·(x − x_P)
+        Fp scalar_part = Z3 * (dq.y - yp) + RR * xp;
+        Fp2 line = Fp2::from_fp(scalar_part) - dq.x.scale(RR);
+        f_num = f_num * line;
+
+        X = X3;
+        Y = Y3;
+        Z = Z3;
+        if (Z.is_zero()) {
+          v_infinity = true;
+        } else {
+          f_den = f_den * (dq.x.scale(Z.squared()) - Fp2::from_fp(X));
+        }
+      }
+    }
+  }
+
+  require(!f_num.is_zero() && !f_den.is_zero(),
+          "miller_loop: degenerate value (inputs outside G_1?)");
+  return MillerValue{f_num, f_den};
+}
+
+Gt final_exponentiation(const CurveCtx* curve, const MillerValue& f) {
+  // f^((p-1)·(p+1)/q). z^p = conj(z) on F_p2, so (num/den)^(p-1)
+  // = (conj(num)·den) / (conj(den)·num) — still only one inversion.
+  Fp2 a = f.num.conjugate() * f.den;
+  Fp2 b = f.den.conjugate() * f.num;
+  Fp2 g = a * b.inverse();
+  return g.pow(curve->cofactor);
+}
+
+Gt pair(const G1Point& p, const G1Point& q) {
+  require(p.curve() != nullptr && p.curve() == q.curve(), "pair: curve mismatch");
+  if (p.is_infinity() || q.is_infinity()) return gt_identity(p.curve());
+  return final_exponentiation(p.curve(), miller_loop(p, q));
+}
+
+Gt pair_product(std::span<const std::pair<G1Point, G1Point>> pairs) {
+  require(!pairs.empty(), "pair_product: empty input");
+  const CurveCtx* curve = pairs.front().first.curve();
+  require(curve != nullptr, "pair_product: null curve");
+  MillerValue acc = neutral(curve->fp.get());
+  for (const auto& [p, q] : pairs) {
+    require(p.curve() == curve && q.curve() == curve, "pair_product: curve mismatch");
+    acc = acc * miller_loop(p, q);
+  }
+  return final_exponentiation(curve, acc);
+}
+
+bool pairings_equal(const G1Point& a1, const G1Point& a2, const G1Point& b1,
+                    const G1Point& b2) {
+  const CurveCtx* curve = a1.curve();
+  require(curve != nullptr, "pairings_equal: null curve");
+  // ê(a1,a2)·ê(b1,b2)^{-1} == 1, sharing one final exponentiation.
+  // Degenerate inputs (infinity) fall back to two plain pairings.
+  if (a1.is_infinity() || a2.is_infinity() || b1.is_infinity() || b2.is_infinity()) {
+    return pair(a1, a2) == pair(b1, b2);
+  }
+  MillerValue f = miller_loop(a1, a2) * miller_loop(b1, -b2);
+  return final_exponentiation(curve, f).is_one();
+}
+
+// ---------------------------------------------------------------------------
+// Reference affine implementation (kept verbatim from the first version;
+// the test suite asserts pair() == pair_affine() on random inputs).
+
+namespace {
+
+struct Accumulator {
+  Fp2 num;
+  Fp2 den;
+
+  void square() {
+    num = num.squared();
+    den = den.squared();
+  }
+  void mul_num(const Fp2& v) { num = num * v; }
+  void mul_den(const Fp2& v) { den = den * v; }
+};
+
+}  // namespace
+
+Gt pair_affine(const G1Point& p, const G1Point& q) {
+  require(p.curve() != nullptr && p.curve() == q.curve(), "pair_affine: curve mismatch");
+  const CurveCtx* curve = p.curve();
+  const field::FpCtx* fp = curve->fp.get();
+  if (p.is_infinity() || q.is_infinity()) return gt_identity(curve);
+
+  const Fp2 qx = curve->zeta.scale(q.x());
+  const Fp2 qy = Fp2::from_fp(q.y());
+
+  Accumulator acc{Fp2::one(fp), Fp2::one(fp)};
+  Fp xv = p.x();
+  Fp yv = p.y();
+  bool v_infinity = false;
+
+  const Fp xp = p.x();
+  const Fp yp = p.y();
+  const FpInt& order = curve->q;
+
+  auto line_through = [&](const Fp& lx, const Fp& ly, const Fp& lambda) {
+    return (qy - Fp2::from_fp(ly)) - (qx - Fp2::from_fp(lx)).scale(lambda);
+  };
+  auto vertical_at = [&](const Fp& lx) { return qx - Fp2::from_fp(lx); };
+
+  for (size_t i = order.bit_length() - 1; i-- > 0;) {
+    acc.square();
+    if (!v_infinity) {
+      if (yv.is_zero()) {
+        acc.mul_num(vertical_at(xv));
+        v_infinity = true;
+      } else {
+        Fp x2 = xv.squared();
+        Fp lambda = (x2 + x2 + x2) * (yv + yv).inverse();
+        acc.mul_num(line_through(xv, yv, lambda));
+        Fp x_new = lambda.squared() - xv - xv;
+        Fp y_new = lambda * (xv - x_new) - yv;
+        xv = x_new;
+        yv = y_new;
+        acc.mul_den(vertical_at(xv));
+      }
+    }
+    if (order.bit(i) && !v_infinity) {
+      if (xv == xp) {
+        if (yv == yp) {
+          Fp x2 = xv.squared();
+          Fp lambda = (x2 + x2 + x2) * (yv + yv).inverse();
+          acc.mul_num(line_through(xv, yv, lambda));
+          Fp x_new = lambda.squared() - xv - xv;
+          Fp y_new = lambda * (xv - x_new) - yv;
+          xv = x_new;
+          yv = y_new;
+          acc.mul_den(vertical_at(xv));
+        } else {
+          acc.mul_num(vertical_at(xv));
+          v_infinity = true;
+        }
+      } else {
+        Fp lambda = (yp - yv) * (xp - xv).inverse();
+        acc.mul_num(line_through(xv, yv, lambda));
+        Fp x_new = lambda.squared() - xv - xp;
+        Fp y_new = lambda * (xv - x_new) - yv;
+        xv = x_new;
+        yv = y_new;
+        acc.mul_den(vertical_at(xv));
+      }
+    }
+  }
+
+  require(!acc.num.is_zero() && !acc.den.is_zero(),
+          "pair_affine: degenerate Miller value (inputs outside G_1?)");
+  Fp2 f = acc.num * acc.den.inverse();
+  Fp2 g = f.conjugate() * f.inverse();
+  return g.pow(curve->cofactor);
+}
+
+}  // namespace tre::pairing

@@ -1,0 +1,98 @@
+#include "params/params.h"
+
+#include <map>
+#include <mutex>
+
+#include "bigint/prime.h"
+
+namespace tre::params {
+
+using field::FpInt;
+
+namespace {
+
+struct EmbeddedSet {
+  const char* name;
+  const char* p_hex;
+  const char* q_hex;
+};
+
+// p = 12*q*r - 1 with p, q prime; found by the same search `generate()`
+// performs (seeds recorded in tools/paramgen notes).
+constexpr EmbeddedSet kEmbedded[] = {
+    {"tre-toy-96", "9b725bbc4bc00b0f29aea58f", "fa08d6af57"},
+    {"tre-512",
+     "6429155995d43598752910865601b03f1b243370b1e40cf2fc4a74c1c3b9e526b9a0f85e45"
+     "6a17cfd0f200007517f2698a6f73c9c4b29db5650707683d48de73",
+     "c02c6b9586b4625b475b51096c4ad652af3f5d79"},
+    {"tre-768",
+     "498654e2a8580479d70030a64ea09512cfd44aaa9b4207be6b872c9cc025d3fa911d72a254"
+     "51c896d2b4b76cbebdb5fd80ea0c7111a4e6bda985c72848038a5688d8c3248a9f00c51c7b"
+     "3ad3ffb7deaf3a3743a1f8dc8d376d7df5ea349ade9f",
+     "ba6676b3651c52536d4b9adbebcd1f5ec9c18070b6d13089"},
+};
+
+std::shared_ptr<const GdhParams> build(std::string name, const FpInt& p, const FpInt& q) {
+  auto params = std::make_shared<GdhParams>();
+  params->name = name;
+  params->curve = ec::CurveCtx::create(name, p, q);
+  Bytes seed = to_bytes("TRE-v1 system generator/" + name);
+  params->base = ec::hash_to_g1(params->curve.get(), seed);
+  return params;
+}
+
+}  // namespace
+
+std::shared_ptr<const GdhParams> load(std::string_view name) {
+  // Cached: repeated loads share one context, so derived values (hash
+  // caches, keys) from different call sites interoperate cheaply.
+  static std::mutex mu;
+  static std::map<std::string, std::shared_ptr<const GdhParams>, std::less<>> cache;
+  std::scoped_lock lock(mu);
+  if (auto it = cache.find(name); it != cache.end()) return it->second;
+  for (const auto& set : kEmbedded) {
+    if (name == set.name) {
+      auto params =
+          build(std::string(name), FpInt::from_hex(set.p_hex), FpInt::from_hex(set.q_hex));
+      cache.emplace(std::string(name), params);
+      return params;
+    }
+  }
+  throw Error("params::load: unknown parameter set");
+}
+
+std::vector<std::string> available() {
+  std::vector<std::string> names;
+  for (const auto& set : kEmbedded) names.emplace_back(set.name);
+  return names;
+}
+
+std::shared_ptr<const GdhParams> generate(tre::hashing::RandomSource& rng,
+                                          size_t qbits, size_t pbits,
+                                          std::string name) {
+  require(qbits >= 24 && pbits >= qbits + 8 && pbits <= 64 * field::kMaxFieldLimbs,
+          "params::generate: bad sizes");
+  FpInt q = bigint::random_prime<field::kMaxFieldLimbs>(rng, qbits);
+  const FpInt twelve_q = bigint::mul_u64(q, 12);
+  const size_t rbits = pbits - qbits - 4;
+  for (;;) {
+    FpInt r = bigint::random_bits<field::kMaxFieldLimbs>(rng, rbits);
+    // p = 12*q*r - 1, sized to pbits.
+    auto wide = bigint::mul_wide(twelve_q, r);
+    bool overflow = false;
+    for (size_t i = field::kMaxFieldLimbs; i < 2 * field::kMaxFieldLimbs; ++i) {
+      if (wide.w[i] != 0) overflow = true;
+    }
+    if (overflow) continue;
+    FpInt p = wide.resized<field::kMaxFieldLimbs>();
+    bigint::sub_assign(p, FpInt::from_u64(1));
+    if (p.bit_length() > pbits) continue;
+    if (bigint::is_probable_prime(p, rng)) return build(std::move(name), p, q);
+  }
+}
+
+FpInt random_scalar(const GdhParams& params, tre::hashing::RandomSource& rng) {
+  return bigint::random_nonzero_below(rng, params.group_order());
+}
+
+}  // namespace tre::params

@@ -1,0 +1,48 @@
+// Named GDH parameter sets and runtime parameter generation.
+//
+// A parameter set fixes the curve (p, q) and a deterministic system point
+// `base` (hashed to the order-q subgroup) from which servers derive their
+// own random generators. The paper's sender never needs server-published
+// per-epoch material — only these public domain parameters and the two
+// public keys — which experiment E9 quantifies.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ec/curve.h"
+#include "hashing/drbg.h"
+
+namespace tre::params {
+
+struct GdhParams {
+  std::string name;
+  std::shared_ptr<const ec::CurveCtx> curve;
+  ec::G1Point base;  // deterministic generator of the order-q subgroup
+
+  const ec::CurveCtx* ctx() const { return curve.get(); }
+  const field::FpInt& group_order() const { return curve->q; }
+  size_t scalar_bytes() const { return curve->fq->byte_len; }
+  size_t g1_uncompressed_bytes() const { return 1 + 2 * curve->fp->byte_len; }
+  size_t g1_compressed_bytes() const { return 1 + curve->fp->byte_len; }
+  size_t gt_bytes() const { return 2 * curve->fp->byte_len; }
+};
+
+/// Embedded sets: "tre-toy-96" (fast tests), "tre-512" (default,
+/// paper-era ~80-bit security), "tre-768".
+std::shared_ptr<const GdhParams> load(std::string_view name);
+
+/// Names of all embedded sets, smallest first.
+std::vector<std::string> available();
+
+/// Searches fresh parameters: a `qbits`-bit prime q, then a cofactor r
+/// such that p = 12*q*r - 1 is a `pbits`-bit prime. Benchmarked by E9.
+std::shared_ptr<const GdhParams> generate(tre::hashing::RandomSource& rng,
+                                          size_t qbits, size_t pbits,
+                                          std::string name = "generated");
+
+/// Uniform scalar in [1, q): user/server secret keys, encryption nonces.
+field::FpInt random_scalar(const GdhParams& params, tre::hashing::RandomSource& rng);
+
+}  // namespace tre::params

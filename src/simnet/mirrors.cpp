@@ -1,0 +1,87 @@
+#include "simnet/mirrors.h"
+
+namespace tre::simnet {
+
+MirroredArchive::MirroredArchive(Network& net, server::Timeline& timeline,
+                                 size_t mirror_count, LinkSpec replication_link)
+    : net_(net), timeline_(timeline), origin_(net.add_node("origin")) {
+  mirrors_.reserve(mirror_count);
+  for (size_t i = 0; i < mirror_count; ++i) {
+    NodeId node = net_.add_node("mirror-" + std::to_string(i));
+    net_.connect(origin_, node, replication_link);
+    mirrors_.push_back(Replica{node, {}});
+  }
+}
+
+NodeId MirroredArchive::mirror_node(size_t idx) const {
+  require(idx < mirrors_.size(), "MirroredArchive: bad mirror index");
+  return mirrors_[idx].node;
+}
+
+void MirroredArchive::publish(const core::KeyUpdate& update) {
+  ++stats_.publishes;
+  origin_archive_.put(update);
+  size_t wire = update.to_bytes().size();
+  for (size_t i = 0; i < mirrors_.size(); ++i) {
+    ++stats_.replication_messages;
+    // Copy captured by value: the mirror stores it at arrival time.
+    core::KeyUpdate copy = update;
+    net_.send(origin_, mirrors_[i].node, wire,
+              [this, i, copy = std::move(copy)] { mirrors_[i].archive.put(copy); });
+  }
+}
+
+void MirroredArchive::fetch(NodeId receiver, size_t mirror_idx, std::string tag,
+                            LinkSpec access_link, std::int64_t poll_period,
+                            size_t max_polls,
+                            std::function<void(const core::KeyUpdate&)> done) {
+  require(mirror_idx == kOrigin || mirror_idx < mirrors_.size(),
+          "MirroredArchive: bad mirror index");
+  NodeId target = mirror_idx == kOrigin ? origin_ : mirrors_[mirror_idx].node;
+  net_.connect(receiver, target, access_link);
+  poll_once(receiver, mirror_idx, std::move(tag), access_link, poll_period, max_polls,
+            std::move(done));
+}
+
+void MirroredArchive::poll_once(NodeId receiver, size_t mirror_idx, std::string tag,
+                                LinkSpec access_link, std::int64_t poll_period,
+                                size_t polls_left,
+                                std::function<void(const core::KeyUpdate&)> done) {
+  if (polls_left == 0) {
+    ++stats_.fetch_timeouts;
+    return;
+  }
+  NodeId target = mirror_idx == kOrigin ? origin_ : mirrors_[mirror_idx].node;
+  if (mirror_idx == kOrigin) {
+    ++stats_.origin_requests;
+  } else {
+    ++stats_.mirror_requests;
+  }
+
+  // Request leg; at the replica, look up and either send the response
+  // leg or let the receiver retry after its poll period.
+  net_.send(receiver, target, tag.size(), [this, receiver, mirror_idx, tag,
+                                           access_link, poll_period, polls_left,
+                                           done]() mutable {
+    const server::UpdateArchive& archive =
+        mirror_idx == kOrigin ? origin_archive_ : mirrors_[mirror_idx].archive;
+    std::optional<core::KeyUpdate> found = archive.find(tag);
+    if (found) {
+      size_t wire = found->to_bytes().size();
+      NodeId target2 = mirror_idx == kOrigin ? origin_ : mirrors_[mirror_idx].node;
+      net_.send(target2, receiver, wire, [this, update = *found, done]() {
+        ++stats_.fetch_successes;
+        done(update);
+      });
+      return;
+    }
+    // Not replicated yet: the receiver polls again later.
+    timeline_.schedule(poll_period, [this, receiver, mirror_idx, tag, access_link,
+                                     poll_period, polls_left, done]() mutable {
+      poll_once(receiver, mirror_idx, std::move(tag), access_link, poll_period,
+                polls_left - 1, std::move(done));
+    });
+  });
+}
+
+}  // namespace tre::simnet

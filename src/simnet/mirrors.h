@@ -1,0 +1,73 @@
+// Mirrored update archive over the simulated network.
+//
+// The paper's server keeps old updates "at a publicly accessible place";
+// at planetary scale that place is a set of replicas. The origin pushes
+// each new update to every mirror over its link; receivers poll their
+// assigned mirror with bounded retry until the update is present. What
+// the model surfaces (experiment E16):
+//   * availability latency — how long after the release instant a
+//     receiver actually holds the update (replication + poll delay),
+//   * origin offload — requests absorbed by mirrors instead of the
+//     origin, the reason the passive-server design scales reads.
+#pragma once
+
+#include <optional>
+
+#include "core/tre.h"
+#include "simnet/network.h"
+#include "timeserver/archive.h"
+
+namespace tre::simnet {
+
+class MirroredArchive {
+ public:
+  /// Builds origin + `mirror_count` mirrors, all linked to the origin
+  /// with `replication_link`.
+  MirroredArchive(Network& net, server::Timeline& timeline, size_t mirror_count,
+                  LinkSpec replication_link);
+
+  NodeId origin() const { return origin_; }
+  size_t mirror_count() const { return mirrors_.size(); }
+  NodeId mirror_node(size_t idx) const;
+
+  /// Origin-side: stores locally and pushes one copy per mirror.
+  void publish(const core::KeyUpdate& update);
+
+  /// Receiver-side: polls `mirror_idx` (or the origin when
+  /// mirror_idx == kOrigin) every `poll_period` seconds over
+  /// `access_link` until the tagged update is present, then invokes
+  /// `done` with it. Gives up after `max_polls` unanswered/empty polls.
+  static constexpr size_t kOrigin = static_cast<size_t>(-1);
+  void fetch(NodeId receiver, size_t mirror_idx, std::string tag,
+             LinkSpec access_link, std::int64_t poll_period, size_t max_polls,
+             std::function<void(const core::KeyUpdate&)> done);
+
+  struct Stats {
+    std::uint64_t publishes = 0;
+    std::uint64_t replication_messages = 0;
+    std::uint64_t origin_requests = 0;
+    std::uint64_t mirror_requests = 0;
+    std::uint64_t fetch_successes = 0;
+    std::uint64_t fetch_timeouts = 0;
+  };
+  const Stats& stats() const { return stats_; }
+
+ private:
+  struct Replica {
+    NodeId node;
+    server::UpdateArchive archive;
+  };
+
+  void poll_once(NodeId receiver, size_t mirror_idx, std::string tag,
+                 LinkSpec access_link, std::int64_t poll_period, size_t polls_left,
+                 std::function<void(const core::KeyUpdate&)> done);
+
+  Network& net_;
+  server::Timeline& timeline_;
+  NodeId origin_;
+  server::UpdateArchive origin_archive_;
+  std::vector<Replica> mirrors_;
+  Stats stats_;
+};
+
+}  // namespace tre::simnet

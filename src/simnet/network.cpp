@@ -1,0 +1,65 @@
+#include "simnet/network.h"
+
+#include "bigint/bigint.h"
+#include "common/error.h"
+
+namespace tre::simnet {
+
+Network::Network(server::Timeline& timeline, ByteSpan seed)
+    : timeline_(timeline),
+      rng_(seed.empty() ? ByteSpan(to_bytes("simnet-default")) : seed) {}
+
+NodeId Network::add_node(std::string name) {
+  names_.push_back(std::move(name));
+  inbound_.push_back(0);
+  return names_.size() - 1;
+}
+
+const std::string& Network::name_of(NodeId id) const {
+  require(id < names_.size(), "Network: unknown node");
+  return names_[id];
+}
+
+void Network::connect(NodeId a, NodeId b, LinkSpec spec) {
+  require(a < names_.size() && b < names_.size() && a != b, "Network: bad link");
+  require(spec.base_delay >= 0 && spec.jitter >= 0 && spec.loss >= 0.0 &&
+              spec.loss <= 1.0,
+          "Network: bad link spec");
+  links_[{std::min(a, b), std::max(a, b)}] = spec;
+}
+
+std::uint64_t Network::inbound_count(NodeId node) const {
+  require(node < inbound_.size(), "Network: unknown node");
+  return inbound_[node];
+}
+
+void Network::send(NodeId from, NodeId to, size_t bytes,
+                   std::function<void()> on_deliver) {
+  require(from < names_.size() && to < names_.size(), "Network: unknown node");
+  ++stats_.sent;
+  auto it = links_.find({std::min(from, to), std::max(from, to)});
+  if (it == links_.end()) {
+    ++stats_.dropped;
+    return;
+  }
+  const LinkSpec& link = it->second;
+  Bytes draw = rng_.bytes(8);
+  double u = static_cast<double>(bigint::BigInt<1>::from_bytes_be(draw).w[0]) /
+             (static_cast<double>(UINT64_MAX) + 1.0);
+  if (u < link.loss) {
+    ++stats_.dropped;
+    return;
+  }
+  std::int64_t delay = link.base_delay;
+  if (link.jitter > 0) {
+    Bytes jb = rng_.bytes(8);
+    delay += static_cast<std::int64_t>(bigint::BigInt<1>::from_bytes_be(jb).w[0] %
+                                       static_cast<std::uint64_t>(link.jitter + 1));
+  }
+  ++stats_.delivered;
+  stats_.bytes_carried += bytes;
+  ++inbound_[to];
+  timeline_.schedule(delay, std::move(on_deliver));
+}
+
+}  // namespace tre::simnet

@@ -1,0 +1,64 @@
+// Discrete-event point-to-point network simulation.
+//
+// Models the distribution side of the paper's §3 deployment story: the
+// passive server's outputs travel over real links with latency, jitter
+// and loss, to mirrors and receivers. Built on the shared Timeline so
+// protocol logic and network behaviour share one deterministic clock.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "hashing/drbg.h"
+#include "timeserver/timeline.h"
+
+namespace tre::simnet {
+
+using NodeId = size_t;
+
+struct LinkSpec {
+  std::int64_t base_delay = 0;  // seconds
+  std::int64_t jitter = 0;      // uniform extra delay in [0, jitter]
+  double loss = 0.0;            // per-message drop probability
+};
+
+class Network {
+ public:
+  Network(server::Timeline& timeline, ByteSpan seed);
+
+  NodeId add_node(std::string name);
+  const std::string& name_of(NodeId id) const;
+  size_t node_count() const { return names_.size(); }
+
+  /// Bidirectional link; later connect() calls replace the spec.
+  void connect(NodeId a, NodeId b, LinkSpec spec);
+
+  /// Sends `bytes` from a to b; `on_deliver` fires at the arrival
+  /// instant, or never if the message is lost or no link exists (an
+  /// unreachable destination counts as a drop).
+  void send(NodeId from, NodeId to, size_t bytes, std::function<void()> on_deliver);
+
+  struct Stats {
+    std::uint64_t sent = 0;
+    std::uint64_t delivered = 0;  // scheduled for delivery
+    std::uint64_t dropped = 0;
+    std::uint64_t bytes_carried = 0;
+  };
+  const Stats& stats() const { return stats_; }
+
+  /// Messages addressed to `node` (load accounting for E16).
+  std::uint64_t inbound_count(NodeId node) const;
+
+ private:
+  server::Timeline& timeline_;
+  hashing::HmacDrbg rng_;
+  std::vector<std::string> names_;
+  std::map<std::pair<NodeId, NodeId>, LinkSpec> links_;
+  std::vector<std::uint64_t> inbound_;
+  Stats stats_;
+};
+
+}  // namespace tre::simnet

@@ -1,0 +1,54 @@
+// The public list of past key updates.
+//
+// Paper §3: "In case a receiver has missed a particular key update, he
+// could still look up from the list of old key updates" — the archive is
+// that list. Indexed lookup by tag plus ordered iteration for catch-up
+// after an outage. Experiment E7 measures it at archive sizes up to 10^6.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/tre.h"
+
+namespace tre::server {
+
+class UpdateArchive {
+ public:
+  /// Stores an update (idempotent for an identical re-publish; conflicting
+  /// signatures for the same tag throw — the server must be consistent).
+  void put(const core::KeyUpdate& update);
+
+  std::optional<core::KeyUpdate> find(std::string_view tag) const;
+  bool contains(std::string_view tag) const { return index_.count(std::string(tag)) > 0; }
+
+  /// All updates, oldest first (publication order).
+  const std::vector<core::KeyUpdate>& all() const { return ordered_; }
+
+  /// Catch-up: every update published at position >= `cursor`; advances
+  /// the caller's cursor to the end.
+  std::vector<core::KeyUpdate> since(size_t& cursor) const;
+
+  size_t size() const { return ordered_.size(); }
+
+  /// Total wire bytes a mirror of the archive would store/serve.
+  size_t total_bytes() const { return total_bytes_; }
+
+ private:
+  std::vector<core::KeyUpdate> ordered_;
+  std::unordered_map<std::string, size_t> index_;  // tag -> position
+  size_t total_bytes_ = 0;
+};
+
+/// Validates a whole catch-up batch of updates against the server key
+/// with TWO pairings total (randomized BLS batch verification) instead
+/// of two per update. A single bad update makes the whole batch fail;
+/// fall back to per-update verify_update() to locate it.
+bool verify_update_batch(std::shared_ptr<const params::GdhParams> params,
+                         const core::ServerPublicKey& server,
+                         std::span<const core::KeyUpdate> updates,
+                         tre::hashing::RandomSource& rng);
+
+}  // namespace tre::server

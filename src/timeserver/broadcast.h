@@ -1,0 +1,64 @@
+// One-way broadcast channel simulation (the GPS analogy of §3).
+//
+// The server publishes; subscribers receive with configurable per-delivery
+// loss probability and delay jitter, all deterministic under a seed.
+// Receivers that miss an update fall back to the UpdateArchive — the
+// examples and experiment E7 exercise exactly that path.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "core/tre.h"
+#include "hashing/drbg.h"
+#include "timeserver/timeline.h"
+
+namespace tre::server {
+
+class BroadcastBus {
+ public:
+  using Handler = std::function<void(const core::KeyUpdate&)>;
+  using SubscriberId = size_t;
+
+  explicit BroadcastBus(Timeline& timeline, ByteSpan seed = {});
+
+  SubscriberId subscribe(Handler handler);
+  void unsubscribe(SubscriberId id);
+
+  /// Per-delivery drop probability in [0, 1].
+  void set_loss_probability(double p);
+
+  /// Uniform delivery delay in [min, max] seconds.
+  void set_delay_range(std::int64_t min_seconds, std::int64_t max_seconds);
+
+  /// Schedules delivery to every live subscriber (loss/delay applied
+  /// independently per subscriber).
+  void publish(const core::KeyUpdate& update);
+
+  struct Stats {
+    std::uint64_t published = 0;       // publish() calls
+    std::uint64_t deliveries = 0;      // per-subscriber deliveries scheduled
+    std::uint64_t drops = 0;           // per-subscriber losses
+    std::uint64_t bytes_broadcast = 0; // wire bytes sent by the server
+  };
+  const Stats& stats() const { return stats_; }
+  size_t subscriber_count() const;
+
+ private:
+  struct Subscriber {
+    SubscriberId id;
+    Handler handler;
+  };
+
+  Timeline& timeline_;
+  hashing::HmacDrbg rng_;
+  std::vector<Subscriber> subscribers_;
+  SubscriberId next_id_ = 0;
+  double loss_probability_ = 0.0;
+  std::int64_t delay_min_ = 0;
+  std::int64_t delay_max_ = 0;
+  Stats stats_;
+};
+
+}  // namespace tre::server

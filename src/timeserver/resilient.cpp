@@ -1,0 +1,41 @@
+#include "timeserver/resilient.h"
+
+namespace tre::server {
+
+std::vector<TimeSpec> fallback_chain(const TimeSpec& release, Granularity coarsest) {
+  require(coarsest <= release.granularity(),
+          "fallback_chain: coarsest level must not be finer than the release");
+  std::vector<TimeSpec> chain = {release};
+  // Walk from one-step-coarser down to `coarsest`, ceiling each level to
+  // the first boundary at or after the release instant.
+  for (int g = static_cast<int>(release.granularity()) - 1;
+       g >= static_cast<int>(coarsest); --g) {
+    auto granularity = static_cast<Granularity>(g);
+    TimeSpec boundary = TimeSpec::from_unix(release.unix_seconds(), granularity);
+    if (boundary.unix_seconds() < release.unix_seconds()) boundary = boundary.next();
+    chain.push_back(boundary);
+  }
+  return chain;
+}
+
+ResilientTre::ResilientTre(std::shared_ptr<const params::GdhParams> params)
+    : lock_(std::move(params)) {}
+
+core::AnyCiphertext ResilientTre::encrypt(ByteSpan msg, const core::UserPublicKey& user,
+                                          const core::ServerPublicKey& time_server,
+                                          const TimeSpec& release,
+                                          tre::hashing::RandomSource& rng,
+                                          Granularity coarsest) const {
+  std::vector<std::string> conditions;
+  for (const TimeSpec& t : fallback_chain(release, coarsest)) {
+    conditions.push_back(t.canonical());
+  }
+  return lock_.lock_any(msg, user, time_server, conditions, rng);
+}
+
+Bytes ResilientTre::decrypt(const core::AnyCiphertext& ct, const core::Scalar& a,
+                            const core::KeyUpdate& update) const {
+  return lock_.unlock_any(ct, a, update);
+}
+
+}  // namespace tre::server

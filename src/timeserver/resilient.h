@@ -1,0 +1,60 @@
+// Missing-update resilience (the paper's §6 future work).
+//
+// A plain TRE update for instant T opens only ciphertexts with release
+// tag exactly T. The paper suggests hierarchy as the fix; this module
+// implements the disjunctive variant: the sender locks the message under
+// a FALLBACK CHAIN — the exact release instant plus the next boundary at
+// each coarser granularity, e.g. for release 2005-06-06T09:00:30Z:
+//
+//     2005-06-06T09:00:30Z   (second — the precise release)
+//     2005-06-06T09:01Z      (next minute boundary)
+//     2005-06-06T10Z         (next hour boundary)
+//     2005-06-07             (next day boundary)
+//
+// ANY one update in the chain decrypts (core::PolicyLock::lock_any), so
+// a receiver who missed the precise update — and cannot reach the
+// archive — simply waits for the next coarser broadcast. Precision
+// degrades gracefully instead of failing. The server broadcasts coarse
+// tags anyway when run at multiple granularities (TimeServer supports
+// granularity sets).
+//
+// Trade-off measured by experiment E11: one extra pairing and one
+// 32-byte wrap per fallback level at encryption time; decryption cost is
+// unchanged (one pairing, whichever level is used).
+#pragma once
+
+#include <vector>
+
+#include "core/policylock.h"
+#include "timeserver/timespec.h"
+
+namespace tre::server {
+
+/// The release instant plus the next boundary of every coarser
+/// granularity down to `coarsest`, finest first. The chain is strictly
+/// non-decreasing in time: every element releases at or after `release`.
+std::vector<TimeSpec> fallback_chain(const TimeSpec& release,
+                                     Granularity coarsest = Granularity::kDay);
+
+class ResilientTre {
+ public:
+  explicit ResilientTre(std::shared_ptr<const params::GdhParams> params);
+
+  const core::TreScheme& scheme() const { return lock_.scheme(); }
+
+  /// Locks `msg` under the whole fallback chain of `release`.
+  core::AnyCiphertext encrypt(ByteSpan msg, const core::UserPublicKey& user,
+                              const core::ServerPublicKey& time_server,
+                              const TimeSpec& release,
+                              tre::hashing::RandomSource& rng,
+                              Granularity coarsest = Granularity::kDay) const;
+
+  /// Decrypts with an update for ANY chain element (exact or fallback).
+  Bytes decrypt(const core::AnyCiphertext& ct, const core::Scalar& a,
+                const core::KeyUpdate& update) const;
+
+ private:
+  core::PolicyLock lock_;
+};
+
+}  // namespace tre::server

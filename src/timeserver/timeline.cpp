@@ -1,0 +1,24 @@
+#include "timeserver/timeline.h"
+
+#include "common/error.h"
+
+namespace tre::server {
+
+void Timeline::schedule(std::int64_t delay_seconds, Event fn) {
+  require(delay_seconds >= 0, "Timeline: negative delay");
+  queue_.push(Scheduled{now_ + delay_seconds, next_seq_++, std::move(fn)});
+}
+
+void Timeline::advance_to(std::int64_t t) {
+  require(t >= now_, "Timeline: cannot move backwards");
+  while (!queue_.empty() && queue_.top().at <= t) {
+    // Copy out before pop: the event may schedule more events.
+    Scheduled ev = queue_.top();
+    queue_.pop();
+    now_ = ev.at;
+    ev.fn();
+  }
+  now_ = t;
+}
+
+}  // namespace tre::server

@@ -1,0 +1,56 @@
+// Deterministic simulated clock with an event queue.
+//
+// All protocol experiments run against a Timeline instead of the wall
+// clock: release-time semantics depend only on event ordering and
+// latencies, which the simulation controls exactly (DESIGN.md §7). The
+// broadcast bus schedules delayed deliveries here.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace tre::server {
+
+class Timeline {
+ public:
+  using Event = std::function<void()>;
+
+  explicit Timeline(std::int64_t start_unix_seconds = 0) : now_(start_unix_seconds) {}
+
+  std::int64_t now() const { return now_; }
+
+  /// Registers `fn` to run at now + delay (delay >= 0). Events at the
+  /// same instant run in scheduling order.
+  void schedule(std::int64_t delay_seconds, Event fn);
+
+  /// Advances to `t`, firing every due event in timestamp order. Events
+  /// may schedule further events.
+  void advance_to(std::int64_t t);
+
+  void advance_by(std::int64_t seconds) { advance_to(now_ + seconds); }
+
+  /// Runs everything that is already due without moving the clock.
+  void drain_due() { advance_to(now_); }
+
+  size_t pending_events() const { return queue_.size(); }
+
+ private:
+  struct Scheduled {
+    std::int64_t at;
+    std::uint64_t seq;  // tie-break: FIFO within an instant
+    Event fn;
+  };
+  struct Later {
+    bool operator()(const Scheduled& a, const Scheduled& b) const {
+      return a.at != b.at ? a.at > b.at : a.seq > b.seq;
+    }
+  };
+
+  std::int64_t now_;
+  std::uint64_t next_seq_ = 0;
+  std::priority_queue<Scheduled, std::vector<Scheduled>, Later> queue_;
+};
+
+}  // namespace tre::server

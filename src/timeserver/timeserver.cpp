@@ -1,0 +1,76 @@
+#include "timeserver/timeserver.h"
+
+#include <algorithm>
+
+namespace tre::server {
+
+TimeServer::TimeServer(std::shared_ptr<const params::GdhParams> params,
+                       Timeline& timeline, Granularity g,
+                       tre::hashing::RandomSource& rng)
+    : TimeServer(std::move(params), timeline, std::vector<Granularity>{g}, rng) {}
+
+TimeServer::TimeServer(std::shared_ptr<const params::GdhParams> params,
+                       Timeline& timeline, std::vector<Granularity> levels,
+                       tre::hashing::RandomSource& rng)
+    : scheme_(std::move(params)),
+      keys_(scheme_.server_keygen(rng)),
+      timeline_(timeline),
+      bus_(timeline) {
+  require(!levels.empty(), "TimeServer: no granularities");
+  // Finest first; duplicates removed.
+  std::sort(levels.begin(), levels.end(),
+            [](Granularity a, Granularity b) { return a > b; });
+  levels.erase(std::unique(levels.begin(), levels.end()), levels.end());
+  for (Granularity g : levels) {
+    levels_.push_back(Level{g, TimeSpec::from_unix(timeline.now(), g)});
+  }
+}
+
+Granularity TimeServer::granularity() const { return levels_.front().granularity; }
+
+core::KeyUpdate TimeServer::issue_unchecked(const TimeSpec& t) {
+  core::KeyUpdate update = scheme_.issue_update(keys_, t.canonical());
+  archive_.put(update);
+  bus_.publish(update);
+  ++stats_.updates_issued;
+  stats_.bytes_published += update.to_bytes().size();
+  return update;
+}
+
+size_t TimeServer::tick() {
+  size_t issued = 0;
+  for (Level& level : levels_) {
+    while (level.next_due.unix_seconds() <= timeline_.now()) {
+      issue_unchecked(level.next_due);
+      level.next_due = level.next_due.next();
+      ++issued;
+    }
+  }
+  return issued;
+}
+
+std::int64_t TimeServer::next_boundary() const {
+  std::int64_t soonest = levels_.front().next_due.unix_seconds();
+  for (const Level& level : levels_) {
+    soonest = std::min(soonest, level.next_due.unix_seconds());
+  }
+  return soonest;
+}
+
+void TimeServer::run(std::int64_t until_unix_seconds) {
+  tick();
+  std::int64_t due = next_boundary();
+  if (due > until_unix_seconds) return;
+  timeline_.schedule(due - timeline_.now(),
+                     [this, until_unix_seconds] { run(until_unix_seconds); });
+}
+
+core::KeyUpdate TimeServer::issue_for(const TimeSpec& t) {
+  // Trust assumption 2: never sign a future instant.
+  require(t.unix_seconds() <= timeline_.now(),
+          "TimeServer: refusing to issue an update for a future time");
+  if (auto existing = archive_.find(t.canonical())) return *existing;
+  return issue_unchecked(t);
+}
+
+}  // namespace tre::server

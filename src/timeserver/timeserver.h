@@ -1,0 +1,82 @@
+// The completely passive time server (paper §3).
+//
+// Operation: at every granule boundary the server signs the canonical
+// time string and broadcasts the update; old updates go to the public
+// archive. The server holds NO user state — it does not know how many
+// receivers exist (the GPS analogy) — and it enforces the paper's two
+// trust assumptions:
+//   1. consistent timing: it signs exactly the timeline's current instant,
+//      in order, no gaps at its granularity;
+//   2. no early release: issuing an update for a future instant throws.
+#pragma once
+
+#include "core/tre.h"
+#include "timeserver/archive.h"
+#include "timeserver/broadcast.h"
+#include "timeserver/timespec.h"
+
+namespace tre::server {
+
+class TimeServer {
+ public:
+  /// Broadcasts at a single granularity.
+  TimeServer(std::shared_ptr<const params::GdhParams> params,
+             Timeline& timeline, Granularity g, tre::hashing::RandomSource& rng);
+
+  /// Broadcasts at several granularities simultaneously (e.g. minute +
+  /// hour + day), enabling the missing-update resilience of
+  /// timeserver/resilient.h: coarse boundaries are signed with their own
+  /// canonical strings as they pass.
+  TimeServer(std::shared_ptr<const params::GdhParams> params, Timeline& timeline,
+             std::vector<Granularity> levels, tre::hashing::RandomSource& rng);
+
+  const core::ServerPublicKey& public_key() const { return keys_.pub; }
+
+  /// The finest broadcast granularity.
+  Granularity granularity() const;
+
+  /// Issues and publishes every update due at or before timeline.now()
+  /// that has not been issued yet. Call after advancing the timeline (or
+  /// let run() self-schedule). Returns the number of updates issued.
+  size_t tick();
+
+  /// Self-scheduling mode: issues due updates and re-arms itself on the
+  /// timeline at every granule boundary up to `until_unix_seconds`.
+  void run(std::int64_t until_unix_seconds);
+
+  /// One-off issuance for a specific instant; enforces trust assumption 2
+  /// (throws if `t` is in the future of the timeline).
+  core::KeyUpdate issue_for(const TimeSpec& t);
+
+  const UpdateArchive& archive() const { return archive_; }
+  BroadcastBus& bus() { return bus_; }
+
+  struct Stats {
+    std::uint64_t updates_issued = 0;
+    std::uint64_t bytes_published = 0;  // update wire bytes (once per instant)
+  };
+  const Stats& stats() const { return stats_; }
+
+  /// Exposed for baseline comparisons that need the master secret
+  /// (e.g. Mont-style extraction). TRE itself never calls this.
+  const core::ServerKeyPair& key_pair_for_baselines() const { return keys_; }
+
+ private:
+  struct Level {
+    Granularity granularity;
+    TimeSpec next_due;
+  };
+
+  core::KeyUpdate issue_unchecked(const TimeSpec& t);
+  std::int64_t next_boundary() const;
+
+  core::TreScheme scheme_;
+  core::ServerKeyPair keys_;
+  Timeline& timeline_;
+  std::vector<Level> levels_;  // finest first
+  UpdateArchive archive_;
+  BroadcastBus bus_;
+  Stats stats_;
+};
+
+}  // namespace tre::server

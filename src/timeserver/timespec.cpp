@@ -1,0 +1,161 @@
+#include "timeserver/timespec.h"
+
+#include <array>
+#include <charconv>
+
+#include "common/error.h"
+
+namespace tre::server {
+
+namespace {
+
+// Civil-time conversion (Howard Hinnant's days_from_civil / civil_from_days).
+std::int64_t days_from_civil(std::int64_t y, unsigned m, unsigned d) {
+  y -= m <= 2;
+  const std::int64_t era = (y >= 0 ? y : y - 399) / 400;
+  const unsigned yoe = static_cast<unsigned>(y - era * 400);
+  const unsigned doy = (153 * (m + (m > 2 ? -3 : 9)) + 2) / 5 + d - 1;
+  const unsigned doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;
+  return era * 146097 + static_cast<std::int64_t>(doe) - 719468;
+}
+
+struct Civil {
+  std::int64_t year;
+  unsigned month, day, hour, minute, second;
+};
+
+Civil civil_from_unix(std::int64_t t) {
+  std::int64_t days = t / 86400;
+  std::int64_t rem = t % 86400;
+  if (rem < 0) {
+    rem += 86400;
+    --days;
+  }
+  std::int64_t z = days + 719468;
+  const std::int64_t era = (z >= 0 ? z : z - 146096) / 146097;
+  const unsigned doe = static_cast<unsigned>(z - era * 146097);
+  const unsigned yoe = (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365;
+  const std::int64_t y = static_cast<std::int64_t>(yoe) + era * 400;
+  const unsigned doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+  const unsigned mp = (5 * doy + 2) / 153;
+  const unsigned d = doy - (153 * mp + 2) / 5 + 1;
+  const unsigned m = mp + (mp < 10 ? 3 : -9);
+  Civil c;
+  c.year = y + (m <= 2);
+  c.month = m;
+  c.day = d;
+  c.hour = static_cast<unsigned>(rem / 3600);
+  c.minute = static_cast<unsigned>(rem % 3600 / 60);
+  c.second = static_cast<unsigned>(rem % 60);
+  return c;
+}
+
+void append_padded(std::string& out, std::int64_t v, int width) {
+  std::string digits = std::to_string(v);
+  require(digits.size() <= static_cast<size_t>(width), "TimeSpec: field overflow");
+  out.append(static_cast<size_t>(width) - digits.size(), '0');
+  out += digits;
+}
+
+bool parse_int(std::string_view text, size_t pos, size_t len, std::int64_t& out) {
+  if (pos + len > text.size()) return false;
+  auto [ptr, ec] = std::from_chars(text.data() + pos, text.data() + pos + len, out);
+  return ec == std::errc{} && ptr == text.data() + pos + len;
+}
+
+}  // namespace
+
+std::int64_t granule_seconds(Granularity g) {
+  switch (g) {
+    case Granularity::kDay:
+      return 86400;
+    case Granularity::kHour:
+      return 3600;
+    case Granularity::kMinute:
+      return 60;
+    case Granularity::kSecond:
+      return 1;
+  }
+  throw Error("granule_seconds: bad granularity");
+}
+
+TimeSpec TimeSpec::from_unix(std::int64_t unix_seconds, Granularity g) {
+  std::int64_t step = granule_seconds(g);
+  std::int64_t t = unix_seconds;
+  // Floor division truncation (handles pre-1970 times).
+  std::int64_t r = t % step;
+  if (r < 0) r += step;
+  return TimeSpec(t - r, g);
+}
+
+std::string TimeSpec::canonical() const {
+  Civil c = civil_from_unix(unix_seconds_);
+  std::string out;
+  append_padded(out, c.year, 4);
+  out += '-';
+  append_padded(out, c.month, 2);
+  out += '-';
+  append_padded(out, c.day, 2);
+  if (granularity_ == Granularity::kDay) return out;
+  out += 'T';
+  append_padded(out, c.hour, 2);
+  if (granularity_ >= Granularity::kMinute) {
+    out += ':';
+    append_padded(out, c.minute, 2);
+  }
+  if (granularity_ == Granularity::kSecond) {
+    out += ':';
+    append_padded(out, c.second, 2);
+  }
+  out += 'Z';
+  return out;
+}
+
+std::optional<TimeSpec> TimeSpec::parse(std::string_view text) {
+  // Formats: 2005-06-06 | 2005-06-06T09Z | 2005-06-06T09:00Z |
+  //          2005-06-06T09:00:00Z
+  std::int64_t year, month, day, hour = 0, minute = 0, second = 0;
+  if (!parse_int(text, 0, 4, year) || text.size() < 10 || text[4] != '-' ||
+      !parse_int(text, 5, 2, month) || text[7] != '-' || !parse_int(text, 8, 2, day)) {
+    return std::nullopt;
+  }
+  Granularity g;
+  if (text.size() == 10) {
+    g = Granularity::kDay;
+  } else if (text.size() == 14 && text[10] == 'T' && text.back() == 'Z' &&
+             parse_int(text, 11, 2, hour)) {
+    g = Granularity::kHour;
+  } else if (text.size() == 17 && text[10] == 'T' && text[13] == ':' &&
+             text.back() == 'Z' && parse_int(text, 11, 2, hour) &&
+             parse_int(text, 14, 2, minute)) {
+    g = Granularity::kMinute;
+  } else if (text.size() == 20 && text[10] == 'T' && text[13] == ':' &&
+             text[16] == ':' && text.back() == 'Z' && parse_int(text, 11, 2, hour) &&
+             parse_int(text, 14, 2, minute) && parse_int(text, 17, 2, second)) {
+    g = Granularity::kSecond;
+  } else {
+    return std::nullopt;
+  }
+  if (month < 1 || month > 12 || day < 1 || day > 31 || hour > 23 || minute > 59 ||
+      second > 59) {
+    return std::nullopt;
+  }
+  std::int64_t t = days_from_civil(year, static_cast<unsigned>(month),
+                                   static_cast<unsigned>(day)) *
+                       86400 +
+                   hour * 3600 + minute * 60 + second;
+  TimeSpec ts = from_unix(t, g);
+  // Round-trip check rejects non-existent dates like Feb 30.
+  if (ts.canonical() != text) return std::nullopt;
+  return ts;
+}
+
+TimeSpec TimeSpec::next() const {
+  return TimeSpec(unix_seconds_ + granule_seconds(granularity_), granularity_);
+}
+
+TimeSpec TimeSpec::prev() const {
+  return TimeSpec(unix_seconds_ - granule_seconds(granularity_), granularity_);
+}
+
+}  // namespace tre::server

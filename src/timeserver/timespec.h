@@ -1,0 +1,59 @@
+// Canonical absolute-time strings.
+//
+// The paper's release times are opaque strings T signed by the server;
+// sender and receivers only need to agree on the encoding. TimeSpec fixes
+// that encoding: UTC civil time at a declared granularity, e.g.
+//   second : "2005-06-06T09:00:00Z"
+//   minute : "2005-06-06T09:00Z"
+//   hour   : "2005-06-06T09Z"
+//   day    : "2005-06-06"
+// Truncation is part of the value: a TimeSpec always sits on a granule
+// boundary, so "T plus one second" at minute granularity is the next
+// minute, matching the server's broadcast schedule.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace tre::server {
+
+enum class Granularity { kDay, kHour, kMinute, kSecond };
+
+/// Seconds covered by one granule.
+std::int64_t granule_seconds(Granularity g);
+
+class TimeSpec {
+ public:
+  /// Truncates `unix_seconds` down to the granule boundary.
+  static TimeSpec from_unix(std::int64_t unix_seconds,
+                            Granularity g = Granularity::kSecond);
+
+  /// Parses any of the canonical formats (granularity is inferred).
+  static std::optional<TimeSpec> parse(std::string_view text);
+
+  std::int64_t unix_seconds() const { return unix_seconds_; }
+  Granularity granularity() const { return granularity_; }
+
+  /// The string the time server signs.
+  std::string canonical() const;
+
+  /// The next granule boundary (what a sender means by "right after T").
+  TimeSpec next() const;
+  TimeSpec prev() const;
+
+  friend std::strong_ordering operator<=>(const TimeSpec& a, const TimeSpec& b) {
+    return a.unix_seconds_ <=> b.unix_seconds_;
+  }
+  friend bool operator==(const TimeSpec&, const TimeSpec&) = default;
+
+ private:
+  TimeSpec(std::int64_t s, Granularity g) : unix_seconds_(s), granularity_(g) {}
+
+  std::int64_t unix_seconds_ = 0;
+  Granularity granularity_ = Granularity::kSecond;
+};
+
+}  // namespace tre::server

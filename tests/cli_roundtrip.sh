@@ -1,0 +1,55 @@
+#!/bin/sh
+# End-to-end integration test of the tre_cli tool, registered with ctest.
+# $1 = path to the tre_cli binary.
+set -e
+CLI="$1"
+DIR=$(mktemp -d)
+trap 'rm -rf "$DIR"' EXIT
+cd "$DIR"
+
+"$CLI" params >/dev/null
+
+# Plain keys, FO roundtrip.
+"$CLI" server-keygen --set tre-toy-96 --key server.key --pub server.pub
+"$CLI" user-keygen --server-pub server.pub --key user.key --pub user.pub
+printf 'open at the appointed hour' > msg.txt
+"$CLI" encrypt --user-pub user.pub --server-pub server.pub \
+  --tag "2031-05-05T05:05:05Z" --in msg.txt --out ct.bin --mode fo
+"$CLI" issue --server-key server.key --tag "2031-05-05T05:05:05Z" --out update.bin
+"$CLI" verify-update --server-pub server.pub --update update.bin >/dev/null
+"$CLI" decrypt --user-key user.key --server-pub server.pub --update update.bin \
+  --in ct.bin --out out.txt --mode fo
+cmp msg.txt out.txt
+
+# Every mode roundtrips.
+for mode in basic react; do
+  "$CLI" encrypt --user-pub user.pub --server-pub server.pub \
+    --tag "2031-05-05T05:05:05Z" --in msg.txt --out "ct-$mode.bin" --mode "$mode"
+  "$CLI" decrypt --user-key user.key --server-pub server.pub --update update.bin \
+    --in "ct-$mode.bin" --out "out-$mode.txt" --mode "$mode"
+  cmp msg.txt "out-$mode.txt"
+done
+
+# The wrong update must NOT decrypt under FO.
+"$CLI" issue --server-key server.key --tag "2031-01-01T00:00:00Z" --out early.bin
+if "$CLI" decrypt --user-key user.key --server-pub server.pub --update early.bin \
+  --in ct.bin --out bad.txt --mode fo 2>/dev/null; then
+  echo "FAIL: decrypted with the wrong update" >&2
+  exit 1
+fi
+
+# Password-protected keys.
+"$CLI" server-keygen --set tre-toy-96 --key sealed.key --pub sealed.pub --password pw1
+"$CLI" issue --server-key sealed.key --password pw1 --tag T --out u.bin
+if "$CLI" issue --server-key sealed.key --password nope --tag T --out u.bin 2>/dev/null; then
+  echo "FAIL: wrong password accepted" >&2
+  exit 1
+fi
+
+# File-kind confusion is rejected.
+if "$CLI" verify-update --server-pub update.bin --update server.pub 2>/dev/null; then
+  echo "FAIL: swapped file kinds accepted" >&2
+  exit 1
+fi
+
+echo "cli roundtrip ok"

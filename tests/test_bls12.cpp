@@ -1,0 +1,274 @@
+// BLS12-381 backend: tower arithmetic, curve groups, and — the acid
+// test — ate-pairing bilinearity. The context itself validates p, r,
+// curve orders and the Frobenius eigenvalue at construction, so merely
+// constructing it exercises the self-checks.
+#include "bls12/threshold381.h"
+
+#include <gtest/gtest.h>
+
+#include "hashing/drbg.h"
+
+namespace tre::bls12 {
+namespace {
+
+class Bls12Test : public ::testing::Test {
+ protected:
+  Bls12Test() : ctx_(Bls12Ctx::get()), rng_(to_bytes("bls12-tests")) {}
+
+  Fp2 random_fp2() {
+    return Fp2(Fp::random(ctx_->fp(), rng_), Fp::random(ctx_->fp(), rng_));
+  }
+  Fp12 random_fp12() {
+    const TowerCtx& t = ctx_->tower();
+    Fp12 r = fp12_zero(t);
+    r.c0 = Fp6{random_fp2(), random_fp2(), random_fp2()};
+    r.c1 = Fp6{random_fp2(), random_fp2(), random_fp2()};
+    return r;
+  }
+
+  std::shared_ptr<const Bls12Ctx> ctx_;
+  hashing::HmacDrbg rng_;
+};
+
+TEST_F(Bls12Test, DerivedConstantsValidated) {
+  // Construction already ran the self-checks; spot-check the headline
+  // facts here.
+  EXPECT_EQ(ctx_->p().bit_length(), 381u);
+  EXPECT_EQ(ctx_->r().bit_length(), 255u);
+  EXPECT_TRUE(ctx_->fp()->p_mod_4_is_3);
+}
+
+TEST_F(Bls12Test, TowerFieldAxioms) {
+  const TowerCtx& t = ctx_->tower();
+  for (int i = 0; i < 5; ++i) {
+    Fp12 a = random_fp12(), b = random_fp12(), c = random_fp12();
+    EXPECT_TRUE(fp12_eq(fp12_mul(t, a, b), fp12_mul(t, b, a)));
+    EXPECT_TRUE(fp12_eq(fp12_mul(t, fp12_mul(t, a, b), c),
+                        fp12_mul(t, a, fp12_mul(t, b, c))));
+    EXPECT_TRUE(fp12_eq(fp12_mul(t, a, fp12_add(b, c)),
+                        fp12_add(fp12_mul(t, a, b), fp12_mul(t, a, c))));
+    EXPECT_TRUE(fp12_eq(fp12_sqr(t, a), fp12_mul(t, a, a)));
+    EXPECT_TRUE(fp12_is_one(t, fp12_mul(t, a, fp12_inv(t, a))));
+  }
+}
+
+TEST_F(Bls12Test, FrobeniusIsThePPowerMap) {
+  const TowerCtx& t = ctx_->tower();
+  Fp12 a = random_fp12();
+  Fp12 via_frob = fp12_frobenius(t, a);
+  Fp12 via_pow = fp12_pow(t, a, ctx_->p());
+  EXPECT_TRUE(fp12_eq(via_frob, via_pow));
+  // frob^12 = identity.
+  Fp12 twelve = a;
+  for (int i = 0; i < 12; ++i) twelve = fp12_frobenius(t, twelve);
+  EXPECT_TRUE(fp12_eq(twelve, a));
+}
+
+TEST_F(Bls12Test, Fp2SqrtWorks) {
+  for (int i = 0; i < 10; ++i) {
+    Fp2 a = random_fp2();
+    Fp2 sq = a.squared();
+    auto root = sq.sqrt();
+    ASSERT_TRUE(root.has_value());
+    EXPECT_TRUE(*root == a || *root == -a);
+  }
+}
+
+TEST_F(Bls12Test, G1GroupBasics) {
+  const G1Point381& g = ctx_->g1_generator();
+  EXPECT_TRUE(ctx_->g1_on_curve(g));
+  EXPECT_TRUE(ctx_->g1_in_subgroup(g));
+  EXPECT_TRUE(ctx_->g1_mul(g, ctx_->r()).inf);
+
+  Scalar a = ctx_->random_scalar(rng_);
+  Scalar b = ctx_->random_scalar(rng_);
+  Scalar sum = bigint::mod_wide(
+      bigint::add(a.resized<13>(), b.resized<13>()), ctx_->r());
+  EXPECT_TRUE(ctx_->g1_eq(ctx_->g1_add(ctx_->g1_mul(g, a), ctx_->g1_mul(g, b)),
+                          ctx_->g1_mul(g, sum)));
+}
+
+TEST_F(Bls12Test, G2GroupBasics) {
+  const G2Point381& h = ctx_->g2_generator();
+  EXPECT_TRUE(ctx_->g2_on_curve(h));
+  EXPECT_TRUE(ctx_->g2_in_subgroup(h));
+  Scalar a = ctx_->random_scalar(rng_);
+  Scalar b = ctx_->random_scalar(rng_);
+  Scalar sum = bigint::mod_wide(
+      bigint::add(a.resized<13>(), b.resized<13>()), ctx_->r());
+  EXPECT_TRUE(ctx_->g2_eq(ctx_->g2_add(ctx_->g2_mul(h, a), ctx_->g2_mul(h, b)),
+                          ctx_->g2_mul(h, sum)));
+}
+
+TEST_F(Bls12Test, HashToG1) {
+  G1Point381 p1 = ctx_->hash_to_g1(to_bytes("2030-01-01T00:00:00Z"));
+  G1Point381 p2 = ctx_->hash_to_g1(to_bytes("2030-01-01T00:00:00Z"));
+  G1Point381 p3 = ctx_->hash_to_g1(to_bytes("2030-01-01T00:00:01Z"));
+  EXPECT_TRUE(ctx_->g1_eq(p1, p2));
+  EXPECT_FALSE(ctx_->g1_eq(p1, p3));
+  EXPECT_TRUE(ctx_->g1_in_subgroup(p1));
+}
+
+TEST_F(Bls12Test, SerializationRoundtrips) {
+  G1Point381 p = ctx_->hash_to_g1(to_bytes("ser"));
+  EXPECT_TRUE(ctx_->g1_eq(ctx_->g1_from_bytes(ctx_->g1_to_bytes(p)), p));
+  EXPECT_EQ(ctx_->g1_to_bytes(p).size(), 49u);
+
+  G2Point381 q = ctx_->g2_mul(ctx_->g2_generator(), ctx_->random_scalar(rng_));
+  EXPECT_TRUE(ctx_->g2_eq(ctx_->g2_from_bytes(ctx_->g2_to_bytes(q)), q));
+  EXPECT_EQ(ctx_->g2_to_bytes(q).size(), 97u);
+
+  EXPECT_TRUE(ctx_->g1_from_bytes(ctx_->g1_to_bytes(ctx_->g1_infinity())).inf);
+}
+
+TEST_F(Bls12Test, PairingBilinearity) {
+  const G1Point381& g = ctx_->g1_generator();
+  const G2Point381& h = ctx_->g2_generator();
+  Gt381 e = ctx_->pair(g, h);
+  EXPECT_FALSE(fp12_is_one(ctx_->tower(), e));  // non-degenerate
+
+  Scalar a = ctx_->random_scalar(rng_);
+  Scalar b = ctx_->random_scalar(rng_);
+  Gt381 lhs = ctx_->pair(ctx_->g1_mul(g, a), ctx_->g2_mul(h, b));
+  Gt381 rhs = ctx_->gt_pow(ctx_->gt_pow(e, a), b);
+  EXPECT_TRUE(ctx_->gt_eq(lhs, rhs));
+
+  // Swap sides: ê(aG, H) == ê(G, aH).
+  EXPECT_TRUE(ctx_->gt_eq(ctx_->pair(ctx_->g1_mul(g, a), h),
+                          ctx_->pair(g, ctx_->g2_mul(h, a))));
+}
+
+TEST_F(Bls12Test, PairingOrderAndIdentity) {
+  Gt381 e = ctx_->pair(ctx_->g1_generator(), ctx_->g2_generator());
+  EXPECT_TRUE(fp12_is_one(ctx_->tower(), ctx_->gt_pow(e, ctx_->r())));
+  EXPECT_TRUE(fp12_is_one(ctx_->tower(),
+                          ctx_->pair(ctx_->g1_infinity(), ctx_->g2_generator())));
+}
+
+TEST_F(Bls12Test, PairingsEqualHelper) {
+  const G1Point381& g = ctx_->g1_generator();
+  const G2Point381& h = ctx_->g2_generator();
+  Scalar s = ctx_->random_scalar(rng_);
+  // BLS verification shape: ê(s·H1(m), h) == ê(H1(m), s·h).
+  G1Point381 hm = ctx_->hash_to_g1(to_bytes("message"));
+  EXPECT_TRUE(ctx_->pairings_equal(ctx_->g1_mul(hm, s), h, hm, ctx_->g2_mul(h, s)));
+  EXPECT_FALSE(ctx_->pairings_equal(ctx_->g1_mul(hm, s), h, hm, h));
+  (void)g;
+}
+
+// --- The TRE scheme on BLS12-381 (tlock layout) ---------------------------------
+
+class Tre381Test : public ::testing::Test {
+ protected:
+  Tre381Test()
+      : rng_(to_bytes("tre381-tests")),
+        server_(scheme_.server_keygen(rng_)),
+        user_(scheme_.user_keygen(server_.pk, rng_)) {}
+
+  Tre381 scheme_;
+  hashing::HmacDrbg rng_;
+  ServerKey381 server_;
+  UserKey381 user_;
+};
+
+TEST_F(Tre381Test, KeysAndUpdatesVerify) {
+  EXPECT_TRUE(scheme_.verify_user_key(server_.pk, user_.a1, user_.a2));
+  Update381 upd = scheme_.issue_update(server_, "2030-01-01T00:00:00Z");
+  EXPECT_TRUE(scheme_.verify_update(server_.pk, upd));
+  // Forgeries rejected.
+  Update381 relabeled{"2031-01-01T00:00:00Z", upd.sig};
+  EXPECT_FALSE(scheme_.verify_update(server_.pk, relabeled));
+  UserKey381 eve = scheme_.user_keygen(server_.pk, rng_);
+  EXPECT_FALSE(scheme_.verify_user_key(server_.pk, user_.a1, eve.a2));
+}
+
+TEST_F(Tre381Test, RoundtripAndTimeLock) {
+  Bytes msg = to_bytes("tlock-style timed release");
+  auto ct = scheme_.encrypt(msg, user_.a1, user_.a2, server_.pk,
+                            "2030-01-01T00:00:00Z", rng_);
+  Update381 upd = scheme_.issue_update(server_, "2030-01-01T00:00:00Z");
+  EXPECT_EQ(scheme_.decrypt(ct, user_.a, upd), msg);
+
+  // Wrong update or wrong secret yields garbage.
+  Update381 early = scheme_.issue_update(server_, "2029-12-31T23:59:59Z");
+  EXPECT_NE(scheme_.decrypt(ct, user_.a, early), msg);
+  UserKey381 eve = scheme_.user_keygen(server_.pk, rng_);
+  EXPECT_NE(scheme_.decrypt(ct, eve.a, upd), msg);
+}
+
+TEST_F(Tre381Test, UpdatesAreShorterThanThe2005Curve) {
+  // 48-byte G1 points at ~128-bit security vs 64-byte at ~80-bit.
+  EXPECT_EQ(scheme_.update_bytes(), 49u);
+}
+
+TEST_F(Tre381Test, FoRoundtripAndTamperRejection) {
+  Bytes msg = to_bytes("cca on the modern curve");
+  auto ct = scheme_.encrypt_fo(msg, user_.a1, user_.a2, server_.pk,
+                               "2030-01-01T00:00:00Z", rng_);
+  Update381 upd = scheme_.issue_update(server_, "2030-01-01T00:00:00Z");
+  auto out = scheme_.decrypt_fo(ct, user_.a, upd);
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(*out, msg);
+  ct.c_msg[0] ^= 1;
+  EXPECT_FALSE(scheme_.decrypt_fo(ct, user_.a, upd).has_value());
+}
+
+TEST_F(Tre381Test, WireRoundtrips) {
+  Update381 upd = scheme_.issue_update(server_, "2030-01-01T00:00:00Z");
+  Update381 upd2 = scheme_.update_from_bytes(scheme_.update_to_bytes(upd));
+  EXPECT_EQ(upd2.tag, upd.tag);
+  EXPECT_TRUE(scheme_.curve().g1_eq(upd2.sig, upd.sig));
+
+  Bytes msg = to_bytes("wire");
+  auto ct = scheme_.encrypt(msg, user_.a1, user_.a2, server_.pk, "T", rng_);
+  auto ct2 = scheme_.ciphertext_from_bytes(scheme_.ciphertext_to_bytes(ct));
+  Update381 updt = scheme_.issue_update(server_, "T");
+  EXPECT_EQ(scheme_.decrypt(ct2, user_.a, updt), msg);
+
+  Bytes wire = scheme_.update_to_bytes(upd);
+  EXPECT_THROW(scheme_.update_from_bytes(ByteSpan(wire.data(), wire.size() - 1)),
+               Error);
+}
+
+
+// --- drand-shaped threshold network on BLS12-381 ---------------------------------
+
+TEST(Threshold381Test, ThreeOfFiveEndToEnd) {
+  Threshold381 net;
+  Tre381 scheme;
+  hashing::HmacDrbg rng(to_bytes("threshold381-tests"));
+  auto [key, shares] = net.setup(5, 3, rng);
+
+  // User binds to the group key; the sharing is invisible.
+  UserKey381 user = scheme.user_keygen(key.group_pk, rng);
+  Bytes msg = to_bytes("released by the network");
+  auto ct = scheme.encrypt(msg, user.a1, user.a2, key.group_pk,
+                           "round-12345", rng);
+
+  // Operators 1, 3, 5 publish partials; 4 is corrupt.
+  std::vector<Partial381> partials = {net.issue_partial(shares[0], "round-12345"),
+                                      net.issue_partial(shares[2], "round-12345"),
+                                      net.issue_partial(shares[4], "round-12345")};
+  for (const auto& p : partials) EXPECT_TRUE(net.verify_partial(key, p));
+  Partial381 corrupt = net.issue_partial(shares[3], "round-12345");
+  corrupt.sig = scheme.curve().g1_add(corrupt.sig, corrupt.sig);
+  EXPECT_FALSE(net.verify_partial(key, corrupt));
+
+  Update381 update = net.combine(key, partials);
+  EXPECT_TRUE(scheme.verify_update(key.group_pk, update));
+  EXPECT_EQ(scheme.decrypt(ct, user.a, update), msg);
+
+  // Any other k-subset combines to the identical update.
+  std::vector<Partial381> other = {net.issue_partial(shares[1], "round-12345"),
+                                   net.issue_partial(shares[3], "round-12345"),
+                                   net.issue_partial(shares[0], "round-12345")};
+  Update381 update2 = net.combine(key, other);
+  EXPECT_TRUE(scheme.curve().g1_eq(update.sig, update2.sig));
+
+  // Below threshold fails.
+  std::vector<Partial381> two(partials.begin(), partials.begin() + 2);
+  EXPECT_THROW(net.combine(key, two), Error);
+}
+
+}  // namespace
+}  // namespace tre::bls12

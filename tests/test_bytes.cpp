@@ -1,0 +1,70 @@
+// Unit tests for common byte utilities.
+#include "common/bytes.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+namespace tre {
+namespace {
+
+TEST(Bytes, HexRoundtrip) {
+  Bytes data = {0x00, 0x01, 0xab, 0xff, 0x7e};
+  EXPECT_EQ(to_hex(data), "0001abff7e");
+  EXPECT_EQ(from_hex("0001abff7e"), data);
+  EXPECT_EQ(from_hex("0001ABFF7E"), data);
+}
+
+TEST(Bytes, HexEmpty) {
+  EXPECT_EQ(to_hex({}), "");
+  EXPECT_TRUE(from_hex("").empty());
+}
+
+TEST(Bytes, HexRejectsMalformed) {
+  EXPECT_THROW(from_hex("abc"), Error);   // odd length
+  EXPECT_THROW(from_hex("zz"), Error);    // non-hex
+}
+
+TEST(Bytes, Concat) {
+  Bytes a = {1, 2};
+  Bytes b = {};
+  Bytes c = {3};
+  EXPECT_EQ(concat({a, b, c}), (Bytes{1, 2, 3}));
+}
+
+TEST(Bytes, XorInvolution) {
+  Bytes a = from_hex("00ff8811");
+  Bytes k = from_hex("a5a5a5a5");
+  EXPECT_EQ(xor_bytes(xor_bytes(a, k), k), a);
+}
+
+TEST(Bytes, XorSizeMismatchThrows) {
+  EXPECT_THROW(xor_bytes(Bytes{1}, Bytes{1, 2}), Error);
+}
+
+TEST(Bytes, CtEqual) {
+  EXPECT_TRUE(ct_equal(from_hex("aabb"), from_hex("aabb")));
+  EXPECT_FALSE(ct_equal(from_hex("aabb"), from_hex("aabc")));
+  EXPECT_FALSE(ct_equal(from_hex("aabb"), from_hex("aa")));
+  EXPECT_TRUE(ct_equal({}, {}));
+}
+
+TEST(Bytes, SecureWipe) {
+  Bytes secret = {1, 2, 3, 4};
+  secure_wipe(secret);
+  EXPECT_EQ(secret, (Bytes{0, 0, 0, 0}));
+}
+
+TEST(Bytes, BigEndianCounters) {
+  EXPECT_EQ(to_hex(be32(0x01020304)), "01020304");
+  EXPECT_EQ(to_hex(be64(0x0102030405060708ull)), "0102030405060708");
+  EXPECT_EQ(to_hex(be64(1)), "0000000000000001");
+}
+
+TEST(Bytes, ToBytesFromString) {
+  EXPECT_EQ(to_bytes("AB"), (Bytes{0x41, 0x42}));
+  EXPECT_TRUE(to_bytes("").empty());
+}
+
+}  // namespace
+}  // namespace tre

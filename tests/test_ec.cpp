@@ -1,0 +1,159 @@
+// Group-law, subgroup and hash-to-curve tests for G_1.
+#include "ec/curve.h"
+
+#include <gtest/gtest.h>
+
+#include "bigint/prime.h"
+#include "hashing/drbg.h"
+
+namespace tre::ec {
+namespace {
+
+using field::Fp;
+using field::FpInt;
+
+class EcTest : public ::testing::Test {
+ protected:
+  EcTest()
+      : curve_(CurveCtx::create("toy", FpInt::from_hex("9b725bbc4bc00b0f29aea58f"),
+                                FpInt::from_hex("fa08d6af57"))),
+        rng_(to_bytes("ec-tests")) {}
+
+  G1Point random_point(const char* label, int i) {
+    Bytes msg = to_bytes(std::string(label) + std::to_string(i));
+    return hash_to_g1(curve_.get(), msg);
+  }
+
+  std::shared_ptr<const CurveCtx> curve_;
+  hashing::HmacDrbg rng_;
+};
+
+TEST_F(EcTest, ContextInvariants) {
+  // cofactor * q == p + 1
+  auto prod = bigint::mul_wide(curve_->cofactor, curve_->q);
+  auto p_plus_1 = bigint::add(curve_->p.resized<24>(), bigint::BigInt<24>::from_u64(1));
+  EXPECT_EQ(prod, p_plus_1);
+  // zeta has order 3.
+  auto one = field::Fp2::one(curve_->fp.get());
+  EXPECT_NE(curve_->zeta, one);
+  EXPECT_EQ(curve_->zeta * curve_->zeta * curve_->zeta, one);
+}
+
+TEST_F(EcTest, CreateRejectsBadParameters) {
+  // q not dividing p+1.
+  EXPECT_THROW(CurveCtx::create("bad", FpInt::from_hex("9b725bbc4bc00b0f29aea58f"),
+                                FpInt::from_u64(65537)),
+               Error);
+}
+
+TEST_F(EcTest, HashToG1OnCurveAndInSubgroup) {
+  for (int i = 0; i < 10; ++i) {
+    G1Point p = random_point("msg", i);
+    ASSERT_FALSE(p.is_infinity());
+    EXPECT_TRUE(on_curve(curve_.get(), p.x(), p.y()));
+    EXPECT_TRUE(p.in_subgroup());
+  }
+}
+
+TEST_F(EcTest, HashToG1Deterministic) {
+  EXPECT_EQ(hash_to_g1(curve_.get(), to_bytes("2005-06-06T00:00:00Z")),
+            hash_to_g1(curve_.get(), to_bytes("2005-06-06T00:00:00Z")));
+  EXPECT_NE(hash_to_g1(curve_.get(), to_bytes("t1")),
+            hash_to_g1(curve_.get(), to_bytes("t2")));
+}
+
+TEST_F(EcTest, GroupLaws) {
+  G1Point p = random_point("a", 0);
+  G1Point q = random_point("b", 0);
+  G1Point r = random_point("c", 0);
+  G1Point inf = G1Point::infinity(curve_.get());
+
+  EXPECT_EQ(p + q, q + p);
+  EXPECT_EQ((p + q) + r, p + (q + r));
+  EXPECT_EQ(p + inf, p);
+  EXPECT_EQ(inf + p, p);
+  EXPECT_EQ(p + (-p), inf);
+  EXPECT_EQ(p + p, p.doubled());
+  EXPECT_EQ(p - q, p + (-q));
+}
+
+TEST_F(EcTest, ScalarMulBasics) {
+  G1Point p = random_point("s", 0);
+  EXPECT_EQ(p.mul(FpInt::from_u64(0)), G1Point::infinity(curve_.get()));
+  EXPECT_EQ(p.mul(FpInt::from_u64(1)), p);
+  EXPECT_EQ(p.mul(FpInt::from_u64(2)), p.doubled());
+  EXPECT_EQ(p.mul(FpInt::from_u64(3)), p.doubled() + p);
+  EXPECT_EQ(p.mul(FpInt::from_u64(5)),
+            p + p + p + p + p);
+}
+
+TEST_F(EcTest, ScalarMulDistributesOverScalarAddition) {
+  G1Point p = random_point("d", 0);
+  for (int i = 0; i < 8; ++i) {
+    FpInt a = bigint::random_below(rng_, curve_->q);
+    FpInt b = bigint::random_below(rng_, curve_->q);
+    FpInt sum = bigint::mod_wide(
+        bigint::add(a.resized<13>(), b.resized<13>()), curve_->q);
+    EXPECT_EQ(p.mul(a) + p.mul(b), p.mul(sum));
+  }
+}
+
+TEST_F(EcTest, ScalarMulIsAssociativeAcrossPoints) {
+  G1Point p = random_point("e", 0);
+  FpInt a = bigint::random_below(rng_, curve_->q);
+  FpInt b = bigint::random_below(rng_, curve_->q);
+  EXPECT_EQ(p.mul(a).mul(b), p.mul(b).mul(a));
+}
+
+TEST_F(EcTest, OrderAnnihilatesSubgroup) {
+  G1Point p = random_point("o", 0);
+  EXPECT_TRUE(p.mul(curve_->q).is_infinity());
+  // q-1 does not annihilate (p has exact order q).
+  EXPECT_FALSE(p.mul(bigint::sub(curve_->q, FpInt::from_u64(1))).is_infinity());
+}
+
+TEST_F(EcTest, MakeRejectsOffCurvePoints) {
+  const field::FpCtx* fp = curve_->fp.get();
+  EXPECT_THROW(G1Point::make(curve_.get(), Fp::from_u64(fp, 12345),
+                             Fp::from_u64(fp, 678)),
+               Error);
+}
+
+TEST_F(EcTest, UncompressedSerializationRoundtrip) {
+  G1Point p = random_point("ser", 0);
+  Bytes enc = p.to_bytes();
+  EXPECT_EQ(enc.size(), 1 + 2 * curve_->fp->byte_len);
+  EXPECT_EQ(G1Point::from_bytes(curve_.get(), enc), p);
+
+  G1Point inf = G1Point::infinity(curve_.get());
+  EXPECT_EQ(G1Point::from_bytes(curve_.get(), inf.to_bytes()), inf);
+}
+
+TEST_F(EcTest, CompressedSerializationRoundtrip) {
+  for (int i = 0; i < 10; ++i) {
+    G1Point p = random_point("comp", i);
+    Bytes enc = p.to_bytes_compressed();
+    EXPECT_EQ(enc.size(), 1 + curve_->fp->byte_len);
+    EXPECT_EQ(G1Point::from_bytes(curve_.get(), enc), p);
+  }
+}
+
+TEST_F(EcTest, FromBytesRejectsMalformed) {
+  G1Point p = random_point("rej", 0);
+  Bytes enc = p.to_bytes();
+  enc[0] = 0x05;  // unknown tag
+  EXPECT_THROW(G1Point::from_bytes(curve_.get(), enc), Error);
+  Bytes bad = p.to_bytes();
+  bad[5] ^= 1;  // corrupt x: (x,y) off curve with overwhelming probability
+  EXPECT_THROW(G1Point::from_bytes(curve_.get(), bad), Error);
+  EXPECT_THROW(G1Point::from_bytes(curve_.get(), Bytes{}), Error);
+}
+
+TEST_F(EcTest, NegationOfInfinity) {
+  G1Point inf = G1Point::infinity(curve_.get());
+  EXPECT_EQ(-inf, inf);
+  EXPECT_TRUE((-inf).is_infinity());
+}
+
+}  // namespace
+}  // namespace tre::ec

@@ -1,0 +1,161 @@
+// Gentry-Silverberg HIBE: extraction, derivation, encryption at every
+// depth, and the containment properties the hierarchical archive needs.
+#include "hibe/hibe.h"
+
+#include <gtest/gtest.h>
+
+#include "hashing/drbg.h"
+
+namespace tre::hibe {
+namespace {
+
+class HibeTest : public ::testing::Test {
+ protected:
+  HibeTest()
+      : params_(params::load("tre-toy-96")),
+        hibe_(params_),
+        rng_(to_bytes("hibe-tests")),
+        root_(hibe_.setup(rng_)),
+        root_pub_(GsHibe::public_of(root_)) {}
+
+  Scalar fresh_secret() { return params::random_scalar(*params_, rng_); }
+
+  std::shared_ptr<const params::GdhParams> params_;
+  GsHibe hibe_;
+  hashing::HmacDrbg rng_;
+  RootKey root_;
+  RootPublicKey root_pub_;
+};
+
+TEST_F(HibeTest, DepthOneRoundtrip) {
+  NodeKey alice = hibe_.extract_root_child(root_, "alice", fresh_secret());
+  EXPECT_TRUE(hibe_.verify_node_key(root_pub_, alice));
+  Bytes msg = to_bytes("level one");
+  auto ct = hibe_.encrypt(msg, {"alice"}, root_pub_, rng_);
+  EXPECT_TRUE(ct.us.empty());
+  EXPECT_EQ(hibe_.decrypt(ct, alice), msg);
+}
+
+TEST_F(HibeTest, DepthTwoAndThreeRoundtrip) {
+  NodeKey org = hibe_.extract_root_child(root_, "org", fresh_secret());
+  NodeKey team = hibe_.derive_child(root_.p0, org, "team", fresh_secret());
+  NodeKey member = hibe_.derive_child(root_.p0, team, "member", fresh_secret());
+  EXPECT_TRUE(hibe_.verify_node_key(root_pub_, team));
+  EXPECT_TRUE(hibe_.verify_node_key(root_pub_, member));
+
+  Bytes msg = to_bytes("deep message");
+  auto ct2 = hibe_.encrypt(msg, {"org", "team"}, root_pub_, rng_);
+  EXPECT_EQ(ct2.us.size(), 1u);
+  EXPECT_EQ(hibe_.decrypt(ct2, team), msg);
+
+  auto ct3 = hibe_.encrypt(msg, {"org", "team", "member"}, root_pub_, rng_);
+  EXPECT_EQ(ct3.us.size(), 2u);
+  EXPECT_EQ(hibe_.decrypt(ct3, member), msg);
+}
+
+TEST_F(HibeTest, AncestorDerivesButSiblingCannotDecrypt) {
+  NodeKey org = hibe_.extract_root_child(root_, "org", fresh_secret());
+  NodeKey team_a = hibe_.derive_child(root_.p0, org, "team-a", fresh_secret());
+  NodeKey team_b = hibe_.derive_child(root_.p0, org, "team-b", fresh_secret());
+  Bytes msg = to_bytes("for team-a");
+  auto ct = hibe_.encrypt(msg, {"org", "team-a"}, root_pub_, rng_);
+  EXPECT_EQ(hibe_.decrypt(ct, team_a), msg);
+  EXPECT_NE(hibe_.decrypt(ct, team_b), msg);
+}
+
+TEST_F(HibeTest, PublicDerivationIsConsistent) {
+  // Anyone holding a parent key WITH its secret derives working child
+  // keys, regardless of the child secret they choose.
+  NodeKey org = hibe_.extract_root_child(root_, "org", fresh_secret());
+  NodeKey child_x = hibe_.derive_child(root_.p0, org, "child", Scalar::from_u64(1));
+  NodeKey child_y = hibe_.derive_child(root_.p0, org, "child", fresh_secret());
+  Bytes msg = to_bytes("any derivation works");
+  auto ct = hibe_.encrypt(msg, {"org", "child"}, root_pub_, rng_);
+  EXPECT_EQ(hibe_.decrypt(ct, child_x), msg);
+  EXPECT_EQ(hibe_.decrypt(ct, child_y), msg);
+}
+
+TEST_F(HibeTest, StrippedKeyCannotDerive) {
+  NodeKey org = hibe_.extract_root_child(root_, "org", fresh_secret());
+  NodeKey leaf_only = org.without_derivation();
+  EXPECT_FALSE(leaf_only.can_derive);
+  EXPECT_THROW(hibe_.derive_child(root_.p0, leaf_only, "child", fresh_secret()), Error);
+  // It still decrypts at its own level.
+  Bytes msg = to_bytes("still a key");
+  auto ct = hibe_.encrypt(msg, {"org"}, root_pub_, rng_);
+  EXPECT_EQ(hibe_.decrypt(ct, leaf_only), msg);
+}
+
+TEST_F(HibeTest, PathEncodingIsUnambiguous) {
+  // ("ab","c") and ("a","bc") must address different nodes.
+  NodeKey ab_c_parent = hibe_.extract_root_child(root_, "ab", fresh_secret());
+  NodeKey ab_c = hibe_.derive_child(root_.p0, ab_c_parent, "c", fresh_secret());
+  Bytes msg = to_bytes("path safety");
+  auto ct = hibe_.encrypt(msg, {"a", "bc"}, root_pub_, rng_);
+  EXPECT_NE(hibe_.decrypt(ct, ab_c), msg);
+}
+
+TEST_F(HibeTest, VerifyRejectsForgedKeys) {
+  NodeKey org = hibe_.extract_root_child(root_, "org", fresh_secret());
+  NodeKey team = hibe_.derive_child(root_.p0, org, "team", fresh_secret());
+  NodeKey forged = team;
+  forged.s = forged.s.doubled();
+  EXPECT_FALSE(hibe_.verify_node_key(root_pub_, forged));
+  NodeKey relabeled = team;
+  relabeled.path = {"org", "other-team"};
+  EXPECT_FALSE(hibe_.verify_node_key(root_pub_, relabeled));
+}
+
+TEST_F(HibeTest, DepthMismatchRejected) {
+  NodeKey org = hibe_.extract_root_child(root_, "org", fresh_secret());
+  auto ct = hibe_.encrypt(to_bytes("m"), {"org", "team"}, root_pub_, rng_);
+  EXPECT_THROW(hibe_.decrypt(ct, org), Error);
+}
+
+TEST_F(HibeTest, EscrowIsInherentAtTheRoot) {
+  // The root can reconstruct any key — the reason the TRE wrapper binds
+  // the session key to the receiver secret.
+  NodeKey reconstructed = hibe_.extract_root_child(root_, "victim", fresh_secret());
+  Bytes msg = to_bytes("root reads this");
+  auto ct = hibe_.encrypt(msg, {"victim"}, root_pub_, rng_);
+  EXPECT_EQ(hibe_.decrypt(ct, reconstructed), msg);
+}
+
+TEST_F(HibeTest, NodeKeySerializationRoundtrip) {
+  NodeKey org = hibe_.extract_root_child(root_, "org", fresh_secret());
+  NodeKey team = hibe_.derive_child(root_.p0, org, "team", fresh_secret());
+
+  // With derivation secret.
+  Bytes wire = team.to_bytes(*params_);
+  NodeKey back = NodeKey::from_bytes(*params_, wire);
+  EXPECT_EQ(back.path, team.path);
+  EXPECT_EQ(back.s, team.s);
+  EXPECT_EQ(back.q.size(), team.q.size());
+  EXPECT_TRUE(back.can_derive);
+  EXPECT_EQ(back.secret, team.secret);
+  EXPECT_TRUE(hibe_.verify_node_key(root_pub_, back));
+
+  // Stripped: no secret on the wire.
+  NodeKey leaf = team.without_derivation();
+  Bytes leaf_wire = leaf.to_bytes(*params_);
+  EXPECT_LT(leaf_wire.size(), wire.size());
+  NodeKey leaf_back = NodeKey::from_bytes(*params_, leaf_wire);
+  EXPECT_FALSE(leaf_back.can_derive);
+  Bytes msg = to_bytes("wire key decrypts");
+  auto ct = hibe_.encrypt(msg, {"org", "team"}, root_pub_, rng_);
+  EXPECT_EQ(hibe_.decrypt(ct, leaf_back), msg);
+}
+
+TEST_F(HibeTest, NodeKeyDeserializationRejectsDamage) {
+  NodeKey org = hibe_.extract_root_child(root_, "org", fresh_secret());
+  Bytes wire = org.to_bytes(*params_);
+  for (size_t len = 0; len < wire.size(); ++len) {
+    EXPECT_THROW(NodeKey::from_bytes(*params_, ByteSpan(wire.data(), len)), Error);
+  }
+  Bytes extended = wire;
+  extended.push_back(0);
+  EXPECT_THROW(NodeKey::from_bytes(*params_, extended), Error);
+}
+
+}  // namespace
+}  // namespace tre::hibe

@@ -1,0 +1,167 @@
+// §5.2 ID-TRE scheme tests.
+#include "idtre/split_idtre.h"
+
+#include <gtest/gtest.h>
+
+#include "hashing/drbg.h"
+
+namespace tre::idtre {
+namespace {
+
+constexpr const char* kTag = "2005-06-06T09:00:00Z";
+constexpr const char* kId = "alice@example.org";
+
+class IdTreTest : public ::testing::Test {
+ protected:
+  IdTreTest()
+      : scheme_(params::load("tre-toy-96")),
+        rng_(to_bytes("idtre-tests")),
+        authority_(scheme_.setup(rng_)),
+        alice_(scheme_.extract(authority_, kId)) {}
+
+  IdTreScheme scheme_;
+  hashing::HmacDrbg rng_;
+  ServerKeyPair authority_;
+  IdPrivateKey alice_;
+};
+
+TEST_F(IdTreTest, ExtractedKeyVerifies) {
+  EXPECT_TRUE(scheme_.verify_private_key(authority_.pub, alice_));
+  IdPrivateKey relabeled{"bob@example.org", alice_.d};
+  EXPECT_FALSE(scheme_.verify_private_key(authority_.pub, relabeled));
+}
+
+TEST_F(IdTreTest, RoundtripWithUpdate) {
+  Bytes msg = to_bytes("identity-based timed release");
+  Ciphertext ct = scheme_.encrypt(msg, kId, authority_.pub, kTag, rng_);
+  KeyUpdate upd = scheme_.issue_update(authority_, kTag);
+  EXPECT_TRUE(scheme_.verify_update(authority_.pub, upd));
+  EXPECT_EQ(scheme_.decrypt(ct, alice_, upd), msg);
+}
+
+TEST_F(IdTreTest, WrongIdentityCannotDecrypt) {
+  Bytes msg = to_bytes("for alice only");
+  Ciphertext ct = scheme_.encrypt(msg, kId, authority_.pub, kTag, rng_);
+  KeyUpdate upd = scheme_.issue_update(authority_, kTag);
+  IdPrivateKey bob = scheme_.extract(authority_, "bob@example.org");
+  EXPECT_NE(scheme_.decrypt(ct, bob, upd), msg);
+}
+
+TEST_F(IdTreTest, WrongUpdateCannotDecrypt) {
+  Bytes msg = to_bytes("not yet");
+  Ciphertext ct = scheme_.encrypt(msg, kId, authority_.pub, kTag, rng_);
+  KeyUpdate early = scheme_.issue_update(authority_, "2005-06-06T08:59:59Z");
+  EXPECT_NE(scheme_.decrypt(ct, alice_, early), msg);
+}
+
+TEST_F(IdTreTest, UpdateSharedAcrossAllIdentities) {
+  // One broadcast serves every receiver (the scalability property ID-TRE
+  // retains).
+  Bytes m1 = to_bytes("to alice");
+  Bytes m2 = to_bytes("to bob");
+  Ciphertext c1 = scheme_.encrypt(m1, kId, authority_.pub, kTag, rng_);
+  Ciphertext c2 = scheme_.encrypt(m2, "bob@example.org", authority_.pub, kTag, rng_);
+  KeyUpdate upd = scheme_.issue_update(authority_, kTag);
+  IdPrivateKey bob = scheme_.extract(authority_, "bob@example.org");
+  EXPECT_EQ(scheme_.decrypt(c1, alice_, upd), m1);
+  EXPECT_EQ(scheme_.decrypt(c2, bob, upd), m2);
+}
+
+TEST_F(IdTreTest, KeyEscrowIsInherent) {
+  // The authority can decrypt any message by extracting the key itself —
+  // the paper's §5.2 caveat, and the reason TRE exists.
+  Bytes msg = to_bytes("the server reads this");
+  Ciphertext ct = scheme_.encrypt(msg, kId, authority_.pub, kTag, rng_);
+  KeyUpdate upd = scheme_.issue_update(authority_, kTag);
+  IdPrivateKey self_extracted = scheme_.extract(authority_, kId);
+  EXPECT_EQ(scheme_.decrypt(ct, self_extracted, upd), msg);
+}
+
+TEST_F(IdTreTest, FoRoundtripAndTamperRejection) {
+  Bytes msg = to_bytes("cca secure");
+  FoCiphertext ct = scheme_.encrypt_fo(msg, kId, authority_.pub, kTag, rng_);
+  KeyUpdate upd = scheme_.issue_update(authority_, kTag);
+  auto out = scheme_.decrypt_fo(ct, alice_, upd, authority_.pub);
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(*out, msg);
+
+  ct.c_msg[0] ^= 1;
+  EXPECT_FALSE(scheme_.decrypt_fo(ct, alice_, upd, authority_.pub).has_value());
+}
+
+TEST_F(IdTreTest, MessageSizeSweep) {
+  KeyUpdate upd = scheme_.issue_update(authority_, kTag);
+  for (size_t n : {0u, 1u, 64u, 4096u}) {
+    Bytes m = rng_.bytes(n);
+    Ciphertext ct = scheme_.encrypt(m, kId, authority_.pub, kTag, rng_);
+    EXPECT_EQ(scheme_.decrypt(ct, alice_, upd), m) << n;
+  }
+}
+
+// --- Split-authority variant (§5.2, separate TA and time server) ---------------
+
+class SplitIdTreTest : public ::testing::Test {
+ protected:
+  SplitIdTreTest()
+      : scheme_(params::load("tre-toy-96")),
+        rng_(to_bytes("split-idtre-tests")),
+        ta_(scheme_.authority_keygen(rng_)),
+        ts_(scheme_.authority_keygen(rng_)),
+        alice_(scheme_.extract(ta_, kId)) {}
+
+  SplitAuthorityIdTre scheme_;
+  hashing::HmacDrbg rng_;
+  ServerKeyPair ta_;  // identity authority
+  ServerKeyPair ts_;  // time server
+  IdPrivateKey alice_;
+};
+
+TEST_F(SplitIdTreTest, RoundtripNeedsBothAuthorities) {
+  Bytes msg = to_bytes("two masters");
+  Ciphertext ct = scheme_.encrypt(msg, kId, ta_.pub, ts_.pub, kTag, rng_);
+  KeyUpdate upd = scheme_.issue_update(ts_, kTag);
+  EXPECT_TRUE(scheme_.verify_private_key(ta_.pub, alice_));
+  EXPECT_TRUE(scheme_.verify_update(ts_.pub, upd));
+  EXPECT_EQ(scheme_.decrypt(ct, alice_, upd), msg);
+}
+
+TEST_F(SplitIdTreTest, TimeServerAloneCannotDecrypt) {
+  // The always-online party holds s2 only; extracting the identity key
+  // with the WRONG master yields garbage — escrow is confined to the
+  // offline TA.
+  Bytes msg = to_bytes("hidden from the time server");
+  Ciphertext ct = scheme_.encrypt(msg, kId, ta_.pub, ts_.pub, kTag, rng_);
+  KeyUpdate upd = scheme_.issue_update(ts_, kTag);
+  IdPrivateKey ts_forged = scheme_.extract(ts_, kId);  // uses s2, not s1
+  EXPECT_NE(scheme_.decrypt(ct, ts_forged, upd), msg);
+}
+
+TEST_F(SplitIdTreTest, WrongIdentityOrUpdateFails) {
+  Bytes msg = to_bytes("m");
+  Ciphertext ct = scheme_.encrypt(msg, kId, ta_.pub, ts_.pub, kTag, rng_);
+  KeyUpdate upd = scheme_.issue_update(ts_, kTag);
+  IdPrivateKey bob = scheme_.extract(ta_, "bob@example.org");
+  EXPECT_NE(scheme_.decrypt(ct, bob, upd), msg);
+  KeyUpdate early = scheme_.issue_update(ts_, "1999-01-01");
+  EXPECT_NE(scheme_.decrypt(ct, alice_, early), msg);
+}
+
+TEST_F(SplitIdTreTest, SingleAuthoritySpecialCaseMatchesIdTre) {
+  // With TA == TS the scheme degenerates to §5.2 exactly: the combined
+  // decryption key is s·(H1(ID) + H1(T)).
+  Bytes msg = to_bytes("degenerate");
+  Ciphertext ct = scheme_.encrypt(msg, kId, ta_.pub, ta_.pub, kTag, rng_);
+  KeyUpdate upd = scheme_.issue_update(ta_, kTag);
+  EXPECT_EQ(scheme_.decrypt(ct, alice_, upd), msg);
+}
+
+TEST_F(SplitIdTreTest, RejectsForeignGenerators) {
+  // Authorities must share the system generator for rG to serve both.
+  IdTreScheme plain(params::load("tre-toy-96"));
+  ServerKeyPair rogue = plain.setup(rng_);  // random generator
+  EXPECT_THROW(scheme_.encrypt(to_bytes("m"), kId, rogue.pub, ts_.pub, kTag, rng_),
+               Error);
+}
+
+}  // namespace
+}  // namespace tre::idtre

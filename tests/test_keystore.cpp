@@ -1,0 +1,90 @@
+// Password-protected key storage and the explicit wipe helpers.
+#include "keystore/keystore.h"
+
+#include <gtest/gtest.h>
+
+#include "core/wipe.h"
+#include "hashing/drbg.h"
+
+namespace tre::keystore {
+namespace {
+
+class KeystoreTest : public ::testing::Test {
+ protected:
+  hashing::HmacDrbg rng_{to_bytes("keystore-tests")};
+};
+
+TEST_F(KeystoreTest, SealOpenRoundtrip) {
+  Bytes secret = rng_.bytes(20);
+  Bytes blob = seal(secret, "correct horse", rng_, /*iterations=*/100);
+  auto opened = open(blob, "correct horse");
+  ASSERT_TRUE(opened.has_value());
+  EXPECT_EQ(*opened, secret);
+}
+
+TEST_F(KeystoreTest, WrongPasswordRejected) {
+  Bytes blob = seal(rng_.bytes(20), "correct horse", rng_, 100);
+  EXPECT_FALSE(open(blob, "battery staple").has_value());
+  EXPECT_FALSE(open(blob, "").has_value());
+  EXPECT_FALSE(open(blob, "correct horsE").has_value());
+}
+
+TEST_F(KeystoreTest, TamperingDetected) {
+  Bytes blob = seal(rng_.bytes(32), "pw", rng_, 100);
+  for (size_t i = 0; i < blob.size(); i += 7) {
+    Bytes mutated = blob;
+    mutated[i] ^= 0x01;
+    EXPECT_FALSE(open(mutated, "pw").has_value()) << "byte " << i;
+  }
+  // Truncations never open.
+  for (size_t len = 0; len < blob.size(); len += 5) {
+    EXPECT_FALSE(open(ByteSpan(blob.data(), len), "pw").has_value());
+  }
+}
+
+TEST_F(KeystoreTest, SaltsMakeBlobsUnique) {
+  Bytes secret = rng_.bytes(20);
+  Bytes b1 = seal(secret, "pw", rng_, 100);
+  Bytes b2 = seal(secret, "pw", rng_, 100);
+  EXPECT_NE(b1, b2);
+  EXPECT_EQ(*open(b1, "pw"), *open(b2, "pw"));
+}
+
+TEST_F(KeystoreTest, DeriveKeyIsDeterministicAndCostSensitive) {
+  Bytes salt = rng_.bytes(16);
+  EXPECT_EQ(derive_key("pw", salt, 100, 32), derive_key("pw", salt, 100, 32));
+  EXPECT_NE(derive_key("pw", salt, 100, 32), derive_key("pw", salt, 101, 32));
+  EXPECT_NE(derive_key("pw", salt, 100, 32), derive_key("pq", salt, 100, 32));
+  EXPECT_THROW(derive_key("pw", salt, 0, 32), Error);
+}
+
+TEST_F(KeystoreTest, EmptySecretRoundtrips) {
+  Bytes blob = seal({}, "pw", rng_, 100);
+  auto opened = open(blob, "pw");
+  ASSERT_TRUE(opened.has_value());
+  EXPECT_TRUE(opened->empty());
+}
+
+TEST(Wipe, ScalarAndKeyPairsZeroized) {
+  auto params = params::load("tre-toy-96");
+  core::TreScheme scheme(params);
+  hashing::HmacDrbg rng(to_bytes("wipe-tests"));
+  core::ServerKeyPair server = scheme.server_keygen(rng);
+  core::UserKeyPair user = scheme.user_keygen(server.pub, rng);
+  core::KeyUpdate upd = scheme.issue_update(server, "T");
+  core::EpochKey ek = scheme.derive_epoch_key(user.a, upd);
+
+  EXPECT_FALSE(server.s.is_zero());
+  core::wipe(server);
+  EXPECT_TRUE(server.s.is_zero());
+
+  core::wipe(user);
+  EXPECT_TRUE(user.a.is_zero());
+
+  core::wipe(ek);
+  EXPECT_TRUE(ek.d.is_infinity());
+  EXPECT_TRUE(ek.tag.empty());
+}
+
+}  // namespace
+}  // namespace tre::keystore

@@ -1,0 +1,104 @@
+// §5.3.5 multi-server TRE: all-N trust distribution.
+#include "core/multiserver.h"
+
+#include <gtest/gtest.h>
+
+#include "hashing/drbg.h"
+
+namespace tre::core {
+namespace {
+
+constexpr const char* kTag = "2005-06-06T09:00:00Z";
+
+class MultiServerTest : public ::testing::TestWithParam<size_t> {
+ protected:
+  MultiServerTest()
+      : mstre_(params::load("tre-toy-96")),
+        scheme_(params::load("tre-toy-96")),
+        rng_(to_bytes("multiserver-tests")) {
+    for (size_t i = 0; i < GetParam(); ++i) {
+      servers_.push_back(scheme_.server_keygen(rng_));
+      server_pubs_.push_back(servers_.back().pub);
+    }
+    a_ = params::random_scalar(mstre_.params(), rng_);
+    user_ = mstre_.user_key(a_, server_pubs_);
+  }
+
+  std::vector<KeyUpdate> all_updates(std::string_view tag) {
+    std::vector<KeyUpdate> updates;
+    for (const auto& s : servers_) updates.push_back(scheme_.issue_update(s, tag));
+    return updates;
+  }
+
+  MultiServerTre mstre_;
+  TreScheme scheme_;
+  hashing::HmacDrbg rng_;
+  std::vector<ServerKeyPair> servers_;
+  std::vector<ServerPublicKey> server_pubs_;
+  Scalar a_;
+  MultiServerUserKey user_;
+};
+
+TEST_P(MultiServerTest, UserKeyVerifies) {
+  EXPECT_TRUE(mstre_.verify_user_key(user_, server_pubs_));
+}
+
+TEST_P(MultiServerTest, ForgedPartRejected) {
+  MultiServerUserKey forged = user_;
+  forged.parts[0] = forged.parts[0].doubled();
+  EXPECT_FALSE(mstre_.verify_user_key(forged, server_pubs_));
+}
+
+TEST_P(MultiServerTest, RoundtripWithAllUpdates) {
+  Bytes msg = to_bytes("N-of-N trust");
+  MultiServerCiphertext ct = mstre_.encrypt(msg, user_, server_pubs_, kTag, rng_);
+  EXPECT_EQ(ct.us.size(), GetParam());
+  EXPECT_EQ(mstre_.decrypt(ct, a_, all_updates(kTag)), msg);
+}
+
+TEST_P(MultiServerTest, OneStaleUpdateBreaksDecryption) {
+  if (GetParam() < 2) GTEST_SKIP();
+  Bytes msg = to_bytes("N-of-N trust");
+  MultiServerCiphertext ct = mstre_.encrypt(msg, user_, server_pubs_, kTag, rng_);
+  auto updates = all_updates(kTag);
+  // Server 0 colludes early for a different tag: still useless.
+  updates[0] = scheme_.issue_update(servers_[0], "1999-01-01T00:00:00Z");
+  EXPECT_THROW(mstre_.decrypt(ct, a_, updates), Error);  // tag mismatch detected
+}
+
+TEST_P(MultiServerTest, MissingUpdateCountRejected) {
+  Bytes msg = to_bytes("N-of-N trust");
+  MultiServerCiphertext ct = mstre_.encrypt(msg, user_, server_pubs_, kTag, rng_);
+  auto updates = all_updates(kTag);
+  updates.pop_back();
+  EXPECT_THROW(mstre_.decrypt(ct, a_, updates), Error);
+}
+
+TEST_P(MultiServerTest, WrongSecretYieldsGarbage) {
+  Bytes msg = to_bytes("N-of-N trust");
+  MultiServerCiphertext ct = mstre_.encrypt(msg, user_, server_pubs_, kTag, rng_);
+  Scalar eve = params::random_scalar(mstre_.params(), rng_);
+  EXPECT_NE(mstre_.decrypt(ct, eve, all_updates(kTag)), msg);
+}
+
+TEST_P(MultiServerTest, SerializationRoundtrip) {
+  Bytes msg = to_bytes("wire");
+  MultiServerCiphertext ct = mstre_.encrypt(msg, user_, server_pubs_, kTag, rng_);
+  auto ct2 = MultiServerCiphertext::from_bytes(mstre_.params(), ct.to_bytes());
+  EXPECT_EQ(mstre_.decrypt(ct2, a_, all_updates(kTag)), msg);
+  auto user2 = MultiServerUserKey::from_bytes(mstre_.params(), user_.to_bytes());
+  EXPECT_TRUE(mstre_.verify_user_key(user2, server_pubs_));
+}
+
+INSTANTIATE_TEST_SUITE_P(ServerCounts, MultiServerTest, ::testing::Values(1, 2, 3, 5),
+                         ::testing::PrintToStringParamName());
+
+TEST(MultiServerEdge, RejectsEmptyServerList) {
+  MultiServerTre mstre(params::load("tre-toy-96"));
+  hashing::HmacDrbg rng(to_bytes("edge"));
+  Scalar a = params::random_scalar(mstre.params(), rng);
+  EXPECT_THROW(mstre.user_key(a, {}), Error);
+}
+
+}  // namespace
+}  // namespace tre::core

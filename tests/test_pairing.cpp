@@ -1,0 +1,173 @@
+// The load-bearing tests of the whole construction: bilinearity,
+// non-degeneracy and symmetry of the modified Tate pairing.
+#include "pairing/pairing.h"
+
+#include <gtest/gtest.h>
+
+#include "hashing/drbg.h"
+#include "params/params.h"
+
+namespace tre::pairing {
+namespace {
+
+using ec::G1Point;
+using field::FpInt;
+
+class PairingTest : public ::testing::TestWithParam<const char*> {
+ protected:
+  PairingTest() : params_(params::load(GetParam())), rng_(to_bytes("pairing-tests")) {}
+
+  std::shared_ptr<const params::GdhParams> params_;
+  hashing::HmacDrbg rng_;
+};
+
+TEST_P(PairingTest, NonDegenerate) {
+  const G1Point& g = params_->base;
+  Gt e = pair(g, g);
+  EXPECT_FALSE(e.is_one());
+  EXPECT_FALSE(e.is_zero());
+}
+
+TEST_P(PairingTest, OutputHasOrderDividingQ) {
+  const G1Point& g = params_->base;
+  Gt e = pair(g, g);
+  EXPECT_TRUE(e.pow(params_->group_order()).is_one());
+  // Norm 1: lives in the unitary subgroup.
+  EXPECT_EQ(e.norm(), field::Fp::one(params_->ctx()->fp.get()));
+}
+
+TEST_P(PairingTest, Bilinearity) {
+  const G1Point& g = params_->base;
+  for (int i = 0; i < 3; ++i) {
+    FpInt a = params::random_scalar(*params_, rng_);
+    FpInt b = params::random_scalar(*params_, rng_);
+    Gt lhs = pair(g.mul(a), g.mul(b));
+    Gt rhs_a = pair(g, g.mul(b)).pow(a);
+    Gt rhs_b = pair(g.mul(a), g).pow(b);
+    Gt rhs_ab = pair(g, g).pow(a).pow(b);
+    EXPECT_EQ(lhs, rhs_a);
+    EXPECT_EQ(lhs, rhs_b);
+    EXPECT_EQ(lhs, rhs_ab);
+  }
+}
+
+TEST_P(PairingTest, BilinearInFirstArgumentAdditively) {
+  const G1Point& g = params_->base;
+  G1Point p = ec::hash_to_g1(params_->ctx(), to_bytes("P"));
+  G1Point q = ec::hash_to_g1(params_->ctx(), to_bytes("Q"));
+  // ê(P + Q, G) == ê(P, G) ê(Q, G)
+  EXPECT_EQ(pair(p + q, g), pair(p, g) * pair(q, g));
+  // and in the second argument.
+  EXPECT_EQ(pair(g, p + q), pair(g, p) * pair(g, q));
+}
+
+TEST_P(PairingTest, SymmetricOnIndependentPoints) {
+  // The modified pairing with a distortion map is symmetric:
+  // ê(P, Q) == ê(Q, P) even for independently hashed points.
+  G1Point p = ec::hash_to_g1(params_->ctx(), to_bytes("sym-P"));
+  G1Point q = ec::hash_to_g1(params_->ctx(), to_bytes("sym-Q"));
+  EXPECT_EQ(pair(p, q), pair(q, p));
+}
+
+TEST_P(PairingTest, InfinityMapsToIdentity) {
+  const G1Point& g = params_->base;
+  G1Point inf = G1Point::infinity(params_->ctx());
+  EXPECT_TRUE(pair(inf, g).is_one());
+  EXPECT_TRUE(pair(g, inf).is_one());
+  EXPECT_TRUE(pair(inf, inf).is_one());
+}
+
+TEST_P(PairingTest, HashedPointsPairConsistently) {
+  // The exact identity the TRE decryption relies on:
+  //   ê(rG, s·H1(T))^a == ê(r·a·s·G, H1(T))
+  const G1Point& g = params_->base;
+  FpInt r = params::random_scalar(*params_, rng_);
+  FpInt s = params::random_scalar(*params_, rng_);
+  FpInt a = params::random_scalar(*params_, rng_);
+  G1Point h1 = ec::hash_to_g1(params_->ctx(), to_bytes("2010-01-01T00:00:00Z"));
+
+  Gt receiver_side = pair(g.mul(r), h1.mul(s)).pow(a);
+  Gt sender_side = pair(g.mul(r).mul(a).mul(s), h1);
+  EXPECT_EQ(receiver_side, sender_side);
+}
+
+TEST_P(PairingTest, PairingsEqualHelper) {
+  const G1Point& g = params_->base;
+  FpInt s = params::random_scalar(*params_, rng_);
+  G1Point h1 = ec::hash_to_g1(params_->ctx(), to_bytes("cond"));
+  // BLS verification: ê(sG, H1) == ê(G, sH1)
+  EXPECT_TRUE(pairings_equal(g.mul(s), h1, g, h1.mul(s)));
+  EXPECT_FALSE(pairings_equal(g.mul(s), h1, g, h1));
+}
+
+TEST_P(PairingTest, ProjectiveMatchesAffineReference) {
+  // The optimized Jacobian Miller loop must agree with the textbook
+  // affine implementation on random subgroup points.
+  const G1Point& g = params_->base;
+  for (int i = 0; i < 5; ++i) {
+    FpInt a = params::random_scalar(*params_, rng_);
+    FpInt b = params::random_scalar(*params_, rng_);
+    G1Point p = g.mul(a);
+    G1Point q = ec::hash_to_g1(params_->ctx(), to_bytes("aff" + std::to_string(i))).mul(b);
+    EXPECT_EQ(pair(p, q), pair_affine(p, q));
+  }
+  EXPECT_EQ(pair(g, g), pair_affine(g, g));  // P == Q case
+}
+
+TEST_P(PairingTest, PairProductMatchesIteratedPairs) {
+  const G1Point& g = params_->base;
+  std::vector<std::pair<G1Point, G1Point>> pairs;
+  Gt expected = gt_identity(params_->ctx());
+  for (int i = 0; i < 4; ++i) {
+    G1Point p = g.mul(params::random_scalar(*params_, rng_));
+    G1Point q = ec::hash_to_g1(params_->ctx(), to_bytes("pp" + std::to_string(i)));
+    pairs.emplace_back(p, q);
+    expected = expected * pair(p, q);
+  }
+  EXPECT_EQ(pair_product(pairs), expected);
+}
+
+TEST_P(PairingTest, PairProductSingletonEqualsPair) {
+  const G1Point& g = params_->base;
+  G1Point h = ec::hash_to_g1(params_->ctx(), to_bytes("solo"));
+  std::vector<std::pair<G1Point, G1Point>> one = {{g, h}};
+  EXPECT_EQ(pair_product(one), pair(g, h));
+  EXPECT_THROW(pair_product({}), Error);
+}
+
+TEST_P(PairingTest, MillerFinalExpComposition) {
+  const G1Point& g = params_->base;
+  G1Point h = ec::hash_to_g1(params_->ctx(), to_bytes("compose"));
+  MillerValue f = miller_loop(g, h);
+  EXPECT_EQ(final_exponentiation(params_->ctx(), f), pair(g, h));
+}
+
+TEST_P(PairingTest, PairingsEqualHandlesInfinity) {
+  const G1Point& g = params_->base;
+  G1Point inf = G1Point::infinity(params_->ctx());
+  // ê(O, g) == ê(g, O) == 1.
+  EXPECT_TRUE(pairings_equal(inf, g, g, inf));
+  EXPECT_FALSE(pairings_equal(g, g, inf, g));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllParams, PairingTest,
+                         ::testing::Values("tre-toy-96"),
+                         [](const auto& info) {
+                           std::string n = info.param;
+                           for (char& c : n)
+                             if (c == '-') c = '_';
+                           return n;
+                         });
+
+// One expensive sanity check at production size.
+TEST(PairingProduction, BilinearAt512Bits) {
+  auto params = params::load("tre-512");
+  hashing::HmacDrbg rng(to_bytes("pairing-512"));
+  const G1Point& g = params->base;
+  FpInt a = params::random_scalar(*params, rng);
+  FpInt b = params::random_scalar(*params, rng);
+  EXPECT_EQ(pair(g.mul(a), g.mul(b)), pair(g, g).pow(a).pow(b));
+}
+
+}  // namespace
+}  // namespace tre::pairing

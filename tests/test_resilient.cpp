@@ -1,0 +1,195 @@
+// Missing-update resilience (§6 future work): fallback chains,
+// disjunctive locking and the multi-granularity server.
+#include "timeserver/resilient.h"
+
+#include <gtest/gtest.h>
+
+#include "hashing/drbg.h"
+#include "timeserver/timeserver.h"
+
+namespace tre::server {
+namespace {
+
+class ResilientTest : public ::testing::Test {
+ protected:
+  ResilientTest()
+      : params_(params::load("tre-toy-96")),
+        res_(params_),
+        scheme_(params_),
+        rng_(to_bytes("resilient-tests")),
+        server_(scheme_.server_keygen(rng_)),
+        user_(scheme_.user_keygen(server_.pub, rng_)) {}
+
+  std::shared_ptr<const params::GdhParams> params_;
+  ResilientTre res_;
+  core::TreScheme scheme_;
+  hashing::HmacDrbg rng_;
+  core::ServerKeyPair server_;
+  core::UserKeyPair user_;
+};
+
+// --- fallback_chain ---------------------------------------------------------
+
+TEST_F(ResilientTest, ChainFromSecondGranularity) {
+  auto release = *TimeSpec::parse("2005-06-06T09:00:30Z");
+  auto chain = fallback_chain(release);
+  ASSERT_EQ(chain.size(), 4u);
+  EXPECT_EQ(chain[0].canonical(), "2005-06-06T09:00:30Z");
+  EXPECT_EQ(chain[1].canonical(), "2005-06-06T09:01Z");
+  EXPECT_EQ(chain[2].canonical(), "2005-06-06T10Z");
+  EXPECT_EQ(chain[3].canonical(), "2005-06-07");
+  // Never earlier than the release.
+  for (const auto& t : chain) EXPECT_GE(t.unix_seconds(), release.unix_seconds());
+}
+
+TEST_F(ResilientTest, ChainOnExactBoundaries) {
+  // Release exactly at midnight: every coarser boundary is that instant.
+  auto release = *TimeSpec::parse("2005-06-07T00:00:00Z");
+  auto chain = fallback_chain(release);
+  ASSERT_EQ(chain.size(), 4u);
+  EXPECT_EQ(chain[1].canonical(), "2005-06-07T00:00Z");
+  EXPECT_EQ(chain[2].canonical(), "2005-06-07T00Z");
+  EXPECT_EQ(chain[3].canonical(), "2005-06-07");
+  for (const auto& t : chain) EXPECT_EQ(t.unix_seconds(), release.unix_seconds());
+}
+
+TEST_F(ResilientTest, ChainRespectsCoarsestBound) {
+  auto release = *TimeSpec::parse("2005-06-06T09:00:30Z");
+  auto chain = fallback_chain(release, Granularity::kHour);
+  ASSERT_EQ(chain.size(), 3u);  // second, minute, hour
+  EXPECT_EQ(chain.back().canonical(), "2005-06-06T10Z");
+}
+
+TEST_F(ResilientTest, ChainFromDayIsSingleton) {
+  auto release = *TimeSpec::parse("2005-06-06");
+  auto chain = fallback_chain(release);
+  ASSERT_EQ(chain.size(), 1u);
+  EXPECT_EQ(chain[0].canonical(), "2005-06-06");
+}
+
+TEST_F(ResilientTest, ChainRejectsInvertedBounds) {
+  auto release = *TimeSpec::parse("2005-06-06");
+  EXPECT_THROW(fallback_chain(release, Granularity::kSecond), Error);
+}
+
+// --- encryption/decryption ---------------------------------------------------
+
+TEST_F(ResilientTest, DecryptsWithExactUpdate) {
+  auto release = *TimeSpec::parse("2005-06-06T09:00:30Z");
+  Bytes msg = to_bytes("resilient message");
+  auto ct = res_.encrypt(msg, user_.pub, server_.pub, release, rng_);
+  core::KeyUpdate exact = scheme_.issue_update(server_, "2005-06-06T09:00:30Z");
+  EXPECT_EQ(res_.decrypt(ct, user_.a, exact), msg);
+}
+
+TEST_F(ResilientTest, DecryptsWithEveryFallbackLevel) {
+  auto release = *TimeSpec::parse("2005-06-06T09:00:30Z");
+  Bytes msg = to_bytes("resilient message");
+  auto ct = res_.encrypt(msg, user_.pub, server_.pub, release, rng_);
+  for (const char* tag : {"2005-06-06T09:01Z", "2005-06-06T10Z", "2005-06-07"}) {
+    core::KeyUpdate upd = scheme_.issue_update(server_, tag);
+    EXPECT_EQ(res_.decrypt(ct, user_.a, upd), msg) << tag;
+  }
+}
+
+TEST_F(ResilientTest, RejectsUnrelatedUpdate) {
+  auto release = *TimeSpec::parse("2005-06-06T09:00:30Z");
+  auto ct = res_.encrypt(to_bytes("m"), user_.pub, server_.pub, release, rng_);
+  // An earlier minute (before the release) is not in the chain.
+  core::KeyUpdate early = scheme_.issue_update(server_, "2005-06-06T09:00Z");
+  EXPECT_THROW(res_.decrypt(ct, user_.a, early), Error);
+}
+
+TEST_F(ResilientTest, WrongSecretYieldsGarbage) {
+  auto release = *TimeSpec::parse("2005-06-06T09:00:30Z");
+  Bytes msg = to_bytes("m");
+  auto ct = res_.encrypt(msg, user_.pub, server_.pub, release, rng_);
+  core::KeyUpdate exact = scheme_.issue_update(server_, "2005-06-06T09:00:30Z");
+  core::UserKeyPair eve = scheme_.user_keygen(server_.pub, rng_);
+  EXPECT_NE(res_.decrypt(ct, eve.a, exact), msg);
+}
+
+TEST_F(ResilientTest, SerializationRoundtrip) {
+  auto release = *TimeSpec::parse("2005-06-06T09:00:30Z");
+  Bytes msg = to_bytes("wire format");
+  auto ct = res_.encrypt(msg, user_.pub, server_.pub, release, rng_);
+  auto ct2 = core::AnyCiphertext::from_bytes(*params_, ct.to_bytes());
+  core::KeyUpdate upd = scheme_.issue_update(server_, "2005-06-07");
+  EXPECT_EQ(res_.decrypt(ct2, user_.a, upd), msg);
+  // Truncation rejected.
+  Bytes enc = ct.to_bytes();
+  EXPECT_THROW(core::AnyCiphertext::from_bytes(*params_,
+                                               ByteSpan(enc.data(), enc.size() - 1)),
+               Error);
+}
+
+TEST_F(ResilientTest, CiphertextGrowsOneWrapPerLevel) {
+  auto release = *TimeSpec::parse("2005-06-06T09:00:30Z");
+  Bytes msg(64, 0xaa);
+  auto full = res_.encrypt(msg, user_.pub, server_.pub, release, rng_);
+  auto hour = res_.encrypt(msg, user_.pub, server_.pub, release, rng_,
+                           Granularity::kHour);
+  EXPECT_EQ(full.wraps.size(), 4u);
+  EXPECT_EQ(hour.wraps.size(), 3u);
+  EXPECT_GT(full.to_bytes().size(), hour.to_bytes().size());
+}
+
+// --- end-to-end with a multi-granularity server --------------------------------
+
+TEST(ResilientEndToEnd, MissedMinuteRecoveredAtNextHour) {
+  auto params = params::load("tre-toy-96");
+  hashing::HmacDrbg rng(to_bytes("resilient-e2e"));
+  Timeline timeline(0);
+  TimeServer authority(params, timeline,
+                       {Granularity::kMinute, Granularity::kHour}, rng);
+  core::TreScheme scheme(params);
+  ResilientTre res(params);
+  core::UserKeyPair user = scheme.user_keygen(authority.public_key(), rng);
+
+  // Release at minute 30; the receiver's link is down the whole hour.
+  TimeSpec release = TimeSpec::from_unix(30 * 60, Granularity::kMinute);
+  Bytes msg = to_bytes("do not miss me");
+  auto ct = res.encrypt(msg, user.pub, authority.public_key(), release, rng,
+                        Granularity::kHour);
+
+  authority.bus().set_loss_probability(1.0);  // drops everything
+  std::optional<Bytes> opened;
+  // Receiver reconnects at minute 59 and hears only from then on.
+  timeline.advance_to(59 * 60);
+  authority.tick();
+  authority.bus().set_loss_probability(0.0);
+  authority.bus().subscribe([&](const core::KeyUpdate& upd) {
+    if (opened) return;
+    try {
+      opened = res.decrypt(ct, user.a, upd);
+    } catch (const Error&) {
+      // update not in this ciphertext's chain; keep waiting
+    }
+  });
+
+  // Minute updates 59:xx follow, all AFTER the release but not in the
+  // chain; the next hour boundary (60 min) finally opens it.
+  authority.run(2 * 3600);
+  timeline.advance_to(3600 - 1);
+  EXPECT_FALSE(opened.has_value());
+  timeline.advance_to(3600);
+  ASSERT_TRUE(opened.has_value());
+  EXPECT_EQ(*opened, msg);
+}
+
+TEST(ResilientEndToEnd, MultiGranularityServerSignsAllBoundaries) {
+  auto params = params::load("tre-toy-96");
+  hashing::HmacDrbg rng(to_bytes("multi-gran"));
+  Timeline timeline(0);
+  TimeServer authority(params, timeline,
+                       {Granularity::kHour, Granularity::kDay}, rng);
+  authority.run(86400);
+  timeline.advance_to(86400);
+  // 25 hour-updates (0..24h) + 2 day-updates (day 0 and day 1).
+  EXPECT_EQ(authority.archive().size(), 27u);
+  EXPECT_TRUE(authority.archive().contains("1970-01-01T05Z"));
+  EXPECT_TRUE(authority.archive().contains("1970-01-02"));
+}
+
+}  // namespace
+}  // namespace tre::server

@@ -1,0 +1,167 @@
+// Discrete-event network simulation and the mirrored update archive.
+#include "simnet/mirrors.h"
+
+#include <gtest/gtest.h>
+
+#include "hashing/drbg.h"
+
+namespace tre::simnet {
+namespace {
+
+class NetworkTest : public ::testing::Test {
+ protected:
+  NetworkTest() : timeline_(0), net_(timeline_, to_bytes("simnet-tests")) {}
+
+  server::Timeline timeline_;
+  Network net_;
+};
+
+TEST_F(NetworkTest, DeliversWithLinkDelay) {
+  NodeId a = net_.add_node("a");
+  NodeId b = net_.add_node("b");
+  net_.connect(a, b, LinkSpec{.base_delay = 5});
+  std::int64_t arrived_at = -1;
+  net_.send(a, b, 100, [&] { arrived_at = timeline_.now(); });
+  timeline_.advance_to(4);
+  EXPECT_EQ(arrived_at, -1);
+  timeline_.advance_to(5);
+  EXPECT_EQ(arrived_at, 5);
+  EXPECT_EQ(net_.stats().delivered, 1u);
+  EXPECT_EQ(net_.stats().bytes_carried, 100u);
+  EXPECT_EQ(net_.inbound_count(b), 1u);
+  EXPECT_EQ(net_.inbound_count(a), 0u);
+}
+
+TEST_F(NetworkTest, JitterStaysInRange) {
+  NodeId a = net_.add_node("a");
+  NodeId b = net_.add_node("b");
+  net_.connect(a, b, LinkSpec{.base_delay = 10, .jitter = 5});
+  std::vector<std::int64_t> arrivals;
+  for (int i = 0; i < 50; ++i) {
+    net_.send(a, b, 1, [&] { arrivals.push_back(timeline_.now()); });
+  }
+  timeline_.advance_to(100);
+  ASSERT_EQ(arrivals.size(), 50u);
+  for (auto t : arrivals) {
+    EXPECT_GE(t, 10);
+    EXPECT_LE(t, 15);
+  }
+}
+
+TEST_F(NetworkTest, LossDropsSomeMessages) {
+  NodeId a = net_.add_node("a");
+  NodeId b = net_.add_node("b");
+  net_.connect(a, b, LinkSpec{.loss = 0.5});
+  int received = 0;
+  for (int i = 0; i < 200; ++i) net_.send(a, b, 1, [&] { ++received; });
+  timeline_.advance_to(1);
+  EXPECT_GT(received, 50);
+  EXPECT_LT(received, 150);
+  EXPECT_EQ(net_.stats().dropped + net_.stats().delivered, 200u);
+}
+
+TEST_F(NetworkTest, NoLinkMeansDrop) {
+  NodeId a = net_.add_node("a");
+  NodeId b = net_.add_node("b");
+  bool delivered = false;
+  net_.send(a, b, 1, [&] { delivered = true; });
+  timeline_.advance_to(10);
+  EXPECT_FALSE(delivered);
+  EXPECT_EQ(net_.stats().dropped, 1u);
+}
+
+TEST_F(NetworkTest, ValidatesInputs) {
+  NodeId a = net_.add_node("a");
+  EXPECT_THROW(net_.connect(a, a, LinkSpec{}), Error);
+  EXPECT_THROW(net_.connect(a, 99, LinkSpec{}), Error);
+  EXPECT_THROW(net_.send(a, 99, 1, [] {}), Error);
+  EXPECT_THROW(net_.connect(a, a, LinkSpec{.loss = 1.5}), Error);
+  EXPECT_EQ(net_.name_of(a), "a");
+}
+
+// --- MirroredArchive ------------------------------------------------------------
+
+class MirrorTest : public ::testing::Test {
+ protected:
+  MirrorTest()
+      : timeline_(0),
+        net_(timeline_, to_bytes("mirror-tests")),
+        scheme_(params::load("tre-toy-96")),
+        rng_(to_bytes("mirror-rng")),
+        server_(scheme_.server_keygen(rng_)) {}
+
+  core::KeyUpdate update(const char* tag) { return scheme_.issue_update(server_, tag); }
+
+  server::Timeline timeline_;
+  Network net_;
+  core::TreScheme scheme_;
+  hashing::HmacDrbg rng_;
+  core::ServerKeyPair server_;
+};
+
+TEST_F(MirrorTest, ReplicationReachesAllMirrors) {
+  MirroredArchive cluster(net_, timeline_, 3, LinkSpec{.base_delay = 2});
+  cluster.publish(update("T1"));
+  EXPECT_EQ(cluster.stats().replication_messages, 3u);
+
+  // A receiver polling a mirror BEFORE replication lands needs a retry.
+  NodeId rx = net_.add_node("receiver");
+  std::int64_t got_at = -1;
+  cluster.fetch(rx, 1, "T1", LinkSpec{.base_delay = 1}, /*poll_period=*/4,
+                /*max_polls=*/5, [&](const core::KeyUpdate& u) {
+                  got_at = timeline_.now();
+                  EXPECT_TRUE(scheme_.verify_update(server_.pub, u));
+                });
+  timeline_.advance_to(60);
+  // Poll 1 arrives at t=1 (mirror still empty; the replica lands at
+  // t=2); the retry fires at t=5, reaches the mirror at t=6, and the
+  // response arrives at t=7.
+  EXPECT_EQ(got_at, 7);
+  EXPECT_EQ(cluster.stats().fetch_successes, 1u);
+  EXPECT_EQ(cluster.stats().mirror_requests, 2u);
+  EXPECT_EQ(cluster.stats().origin_requests, 0u);
+}
+
+TEST_F(MirrorTest, OriginServesDirectly) {
+  MirroredArchive cluster(net_, timeline_, 2, LinkSpec{.base_delay = 10});
+  cluster.publish(update("T1"));
+  NodeId rx = net_.add_node("receiver");
+  bool got = false;
+  cluster.fetch(rx, MirroredArchive::kOrigin, "T1", LinkSpec{.base_delay = 1}, 4, 5,
+                [&](const core::KeyUpdate&) { got = true; });
+  timeline_.advance_to(10);
+  EXPECT_TRUE(got);
+  EXPECT_EQ(cluster.stats().origin_requests, 1u);
+}
+
+TEST_F(MirrorTest, FetchTimesOutWhenUpdateNeverAppears) {
+  MirroredArchive cluster(net_, timeline_, 1, LinkSpec{});
+  NodeId rx = net_.add_node("receiver");
+  bool got = false;
+  cluster.fetch(rx, 0, "never-published", LinkSpec{.base_delay = 1}, 2, 3,
+                [&](const core::KeyUpdate&) { got = true; });
+  timeline_.advance_to(100);
+  EXPECT_FALSE(got);
+  EXPECT_EQ(cluster.stats().fetch_timeouts, 1u);
+  EXPECT_EQ(cluster.stats().mirror_requests, 3u);
+}
+
+TEST_F(MirrorTest, ManyReceiversOffloadTheOrigin) {
+  MirroredArchive cluster(net_, timeline_, 4, LinkSpec{.base_delay = 1});
+  cluster.publish(update("T1"));
+  timeline_.advance_to(2);  // replication done
+  int got = 0;
+  for (size_t i = 0; i < 40; ++i) {
+    NodeId rx = net_.add_node("rx-" + std::to_string(i));
+    cluster.fetch(rx, i % 4, "T1", LinkSpec{.base_delay = 1}, 2, 3,
+                  [&](const core::KeyUpdate&) { ++got; });
+  }
+  timeline_.advance_to(30);
+  EXPECT_EQ(got, 40);
+  EXPECT_EQ(cluster.stats().origin_requests, 0u);  // fully offloaded
+  EXPECT_EQ(cluster.stats().mirror_requests, 40u);
+  EXPECT_EQ(net_.inbound_count(cluster.origin()), 0u);
+}
+
+}  // namespace
+}  // namespace tre::simnet

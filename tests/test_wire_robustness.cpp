@@ -1,0 +1,153 @@
+// Adversarial wire-format tests: every public deserializer is fed
+// systematically truncated, extended and bit-flipped images of valid
+// encodings. The contract: parsing either throws tre::Error or yields an
+// object that fails cryptographic verification — never a crash, never a
+// silently-accepted forgery of a *verifying* artifact.
+#include <gtest/gtest.h>
+
+#include "baselines/hybrid.h"
+#include "core/multiserver.h"
+#include "core/policylock.h"
+#include "core/tre.h"
+#include "hashing/drbg.h"
+
+namespace tre::core {
+namespace {
+
+class WireRobustness : public ::testing::Test {
+ protected:
+  WireRobustness()
+      : scheme_(params::load("tre-toy-96")),
+        rng_(to_bytes("wire-tests")),
+        server_(scheme_.server_keygen(rng_)),
+        user_(scheme_.user_keygen(server_.pub, rng_)) {}
+
+  // Parses every truncation of `wire`; all must throw (a shorter valid
+  // encoding would be a framing ambiguity).
+  template <typename ParseFn>
+  void expect_truncations_throw(const Bytes& wire, ParseFn parse) {
+    for (size_t len = 0; len < wire.size(); ++len) {
+      ByteSpan cut(wire.data(), len);
+      EXPECT_THROW((void)parse(cut), Error) << "accepted truncation to " << len;
+    }
+    Bytes extended = wire;
+    extended.push_back(0x00);
+    EXPECT_THROW((void)parse(extended), Error) << "accepted trailing byte";
+  }
+
+  // Flips each bit of `wire` and parses; throwing is fine, returning is
+  // fine too — the caller then checks semantic rejection.
+  template <typename ParseFn, typename AcceptFn>
+  void flip_bits(const Bytes& wire, ParseFn parse, AcceptFn on_parsed) {
+    for (size_t bit = 0; bit < wire.size() * 8; ++bit) {
+      Bytes mutated = wire;
+      mutated[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+      try {
+        on_parsed(parse(mutated), bit);
+      } catch (const Error&) {
+        // rejected at parse time: acceptable
+      }
+    }
+  }
+
+  TreScheme scheme_;
+  hashing::HmacDrbg rng_;
+  ServerKeyPair server_;
+  UserKeyPair user_;
+};
+
+TEST_F(WireRobustness, KeyUpdateTruncationAndFlips) {
+  KeyUpdate upd = scheme_.issue_update(server_, "2030-01-01");
+  Bytes wire = upd.to_bytes();
+  auto parse = [&](ByteSpan b) { return KeyUpdate::from_bytes(scheme_.params(), b); };
+  expect_truncations_throw(wire, parse);
+  // Any surviving single-bit mutation must fail self-authentication.
+  flip_bits(wire, parse, [&](const KeyUpdate& parsed, size_t bit) {
+    EXPECT_FALSE(scheme_.verify_update(server_.pub, parsed))
+        << "bit " << bit << " produced a verifying forgery";
+  });
+}
+
+TEST_F(WireRobustness, ServerPublicKeyTruncations) {
+  Bytes wire = server_.pub.to_bytes();
+  expect_truncations_throw(
+      wire, [&](ByteSpan b) { return ServerPublicKey::from_bytes(scheme_.params(), b); });
+}
+
+TEST_F(WireRobustness, UserPublicKeyFlipsNeverVerify) {
+  Bytes wire = user_.pub.to_bytes();
+  auto parse = [&](ByteSpan b) { return UserPublicKey::from_bytes(scheme_.params(), b); };
+  expect_truncations_throw(wire, parse);
+  flip_bits(wire, parse, [&](const UserPublicKey& parsed, size_t bit) {
+    // A mutated key must no longer verify as bound to this server
+    // (unless the mutation was rejected already).
+    EXPECT_FALSE(scheme_.verify_user_public_key(server_.pub, parsed))
+        << "bit " << bit;
+  });
+}
+
+TEST_F(WireRobustness, BasicCiphertextTruncations) {
+  Ciphertext ct = scheme_.encrypt(to_bytes("msg"), user_.pub, server_.pub, "T", rng_);
+  expect_truncations_throw(
+      ct.to_bytes(), [&](ByteSpan b) { return Ciphertext::from_bytes(scheme_.params(), b); });
+}
+
+TEST_F(WireRobustness, FoCiphertextFlipsNeverDecrypt) {
+  Bytes msg = to_bytes("integrity matters");
+  FoCiphertext ct = scheme_.encrypt_fo(msg, user_.pub, server_.pub, "T", rng_);
+  KeyUpdate upd = scheme_.issue_update(server_, "T");
+  Bytes wire = ct.to_bytes();
+  auto parse = [&](ByteSpan b) { return FoCiphertext::from_bytes(scheme_.params(), b); };
+  expect_truncations_throw(wire, parse);
+  flip_bits(wire, parse, [&](const FoCiphertext& parsed, size_t bit) {
+    auto out = scheme_.decrypt_fo(parsed, user_.a, upd, server_.pub);
+    EXPECT_FALSE(out.has_value()) << "bit " << bit << " survived the FO check";
+  });
+}
+
+TEST_F(WireRobustness, ReactCiphertextFlipsNeverDecrypt) {
+  Bytes msg = to_bytes("integrity matters");
+  ReactCiphertext ct = scheme_.encrypt_react(msg, user_.pub, server_.pub, "T", rng_);
+  KeyUpdate upd = scheme_.issue_update(server_, "T");
+  Bytes wire = ct.to_bytes();
+  auto parse = [&](ByteSpan b) { return ReactCiphertext::from_bytes(scheme_.params(), b); };
+  expect_truncations_throw(wire, parse);
+  flip_bits(wire, parse, [&](const ReactCiphertext& parsed, size_t bit) {
+    auto out = scheme_.decrypt_react(parsed, user_.a, upd);
+    EXPECT_FALSE(out.has_value()) << "bit " << bit << " survived the MAC";
+  });
+}
+
+TEST_F(WireRobustness, MultiServerArtifactsTruncations) {
+  MultiServerTre mstre(params::load("tre-toy-96"));
+  std::vector<ServerPublicKey> pubs = {server_.pub};
+  MultiServerUserKey key = mstre.user_key(user_.a, pubs);
+  expect_truncations_throw(key.to_bytes(), [&](ByteSpan b) {
+    return MultiServerUserKey::from_bytes(mstre.params(), b);
+  });
+  MultiServerCiphertext ct = mstre.encrypt(to_bytes("m"), key, pubs, "T", rng_);
+  expect_truncations_throw(ct.to_bytes(), [&](ByteSpan b) {
+    return MultiServerCiphertext::from_bytes(mstre.params(), b);
+  });
+}
+
+TEST_F(WireRobustness, AnyCiphertextTruncations) {
+  PolicyLock lock(params::load("tre-toy-96"));
+  std::vector<std::string> conds = {"c1", "c2"};
+  AnyCiphertext ct = lock.lock_any(to_bytes("m"), user_.pub, server_.pub, conds, rng_);
+  expect_truncations_throw(ct.to_bytes(), [&](ByteSpan b) {
+    return AnyCiphertext::from_bytes(lock.scheme().params(), b);
+  });
+}
+
+TEST_F(WireRobustness, HybridCiphertextTruncations) {
+  baselines::HybridTre hybrid(params::load("tre-toy-96"));
+  baselines::PkeKeyPair pke = hybrid.pke_keygen(rng_);
+  auto ct = hybrid.encrypt(to_bytes("m"), pke, server_.pub, "T", rng_);
+  expect_truncations_throw(ct.to_bytes(), [&](ByteSpan b) {
+    return baselines::HybridCiphertext::from_bytes(hybrid.params(), b);
+  });
+}
+
+}  // namespace
+}  // namespace tre::core

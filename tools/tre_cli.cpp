@@ -1,0 +1,339 @@
+// tre_cli — command-line front end for the timed-release library.
+//
+//   tre_cli params
+//   tre_cli server-keygen --set tre-512 --key server.key --pub server.pub
+//   tre_cli user-keygen   --server-pub server.pub --key user.key --pub user.pub
+//   tre_cli issue         --server-key server.key [--password PW] --tag 2030-01-01T00:00:00Z --out update.bin
+//   tre_cli verify-update --server-pub server.pub --update update.bin
+//   tre_cli encrypt       --user-pub user.pub --server-pub server.pub \
+//                         --tag 2030-01-01T00:00:00Z --in msg.txt --out ct.bin [--mode basic|fo|react]
+//   tre_cli decrypt       --user-key user.key --server-pub server.pub \
+//                         --update update.bin --in ct.bin --out msg.txt [--mode basic|fo|react]
+//
+// Files are self-describing: a 4-byte magic, a type byte, the parameter
+// set name, then the payload, so mixing parameter sets or file kinds is
+// caught before any cryptography runs.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <string>
+
+#include "core/tre.h"
+#include "hashing/drbg.h"
+#include "keystore/keystore.h"
+
+namespace {
+
+using namespace tre;
+
+constexpr char kMagic[4] = {'T', 'R', 'E', '1'};
+
+enum class FileKind : std::uint8_t {
+  kServerKey = 1,
+  kServerPub = 2,
+  kUserKey = 3,
+  kUserPub = 4,
+  kUpdate = 5,
+  kCiphertextBasic = 6,
+  kCiphertextFo = 7,
+  kCiphertextReact = 8,
+  kServerKeySealed = 9,   // keystore-encrypted under --password
+  kUserKeySealed = 10,
+};
+
+struct Envelope {
+  FileKind kind;
+  std::string set_name;
+  Bytes payload;
+};
+
+Bytes read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  require(in.good(), "cannot open input file");
+  return Bytes(std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>());
+}
+
+void write_file(const std::string& path, ByteSpan data) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  require(out.good(), "cannot open output file");
+  out.write(reinterpret_cast<const char*>(data.data()),
+            static_cast<std::streamsize>(data.size()));
+  require(out.good(), "short write");
+}
+
+void write_envelope(const std::string& path, FileKind kind,
+                    const std::string& set_name, ByteSpan payload) {
+  Bytes out(kMagic, kMagic + 4);
+  out.push_back(static_cast<std::uint8_t>(kind));
+  require(set_name.size() <= 255, "parameter set name too long");
+  out.push_back(static_cast<std::uint8_t>(set_name.size()));
+  out.insert(out.end(), set_name.begin(), set_name.end());
+  out.insert(out.end(), payload.begin(), payload.end());
+  write_file(path, out);
+}
+
+Envelope parse_envelope(const std::string& path) {
+  Bytes raw = read_file(path);
+  require(raw.size() >= 6 && std::memcmp(raw.data(), kMagic, 4) == 0,
+          "not a tre_cli file (bad magic)");
+  Envelope env;
+  env.kind = static_cast<FileKind>(raw[4]);
+  size_t name_len = raw[5];
+  require(raw.size() >= 6 + name_len, "truncated file header");
+  env.set_name.assign(raw.begin() + 6, raw.begin() + 6 + static_cast<long>(name_len));
+  env.payload.assign(raw.begin() + 6 + static_cast<long>(name_len), raw.end());
+  return env;
+}
+
+Envelope read_envelope(const std::string& path, FileKind expected) {
+  Envelope env = parse_envelope(path);
+  require(env.kind == expected, "wrong file kind for this option");
+  return env;
+}
+
+// Reads a secret-key file, opening the keystore seal when present.
+Envelope read_secret(const std::string& path, FileKind plain_kind,
+                     FileKind sealed_kind, const std::string& password) {
+  Envelope env = parse_envelope(path);
+  if (env.kind == plain_kind) return env;
+  require(env.kind == sealed_kind, "wrong file kind for this option");
+  require(!password.empty(), "this key file is password-protected: pass --password");
+  auto opened = keystore::open(env.payload, password);
+  require(opened.has_value(), "wrong password or corrupted key file");
+  env.payload = std::move(*opened);
+  env.kind = plain_kind;
+  return env;
+}
+
+// Secret-key payloads: scalar || public part.
+Bytes keypair_payload(const params::GdhParams& p, const core::Scalar& secret,
+                      ByteSpan pub) {
+  Bytes out = secret.to_bytes_be(p.scalar_bytes());
+  out.insert(out.end(), pub.begin(), pub.end());
+  return out;
+}
+
+// Writes a secret-key file, sealed under `password` when one is given.
+void write_secret(const std::string& path, FileKind plain_kind, FileKind sealed_kind,
+                  const std::string& set_name, ByteSpan payload,
+                  const std::string& password, tre::hashing::RandomSource& rng) {
+  if (password.empty()) {
+    write_envelope(path, plain_kind, set_name, payload);
+  } else {
+    write_envelope(path, sealed_kind, set_name,
+                   keystore::seal(payload, password, rng));
+  }
+}
+
+class Args {
+ public:
+  Args(int argc, char** argv) {
+    for (int i = 2; i < argc; ++i) {
+      std::string key = argv[i];
+      require(key.size() > 2 && key.rfind("--", 0) == 0, "options look like --name value");
+      require(i + 1 < argc, "missing value for option");
+      values_[key.substr(2)] = argv[++i];
+    }
+  }
+
+  std::string get(const std::string& name) const {
+    auto it = values_.find(name);
+    require(it != values_.end(), "missing required option (see usage in --help)");
+    return it->second;
+  }
+
+  std::string get_or(const std::string& name, const std::string& fallback) const {
+    auto it = values_.find(name);
+    return it == values_.end() ? fallback : it->second;
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: tre_cli <command> [--opt value ...]\n"
+               "  params\n"
+               "  server-keygen --set NAME --key FILE --pub FILE [--password PW]\n"
+               "  user-keygen   --server-pub FILE --key FILE --pub FILE [--password PW]\n"
+               "  issue         --server-key FILE --tag T --out FILE\n"
+               "  verify-update --server-pub FILE --update FILE\n"
+               "  encrypt       --user-pub FILE --server-pub FILE --tag T\n"
+               "                --in FILE --out FILE [--mode basic|fo|react]\n"
+               "  decrypt       --user-key FILE --server-pub FILE --update FILE\n"
+               "                --in FILE --out FILE [--mode basic|fo|react]\n");
+  return 2;
+}
+
+std::shared_ptr<const params::GdhParams> load_set(const std::string& name) {
+  return params::load(name);
+}
+
+int cmd_params() {
+  for (const auto& name : params::available()) {
+    auto p = params::load(name);
+    std::printf("%-12s q=%zu bits  p=%zu bits  update=%zu bytes\n", name.c_str(),
+                p->group_order().bit_length(), p->curve->p.bit_length(),
+                p->g1_compressed_bytes());
+  }
+  return 0;
+}
+
+int cmd_server_keygen(const Args& args) {
+  auto p = load_set(args.get_or("set", "tre-512"));
+  core::TreScheme scheme(p);
+  hashing::SystemRandom rng;
+  core::ServerKeyPair keys = scheme.server_keygen(rng);
+  write_secret(args.get("key"), FileKind::kServerKey, FileKind::kServerKeySealed,
+               p->name, keypair_payload(*p, keys.s, keys.pub.to_bytes()),
+               args.get_or("password", ""), rng);
+  write_envelope(args.get("pub"), FileKind::kServerPub, p->name, keys.pub.to_bytes());
+  std::printf("server key pair written (%s)\n", p->name.c_str());
+  return 0;
+}
+
+core::ServerPublicKey read_server_pub(const std::string& path,
+                                      std::shared_ptr<const params::GdhParams>& p) {
+  Envelope env = read_envelope(path, FileKind::kServerPub);
+  p = load_set(env.set_name);
+  return core::ServerPublicKey::from_bytes(*p, env.payload);
+}
+
+int cmd_user_keygen(const Args& args) {
+  std::shared_ptr<const params::GdhParams> p;
+  core::ServerPublicKey server = read_server_pub(args.get("server-pub"), p);
+  core::TreScheme scheme(p);
+  hashing::SystemRandom rng;
+  core::UserKeyPair keys = scheme.user_keygen(server, rng);
+  write_secret(args.get("key"), FileKind::kUserKey, FileKind::kUserKeySealed, p->name,
+               keypair_payload(*p, keys.a, keys.pub.to_bytes()),
+               args.get_or("password", ""), rng);
+  write_envelope(args.get("pub"), FileKind::kUserPub, p->name, keys.pub.to_bytes());
+  std::printf("user key pair written, bound to the server key (%s)\n", p->name.c_str());
+  return 0;
+}
+
+int cmd_issue(const Args& args) {
+  Envelope env = read_secret(args.get("server-key"), FileKind::kServerKey,
+                             FileKind::kServerKeySealed, args.get_or("password", ""));
+  auto p = load_set(env.set_name);
+  core::TreScheme scheme(p);
+  size_t sw = p->scalar_bytes();
+  require(env.payload.size() > sw, "corrupt server key file");
+  core::Scalar s = core::Scalar::from_bytes_be(ByteSpan(env.payload.data(), sw));
+  core::ServerPublicKey pub = core::ServerPublicKey::from_bytes(
+      *p, ByteSpan(env.payload.data() + sw, env.payload.size() - sw));
+  core::KeyUpdate upd = scheme.issue_update(core::ServerKeyPair{s, pub}, args.get("tag"));
+  write_envelope(args.get("out"), FileKind::kUpdate, p->name, upd.to_bytes());
+  std::printf("update issued for \"%s\" (%zu bytes)\n", upd.tag.c_str(),
+              upd.to_bytes().size());
+  return 0;
+}
+
+int cmd_verify_update(const Args& args) {
+  std::shared_ptr<const params::GdhParams> p;
+  core::ServerPublicKey server = read_server_pub(args.get("server-pub"), p);
+  Envelope env = read_envelope(args.get("update"), FileKind::kUpdate);
+  require(env.set_name == p->name, "update and server key use different parameter sets");
+  core::TreScheme scheme(p);
+  core::KeyUpdate upd = core::KeyUpdate::from_bytes(*p, env.payload);
+  bool ok = scheme.verify_update(server, upd);
+  std::printf("update for \"%s\": %s\n", upd.tag.c_str(), ok ? "VALID" : "INVALID");
+  return ok ? 0 : 1;
+}
+
+FileKind ct_kind(const std::string& mode) {
+  if (mode == "basic") return FileKind::kCiphertextBasic;
+  if (mode == "fo") return FileKind::kCiphertextFo;
+  if (mode == "react") return FileKind::kCiphertextReact;
+  throw Error("unknown --mode (use basic, fo or react)");
+}
+
+int cmd_encrypt(const Args& args) {
+  std::shared_ptr<const params::GdhParams> p;
+  core::ServerPublicKey server = read_server_pub(args.get("server-pub"), p);
+  Envelope user_env = read_envelope(args.get("user-pub"), FileKind::kUserPub);
+  require(user_env.set_name == p->name, "user and server keys use different sets");
+  core::UserPublicKey user = core::UserPublicKey::from_bytes(*p, user_env.payload);
+  core::TreScheme scheme(p);
+  hashing::SystemRandom rng;
+  Bytes msg = read_file(args.get("in"));
+  std::string tag = args.get("tag");
+  std::string mode = args.get_or("mode", "fo");
+
+  Bytes payload;
+  if (mode == "basic") {
+    payload = scheme.encrypt(msg, user, server, tag, rng).to_bytes();
+  } else if (mode == "fo") {
+    payload = scheme.encrypt_fo(msg, user, server, tag, rng).to_bytes();
+  } else if (mode == "react") {
+    payload = scheme.encrypt_react(msg, user, server, tag, rng).to_bytes();
+  } else {
+    throw Error("unknown --mode (use basic, fo or react)");
+  }
+  write_envelope(args.get("out"), ct_kind(mode), p->name, payload);
+  std::printf("%zu bytes encrypted for release at \"%s\" (%s mode, %zu bytes)\n",
+              msg.size(), tag.c_str(), mode.c_str(), payload.size());
+  return 0;
+}
+
+int cmd_decrypt(const Args& args) {
+  Envelope key_env = read_secret(args.get("user-key"), FileKind::kUserKey,
+                                 FileKind::kUserKeySealed, args.get_or("password", ""));
+  auto p = load_set(key_env.set_name);
+  core::TreScheme scheme(p);
+  size_t sw = p->scalar_bytes();
+  require(key_env.payload.size() > sw, "corrupt user key file");
+  core::Scalar a = core::Scalar::from_bytes_be(ByteSpan(key_env.payload.data(), sw));
+
+  Envelope upd_env = read_envelope(args.get("update"), FileKind::kUpdate);
+  require(upd_env.set_name == p->name, "update uses a different parameter set");
+  core::KeyUpdate upd = core::KeyUpdate::from_bytes(*p, upd_env.payload);
+
+  std::string mode = args.get_or("mode", "fo");
+  Envelope ct_env = read_envelope(args.get("in"), ct_kind(mode));
+  require(ct_env.set_name == p->name, "ciphertext uses a different parameter set");
+
+  Bytes msg;
+  if (mode == "basic") {
+    msg = scheme.decrypt(core::Ciphertext::from_bytes(*p, ct_env.payload), a, upd);
+  } else if (mode == "fo") {
+    std::shared_ptr<const params::GdhParams> sp;
+    core::ServerPublicKey server = read_server_pub(args.get("server-pub"), sp);
+    auto out = scheme.decrypt_fo(core::FoCiphertext::from_bytes(*p, ct_env.payload), a,
+                                 upd, server);
+    require(out.has_value(), "decryption failed: wrong key/update or tampered ciphertext");
+    msg = *out;
+  } else {
+    auto out = scheme.decrypt_react(
+        core::ReactCiphertext::from_bytes(*p, ct_env.payload), a, upd);
+    require(out.has_value(), "decryption failed: wrong key/update or tampered ciphertext");
+    msg = *out;
+  }
+  write_file(args.get("out"), msg);
+  std::printf("%zu bytes decrypted\n", msg.size());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  std::string cmd = argv[1];
+  try {
+    Args args(argc, argv);
+    if (cmd == "params") return cmd_params();
+    if (cmd == "server-keygen") return cmd_server_keygen(args);
+    if (cmd == "user-keygen") return cmd_user_keygen(args);
+    if (cmd == "issue") return cmd_issue(args);
+    if (cmd == "verify-update") return cmd_verify_update(args);
+    if (cmd == "encrypt") return cmd_encrypt(args);
+    if (cmd == "decrypt") return cmd_decrypt(args);
+    return usage();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "tre_cli %s: %s\n", cmd.c_str(), e.what());
+    return 1;
+  }
+}
