@@ -15,7 +15,7 @@
 #include "core/tre.h"
 #include "hashing/drbg.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace tre;
   bench::header("E12: parallel decryption throughput after one broadcast (tre-512)",
                 "complements §5.3.1: the single broadcast update is shared, "
@@ -45,6 +45,7 @@ int main() {
               "speedup");
   std::printf("---------+--------------+----------------+----------\n");
   double base_ms = 0;
+  std::vector<std::pair<size_t, double>> json_rows;  // (threads, decrypts/s)
   for (size_t threads : {1u, 2u, 4u, 8u}) {
     std::atomic<size_t> next{0};
     std::atomic<size_t> ok{0};
@@ -70,9 +71,25 @@ int main() {
     if (threads == 1) base_ms = total_ms;
     std::printf("%-8zu | %12.1f | %14.0f | %7.2fx\n", threads, total_ms,
                 1000.0 * kReceivers / total_ms, base_ms / total_ms);
+    json_rows.emplace_back(threads, 1000.0 * kReceivers / total_ms);
     next = 0;
   }
   std::printf("\n(%zu receivers, one shared 87-byte update, zero receiver-side "
               "coordination)\n", kReceivers);
+
+  // Machine-readable mirror of the table (path overridable as argv[1]).
+  const char* json_path = argc > 1 ? argv[1] : "BENCH_throughput.json";
+  if (std::FILE* f = std::fopen(json_path, "w")) {
+    std::fprintf(f, "{\n  \"params\": \"tre-512\",\n  \"receivers\": %zu,\n",
+                 kReceivers);
+    std::fprintf(f, "  \"unit\": \"decrypts_per_sec\",\n  \"results\": {\n");
+    for (size_t i = 0; i < json_rows.size(); ++i) {
+      std::fprintf(f, "    \"threads_%zu\": %.2f%s\n", json_rows[i].first,
+                   json_rows[i].second, i + 1 < json_rows.size() ? "," : "");
+    }
+    std::fprintf(f, "  }\n}\n");
+    std::fclose(f);
+    std::printf("wrote %s\n", json_path);
+  }
   return 0;
 }

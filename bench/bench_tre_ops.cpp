@@ -1,9 +1,25 @@
 // E1 (part 2): every TRE protocol operation at the default (tre-512)
 // parameter set — the practicality claim of §5.1/§5.3.1.
+//
+// Two modes:
+//   * default: before/after comparison of the scalar-multiplication engine
+//     (Tuning::legacy() vs Tuning::fast() plus the underlying primitives),
+//     written as machine-readable ops-per-second to BENCH_tre_ops.json
+//     (path overridable as the first positional argument).
+//   * --gbench [benchmark flags...]: the google-benchmark suite below.
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <functional>
+#include <string>
+#include <vector>
+
 #include "core/tre.h"
+#include "ec/curve.h"
 #include "hashing/drbg.h"
+#include "pairing/pairing.h"
 
 namespace {
 
@@ -124,6 +140,154 @@ void BM_VerifyReboundKey(benchmark::State& state) {
 }
 BENCHMARK(BM_VerifyReboundKey)->Unit(benchmark::kMillisecond);
 
+// --- Before/after engine comparison ------------------------------------------
+
+/// Steady-state ops/second of `op` (warmed up once; runs >= min_ms).
+double ops_per_sec(const std::function<void()>& op, double min_ms = 250.0) {
+  op();  // warm-up: populates scheme caches, faults in tables
+  auto start = std::chrono::steady_clock::now();
+  int iters = 0;
+  double elapsed_ms = 0;
+  do {
+    op();
+    ++iters;
+    elapsed_ms = std::chrono::duration<double, std::milli>(
+                     std::chrono::steady_clock::now() - start)
+                     .count();
+  } while (elapsed_ms < min_ms);
+  return iters * 1000.0 / elapsed_ms;
+}
+
+struct Row {
+  const char* name;
+  double before_ops;
+  double after_ops;
+};
+
+int run_comparison(const std::string& json_path) {
+  auto params = params::load("tre-512");
+  core::TreScheme fast(params, core::Tuning::fast());
+  core::TreScheme legacy(params, core::Tuning::legacy());
+  hashing::HmacDrbg rng(to_bytes("bench-compare"));
+  const char* tag = "2030-01-01T00:00:00Z";
+
+  core::ServerKeyPair server = legacy.server_keygen(rng);
+  core::UserKeyPair user = legacy.user_keygen(server.pub, rng);
+  core::KeyUpdate update = legacy.issue_update(server, tag);
+
+  // Scalars cycled through the primitive benchmarks so no iteration
+  // repeats its predecessor's input exactly.
+  std::vector<field::FpInt> scalars;
+  for (int i = 0; i < 16; ++i) scalars.push_back(params::random_scalar(*params, rng));
+  size_t si = 0;
+  auto next_scalar = [&]() -> const field::FpInt& {
+    return scalars[si++ % scalars.size()];
+  };
+
+  std::vector<Row> rows;
+
+  // Primitive: fixed-base scalar multiplication (wNAF vs comb).
+  {
+    ec::G1Precomp comb(server.pub.g);
+    double before = ops_per_sec([&] { server.pub.g.mul(next_scalar()); });
+    double after = ops_per_sec([&] { comb.mul_secret(next_scalar()); });
+    rows.push_back({"fixed_base_mul", before, after});
+  }
+
+  // Primitive: G_T exponentiation (binary vs unitary wNAF).
+  {
+    core::Gt k = pairing::pair(user.pub.asg, fast.hash_tag(tag));
+    double before = ops_per_sec([&] { k.pow_binary(next_scalar()); });
+    double after = ops_per_sec([&] { k.pow_unitary(next_scalar()); });
+    rows.push_back({"gt_pow", before, after});
+  }
+
+  // Protocol operations, legacy vs fast tuning (steady state: the fast
+  // scheme's tag/key/pairing caches are warm, which is the operating
+  // point the engine is designed for).
+  Bytes msg = rng.bytes(256);
+  rows.push_back({"encrypt",
+                  ops_per_sec([&] { legacy.encrypt(msg, user.pub, server.pub, tag, rng); }),
+                  ops_per_sec([&] { fast.encrypt(msg, user.pub, server.pub, tag, rng); })});
+  core::Ciphertext ct = fast.encrypt(msg, user.pub, server.pub, tag, rng);
+  rows.push_back({"decrypt",
+                  ops_per_sec([&] { legacy.decrypt(ct, user.a, update); }),
+                  ops_per_sec([&] { fast.decrypt(ct, user.a, update); })});
+  rows.push_back({"issue_update",
+                  ops_per_sec([&] { legacy.issue_update(server, tag); }),
+                  ops_per_sec([&] { fast.issue_update(server, tag); })});
+
+  // Batch: 1000 messages under one tag vs what 1000 sequential calls to
+  // the pre-engine (legacy) encrypt cost. The sequential side is sampled
+  // (kSeqSample calls) — each call is identical work, so ops/s is flat.
+  constexpr size_t kBatch = 1000;
+  constexpr int kSeqSample = 25;
+  double seq_ops, batch_ops;
+  {
+    std::vector<Bytes> msgs(kBatch, msg);
+    auto start = std::chrono::steady_clock::now();
+    for (int i = 0; i < kSeqSample; ++i) {
+      legacy.encrypt(msgs[0], user.pub, server.pub, tag, rng, core::KeyCheck::kVerify);
+    }
+    double seq_ms = std::chrono::duration<double, std::milli>(
+                        std::chrono::steady_clock::now() - start)
+                        .count();
+    seq_ops = kSeqSample * 1000.0 / seq_ms;
+
+    fast.encrypt(msgs[0], user.pub, server.pub, tag, rng);  // warm caches
+    start = std::chrono::steady_clock::now();
+    std::vector<core::Ciphertext> out =
+        fast.encrypt_batch(msgs, user.pub, server.pub, tag, rng);
+    double batch_ms = std::chrono::duration<double, std::milli>(
+                          std::chrono::steady_clock::now() - start)
+                          .count();
+    batch_ops = static_cast<double>(out.size()) * 1000.0 / batch_ms;
+    rows.push_back({"encrypt_batch_1000", seq_ops, batch_ops});
+  }
+
+  std::FILE* f = std::fopen(json_path.c_str(), "w");
+  if (!f) {
+    std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+    return 1;
+  }
+  std::fprintf(f, "{\n  \"params\": \"tre-512\",\n  \"unit\": \"ops_per_sec\",\n");
+  std::fprintf(f, "  \"batch_size\": %zu,\n  \"sequential_sample\": %d,\n",
+               kBatch, kSeqSample);
+  std::fprintf(f, "  \"results\": {\n");
+  for (size_t i = 0; i < rows.size(); ++i) {
+    std::fprintf(f,
+                 "    \"%s\": {\"before\": %.3f, \"after\": %.3f, "
+                 "\"speedup\": %.2f}%s\n",
+                 rows[i].name, rows[i].before_ops, rows[i].after_ops,
+                 rows[i].after_ops / rows[i].before_ops,
+                 i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  }\n}\n");
+  std::fclose(f);
+
+  std::printf("%-20s | %12s | %12s | %8s\n", "operation", "before op/s",
+              "after op/s", "speedup");
+  std::printf("---------------------+--------------+--------------+---------\n");
+  for (const Row& r : rows) {
+    std::printf("%-20s | %12.2f | %12.2f | %7.2fx\n", r.name, r.before_ops,
+                r.after_ops, r.after_ops / r.before_ops);
+  }
+  std::printf("\nwrote %s\n", json_path.c_str());
+  return 0;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  if (argc > 1 && std::strcmp(argv[1], "--gbench") == 0) {
+    int gargc = argc - 1;
+    std::vector<char*> gargv(argv, argv + argc);
+    gargv.erase(gargv.begin() + 1);  // drop --gbench, keep benchmark flags
+    benchmark::Initialize(&gargc, gargv.data());
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+  }
+  std::string json_path = argc > 1 ? argv[1] : "BENCH_tre_ops.json";
+  return run_comparison(json_path);
+}

@@ -16,6 +16,7 @@
 #include <cstdint>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "common/bytes.h"
 #include "common/error.h"
@@ -208,6 +209,39 @@ constexpr BigInt<L> shr(const BigInt<L>& a, size_t n) {
     r.w[i] = v;
   }
   return r;
+}
+
+// ---------------------------------------------------------------------------
+// Scalar recoding.
+
+/// Width-w non-adjacent form: digits in {0, ±1, ±3, ..., ±(2^{w-1} − 1)},
+/// least-significant first, with at most one nonzero digit in any `width`
+/// consecutive positions. Shared by the G_1 scalar-multiplication engine
+/// (ec/curve.cpp) and the unitary G_T exponentiation (field/fp2.cpp).
+/// `width` must be in [2, 8].
+template <size_t L>
+inline std::vector<std::int8_t> wnaf(BigInt<L> n, unsigned width) {
+  require(width >= 2 && width <= 8, "wnaf: width out of range");
+  std::vector<std::int8_t> digits;
+  digits.reserve(n.bit_length() + 1);
+  const std::uint64_t mask = (std::uint64_t{1} << width) - 1;
+  const std::int64_t half = std::int64_t{1} << (width - 1);
+  while (!n.is_zero()) {
+    if (n.is_odd()) {
+      std::int64_t d = static_cast<std::int64_t>(n.w[0] & mask);
+      if (d >= half) d -= 2 * half;
+      digits.push_back(static_cast<std::int8_t>(d));
+      if (d > 0) {
+        sub_assign(n, BigInt<L>::from_u64(static_cast<std::uint64_t>(d)));
+      } else {
+        add_assign(n, BigInt<L>::from_u64(static_cast<std::uint64_t>(-d)));
+      }
+    } else {
+      digits.push_back(0);
+    }
+    n = shr(n, 1);
+  }
+  return digits;
 }
 
 // ---------------------------------------------------------------------------

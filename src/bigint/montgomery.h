@@ -30,11 +30,15 @@ class MontCtx {
     for (size_t i = 0; i < 64 * n_; ++i) r = addmod(r, r, m_);
     one_ = r;
     r2_ = mod_wide(mul_wide(r, r), m_);
+    r3_ = mul(r2_, r2_);  // R^2·R^2·R^{-1} = R^3
   }
 
   const BigInt<L>& modulus() const { return m_; }
   size_t active_limbs() const { return n_; }
   const BigInt<L>& one() const { return one_; }  // 1 in Montgomery form
+  /// R^3 mod m: one Montgomery mul by this lifts a plain a^{-1}R^{-1}
+  /// (the output of mod_inverse on a Montgomery residue) back to a^{-1}R.
+  const BigInt<L>& r3() const { return r3_; }
 
   BigInt<L> to_mont(const BigInt<L>& x) const { return mul(x, r2_); }
 
@@ -120,6 +124,7 @@ class MontCtx {
   size_t n_;
   std::uint64_t n0inv_;
   BigInt<L> r2_;
+  BigInt<L> r3_;
   BigInt<L> one_;
 };
 

@@ -1,0 +1,53 @@
+#include "common/parallel.h"
+
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace tre {
+
+unsigned parallel_workers(size_t n, unsigned max_threads) {
+  if (n <= 1) return 1;
+  unsigned cap = max_threads != 0 ? max_threads : std::thread::hardware_concurrency();
+  if (cap == 0) cap = 1;  // hardware_concurrency may report 0
+  return static_cast<unsigned>(std::min<size_t>(cap, n));
+}
+
+void parallel_for(size_t n, const std::function<void(size_t)>& fn,
+                  unsigned max_threads) {
+  if (n == 0) return;
+  const unsigned workers = parallel_workers(n, max_threads);
+  if (workers == 1) {
+    for (size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+
+  std::atomic<size_t> next{0};
+  std::exception_ptr first_error;
+  std::mutex error_mu;
+  auto body = [&] {
+    for (;;) {
+      size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) return;
+      try {
+        fn(i);
+      } catch (...) {
+        std::scoped_lock lock(error_mu);
+        if (!first_error) first_error = std::current_exception();
+        next.store(n, std::memory_order_relaxed);  // drain remaining work
+        return;
+      }
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(workers - 1);
+  for (unsigned t = 0; t + 1 < workers; ++t) pool.emplace_back(body);
+  body();  // the caller is worker 0
+  for (auto& th : pool) th.join();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace tre

@@ -1,0 +1,28 @@
+// Minimal fork-join fan-out for the batch APIs.
+//
+// The TRE workloads that batch well (encrypt_batch over one tag, bulk
+// key-update issuance, receiver fan-out) share only immutable inputs, so a
+// plain atomic work counter over std::threads is all the pool the hot
+// paths need. Sized by hardware_concurrency by default; callers pass an
+// explicit cap to stay deterministic in tests or to co-exist with an
+// outer pool.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+namespace tre {
+
+/// Number of workers parallel_for would use for `n` items under `max_threads`
+/// (0 = std::thread::hardware_concurrency). Always in [1, n] for n > 0.
+unsigned parallel_workers(size_t n, unsigned max_threads);
+
+/// Runs fn(i) for every i in [0, n), fanning out across up to `max_threads`
+/// threads (0 = hardware_concurrency; 1 = run serially on the caller).
+/// `fn` must be safe to call concurrently for distinct i. The first
+/// exception thrown by any worker is rethrown on the caller after all
+/// workers have joined.
+void parallel_for(size_t n, const std::function<void(size_t)>& fn,
+                  unsigned max_threads = 0);
+
+}  // namespace tre

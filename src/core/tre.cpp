@@ -1,6 +1,11 @@
 #include "core/tre.h"
 
+#include <mutex>
+#include <unordered_map>
+#include <unordered_set>
+
 #include "bigint/prime.h"
+#include "common/parallel.h"
 #include "hashing/kdf.h"
 
 namespace tre::core {
@@ -158,13 +163,145 @@ ReactCiphertext ReactCiphertext::from_bytes(const params::GdhParams& params,
 
 // --- Scheme ------------------------------------------------------------------
 
-TreScheme::TreScheme(std::shared_ptr<const params::GdhParams> params)
-    : params_(std::move(params)) {
+namespace {
+
+// Bound on each memoization map. The live working set is tiny (a few
+// generators, one tag and one update per epoch), so the bound only guards
+// against unbounded growth under adversarial tag floods; wholesale
+// clearing on overflow is good enough.
+constexpr size_t kMaxCacheEntries = 1024;
+
+template <typename Map>
+void bound_cache(Map& m) {
+  if (m.size() >= kMaxCacheEntries) m.clear();
+}
+
+std::string point_key(const G1Point& p) {
+  Bytes b = p.to_bytes_compressed();
+  return std::string(b.begin(), b.end());
+}
+
+}  // namespace
+
+struct TreScheme::Cache {
+  std::mutex mu;
+  std::unordered_map<std::string, G1Point> tags;   // tag -> H1(T)
+  std::unordered_set<std::string> good_keys;       // verified (server, user) keys
+  std::unordered_map<std::string, std::shared_ptr<const ec::G1Precomp>> combs;
+  std::unordered_map<std::string, Gt> pair_bases;  // asg || tag -> ê(asG, H1(T))
+  std::unordered_map<std::string, std::shared_ptr<const pairing::MillerPrecomp>> lines;
+};
+
+TreScheme::TreScheme(std::shared_ptr<const params::GdhParams> params, Tuning tuning)
+    : params_(std::move(params)),
+      tuning_(tuning),
+      cache_(std::make_shared<Cache>()) {
   require(params_ != nullptr, "TreScheme: null params");
 }
 
+G1Point TreScheme::cached_hash_tag(std::string_view tag) const {
+  if (!tuning_.cache_tags) return ec::hash_to_g1(params_->ctx(), tre::to_bytes(tag));
+  {
+    std::scoped_lock lock(cache_->mu);
+    auto it = cache_->tags.find(std::string(tag));
+    if (it != cache_->tags.end()) return it->second;
+  }
+  G1Point h = ec::hash_to_g1(params_->ctx(), tre::to_bytes(tag));
+  std::scoped_lock lock(cache_->mu);
+  bound_cache(cache_->tags);
+  cache_->tags.emplace(std::string(tag), h);
+  return h;
+}
+
+std::shared_ptr<const ec::G1Precomp> TreScheme::comb_for(const G1Point& base) const {
+  if (!tuning_.fixed_base_comb || base.is_infinity()) return nullptr;
+  const std::string key = point_key(base);
+  {
+    std::scoped_lock lock(cache_->mu);
+    auto it = cache_->combs.find(key);
+    if (it != cache_->combs.end()) return it->second;
+  }
+  auto comb = std::make_shared<const ec::G1Precomp>(base);
+  std::scoped_lock lock(cache_->mu);
+  bound_cache(cache_->combs);
+  cache_->combs.emplace(key, comb);
+  return comb;
+}
+
+G1Point TreScheme::mul_fixed_base(const G1Point& base, const Scalar& k) const {
+  if (auto comb = comb_for(base)) return comb->mul_secret(k);
+  return tuning_.fixed_base_comb ? base.mul_secret(k) : base.mul(k);
+}
+
+G1Point TreScheme::mul_varying_base(const G1Point& base, const Scalar& k) const {
+  // A comb table costs hundreds of additions to build; for a base seen
+  // once (H1(T), an update signature) the fixed-window ladder wins.
+  return tuning_.fixed_base_comb ? base.mul_secret(k) : base.mul(k);
+}
+
+bool TreScheme::checked_user_key(const ServerPublicKey& server,
+                                 const UserPublicKey& user) const {
+  if (!tuning_.cache_key_checks) return verify_user_public_key(server, user);
+  Bytes sk = server.to_bytes();
+  Bytes uk = user.to_bytes();
+  std::string key(sk.begin(), sk.end());
+  key.append(uk.begin(), uk.end());
+  {
+    std::scoped_lock lock(cache_->mu);
+    if (cache_->good_keys.contains(key)) return true;
+  }
+  // Only successful checks are memoized: a failure must stay a failure
+  // even if a good key with the same bytes is later verified (impossible,
+  // but cheap to keep trivially true).
+  if (!verify_user_public_key(server, user)) return false;
+  std::scoped_lock lock(cache_->mu);
+  bound_cache(cache_->good_keys);
+  cache_->good_keys.insert(key);
+  return true;
+}
+
+Gt TreScheme::pair_base(const G1Point& asg, std::string_view tag,
+                        const G1Point& h1t) const {
+  if (!tuning_.cache_pair_bases) return pairing::pair(asg, h1t);
+  std::string key = point_key(asg);  // fixed length, so asg||tag is unambiguous
+  key.append(tag);
+  {
+    std::scoped_lock lock(cache_->mu);
+    auto it = cache_->pair_bases.find(key);
+    if (it != cache_->pair_bases.end()) return it->second;
+  }
+  Gt base = pairing::pair(asg, h1t);
+  std::scoped_lock lock(cache_->mu);
+  bound_cache(cache_->pair_bases);
+  cache_->pair_bases.emplace(key, base);
+  return base;
+}
+
+Gt TreScheme::pair_with_lines(const G1Point& fixed, const G1Point& u) const {
+  if (!tuning_.cache_update_lines) return pairing::pair(u, fixed);
+  const std::string key = point_key(fixed);
+  std::shared_ptr<const pairing::MillerPrecomp> lines;
+  {
+    std::scoped_lock lock(cache_->mu);
+    auto it = cache_->lines.find(key);
+    if (it != cache_->lines.end()) lines = it->second;
+  }
+  if (!lines) {
+    lines = std::make_shared<const pairing::MillerPrecomp>(fixed);
+    std::scoped_lock lock(cache_->mu);
+    bound_cache(cache_->lines);
+    cache_->lines.emplace(key, lines);
+  }
+  // ê(fixed, u) == ê(u, fixed): the pairing is symmetric on cyclic G_1.
+  return lines->pair(u);
+}
+
+Gt TreScheme::gt_pow(const Gt& k, const Scalar& e) const {
+  return tuning_.unitary_gt_pow ? k.pow_unitary(e) : k.pow(e);
+}
+
 G1Point TreScheme::hash_tag(std::string_view tag) const {
-  return ec::hash_to_g1(params_->ctx(), tre::to_bytes(tag));
+  return cached_hash_tag(tag);
 }
 
 Bytes TreScheme::mask_h2(const Gt& k, size_t len) const {
@@ -184,14 +321,15 @@ ServerKeyPair TreScheme::server_keygen(tre::hashing::RandomSource& rng) const {
   // G = h·base for random h is a uniform generator of the order-q subgroup.
   Scalar h = params::random_scalar(*params_, rng);
   Scalar s = params::random_scalar(*params_, rng);
-  G1Point g = params_->base.mul(h);
-  return ServerKeyPair{s, ServerPublicKey{g, g.mul(s)}};
+  G1Point g = mul_fixed_base(params_->base, h);
+  return ServerKeyPair{s, ServerPublicKey{g, mul_varying_base(g, s)}};
 }
 
 UserKeyPair TreScheme::user_keygen(const ServerPublicKey& server,
                                    tre::hashing::RandomSource& rng) const {
   Scalar a = params::random_scalar(*params_, rng);
-  return UserKeyPair{a, UserPublicKey{server.g.mul(a), server.sg.mul(a)}};
+  return UserKeyPair{
+      a, UserPublicKey{mul_fixed_base(server.g, a), mul_fixed_base(server.sg, a)}};
 }
 
 UserKeyPair TreScheme::user_keygen_from_password(const ServerPublicKey& server,
@@ -200,7 +338,8 @@ UserKeyPair TreScheme::user_keygen_from_password(const ServerPublicKey& server,
   // secrets under different servers.
   Bytes input = concat({tre::to_bytes(password), server.to_bytes()});
   Scalar a = hash_to_scalar("TRE-PWKDF", input);
-  return UserKeyPair{a, UserPublicKey{server.g.mul(a), server.sg.mul(a)}};
+  return UserKeyPair{
+      a, UserPublicKey{mul_fixed_base(server.g, a), mul_fixed_base(server.sg, a)}};
 }
 
 bool TreScheme::verify_server_public_key(const ServerPublicKey& server) const {
@@ -216,7 +355,17 @@ bool TreScheme::verify_user_public_key(const ServerPublicKey& server,
 
 KeyUpdate TreScheme::issue_update(const ServerKeyPair& server,
                                   std::string_view tag) const {
-  return KeyUpdate{std::string(tag), hash_tag(tag).mul(server.s)};
+  return KeyUpdate{std::string(tag), mul_varying_base(hash_tag(tag), server.s)};
+}
+
+std::vector<KeyUpdate> TreScheme::issue_updates(const ServerKeyPair& server,
+                                                std::span<const std::string> tags,
+                                                unsigned threads) const {
+  std::vector<KeyUpdate> out(tags.size());
+  tre::parallel_for(
+      tags.size(), [&](size_t i) { out[i] = issue_update(server, tags[i]); },
+      threads);
+  return out;
 }
 
 bool TreScheme::verify_update(const ServerPublicKey& server,
@@ -229,18 +378,67 @@ Ciphertext TreScheme::encrypt(ByteSpan msg, const UserPublicKey& user,
                               const ServerPublicKey& server, std::string_view tag,
                               tre::hashing::RandomSource& rng, KeyCheck check) const {
   if (check == KeyCheck::kVerify) {
-    require(verify_user_public_key(server, user),
+    require(checked_user_key(server, user),
             "TRE encrypt: receiver public key fails the pairing check");
   }
   Scalar r = params::random_scalar(*params_, rng);
-  G1Point u = server.g.mul(r);
-  Gt k = pairing::pair(user.asg.mul(r), hash_tag(tag));
+  G1Point u = mul_fixed_base(server.g, r);
+  G1Point h1t = hash_tag(tag);
+  // ê(r·asG, H1(T)) == ê(asG, H1(T))^r: with the base pairing memoized,
+  // the per-message cost is one comb multiply and one G_T exponentiation.
+  Gt k = tuning_.cache_pair_bases
+             ? gt_pow(pair_base(user.asg, tag, h1t), r)
+             : pairing::pair(mul_varying_base(user.asg, r), h1t);
   return Ciphertext{u, xor_bytes(msg, mask_h2(k, msg.size()))};
+}
+
+std::vector<Ciphertext> TreScheme::encrypt_batch(
+    std::span<const Bytes> msgs, const UserPublicKey& user,
+    const ServerPublicKey& server, std::string_view tag,
+    tre::hashing::RandomSource& rng, KeyCheck check, unsigned threads) const {
+  if (check == KeyCheck::kVerify) {
+    require(checked_user_key(server, user),
+            "TRE encrypt_batch: receiver public key fails the pairing check");
+  }
+  std::vector<Ciphertext> out(msgs.size());
+  if (msgs.empty()) return out;
+
+  // All randomness is drawn up front, in order, so the batch produces
+  // exactly the ciphertexts |msgs| sequential encrypt() calls would.
+  std::vector<Scalar> rs;
+  rs.reserve(msgs.size());
+  for (size_t i = 0; i < msgs.size(); ++i) {
+    rs.push_back(params::random_scalar(*params_, rng));
+  }
+
+  const G1Point h1t = hash_tag(tag);
+  if (tuning_.cache_pair_bases) {
+    const Gt base = pair_base(user.asg, tag, h1t);  // one pairing for the batch
+    auto comb = comb_for(server.g);
+    tre::parallel_for(
+        msgs.size(),
+        [&](size_t i) {
+          G1Point u = comb ? comb->mul_secret(rs[i]) : mul_fixed_base(server.g, rs[i]);
+          Gt k = gt_pow(base, rs[i]);
+          out[i] = Ciphertext{u, xor_bytes(msgs[i], mask_h2(k, msgs[i].size()))};
+        },
+        threads);
+  } else {
+    tre::parallel_for(
+        msgs.size(),
+        [&](size_t i) {
+          G1Point u = mul_fixed_base(server.g, rs[i]);
+          Gt k = pairing::pair(mul_varying_base(user.asg, rs[i]), h1t);
+          out[i] = Ciphertext{u, xor_bytes(msgs[i], mask_h2(k, msgs[i].size()))};
+        },
+        threads);
+  }
+  return out;
 }
 
 Bytes TreScheme::decrypt(const Ciphertext& ct, const Scalar& a,
                          const KeyUpdate& update) const {
-  Gt k = pairing::pair(ct.u, update.sig).pow(a);
+  Gt k = gt_pow(pair_with_lines(update.sig, ct.u), a);
   return xor_bytes(ct.v, mask_h2(k, ct.v.size()));
 }
 
@@ -249,15 +447,18 @@ FoCiphertext TreScheme::encrypt_fo(ByteSpan msg, const UserPublicKey& user,
                                    tre::hashing::RandomSource& rng,
                                    KeyCheck check) const {
   if (check == KeyCheck::kVerify) {
-    require(verify_user_public_key(server, user),
+    require(checked_user_key(server, user),
             "TRE encrypt_fo: receiver public key fails the pairing check");
   }
   Bytes sigma = rng.bytes(kSigmaBytes);
   // r = H3(sigma, M): decryption re-derives it, making the scheme
   // plaintext-aware (CCA in the ROM per Fujisaki-Okamoto).
   Scalar r = hash_to_scalar("TRE-H3", concat({sigma, msg}));
-  G1Point u = server.g.mul(r);
-  Gt k = pairing::pair(user.asg.mul(r), hash_tag(tag));
+  G1Point u = mul_fixed_base(server.g, r);
+  G1Point h1t = hash_tag(tag);
+  Gt k = tuning_.cache_pair_bases
+             ? gt_pow(pair_base(user.asg, tag, h1t), r)
+             : pairing::pair(mul_varying_base(user.asg, r), h1t);
   Bytes c_sigma = xor_bytes(sigma, mask_h2(k, kSigmaBytes));
   Bytes c_msg = xor_bytes(msg, hashing::oracle_bytes("TRE-H4", sigma, msg.size()));
   return FoCiphertext{u, std::move(c_sigma), std::move(c_msg)};
@@ -267,11 +468,12 @@ std::optional<Bytes> TreScheme::decrypt_fo(const FoCiphertext& ct, const Scalar&
                                            const KeyUpdate& update,
                                            const ServerPublicKey& server) const {
   if (ct.c_sigma.size() != kSigmaBytes) return std::nullopt;
-  Gt k = pairing::pair(ct.u, update.sig).pow(a);
+  Gt k = gt_pow(pair_with_lines(update.sig, ct.u), a);
   Bytes sigma = xor_bytes(ct.c_sigma, mask_h2(k, kSigmaBytes));
   Bytes msg = xor_bytes(ct.c_msg, hashing::oracle_bytes("TRE-H4", sigma, ct.c_msg.size()));
   Scalar r = hash_to_scalar("TRE-H3", concat({sigma, msg}));
-  if (!(server.g.mul(r) == ct.u)) return std::nullopt;
+  // Re-encryption check through the same comb table as encryption.
+  if (!(mul_fixed_base(server.g, r) == ct.u)) return std::nullopt;
   return msg;
 }
 
@@ -281,13 +483,16 @@ ReactCiphertext TreScheme::encrypt_react(ByteSpan msg, const UserPublicKey& user
                                          tre::hashing::RandomSource& rng,
                                          KeyCheck check) const {
   if (check == KeyCheck::kVerify) {
-    require(verify_user_public_key(server, user),
+    require(checked_user_key(server, user),
             "TRE encrypt_react: receiver public key fails the pairing check");
   }
   Bytes witness = rng.bytes(kSigmaBytes);  // REACT's random R
   Scalar r = params::random_scalar(*params_, rng);
-  G1Point u = server.g.mul(r);
-  Gt k = pairing::pair(user.asg.mul(r), hash_tag(tag));
+  G1Point u = mul_fixed_base(server.g, r);
+  G1Point h1t = hash_tag(tag);
+  Gt k = tuning_.cache_pair_bases
+             ? gt_pow(pair_base(user.asg, tag, h1t), r)
+             : pairing::pair(mul_varying_base(user.asg, r), h1t);
   Bytes c_r = xor_bytes(witness, mask_h2(k, kSigmaBytes));
   Bytes c_msg = xor_bytes(msg, hashing::oracle_bytes("TRE-G", witness, msg.size()));
   Bytes mac = hashing::oracle_bytes(
@@ -299,7 +504,7 @@ std::optional<Bytes> TreScheme::decrypt_react(const ReactCiphertext& ct,
                                               const Scalar& a,
                                               const KeyUpdate& update) const {
   if (ct.c_r.size() != kSigmaBytes || ct.mac.size() != kMacBytes) return std::nullopt;
-  Gt k = pairing::pair(ct.u, update.sig).pow(a);
+  Gt k = gt_pow(pair_with_lines(update.sig, ct.u), a);
   Bytes witness = xor_bytes(ct.c_r, mask_h2(k, kSigmaBytes));
   Bytes msg = xor_bytes(ct.c_msg, hashing::oracle_bytes("TRE-G", witness, ct.c_msg.size()));
   Bytes mac = hashing::oracle_bytes(
@@ -314,28 +519,29 @@ EpochKey TreScheme::derive_epoch_key(const Scalar& a, const KeyUpdate& update) c
   // needs, and useless for any other tag (CDH). The paper's §5.3.3 text
   // writes the epoch key as aH1(T_i); only a·(s·H1(T_i)) closes the
   // decryption equation — see DESIGN.md for the fidelity note.
-  return EpochKey{update.tag, update.sig.mul(a)};
+  return EpochKey{update.tag, mul_varying_base(update.sig, a)};
 }
 
 Bytes TreScheme::decrypt_with_epoch_key(const Ciphertext& ct, const EpochKey& key) const {
-  Gt k = pairing::pair(ct.u, key.d);
+  Gt k = pair_with_lines(key.d, ct.u);
   return xor_bytes(ct.v, mask_h2(k, ct.v.size()));
 }
 
 std::optional<Bytes> TreScheme::decrypt_fo_with_epoch_key(
     const FoCiphertext& ct, const EpochKey& key, const ServerPublicKey& server) const {
   if (ct.c_sigma.size() != kSigmaBytes) return std::nullopt;
-  Gt k = pairing::pair(ct.u, key.d);
+  Gt k = pair_with_lines(key.d, ct.u);
   Bytes sigma = xor_bytes(ct.c_sigma, mask_h2(k, kSigmaBytes));
   Bytes msg = xor_bytes(ct.c_msg, hashing::oracle_bytes("TRE-H4", sigma, ct.c_msg.size()));
   Scalar r = hash_to_scalar("TRE-H3", concat({sigma, msg}));
-  if (!(server.g.mul(r) == ct.u)) return std::nullopt;
+  if (!(mul_fixed_base(server.g, r) == ct.u)) return std::nullopt;
   return msg;
 }
 
 UserPublicKey TreScheme::rebind_user_key(const Scalar& a,
                                          const ServerPublicKey& new_server) const {
-  return UserPublicKey{new_server.g.mul(a), new_server.sg.mul(a)};
+  return UserPublicKey{mul_fixed_base(new_server.g, a),
+                       mul_fixed_base(new_server.sg, a)};
 }
 
 bool TreScheme::verify_rebound_key(const ec::G1Point& certified_ag,

@@ -22,9 +22,12 @@
 // the §5.3.2 policy-lock generalization.
 #pragma once
 
+#include <memory>
 #include <optional>
+#include <span>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "ec/curve.h"
 #include "hashing/drbg.h"
@@ -121,11 +124,33 @@ struct EpochKey {
 /// receiver cannot decrypt without the server's update.
 enum class KeyCheck { kVerify, kSkip };
 
+/// Feature switches of the scalar-multiplication / precomputation engine.
+/// The default enables everything; legacy() reproduces the seed cost
+/// profile (no tables, no memoization, binary G_T exponentiation) and is
+/// what the before/after benchmarks and the equivalence tests run against.
+/// Every switch is output-transparent: ciphertexts and plaintexts are
+/// bit-identical across tunings.
+struct Tuning {
+  bool fixed_base_comb = true;     ///< G1Precomp comb tables per generator
+  bool cache_tags = true;          ///< memoize H1(T) per scheme
+  bool cache_key_checks = true;    ///< memoize successful receiver-key pairing checks
+  bool cache_pair_bases = true;    ///< memoize ê(asG, H1(T)); encrypt pays one G_T pow
+  bool cache_update_lines = true;  ///< Miller-loop line precomp per key update
+  bool unitary_gt_pow = true;      ///< conjugate-wNAF G_T exponentiation
+
+  static Tuning fast() { return Tuning{}; }
+  static Tuning legacy() {
+    return Tuning{false, false, false, false, false, false};
+  }
+};
+
 class TreScheme {
  public:
-  explicit TreScheme(std::shared_ptr<const params::GdhParams> params);
+  explicit TreScheme(std::shared_ptr<const params::GdhParams> params,
+                     Tuning tuning = Tuning::fast());
 
   const params::GdhParams& params() const { return *params_; }
+  const Tuning& tuning() const { return tuning_; }
 
   // --- Key generation -------------------------------------------------------
 
@@ -154,6 +179,13 @@ class TreScheme {
   /// I_T = s·H1(T). Stateless: any tag, past or future, any order.
   KeyUpdate issue_update(const ServerKeyPair& server, std::string_view tag) const;
 
+  /// Bulk issuance: one update per tag, fanned out on a std::thread pool
+  /// (`threads` = 0 picks hardware_concurrency, 1 runs serially). Each
+  /// update is identical to issue_update(server, tags[i]).
+  std::vector<KeyUpdate> issue_updates(const ServerKeyPair& server,
+                                       std::span<const std::string> tags,
+                                       unsigned threads = 0) const;
+
   /// Self-authentication check ê(sG, H1(T)) == ê(G, I_T).
   bool verify_update(const ServerPublicKey& server, const KeyUpdate& update) const;
 
@@ -163,6 +195,21 @@ class TreScheme {
                      const ServerPublicKey& server, std::string_view tag,
                      tre::hashing::RandomSource& rng,
                      KeyCheck check = KeyCheck::kVerify) const;
+
+  /// Encrypts every message under ONE tag for one receiver, paying the
+  /// receiver-key pairing check, tag hash, and base pairing once for the
+  /// whole batch; per-message work drops to one fixed-base comb multiply
+  /// and one G_T exponentiation. With `threads` != 1 the per-message work
+  /// fans out on a std::thread pool (0 = hardware_concurrency). Output is
+  /// bit-identical to sequential encrypt() calls drawing the same
+  /// randomness.
+  std::vector<Ciphertext> encrypt_batch(std::span<const Bytes> msgs,
+                                        const UserPublicKey& user,
+                                        const ServerPublicKey& server,
+                                        std::string_view tag,
+                                        tre::hashing::RandomSource& rng,
+                                        KeyCheck check = KeyCheck::kVerify,
+                                        unsigned threads = 0) const;
 
   /// The basic scheme has no integrity: output is only meaningful when the
   /// inputs match the ciphertext (use the FO/REACT variants otherwise).
@@ -229,7 +276,49 @@ class TreScheme {
   Scalar hash_to_scalar(std::string_view label, ByteSpan input) const;
 
  private:
+  // Memoized precomputation, shared by copies of the scheme (the scheme is
+  // a value type; the cache is an implementation detail keyed only on
+  // public data, so sharing it across copies is safe and desirable).
+  // Every map is bounded and cleared wholesale on overflow — the working
+  // sets (a handful of generators, one tag per epoch, one update per
+  // epoch) are tiny, so eviction policy does not matter.
+  struct Cache;
+
+  /// H1(T), memoized when tuning_.cache_tags.
+  ec::G1Point cached_hash_tag(std::string_view tag) const;
+
+  /// Comb table for a long-lived generator, memoized when
+  /// tuning_.fixed_base_comb; nullptr when the comb engine is disabled.
+  std::shared_ptr<const ec::G1Precomp> comb_for(const ec::G1Point& base) const;
+
+  /// base·k for secret k where base is a long-lived generator (params
+  /// base, server G / sG): fixed-pattern comb walk when enabled, seed-era
+  /// wNAF otherwise.
+  ec::G1Point mul_fixed_base(const ec::G1Point& base, const Scalar& k) const;
+
+  /// base·k for secret k where base varies call to call (H1(T), update
+  /// signatures): fixed-window ladder when the engine is on, wNAF otherwise.
+  ec::G1Point mul_varying_base(const ec::G1Point& base, const Scalar& k) const;
+
+  /// verify_user_public_key with positive results memoized.
+  bool checked_user_key(const ServerPublicKey& server,
+                        const UserPublicKey& user) const;
+
+  /// ê(asG, H1(T)) with the result memoized per (asG, tag); the per-message
+  /// encryption key is then base^r.
+  Gt pair_base(const ec::G1Point& asg, std::string_view tag,
+               const ec::G1Point& h1t) const;
+
+  /// ê(u, fixed) with cached Miller line precomp for `fixed` (an update
+  /// signature or epoch key, reused across every ciphertext of an epoch).
+  Gt pair_with_lines(const ec::G1Point& fixed, const ec::G1Point& u) const;
+
+  /// k^e in G_T honouring tuning_.unitary_gt_pow.
+  Gt gt_pow(const Gt& k, const Scalar& e) const;
+
   std::shared_ptr<const params::GdhParams> params_;
+  Tuning tuning_;
+  std::shared_ptr<Cache> cache_;
 };
 
 }  // namespace tre::core

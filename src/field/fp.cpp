@@ -75,10 +75,10 @@ Fp Fp::squared() const {
 Fp Fp::inverse() const {
   require(ctx_ != nullptr, "Fp: null context");
   require(!is_zero(), "Fp: inverse of zero");
-  // v = a*R. mod_inverse gives a^{-1}R^{-1}; two to_mont hops restore
-  // Montgomery form: a^{-1}R^{-1} -> a^{-1} -> a^{-1}R.
+  // v = a*R. mod_inverse gives a^{-1}R^{-1}; one Montgomery mul by the
+  // precomputed R^3 restores Montgomery form: a^{-1}R^{-1}·R^3·R^{-1} = a^{-1}R.
   FpInt u = bigint::mod_inverse(v_, ctx_->p);
-  return Fp(ctx_, ctx_->mont.to_mont(ctx_->mont.to_mont(u)));
+  return Fp(ctx_, ctx_->mont.mul(u, ctx_->mont.r3()));
 }
 
 Fp Fp::pow(const FpInt& e) const {

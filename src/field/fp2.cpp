@@ -1,9 +1,67 @@
 #include "field/fp2.h"
 
+#include <array>
+
 namespace tre::field {
 
 bool Fp2::is_one() const {
   return b_.is_zero() && a_ == Fp::one(a_.ctx());
+}
+
+Fp2 Fp2::pow(const FpInt& e) const {
+  const size_t bits = e.bit_length();
+  if (bits == 0) return one(ctx());
+  if (bits <= 4) return pow_binary(e);
+
+  // Odd powers x^1, x^3, ..., x^15.
+  constexpr size_t kWindow = 4;
+  std::array<Fp2, 8> odd;
+  odd[0] = *this;
+  const Fp2 sq = squared();
+  for (size_t i = 1; i < odd.size(); ++i) odd[i] = odd[i - 1] * sq;
+
+  Fp2 acc = one(ctx());
+  size_t i = bits;
+  while (i > 0) {
+    if (!e.bit(i - 1)) {
+      acc = acc.squared();
+      --i;
+      continue;
+    }
+    // Greedy window [i-1, j]: at most kWindow bits, ending on a set bit so
+    // the window value is odd.
+    size_t j = i >= kWindow ? i - kWindow : 0;
+    while (!e.bit(j)) ++j;
+    unsigned val = 0;
+    for (size_t b = i; b-- > j;) val = (val << 1) | static_cast<unsigned>(e.bit(b));
+    for (size_t s = 0; s < i - j; ++s) acc = acc.squared();
+    acc = acc * odd[val >> 1];
+    i = j;
+  }
+  return acc;
+}
+
+Fp2 Fp2::pow_unitary(const FpInt& e) const {
+  const FpCtx* fp = ctx();
+  require(norm() == Fp::one(fp), "Fp2::pow_unitary: element is not norm-1");
+  // Signed digits are free: for norm-1 z, z^{-1} = conj(z).
+  std::vector<std::int8_t> digits = bigint::wnaf(e, 5);
+  std::array<Fp2, 8> odd;  // z^1, z^3, ..., z^15
+  odd[0] = *this;
+  const Fp2 sq = squared();
+  for (size_t i = 1; i < odd.size(); ++i) odd[i] = odd[i - 1] * sq;
+
+  Fp2 acc = one(fp);
+  for (size_t i = digits.size(); i-- > 0;) {
+    acc = acc.squared();
+    std::int8_t d = digits[i];
+    if (d > 0) {
+      acc = acc * odd[static_cast<size_t>(d) / 2];
+    } else if (d < 0) {
+      acc = acc * odd[static_cast<size_t>(-d) / 2].conjugate();
+    }
+  }
+  return acc;
 }
 
 std::optional<Fp2> Fp2::sqrt() const {

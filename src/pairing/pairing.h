@@ -21,8 +21,10 @@
 // all scheme values: generators, public keys and H1 outputs).
 #pragma once
 
+#include <cstdint>
 #include <span>
 #include <utility>
+#include <vector>
 
 #include "ec/curve.h"
 #include "field/fp2.h"
@@ -47,6 +49,12 @@ struct MillerValue {
 /// infinity yields the neutral value.
 MillerValue miller_loop(const ec::G1Point& p, const ec::G1Point& q);
 
+/// Π f_{q,P_i}(φ(Q_i)) computed in ONE loop: the accumulator is squared
+/// once per bit of q and every pair's line values are folded into it, so
+/// n pairings pay for one set of accumulator squarings instead of n.
+/// Backs pair_product and pairings_equal.
+MillerValue miller_loop_multi(std::span<const std::pair<ec::G1Point, ec::G1Point>> pairs);
+
 /// z -> z^((p^2-1)/q), mapping a Miller value into G_2.
 Gt final_exponentiation(const ec::CurveCtx* curve, const MillerValue& f);
 
@@ -66,5 +74,44 @@ bool pairings_equal(const ec::G1Point& a1, const ec::G1Point& a2,
 
 /// Identity of G_2.
 Gt gt_identity(const ec::CurveCtx* curve);
+
+/// Miller loop with a precomputed first argument.
+///
+/// The loop's point arithmetic depends only on P, so for a P reused across
+/// many pairings (a key update I_T shared by every ciphertext under one
+/// tag, an epoch key, a server public key) the affine line coefficients
+/// (slope, point) of every step can be computed once. pair(Q) then only
+/// evaluates the stored lines at φ(Q) — about half the field work of a
+/// full Miller loop. Values equal pair(P, Q) exactly (and pair(Q, P): the
+/// pairing is symmetric on the cyclic G_1).
+///
+/// Precondition (as for pair()): P in the order-q subgroup. Degenerate
+/// bases (infinity, small order) fall back to the generic loop.
+class MillerPrecomp {
+ public:
+  explicit MillerPrecomp(const ec::G1Point& p);
+
+  const ec::G1Point& point() const { return p_; }
+
+  MillerValue miller(const ec::G1Point& q) const;
+  Gt pair(const ec::G1Point& q) const;
+
+ private:
+  enum class StepKind : std::uint8_t {
+    kSquare,    // square the accumulator (once per bit)
+    kLine,      // numerator: line through V (slope lambda at (x, y)); denominator: vertical at x_after
+    kLineFinal, // numerator line only (the step moved V to infinity)
+    kVertical,  // numerator: vertical at x (2-torsion / V == -P); loop ends
+  };
+  struct Step {
+    StepKind kind;
+    field::Fp lambda, x, y;  // line data (unused for kSquare)
+    field::Fp x_after;       // vertical denominator after the step (kLine)
+  };
+
+  ec::G1Point p_;
+  bool degenerate_ = false;  // infinity or non-subgroup base: generic path
+  std::vector<Step> steps_;
+};
 
 }  // namespace tre::pairing

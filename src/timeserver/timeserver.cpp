@@ -65,6 +65,48 @@ void TimeServer::run(std::int64_t until_unix_seconds) {
                      [this, until_unix_seconds] { run(until_unix_seconds); });
 }
 
+std::vector<core::KeyUpdate> TimeServer::issue_range(const TimeSpec& from,
+                                                     const TimeSpec& to,
+                                                     unsigned threads) {
+  // Trust assumption 2 applies to the whole range.
+  require(to.unix_seconds() <= timeline_.now(),
+          "TimeServer: refusing to issue updates for a future time");
+  require(from.unix_seconds() <= to.unix_seconds(),
+          "TimeServer: issue_range with from after to");
+
+  std::vector<TimeSpec> instants;
+  for (TimeSpec t = from; t.unix_seconds() <= to.unix_seconds(); t = t.next()) {
+    instants.push_back(t);
+  }
+
+  // Serve what the archive already has (idempotent backfill), then sign
+  // the missing instants on the pool and publish them in timeline order.
+  std::vector<std::optional<core::KeyUpdate>> out(instants.size());
+  std::vector<std::string> missing_tags;
+  std::vector<size_t> missing_at;
+  for (size_t i = 0; i < instants.size(); ++i) {
+    out[i] = archive_.find(instants[i].canonical());
+    if (!out[i]) {
+      missing_tags.push_back(instants[i].canonical());
+      missing_at.push_back(i);
+    }
+  }
+  std::vector<core::KeyUpdate> fresh =
+      scheme_.issue_updates(keys_, missing_tags, threads);
+  for (size_t j = 0; j < fresh.size(); ++j) {
+    archive_.put(fresh[j]);
+    bus_.publish(fresh[j]);
+    ++stats_.updates_issued;
+    stats_.bytes_published += fresh[j].to_bytes().size();
+    out[missing_at[j]] = std::move(fresh[j]);
+  }
+
+  std::vector<core::KeyUpdate> result;
+  result.reserve(out.size());
+  for (auto& u : out) result.push_back(std::move(*u));
+  return result;
+}
+
 core::KeyUpdate TimeServer::issue_for(const TimeSpec& t) {
   // Trust assumption 2: never sign a future instant.
   require(t.unix_seconds() <= timeline_.now(),

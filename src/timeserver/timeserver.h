@@ -48,6 +48,15 @@ class TimeServer {
   /// (throws if `t` is in the future of the timeline).
   core::KeyUpdate issue_for(const TimeSpec& t);
 
+  /// Bulk issuance for every instant in [from, to] at `from`'s
+  /// granularity, e.g. backfilling an archive gap for late joiners. Still
+  /// enforces trust assumption 2 on the whole range. Already-archived
+  /// instants are served from the archive; the missing signatures are
+  /// computed on a thread pool (`threads` as in TreScheme::issue_updates)
+  /// and archived/broadcast in timeline order.
+  std::vector<core::KeyUpdate> issue_range(const TimeSpec& from, const TimeSpec& to,
+                                           unsigned threads = 0);
+
   const UpdateArchive& archive() const { return archive_; }
   BroadcastBus& bus() { return bus_; }
 

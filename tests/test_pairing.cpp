@@ -150,6 +150,49 @@ TEST_P(PairingTest, PairingsEqualHandlesInfinity) {
   EXPECT_FALSE(pairings_equal(g, g, inf, g));
 }
 
+TEST_P(PairingTest, MultiMillerLoopMatchesSingles) {
+  // The shared-squaring loop must produce the same G_2 value as the
+  // product of independent loops (exactly: same final exponentiation
+  // input class, hence identical field elements after it).
+  const G1Point& g = params_->base;
+  std::vector<std::pair<G1Point, G1Point>> pairs;
+  Gt expected = gt_identity(params_->ctx());
+  for (int i = 0; i < 3; ++i) {
+    G1Point p = g.mul(params::random_scalar(*params_, rng_));
+    G1Point q = ec::hash_to_g1(params_->ctx(), to_bytes("mm" + std::to_string(i)));
+    pairs.emplace_back(p, q);
+    expected = expected * final_exponentiation(params_->ctx(), miller_loop(p, q));
+  }
+  EXPECT_EQ(final_exponentiation(params_->ctx(), miller_loop_multi(pairs)), expected);
+  // Infinity pairs are neutral inside the shared loop.
+  pairs.emplace_back(G1Point::infinity(params_->ctx()), g);
+  EXPECT_EQ(final_exponentiation(params_->ctx(), miller_loop_multi(pairs)), expected);
+}
+
+TEST_P(PairingTest, MillerPrecompMatchesPair) {
+  const G1Point& g = params_->base;
+  for (int i = 0; i < 3; ++i) {
+    G1Point p = g.mul(params::random_scalar(*params_, rng_));
+    MillerPrecomp pre(p);
+    for (int j = 0; j < 3; ++j) {
+      G1Point q =
+          ec::hash_to_g1(params_->ctx(), to_bytes("mp" + std::to_string(3 * i + j)));
+      // Same value whichever slot the precomputed point occupies (the
+      // pairing is symmetric on the cyclic G_1).
+      EXPECT_EQ(pre.pair(q), pair(p, q));
+      EXPECT_EQ(pre.pair(q), pair(q, p));
+    }
+    EXPECT_EQ(pre.pair(p), pair(p, p));  // evaluation at the base itself
+    EXPECT_TRUE(pre.pair(G1Point::infinity(params_->ctx())).is_one());
+  }
+}
+
+TEST_P(PairingTest, MillerPrecompDegenerateBase) {
+  const G1Point& g = params_->base;
+  MillerPrecomp pre(G1Point::infinity(params_->ctx()));
+  EXPECT_TRUE(pre.pair(g).is_one());
+}
+
 INSTANTIATE_TEST_SUITE_P(AllParams, PairingTest,
                          ::testing::Values("tre-toy-96"),
                          [](const auto& info) {

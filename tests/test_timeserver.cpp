@@ -256,6 +256,51 @@ TEST(TimeServer, RefusesFutureIssuance) {
   EXPECT_TRUE(scheme.verify_update(server.public_key(), upd));
 }
 
+TEST(TimeServer, IssueRangeBackfillsAndMatchesSingleIssue) {
+  Timeline tl(1118048400);  // 2005-06-06T09:00:00Z
+  hashing::HmacDrbg rng(to_bytes("ts-range"));
+  auto params = params::load("tre-toy-96");
+  TimeServer server(params, tl, Granularity::kMinute, rng);
+
+  // Pre-issue one instant inside the range: issue_range must serve it
+  // from the archive, not re-sign it.
+  TimeSpec mid = TimeSpec::from_unix(tl.now() - 120, Granularity::kMinute);
+  core::KeyUpdate pre = server.issue_for(mid);
+  EXPECT_EQ(server.stats().updates_issued, 1u);
+
+  TimeSpec from = TimeSpec::from_unix(tl.now() - 240, Granularity::kMinute);
+  TimeSpec to = TimeSpec::from_unix(tl.now(), Granularity::kMinute);
+  std::vector<core::KeyUpdate> range = server.issue_range(from, to, /*threads=*/2);
+  ASSERT_EQ(range.size(), 5u);  // minutes -4 .. 0 inclusive
+  EXPECT_EQ(server.stats().updates_issued, 5u);  // 4 fresh + 1 archived
+
+  core::TreScheme scheme(params);
+  TimeSpec t = from;
+  for (const core::KeyUpdate& upd : range) {
+    EXPECT_EQ(upd.tag, t.canonical());
+    EXPECT_TRUE(scheme.verify_update(server.public_key(), upd));
+    EXPECT_TRUE(server.archive().contains(upd.tag));
+    t = t.next();
+  }
+  EXPECT_EQ(range[2], pre);  // the archived instant came back verbatim
+
+  // Idempotent: a second call issues nothing new.
+  std::vector<core::KeyUpdate> again = server.issue_range(from, to);
+  EXPECT_EQ(server.stats().updates_issued, 5u);
+  for (size_t i = 0; i < again.size(); ++i) EXPECT_EQ(again[i], range[i]);
+}
+
+TEST(TimeServer, IssueRangeRefusesFutureOrInvertedRanges) {
+  Timeline tl(1000000);
+  hashing::HmacDrbg rng(to_bytes("ts-range-bad"));
+  TimeServer server(params::load("tre-toy-96"), tl, Granularity::kSecond, rng);
+  TimeSpec now = TimeSpec::from_unix(tl.now(), Granularity::kSecond);
+  TimeSpec future = TimeSpec::from_unix(tl.now() + 60, Granularity::kSecond);
+  EXPECT_THROW(server.issue_range(now, future), Error);
+  TimeSpec past = TimeSpec::from_unix(tl.now() - 60, Granularity::kSecond);
+  EXPECT_THROW(server.issue_range(now, past), Error);
+}
+
 TEST(TimeServer, UpdatesVerifyAndDecryptEndToEnd) {
   Timeline tl(1118048400);
   hashing::HmacDrbg rng(to_bytes("ts-e2e"));

@@ -350,6 +350,108 @@ TEST_F(TreTest, UpdateWireSizeIsOneCompressedPoint) {
             2 + std::string(kTag).size() + scheme_.params().g1_compressed_bytes());
 }
 
+// --- Scalar-engine tuning and batch APIs --------------------------------------
+
+TEST_F(TreTest, LegacyTuningInteroperatesWithFast) {
+  // Ciphertexts are bit-identical across tunings given the same
+  // randomness, and either scheme decrypts the other's output.
+  TreScheme legacy(params::load("tre-toy-96"), Tuning::legacy());
+  ServerKeyPair server = legacy.server_keygen(rng_);
+  UserKeyPair user = legacy.user_keygen(server.pub, rng_);
+  KeyUpdate upd = scheme_.issue_update(server, kTag);
+  EXPECT_EQ(upd, legacy.issue_update(server, kTag));
+
+  hashing::HmacDrbg rng_fast(to_bytes("tuning-interop"));
+  hashing::HmacDrbg rng_legacy(to_bytes("tuning-interop"));
+  Ciphertext fast_ct = scheme_.encrypt(msg(), user.pub, server.pub, kTag, rng_fast);
+  Ciphertext legacy_ct = legacy.encrypt(msg(), user.pub, server.pub, kTag, rng_legacy);
+  EXPECT_EQ(fast_ct.to_bytes(), legacy_ct.to_bytes());
+  EXPECT_EQ(legacy.decrypt(fast_ct, user.a, upd), msg());
+  EXPECT_EQ(scheme_.decrypt(legacy_ct, user.a, upd), msg());
+
+  // Same interop for the CCA variants.
+  hashing::HmacDrbg rf2(to_bytes("tuning-fo")), rl2(to_bytes("tuning-fo"));
+  FoCiphertext fo_fast = scheme_.encrypt_fo(msg(), user.pub, server.pub, kTag, rf2);
+  FoCiphertext fo_legacy = legacy.encrypt_fo(msg(), user.pub, server.pub, kTag, rl2);
+  EXPECT_EQ(fo_fast.to_bytes(), fo_legacy.to_bytes());
+  EXPECT_EQ(legacy.decrypt_fo(fo_fast, user.a, upd, server.pub), msg());
+  EXPECT_EQ(scheme_.decrypt_fo(fo_legacy, user.a, upd, server.pub), msg());
+}
+
+TEST_F(TreTest, EncryptBatchMatchesSequentialEncrypt) {
+  std::vector<Bytes> msgs;
+  for (int i = 0; i < 8; ++i) msgs.push_back(to_bytes("batch message " + std::to_string(i)));
+
+  // Identical DRBG streams: the batch must reproduce the sequential
+  // ciphertexts byte for byte.
+  hashing::HmacDrbg rng_seq(to_bytes("batch-rng"));
+  hashing::HmacDrbg rng_batch(to_bytes("batch-rng"));
+  std::vector<Ciphertext> expected;
+  for (const Bytes& m : msgs) {
+    expected.push_back(scheme_.encrypt(m, user_.pub, server_.pub, kTag, rng_seq));
+  }
+  std::vector<Ciphertext> got =
+      scheme_.encrypt_batch(msgs, user_.pub, server_.pub, kTag, rng_batch);
+  ASSERT_EQ(got.size(), expected.size());
+  for (size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i].to_bytes(), expected[i].to_bytes()) << "message #" << i;
+  }
+
+  // And every batch ciphertext decrypts.
+  KeyUpdate upd = scheme_.issue_update(server_, kTag);
+  for (size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(scheme_.decrypt(got[i], user_.a, upd), msgs[i]);
+  }
+}
+
+TEST_F(TreTest, EncryptBatchLegacyTuningAgrees) {
+  TreScheme legacy(params::load("tre-toy-96"), Tuning::legacy());
+  std::vector<Bytes> msgs = {msg("one"), msg("two"), msg("three")};
+  hashing::HmacDrbg ra(to_bytes("batch-legacy")), rb(to_bytes("batch-legacy"));
+  std::vector<Ciphertext> fast =
+      scheme_.encrypt_batch(msgs, user_.pub, server_.pub, kTag, ra);
+  std::vector<Ciphertext> slow =
+      legacy.encrypt_batch(msgs, user_.pub, server_.pub, kTag, rb);
+  ASSERT_EQ(fast.size(), slow.size());
+  for (size_t i = 0; i < fast.size(); ++i) {
+    EXPECT_EQ(fast[i].to_bytes(), slow[i].to_bytes());
+  }
+}
+
+TEST_F(TreTest, EncryptBatchEmptyAndKeyCheck) {
+  EXPECT_TRUE(
+      scheme_.encrypt_batch({}, user_.pub, server_.pub, kTag, rng_).empty());
+  UserKeyPair other = scheme_.user_keygen(server_.pub, rng_);
+  UserPublicKey forged{user_.pub.ag, other.pub.asg};
+  std::vector<Bytes> msgs = {msg()};
+  EXPECT_THROW(scheme_.encrypt_batch(msgs, forged, server_.pub, kTag, rng_,
+                                     KeyCheck::kVerify),
+               Error);
+}
+
+TEST_F(TreTest, IssueUpdatesMatchesSingleIssue) {
+  std::vector<std::string> tags;
+  for (int i = 0; i < 6; ++i) tags.push_back("2005-06-06T09:00:0" + std::to_string(i) + "Z");
+  std::vector<KeyUpdate> bulk = scheme_.issue_updates(server_, tags, 2);
+  ASSERT_EQ(bulk.size(), tags.size());
+  for (size_t i = 0; i < tags.size(); ++i) {
+    EXPECT_EQ(bulk[i], scheme_.issue_update(server_, tags[i]));
+    EXPECT_TRUE(scheme_.verify_update(server_.pub, bulk[i]));
+  }
+}
+
+TEST_F(TreTest, RepeatedTagUsesConsistentCachedValues) {
+  // Exercise the memoized tag hash / pair base / Miller lines across many
+  // calls under one tag and across a second tag.
+  KeyUpdate upd = scheme_.issue_update(server_, kTag);
+  KeyUpdate other = scheme_.issue_update(server_, kOtherTag);
+  for (int i = 0; i < 3; ++i) {
+    Ciphertext ct = scheme_.encrypt(msg(), user_.pub, server_.pub, kTag, rng_);
+    EXPECT_EQ(scheme_.decrypt(ct, user_.a, upd), msg());
+    EXPECT_NE(scheme_.decrypt(ct, user_.a, other), msg());
+  }
+}
+
 // --- Cross-parameter-set sweep ------------------------------------------------
 // The full matrix runs on the toy curve above; this suite proves the
 // protocol at every embedded security level.

@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Tier-1 verification: configure, build, and run the full test suite.
+#
+# Usage:
+#   tools/run_tier1.sh                       # plain RelWithDebInfo build
+#   TRE_SANITIZE=address,undefined tools/run_tier1.sh
+#   BUILD_DIR=build-asan tools/run_tier1.sh  # custom build directory
+#
+# TRE_SANITIZE is forwarded to the CMake option of the same name and
+# instruments every target with -fsanitize=<list>.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${BUILD_DIR:-build}"
+CMAKE_ARGS=(-B "$BUILD_DIR" -S .)
+if [[ -n "${TRE_SANITIZE:-}" ]]; then
+  CMAKE_ARGS+=(-DTRE_SANITIZE="$TRE_SANITIZE")
+fi
+
+cmake "${CMAKE_ARGS[@]}"
+cmake --build "$BUILD_DIR" -j"$(nproc)"
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j"$(nproc)"
