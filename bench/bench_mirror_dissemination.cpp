@@ -39,7 +39,7 @@ int main() {
       simnet::Network net(timeline, to_bytes("e16"));
       // Replication links: 1-3 s WAN latency, 1% loss is handled by the
       // receivers' polling retry.
-      simnet::MirroredArchive cluster(net, timeline, mirrors,
+      simnet::MirroredArchive cluster(params, net, timeline, mirrors,
                                       simnet::LinkSpec{.base_delay = 1, .jitter = 2});
 
       // The release instant is t=10; the update publishes then.

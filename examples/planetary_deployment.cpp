@@ -32,7 +32,7 @@ int main() {
   // Regional infrastructure over a simulated WAN.
   server::Timeline timeline(0);
   simnet::Network wan(timeline, to_bytes("planetary-wan"));
-  simnet::MirroredArchive mirrors(wan, timeline, /*mirror_count=*/3,
+  simnet::MirroredArchive mirrors(params, wan, timeline, /*mirror_count=*/3,
                                   simnet::LinkSpec{.base_delay = 1, .jitter = 2});
   const char* region_names[3] = {"americas", "europe", "asia"};
 

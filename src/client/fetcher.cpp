@@ -1,0 +1,179 @@
+#include "client/fetcher.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "bigint/bigint.h"
+
+namespace tre::client {
+
+UpdateFetcher::UpdateFetcher(core::TreScheme scheme, core::ServerPublicKey server,
+                             simnet::MirroredArchive& archive,
+                             server::Timeline& timeline, simnet::NodeId receiver,
+                             std::vector<size_t> mirrors,
+                             simnet::LinkSpec access_link, ByteSpan seed,
+                             FetcherConfig config)
+    : scheme_(std::move(scheme)),
+      server_(std::move(server)),
+      archive_(archive),
+      timeline_(timeline),
+      receiver_(receiver),
+      mirrors_(std::move(mirrors)),
+      access_link_(access_link),
+      config_(config),
+      rng_(seed.empty() ? ByteSpan(to_bytes("fetcher-default")) : seed) {
+  require(!mirrors_.empty(), "UpdateFetcher: need at least one mirror");
+  for (size_t idx : mirrors_) {
+    require(idx == simnet::MirroredArchive::kOrigin || idx < archive_.mirror_count(),
+            "UpdateFetcher: bad mirror index");
+  }
+  require(config_.base_backoff > 0 && config_.max_backoff >= config_.base_backoff,
+          "UpdateFetcher: bad backoff bounds");
+  require(config_.reply_timeout > 0, "UpdateFetcher: bad reply timeout");
+  require(config_.failover_after > 0 && config_.attempts_per_tag > 0,
+          "UpdateFetcher: bad budgets");
+  health_.assign(mirrors_.size(), 0);
+}
+
+int UpdateFetcher::health(size_t slot) const {
+  require(slot < health_.size(), "UpdateFetcher: bad mirror slot");
+  return health_[slot];
+}
+
+void UpdateFetcher::fetch_verified(std::vector<std::string> tags, SuccessFn done,
+                                   FailureFn failed) {
+  require(!busy_, "UpdateFetcher: a fetch is already running");
+  require(!tags.empty(), "UpdateFetcher: no tags to fetch");
+  require(done != nullptr, "UpdateFetcher: null success callback");
+  busy_ = true;
+  tags_ = std::move(tags);
+  tag_index_ = 0;
+  stats_ = FetchStats{};
+  done_ = std::move(done);
+  failed_ = std::move(failed);
+  // Start from the healthiest known mirror: knowledge from earlier
+  // fetches (demoted replicas) carries over.
+  current_slot_ = static_cast<size_t>(
+      std::max_element(health_.begin(), health_.end()) - health_.begin());
+  consecutive_failures_ = 0;
+  start_tag();
+}
+
+void UpdateFetcher::fetch_release(const server::TimeSpec& release,
+                                  server::Granularity coarsest, SuccessFn done,
+                                  FailureFn failed) {
+  std::vector<std::string> tags;
+  for (const server::TimeSpec& t : server::fallback_chain(release, coarsest)) {
+    tags.push_back(t.canonical());
+  }
+  fetch_verified(std::move(tags), std::move(done), std::move(failed));
+}
+
+void UpdateFetcher::start_tag() {
+  attempts_left_ = config_.attempts_per_tag;
+  prev_sleep_ = config_.base_backoff;
+  if (tag_index_ > 0) ++stats_.fallback_steps;
+  attempt();
+}
+
+void UpdateFetcher::attempt() {
+  if (!busy_) return;
+  if (attempts_left_ == 0) {
+    // This tag's budget is spent: degrade precision before giving up.
+    ++tag_index_;
+    if (tag_index_ >= tags_.size()) {
+      busy_ = false;
+      live_attempt_ = 0;
+      if (failed_) failed_(stats_);
+      return;
+    }
+    start_tag();
+    return;
+  }
+  --attempts_left_;
+  ++stats_.attempts;
+  std::uint64_t id = ++attempt_seq_;
+  live_attempt_ = id;
+  archive_.request(receiver_, mirrors_[current_slot_], tags_[tag_index_],
+                   access_link_, [this, id](Bytes wire) { on_reply(id, wire); });
+  timeline_.schedule(config_.reply_timeout, [this, id] { on_timeout(id); });
+}
+
+void UpdateFetcher::on_reply(std::uint64_t id, Bytes wire) {
+  if (!busy_ || id != live_attempt_) return;  // stale or already settled
+  const std::string& want = tags_[tag_index_];
+  // The trust boundary: parse, tag check, self-authentication — in that
+  // order, each failure attributed to its own counter.
+  std::optional<core::KeyUpdate> parsed =
+      core::KeyUpdate::try_from_bytes(scheme_.params(), wire);
+  if (!parsed) {
+    ++stats_.rejected_parse;
+  } else if (parsed->tag != want) {
+    ++stats_.rejected_tag;
+  } else if (!scheme_.verify_update(server_, *parsed)) {
+    ++stats_.rejected_sig;
+  } else {
+    // Verified: the ONLY path to acceptance.
+    busy_ = false;
+    live_attempt_ = 0;
+    health_[current_slot_] =
+        std::min(config_.max_health, health_[current_slot_] + 1);
+    FetchResult result;
+    result.update = std::move(*parsed);
+    result.via_fallback = tag_index_ > 0;
+    result.completed_at = timeline_.now();
+    result.stats = stats_;
+    done_(result);
+    return;
+  }
+  fail_attempt();
+}
+
+void UpdateFetcher::on_timeout(std::uint64_t id) {
+  if (!busy_ || id != live_attempt_) return;  // answered (or settled) in time
+  ++stats_.timeouts;
+  fail_attempt();
+}
+
+void UpdateFetcher::fail_attempt() {
+  live_attempt_ = 0;  // a late reply to this attempt is ignored
+  health_[current_slot_] =
+      std::max(config_.min_health, health_[current_slot_] - 1);
+  ++consecutive_failures_;
+  if (consecutive_failures_ >= config_.failover_after && mirrors_.size() > 1) {
+    rotate();
+  }
+  timeline_.schedule(next_backoff(), [this] { attempt(); });
+}
+
+void UpdateFetcher::rotate() {
+  ++stats_.failovers;
+  consecutive_failures_ = 0;
+  // Healthiest alternative wins; ties resolve round-robin after the
+  // current slot so equals are visited in order (this is what guarantees
+  // an honest mirror is eventually reached).
+  size_t best = current_slot_;
+  int best_health = std::numeric_limits<int>::min();
+  for (size_t step = 1; step < mirrors_.size(); ++step) {
+    size_t slot = (current_slot_ + step) % mirrors_.size();
+    if (health_[slot] > best_health) {
+      best_health = health_[slot];
+      best = slot;
+    }
+  }
+  current_slot_ = best;
+}
+
+std::int64_t UpdateFetcher::next_backoff() {
+  // Decorrelated jitter: sleep ~ U[base, prev*3], capped. Growth is
+  // exponential in expectation, but desynchronized across receivers.
+  std::int64_t lo = config_.base_backoff;
+  std::int64_t hi = std::min(config_.max_backoff, prev_sleep_ * 3);
+  std::int64_t span = std::max<std::int64_t>(1, hi - lo + 1);
+  Bytes draw = rng_.bytes(8);
+  std::uint64_t r = bigint::BigInt<1>::from_bytes_be(draw).w[0];
+  prev_sleep_ = lo + static_cast<std::int64_t>(r % static_cast<std::uint64_t>(span));
+  return prev_sleep_;
+}
+
+}  // namespace tre::client

@@ -1,0 +1,152 @@
+// Byzantine-resilient update fetching — the receiver side of §3's
+// distribution story, hardened.
+//
+// The paper's passive server scales because its output is
+// self-authenticating: ê(sG, H1(T)) == ê(G, I_T) holds for exactly one
+// point per tag, so ANY path can carry an update and the receiver needs
+// trust in nobody along it. UpdateFetcher turns that observation into a
+// pipeline. Every reply from a mirror crosses one trust boundary before
+// acceptance:
+//
+//       wire bytes ──parse──► KeyUpdate ──tag == requested?──►
+//            ──ê(sG,H1(T)) == ê(G,I_T)?──► accepted
+//
+// and each stage's rejections are counted separately (garbage, relabel,
+// forgery). Around that boundary sits the liveness machinery:
+//   * exponential backoff with decorrelated jitter (drawn from the
+//     node's own HmacDrbg — deterministic per seed, uncorrelated across
+//     receivers, so retry storms don't synchronize);
+//   * per-mirror health scores: verified successes promote, every
+//     failure demotes; rotation prefers the healthiest alternative, so
+//     misbehaving replicas starve;
+//   * failover after k consecutive failures on one mirror. Rotation
+//     eventually visits every mirror, giving single-honest-mirror
+//     liveness with NO quorum: one honest replica anywhere keeps every
+//     receiver live, because acceptance never depends on agreement —
+//     only on the pairing check;
+//   * terminal fallback: when the precise update is unobtainable inside
+//     the attempt budget, the fetcher walks the coarser tags of the
+//     release's fallback chain (timeserver/resilient.h), trading
+//     precision for availability exactly as ResilientTre's disjunctive
+//     ciphertexts allow.
+//
+// Experiment E18 (bench_faults) measures the resulting availability
+// latency and rejection counts as functions of loss rate and
+// Byzantine-mirror fraction.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/tre.h"
+#include "simnet/mirrors.h"
+#include "timeserver/resilient.h"
+
+namespace tre::client {
+
+struct FetcherConfig {
+  std::int64_t base_backoff = 1;   ///< seconds; first retry delay
+  std::int64_t max_backoff = 64;   ///< decorrelated-jitter cap
+  std::int64_t reply_timeout = 8;  ///< silent-poll deadline per attempt
+                                   ///< (must exceed the round-trip time)
+  size_t failover_after = 2;       ///< consecutive failures before rotating
+  size_t attempts_per_tag = 16;    ///< request budget per tag before fallback
+  int min_health = -8;             ///< health score floor
+  int max_health = 4;              ///< health score ceiling
+};
+
+/// Per-fetch accounting, split by rejection cause so experiments can
+/// attribute latency to the right adversary.
+struct FetchStats {
+  size_t attempts = 0;        ///< requests sent
+  size_t timeouts = 0;        ///< attempts with no reply inside the deadline
+  size_t rejected_parse = 0;  ///< malformed bytes (garbage, framing damage)
+  size_t rejected_tag = 0;    ///< well-formed update for the WRONG tag (relabel)
+  size_t rejected_sig = 0;    ///< parsed clean but failed self-authentication
+  size_t failovers = 0;       ///< mirror rotations
+  size_t fallback_steps = 0;  ///< coarser chain tags resorted to
+  size_t total_rejected() const {
+    return rejected_parse + rejected_tag + rejected_sig;
+  }
+};
+
+struct FetchResult {
+  core::KeyUpdate update;      ///< VERIFIED against the server public key
+  bool via_fallback = false;   ///< a coarser chain tag, not the precise one
+  std::int64_t completed_at = 0;  ///< timeline instant of acceptance
+  FetchStats stats;
+};
+
+class UpdateFetcher {
+ public:
+  /// `mirrors` lists the archive mirror indices this receiver may use,
+  /// preferred first (MirroredArchive::kOrigin is allowed as a last
+  /// resort entry). `seed` drives the backoff jitter. The fetcher must
+  /// outlive every timeline event of its fetches.
+  UpdateFetcher(core::TreScheme scheme, core::ServerPublicKey server,
+                simnet::MirroredArchive& archive, server::Timeline& timeline,
+                simnet::NodeId receiver, std::vector<size_t> mirrors,
+                simnet::LinkSpec access_link, ByteSpan seed,
+                FetcherConfig config = {});
+
+  using SuccessFn = std::function<void(const FetchResult&)>;
+  using FailureFn = std::function<void(const FetchStats&)>;
+
+  /// Runs the pipeline for `tags.front()`; each time a tag's attempt
+  /// budget is exhausted, moves to the next (coarser) tag. `done` fires
+  /// with the first verified update; `failed` (optional) fires when the
+  /// whole chain is exhausted. One fetch at a time per fetcher.
+  void fetch_verified(std::vector<std::string> tags, SuccessFn done,
+                      FailureFn failed = nullptr);
+
+  /// Convenience: the precise release tag plus its coarser fallback
+  /// chain, matching what ResilientTre::encrypt locked the message under.
+  void fetch_release(const server::TimeSpec& release,
+                     server::Granularity coarsest, SuccessFn done,
+                     FailureFn failed = nullptr);
+
+  bool busy() const { return busy_; }
+
+  /// Health score of `mirrors[slot]` (0 = neutral; negative = demoted).
+  int health(size_t slot) const;
+
+  /// Accounting for the current/most recent fetch.
+  const FetchStats& stats() const { return stats_; }
+
+ private:
+  void start_tag();
+  void attempt();
+  void on_reply(std::uint64_t id, Bytes wire);
+  void on_timeout(std::uint64_t id);
+  void fail_attempt();
+  void rotate();
+  std::int64_t next_backoff();
+
+  core::TreScheme scheme_;
+  core::ServerPublicKey server_;
+  simnet::MirroredArchive& archive_;
+  server::Timeline& timeline_;
+  simnet::NodeId receiver_;
+  std::vector<size_t> mirrors_;   // archive mirror indices, preference order
+  std::vector<int> health_;
+  simnet::LinkSpec access_link_;
+  FetcherConfig config_;
+  hashing::HmacDrbg rng_;
+
+  // Per-fetch state.
+  bool busy_ = false;
+  std::vector<std::string> tags_;
+  size_t tag_index_ = 0;
+  size_t current_slot_ = 0;       // into mirrors_
+  size_t attempts_left_ = 0;
+  size_t consecutive_failures_ = 0;
+  std::int64_t prev_sleep_ = 0;
+  std::uint64_t attempt_seq_ = 0;
+  std::uint64_t live_attempt_ = 0;  // 0 = none in flight
+  FetchStats stats_;
+  SuccessFn done_;
+  FailureFn failed_;
+};
+
+}  // namespace tre::client

@@ -6,8 +6,10 @@
 // via exceptions, so a hostile ciphertext cannot drive control flow.
 #pragma once
 
+#include <optional>
 #include <stdexcept>
 #include <string>
+#include <utility>
 
 namespace tre {
 
@@ -20,5 +22,59 @@ class Error : public std::runtime_error {
 inline void require(bool cond, const char* msg) {
   if (!cond) throw Error(msg);
 }
+
+/// Typed error codes for operations whose failures a caller is expected
+/// to branch on (the try_* APIs). The throwing APIs remain the default;
+/// these exist so server- and distribution-side code can surface faults
+/// as data instead of silent gaps or exceptions across event loops.
+enum class Errc {
+  kFutureInstant,  ///< trust assumption 2: refusing to sign the future
+  kBadRange,       ///< range with from after to
+  kConflict,       ///< archive holds a different artifact for the same key
+  kMalformed,      ///< wire bytes failed to parse or validate
+};
+
+inline const char* errc_message(Errc code) {
+  switch (code) {
+    case Errc::kFutureInstant: return "refusing to issue an update for a future time";
+    case Errc::kBadRange: return "range start is after range end";
+    case Errc::kConflict: return "conflicting artifact for the same key";
+    case Errc::kMalformed: return "malformed wire bytes";
+  }
+  return "unknown error";
+}
+
+/// Minimal result-or-typed-error carrier (std::expected is C++23; this
+/// is the subset the library needs). A Result is either a value or an
+/// Errc — value() on an error throws tre::Error with the code's message,
+/// so migrating callers keep exception behaviour by default.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}  // NOLINT: implicit by design
+  Result(Errc code) : code_(code) {}             // NOLINT: implicit by design
+
+  bool ok() const { return value_.has_value(); }
+  explicit operator bool() const { return ok(); }
+
+  Errc error() const {
+    require(!ok(), "Result: error() on a success");
+    return code_;
+  }
+  const char* message() const { return errc_message(error()); }
+
+  const T& value() const& {
+    if (!ok()) throw Error(errc_message(code_));
+    return *value_;
+  }
+  T&& value() && {
+    if (!ok()) throw Error(errc_message(code_));
+    return std::move(*value_);
+  }
+
+ private:
+  std::optional<T> value_;
+  Errc code_ = Errc::kMalformed;
+};
 
 }  // namespace tre

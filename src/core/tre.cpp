@@ -100,6 +100,15 @@ KeyUpdate KeyUpdate::from_bytes(const params::GdhParams& params, ByteSpan bytes)
   return KeyUpdate{std::string(tag_bytes.begin(), tag_bytes.end()), sig};
 }
 
+std::optional<KeyUpdate> KeyUpdate::try_from_bytes(const params::GdhParams& params,
+                                                   ByteSpan bytes) {
+  try {
+    return from_bytes(params, bytes);
+  } catch (const Error&) {
+    return std::nullopt;
+  }
+}
+
 Bytes Ciphertext::to_bytes() const {
   Bytes out = u.to_bytes_compressed();
   put_u16(out, v.size());

@@ -76,6 +76,14 @@ struct KeyUpdate {
   /// the scalability experiment (E3) counts as "bytes broadcast".
   Bytes to_bytes() const;
   static KeyUpdate from_bytes(const params::GdhParams& params, ByteSpan bytes);
+
+  /// Non-throwing parse for bytes from UNTRUSTED sources (mirrors, the
+  /// wire): nullopt on any malformed/truncated/off-curve input, so a
+  /// hostile reply cannot drive control flow through exceptions. A
+  /// returned update is well-formed but NOT authenticated — callers must
+  /// still pass it through TreScheme::verify_update.
+  static std::optional<KeyUpdate> try_from_bytes(const params::GdhParams& params,
+                                                 ByteSpan bytes);
   friend bool operator==(const KeyUpdate&, const KeyUpdate&) = default;
 };
 

@@ -1,0 +1,66 @@
+#include "simnet/faults.h"
+
+#include <algorithm>
+
+#include "bigint/bigint.h"
+#include "common/error.h"
+
+namespace tre::simnet {
+
+FaultPlan::FaultPlan(ByteSpan seed)
+    : rng_(seed.empty() ? ByteSpan(to_bytes("faultplan-default")) : seed) {}
+
+void FaultPlan::partition_link(NodeId a, NodeId b, std::int64_t from,
+                               std::int64_t until) {
+  require(a != b, "FaultPlan: a link needs two distinct endpoints");
+  require(from <= until, "FaultPlan: window ends before it starts");
+  link_windows_[{std::min(a, b), std::max(a, b)}].push_back(Window{from, until});
+}
+
+void FaultPlan::crash_node(NodeId node, std::int64_t from, std::int64_t until) {
+  require(from <= until, "FaultPlan: window ends before it starts");
+  node_windows_[node].push_back(Window{from, until});
+}
+
+void FaultPlan::set_byzantine(NodeId node, ByzantineMode mode) {
+  if (mode == ByzantineMode::kHonest) {
+    byzantine_.erase(node);
+  } else {
+    byzantine_[node] = mode;
+  }
+}
+
+bool FaultPlan::covered(const std::vector<Window>& windows, std::int64_t now) {
+  return std::any_of(windows.begin(), windows.end(), [now](const Window& w) {
+    return w.from <= now && now < w.until;
+  });
+}
+
+bool FaultPlan::link_up(NodeId a, NodeId b, std::int64_t now) const {
+  auto it = link_windows_.find({std::min(a, b), std::max(a, b)});
+  return it == link_windows_.end() || !covered(it->second, now);
+}
+
+bool FaultPlan::node_up(NodeId node, std::int64_t now) const {
+  auto it = node_windows_.find(node);
+  return it == node_windows_.end() || !covered(it->second, now);
+}
+
+ByzantineMode FaultPlan::behaviour(NodeId node) const {
+  auto it = byzantine_.find(node);
+  return it == byzantine_.end() ? ByzantineMode::kHonest : it->second;
+}
+
+Bytes FaultPlan::flip_one_bit(ByteSpan wire) {
+  require(!wire.empty(), "FaultPlan: nothing to corrupt");
+  Bytes out(wire.begin(), wire.end());
+  Bytes draw = rng_.bytes(8);
+  std::uint64_t r = bigint::BigInt<1>::from_bytes_be(draw).w[0];
+  size_t bit = static_cast<size_t>(r % (out.size() * 8));
+  out[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+  return out;
+}
+
+Bytes FaultPlan::garbage(size_t len) { return rng_.bytes(len); }
+
+}  // namespace tre::simnet

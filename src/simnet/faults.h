@@ -1,0 +1,88 @@
+// Deterministic fault injection for the simulated distribution path.
+//
+// The paper's §3 scaling story only works if the "publicly accessible
+// place" survives an untrusted, partially broken distribution network:
+// updates are self-authenticating, so mirrors need no trust — but the
+// code has to actually exercise that freedom. A FaultPlan is a
+// seed-driven script of failures that the Network and MirroredArchive
+// consult:
+//   * link partitions — a link carries nothing during [from, until);
+//   * crash/recover windows — a node neither sends, receives, nor
+//     (for mirrors) absorbs replicated updates while down;
+//   * Byzantine mirror behaviours — a replica that answers requests
+//     with corrupted, relabelled, or garbage bytes, or stays silent.
+// Everything is deterministic under the plan's seed: the same plan and
+// timeline replay bit-identically, so every adversarial schedule found
+// by a sweep is a reproducible regression test.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "hashing/drbg.h"
+
+namespace tre::simnet {
+
+using NodeId = size_t;
+
+/// How a mirror answers a request it chooses not to serve honestly.
+/// All modes preserve liveness accounting (the request is received);
+/// what varies is the reply.
+enum class ByzantineMode {
+  kHonest,   ///< serve the archive contents faithfully
+  kBitFlip,  ///< serve the requested update with one bit flipped
+  kRelabel,  ///< serve another tag's update relabelled as the requested tag
+  kDrop,     ///< swallow the request, never reply
+  kGarbage,  ///< reply with random bytes of plausible length
+};
+
+class FaultPlan {
+ public:
+  /// `seed` drives every random choice the plan makes (which bit to
+  /// flip, what garbage to serve); empty falls back to a fixed default.
+  explicit FaultPlan(ByteSpan seed);
+
+  // --- Scheduled outages (half-open windows [from, until) in timeline
+  // --- seconds; multiple windows per link/node accumulate) -----------------
+
+  void partition_link(NodeId a, NodeId b, std::int64_t from, std::int64_t until);
+  void crash_node(NodeId node, std::int64_t from, std::int64_t until);
+
+  /// Marks `node` as Byzantine with the given reply behaviour (mirrors
+  /// consult this; non-mirror nodes ignore it).
+  void set_byzantine(NodeId node, ByzantineMode mode);
+
+  // --- Queries (consulted by Network::send and MirroredArchive) ------------
+
+  bool link_up(NodeId a, NodeId b, std::int64_t now) const;
+  bool node_up(NodeId node, std::int64_t now) const;
+  ByzantineMode behaviour(NodeId node) const;
+
+  /// True once any fault has been scripted (lets hot paths skip lookups).
+  bool empty() const {
+    return link_windows_.empty() && node_windows_.empty() && byzantine_.empty();
+  }
+
+  // --- Deterministic corruption material -----------------------------------
+
+  /// `wire` with exactly one seed-chosen bit flipped (non-empty input).
+  Bytes flip_one_bit(ByteSpan wire);
+
+  /// `len` seed-driven garbage bytes.
+  Bytes garbage(size_t len);
+
+ private:
+  struct Window {
+    std::int64_t from;
+    std::int64_t until;
+  };
+  static bool covered(const std::vector<Window>& windows, std::int64_t now);
+
+  hashing::HmacDrbg rng_;
+  std::map<std::pair<NodeId, NodeId>, std::vector<Window>> link_windows_;
+  std::map<NodeId, std::vector<Window>> node_windows_;
+  std::map<NodeId, ByzantineMode> byzantine_;
+};
+
+}  // namespace tre::simnet

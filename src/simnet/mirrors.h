@@ -4,11 +4,16 @@
 // at planetary scale that place is a set of replicas. The origin pushes
 // each new update to every mirror over its link; receivers poll their
 // assigned mirror with bounded retry until the update is present. What
-// the model surfaces (experiment E16):
+// the model surfaces (experiments E16/E18):
 //   * availability latency — how long after the release instant a
 //     receiver actually holds the update (replication + poll delay),
 //   * origin offload — requests absorbed by mirrors instead of the
-//     origin, the reason the passive-server design scales reads.
+//     origin, the reason the passive-server design scales reads,
+//   * Byzantine tolerance — mirrors are UNTRUSTED; with a FaultPlan
+//     installed on the Network, a replica may serve corrupted,
+//     relabelled, or garbage bytes, or none at all. Receivers survive
+//     because updates self-authenticate (ê(sG,H1(T)) == ê(G,I_T)), the
+//     check client/fetcher.h builds its pipeline on.
 #pragma once
 
 #include <optional>
@@ -22,32 +27,55 @@ namespace tre::simnet {
 class MirroredArchive {
  public:
   /// Builds origin + `mirror_count` mirrors, all linked to the origin
-  /// with `replication_link`.
-  MirroredArchive(Network& net, server::Timeline& timeline, size_t mirror_count,
+  /// with `replication_link`. `params` is needed receiver-side: fetched
+  /// bytes are parsed (and possibly rejected) at the trust boundary.
+  MirroredArchive(std::shared_ptr<const params::GdhParams> params, Network& net,
+                  server::Timeline& timeline, size_t mirror_count,
                   LinkSpec replication_link);
 
   NodeId origin() const { return origin_; }
   size_t mirror_count() const { return mirrors_.size(); }
   NodeId mirror_node(size_t idx) const;
 
-  /// Origin-side: stores locally and pushes one copy per mirror.
+  /// Origin-side: stores locally and pushes one copy per mirror. A
+  /// mirror that is crashed (per the fault plan) at the replication
+  /// arrival instant misses the update until a later publish.
   void publish(const core::KeyUpdate& update);
 
-  /// Receiver-side: polls `mirror_idx` (or the origin when
-  /// mirror_idx == kOrigin) every `poll_period` seconds over
-  /// `access_link` until the tagged update is present, then invokes
-  /// `done` with it. Gives up after `max_polls` unanswered/empty polls.
   static constexpr size_t kOrigin = static_cast<size_t>(-1);
+
+  /// One wire-level request/response round trip: `on_reply` receives the
+  /// served bytes exactly as the replica chose to send them — honest
+  /// mirrors serve `KeyUpdate::to_bytes()`, Byzantine mirrors (per the
+  /// network's FaultPlan) may serve corrupted/relabelled/garbage bytes.
+  /// No callback fires when the update is absent, a leg is lost, or the
+  /// mirror stays silent; the CALLER owns retry timing. This is the
+  /// primitive client::UpdateFetcher drives.
+  void request(NodeId receiver, size_t mirror_idx, std::string tag,
+               LinkSpec access_link, std::function<void(Bytes)> on_reply);
+
+  /// Receiver-side convenience poller: polls `mirror_idx` (or the origin
+  /// when mirror_idx == kOrigin) over `access_link` until a reply parses
+  /// as an update for `tag` (and passes `verify` when provided), then
+  /// invokes `done` with it. Retries use exponential backoff starting at
+  /// `poll_period` seconds (doubling per poll, capped at 8×). A reply
+  /// that is garbage, relabelled, or unverifiable counts as a failed
+  /// poll and is recorded in Stats::fetch_rejected. Gives up after
+  /// `max_polls` polls. For the hardened multi-mirror pipeline
+  /// (failover, health, jittered backoff) use client::UpdateFetcher.
   void fetch(NodeId receiver, size_t mirror_idx, std::string tag,
              LinkSpec access_link, std::int64_t poll_period, size_t max_polls,
-             std::function<void(const core::KeyUpdate&)> done);
+             std::function<void(const core::KeyUpdate&)> done,
+             std::function<bool(const core::KeyUpdate&)> verify = nullptr);
 
   struct Stats {
     std::uint64_t publishes = 0;
     std::uint64_t replication_messages = 0;
     std::uint64_t origin_requests = 0;
     std::uint64_t mirror_requests = 0;
+    std::uint64_t byzantine_replies = 0;  // dishonest bytes actually served
     std::uint64_t fetch_successes = 0;
+    std::uint64_t fetch_rejected = 0;     // replies discarded by fetch()
     std::uint64_t fetch_timeouts = 0;
   };
   const Stats& stats() const { return stats_; }
@@ -57,11 +85,17 @@ class MirroredArchive {
     NodeId node;
     server::UpdateArchive archive;
   };
+  struct FetchJob;
 
-  void poll_once(NodeId receiver, size_t mirror_idx, std::string tag,
-                 LinkSpec access_link, std::int64_t poll_period, size_t polls_left,
-                 std::function<void(const core::KeyUpdate&)> done);
+  NodeId node_for(size_t mirror_idx) const;
+  const server::UpdateArchive& archive_for(size_t mirror_idx) const;
 
+  /// What the replica puts on the wire for `tag` (empty = stay silent).
+  std::optional<Bytes> replica_reply(size_t mirror_idx, const std::string& tag);
+
+  void poll_once(std::shared_ptr<FetchJob> job);
+
+  std::shared_ptr<const params::GdhParams> params_;
   Network& net_;
   server::Timeline& timeline_;
   NodeId origin_;

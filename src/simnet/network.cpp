@@ -37,6 +37,13 @@ void Network::send(NodeId from, NodeId to, size_t bytes,
                    std::function<void()> on_deliver) {
   require(from < names_.size() && to < names_.size(), "Network: unknown node");
   ++stats_.sent;
+  if (faults_ && !faults_->empty() &&
+      (!faults_->node_up(from, timeline_.now()) ||
+       !faults_->link_up(from, to, timeline_.now()))) {
+    ++stats_.dropped;
+    ++stats_.fault_drops;
+    return;
+  }
   auto it = links_.find({std::min(from, to), std::max(from, to)});
   if (it == links_.end()) {
     ++stats_.dropped;
@@ -59,7 +66,14 @@ void Network::send(NodeId from, NodeId to, size_t bytes,
   ++stats_.delivered;
   stats_.bytes_carried += bytes;
   ++inbound_[to];
-  timeline_.schedule(delay, std::move(on_deliver));
+  // A receiver that is down at the arrival instant loses the message.
+  timeline_.schedule(delay, [this, to, fn = std::move(on_deliver)] {
+    if (faults_ && !faults_->node_up(to, timeline_.now())) {
+      ++stats_.fault_drops;
+      return;
+    }
+    fn();
+  });
 }
 
 }  // namespace tre::simnet

@@ -13,11 +13,10 @@
 #include <vector>
 
 #include "hashing/drbg.h"
+#include "simnet/faults.h"
 #include "timeserver/timeline.h"
 
 namespace tre::simnet {
-
-using NodeId = size_t;
 
 struct LinkSpec {
   std::int64_t base_delay = 0;  // seconds
@@ -38,13 +37,22 @@ class Network {
 
   /// Sends `bytes` from a to b; `on_deliver` fires at the arrival
   /// instant, or never if the message is lost or no link exists (an
-  /// unreachable destination counts as a drop).
+  /// unreachable destination counts as a drop). With a fault plan
+  /// installed, a partitioned link or crashed sender drops at the send
+  /// instant, and a receiver that is down at the arrival instant loses
+  /// the message even though it was carried.
   void send(NodeId from, NodeId to, size_t bytes, std::function<void()> on_deliver);
+
+  /// Installs a fault script (non-owning; nullptr restores fault-free
+  /// behaviour). The plan must outlive every send it affects.
+  void set_fault_plan(FaultPlan* plan) { faults_ = plan; }
+  FaultPlan* fault_plan() const { return faults_; }
 
   struct Stats {
     std::uint64_t sent = 0;
-    std::uint64_t delivered = 0;  // scheduled for delivery
+    std::uint64_t delivered = 0;   // scheduled for delivery
     std::uint64_t dropped = 0;
+    std::uint64_t fault_drops = 0; // subset of drops caused by the fault plan
     std::uint64_t bytes_carried = 0;
   };
   const Stats& stats() const { return stats_; }
@@ -58,6 +66,7 @@ class Network {
   std::vector<std::string> names_;
   std::map<std::pair<NodeId, NodeId>, LinkSpec> links_;
   std::vector<std::uint64_t> inbound_;
+  FaultPlan* faults_ = nullptr;
   Stats stats_;
 };
 

@@ -32,7 +32,8 @@ void BroadcastBus::set_delay_range(std::int64_t min_seconds, std::int64_t max_se
 
 size_t BroadcastBus::subscriber_count() const { return subscribers_.size(); }
 
-void BroadcastBus::publish(const core::KeyUpdate& update) {
+BroadcastBus::PublishOutcome BroadcastBus::publish(const core::KeyUpdate& update) {
+  PublishOutcome outcome;
   ++stats_.published;
   // The server transmits once regardless of audience size — that is the
   // scheme's scalability claim; per-subscriber loss/delay model the
@@ -44,6 +45,8 @@ void BroadcastBus::publish(const core::KeyUpdate& update) {
                static_cast<double>(UINT64_MAX);
     if (u < loss_probability_) {
       ++stats_.drops;
+      ++outcome.lost;
+      outcome.missed.push_back(sub.id);
       continue;
     }
     std::int64_t delay = delay_min_;
@@ -54,6 +57,7 @@ void BroadcastBus::publish(const core::KeyUpdate& update) {
           static_cast<std::uint64_t>(delay_max_ - delay_min_ + 1));
     }
     ++stats_.deliveries;
+    ++outcome.scheduled;
     // Copy update and handler by value: subscriber list may change before
     // the event fires.
     Handler handler = sub.handler;
@@ -61,6 +65,7 @@ void BroadcastBus::publish(const core::KeyUpdate& update) {
     timeline_.schedule(delay, [handler = std::move(handler),
                                copy = std::move(copy)] { handler(copy); });
   }
+  return outcome;
 }
 
 }  // namespace tre::server

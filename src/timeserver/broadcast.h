@@ -32,9 +32,21 @@ class BroadcastBus {
   /// Uniform delivery delay in [min, max] seconds.
   void set_delay_range(std::int64_t min_seconds, std::int64_t max_seconds);
 
+  /// Per-publish delivery accounting: which subscribers got a scheduled
+  /// delivery and which the lossy medium silently dropped. Cumulative
+  /// totals stay in Stats; this surfaces each call's gaps as data so the
+  /// publisher can react (re-broadcast, archive pointer, …) instead of
+  /// the loss disappearing into a counter.
+  struct PublishOutcome {
+    std::uint64_t scheduled = 0;         // deliveries scheduled this call
+    std::uint64_t lost = 0;              // subscribers the medium dropped
+    std::vector<SubscriberId> missed;    // exactly who lost this update
+    bool complete() const { return lost == 0; }
+  };
+
   /// Schedules delivery to every live subscriber (loss/delay applied
-  /// independently per subscriber).
-  void publish(const core::KeyUpdate& update);
+  /// independently per subscriber) and reports the outcome.
+  PublishOutcome publish(const core::KeyUpdate& update);
 
   struct Stats {
     std::uint64_t published = 0;       // publish() calls

@@ -68,11 +68,15 @@ void TimeServer::run(std::int64_t until_unix_seconds) {
 std::vector<core::KeyUpdate> TimeServer::issue_range(const TimeSpec& from,
                                                      const TimeSpec& to,
                                                      unsigned threads) {
+  return try_issue_range(from, to, threads).value();  // throws on error
+}
+
+Result<std::vector<core::KeyUpdate>> TimeServer::try_issue_range(const TimeSpec& from,
+                                                                 const TimeSpec& to,
+                                                                 unsigned threads) {
   // Trust assumption 2 applies to the whole range.
-  require(to.unix_seconds() <= timeline_.now(),
-          "TimeServer: refusing to issue updates for a future time");
-  require(from.unix_seconds() <= to.unix_seconds(),
-          "TimeServer: issue_range with from after to");
+  if (to.unix_seconds() > timeline_.now()) return Errc::kFutureInstant;
+  if (from.unix_seconds() > to.unix_seconds()) return Errc::kBadRange;
 
   std::vector<TimeSpec> instants;
   for (TimeSpec t = from; t.unix_seconds() <= to.unix_seconds(); t = t.next()) {
@@ -108,9 +112,12 @@ std::vector<core::KeyUpdate> TimeServer::issue_range(const TimeSpec& from,
 }
 
 core::KeyUpdate TimeServer::issue_for(const TimeSpec& t) {
+  return try_issue_for(t).value();  // throws on error
+}
+
+Result<core::KeyUpdate> TimeServer::try_issue_for(const TimeSpec& t) {
   // Trust assumption 2: never sign a future instant.
-  require(t.unix_seconds() <= timeline_.now(),
-          "TimeServer: refusing to issue an update for a future time");
+  if (t.unix_seconds() > timeline_.now()) return Errc::kFutureInstant;
   if (auto existing = archive_.find(t.canonical())) return *existing;
   return issue_unchecked(t);
 }

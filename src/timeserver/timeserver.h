@@ -10,6 +10,7 @@
 //   2. no early release: issuing an update for a future instant throws.
 #pragma once
 
+#include "common/error.h"
 #include "core/tre.h"
 #include "timeserver/archive.h"
 #include "timeserver/broadcast.h"
@@ -48,6 +49,11 @@ class TimeServer {
   /// (throws if `t` is in the future of the timeline).
   core::KeyUpdate issue_for(const TimeSpec& t);
 
+  /// Non-throwing issue_for: Errc::kFutureInstant instead of an exception
+  /// when `t` violates trust assumption 2. Distribution-side callers
+  /// (event loops, request handlers) branch on the code.
+  Result<core::KeyUpdate> try_issue_for(const TimeSpec& t);
+
   /// Bulk issuance for every instant in [from, to] at `from`'s
   /// granularity, e.g. backfilling an archive gap for late joiners. Still
   /// enforces trust assumption 2 on the whole range. Already-archived
@@ -56,6 +62,14 @@ class TimeServer {
   /// and archived/broadcast in timeline order.
   std::vector<core::KeyUpdate> issue_range(const TimeSpec& from, const TimeSpec& to,
                                            unsigned threads = 0);
+
+  /// Non-throwing issue_range: Errc::kFutureInstant when the range ends in
+  /// the future (trust assumption 2), Errc::kBadRange when from > to. On
+  /// success the vector covers EVERY instant in [from, to] — a typed error
+  /// replaces what would otherwise be a silent gap in the archive.
+  Result<std::vector<core::KeyUpdate>> try_issue_range(const TimeSpec& from,
+                                                       const TimeSpec& to,
+                                                       unsigned threads = 0);
 
   const UpdateArchive& archive() const { return archive_; }
   BroadcastBus& bus() { return bus_; }

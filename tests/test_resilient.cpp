@@ -72,6 +72,70 @@ TEST_F(ResilientTest, ChainRejectsInvertedBounds) {
   EXPECT_THROW(fallback_chain(release, Granularity::kSecond), Error);
 }
 
+TEST_F(ResilientTest, ChainAcrossYearBoundary) {
+  // One second before new year: every coarser granule rounds into 2006.
+  auto release = *TimeSpec::parse("2005-12-31T23:59:59Z");
+  auto chain = fallback_chain(release);
+  ASSERT_EQ(chain.size(), 4u);
+  EXPECT_EQ(chain[0].canonical(), "2005-12-31T23:59:59Z");
+  EXPECT_EQ(chain[1].canonical(), "2006-01-01T00:00Z");
+  EXPECT_EQ(chain[2].canonical(), "2006-01-01T00Z");
+  EXPECT_EQ(chain[3].canonical(), "2006-01-01");
+}
+
+TEST_F(ResilientTest, ChainAcrossMonthAndLeapBoundaries) {
+  // June has 30 days; the day-level fallback is July 1st.
+  auto june = fallback_chain(*TimeSpec::parse("2005-06-30T23:59:59Z"));
+  EXPECT_EQ(june.back().canonical(), "2005-07-01");
+  // 2004 is a leap year: the day after Feb 28 is Feb 29, not Mar 1.
+  auto leap = fallback_chain(*TimeSpec::parse("2004-02-28T23:59:59Z"));
+  EXPECT_EQ(leap.back().canonical(), "2004-02-29");
+  // 2005 is not: the same civil instant rounds to Mar 1.
+  auto plain = fallback_chain(*TimeSpec::parse("2005-02-28T23:59:59Z"));
+  EXPECT_EQ(plain.back().canonical(), "2005-03-01");
+}
+
+TEST_F(ResilientTest, ChainWithCoarsestEqualToReleaseGranularity) {
+  // Degenerate but legal: no coarser levels requested — the chain is
+  // just the release tag itself, at any granularity.
+  auto minute = *TimeSpec::parse("2005-06-06T09:07Z");
+  auto chain = fallback_chain(minute, Granularity::kMinute);
+  ASSERT_EQ(chain.size(), 1u);
+  EXPECT_EQ(chain[0].canonical(), "2005-06-06T09:07Z");
+}
+
+TEST_F(ResilientTest, ChainMonotonicInvariantSweep) {
+  // For a spread of release instants (boundaries, near-boundaries,
+  // arbitrary offsets): instants never decrease along the chain, never
+  // precede the release, and granularity strictly coarsens.
+  const std::int64_t kDaySecs = 86400;
+  std::vector<std::int64_t> sweep;
+  for (std::int64_t base : {std::int64_t{0}, std::int64_t{1117990830},
+                            std::int64_t{1135036799}, std::int64_t{951868799}}) {
+    for (std::int64_t off : {std::int64_t{-1}, std::int64_t{0}, std::int64_t{1},
+                             std::int64_t{59}, std::int64_t{3599},
+                             kDaySecs - 1}) {
+      if (base + off >= 0) sweep.push_back(base + off);
+    }
+  }
+  for (std::int64_t s : sweep) {
+    TimeSpec release = TimeSpec::from_unix(s, Granularity::kSecond);
+    auto chain = fallback_chain(release);
+    ASSERT_EQ(chain.size(), 4u) << s;
+    for (size_t i = 0; i < chain.size(); ++i) {
+      EXPECT_GE(chain[i].unix_seconds(), release.unix_seconds())
+          << "unix " << s << " level " << i << " precedes the release";
+      if (i > 0) {
+        EXPECT_GE(chain[i].unix_seconds(), chain[i - 1].unix_seconds())
+            << "unix " << s << " level " << i << " decreased";
+        EXPECT_LT(static_cast<int>(chain[i].granularity()),
+                  static_cast<int>(chain[i - 1].granularity()))
+            << "unix " << s << " level " << i << " did not coarsen";
+      }
+    }
+  }
+}
+
 // --- encryption/decryption ---------------------------------------------------
 
 TEST_F(ResilientTest, DecryptsWithExactUpdate) {

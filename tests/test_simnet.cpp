@@ -86,7 +86,8 @@ class MirrorTest : public ::testing::Test {
   MirrorTest()
       : timeline_(0),
         net_(timeline_, to_bytes("mirror-tests")),
-        scheme_(params::load("tre-toy-96")),
+        params_(params::load("tre-toy-96")),
+        scheme_(params_),
         rng_(to_bytes("mirror-rng")),
         server_(scheme_.server_keygen(rng_)) {}
 
@@ -94,13 +95,14 @@ class MirrorTest : public ::testing::Test {
 
   server::Timeline timeline_;
   Network net_;
+  std::shared_ptr<const params::GdhParams> params_;
   core::TreScheme scheme_;
   hashing::HmacDrbg rng_;
   core::ServerKeyPair server_;
 };
 
 TEST_F(MirrorTest, ReplicationReachesAllMirrors) {
-  MirroredArchive cluster(net_, timeline_, 3, LinkSpec{.base_delay = 2});
+  MirroredArchive cluster(params_, net_, timeline_, 3, LinkSpec{.base_delay = 2});
   cluster.publish(update("T1"));
   EXPECT_EQ(cluster.stats().replication_messages, 3u);
 
@@ -114,16 +116,16 @@ TEST_F(MirrorTest, ReplicationReachesAllMirrors) {
                 });
   timeline_.advance_to(60);
   // Poll 1 arrives at t=1 (mirror still empty; the replica lands at
-  // t=2); the retry fires at t=5, reaches the mirror at t=6, and the
-  // response arrives at t=7.
-  EXPECT_EQ(got_at, 7);
+  // t=2); the receiver's backoff timer fires poll 2 at t=4, which
+  // reaches the mirror at t=5 and the response arrives at t=6.
+  EXPECT_EQ(got_at, 6);
   EXPECT_EQ(cluster.stats().fetch_successes, 1u);
   EXPECT_EQ(cluster.stats().mirror_requests, 2u);
   EXPECT_EQ(cluster.stats().origin_requests, 0u);
 }
 
 TEST_F(MirrorTest, OriginServesDirectly) {
-  MirroredArchive cluster(net_, timeline_, 2, LinkSpec{.base_delay = 10});
+  MirroredArchive cluster(params_, net_, timeline_, 2, LinkSpec{.base_delay = 10});
   cluster.publish(update("T1"));
   NodeId rx = net_.add_node("receiver");
   bool got = false;
@@ -135,7 +137,7 @@ TEST_F(MirrorTest, OriginServesDirectly) {
 }
 
 TEST_F(MirrorTest, FetchTimesOutWhenUpdateNeverAppears) {
-  MirroredArchive cluster(net_, timeline_, 1, LinkSpec{});
+  MirroredArchive cluster(params_, net_, timeline_, 1, LinkSpec{});
   NodeId rx = net_.add_node("receiver");
   bool got = false;
   cluster.fetch(rx, 0, "never-published", LinkSpec{.base_delay = 1}, 2, 3,
@@ -147,13 +149,14 @@ TEST_F(MirrorTest, FetchTimesOutWhenUpdateNeverAppears) {
 }
 
 TEST_F(MirrorTest, ManyReceiversOffloadTheOrigin) {
-  MirroredArchive cluster(net_, timeline_, 4, LinkSpec{.base_delay = 1});
+  MirroredArchive cluster(params_, net_, timeline_, 4, LinkSpec{.base_delay = 1});
   cluster.publish(update("T1"));
   timeline_.advance_to(2);  // replication done
   int got = 0;
   for (size_t i = 0; i < 40; ++i) {
     NodeId rx = net_.add_node("rx-" + std::to_string(i));
-    cluster.fetch(rx, i % 4, "T1", LinkSpec{.base_delay = 1}, 2, 3,
+    // Poll period > round-trip time, so a present update costs one poll.
+    cluster.fetch(rx, i % 4, "T1", LinkSpec{.base_delay = 1}, 4, 3,
                   [&](const core::KeyUpdate&) { ++got; });
   }
   timeline_.advance_to(30);
@@ -161,6 +164,91 @@ TEST_F(MirrorTest, ManyReceiversOffloadTheOrigin) {
   EXPECT_EQ(cluster.stats().origin_requests, 0u);  // fully offloaded
   EXPECT_EQ(cluster.stats().mirror_requests, 40u);
   EXPECT_EQ(net_.inbound_count(cluster.origin()), 0u);
+}
+
+TEST_F(MirrorTest, PollingBacksOffExponentially) {
+  MirroredArchive cluster(params_, net_, timeline_, 1, LinkSpec{});
+  NodeId rx = net_.add_node("receiver");
+  cluster.fetch(rx, 0, "absent", LinkSpec{.base_delay = 1}, /*poll_period=*/2,
+                /*max_polls=*/5, [](const core::KeyUpdate&) { FAIL(); });
+  // Polls fire at t = 0, 2, 6, 14, 30 (doubling, capped at 8x base).
+  const std::int64_t expected[] = {0, 2, 6, 14, 30};
+  for (size_t i = 0; i < 5; ++i) {
+    timeline_.advance_to(expected[i]);
+    EXPECT_EQ(cluster.stats().mirror_requests, i + 1) << "poll " << i;
+  }
+  timeline_.advance_to(100);
+  EXPECT_EQ(cluster.stats().mirror_requests, 5u);
+  EXPECT_EQ(cluster.stats().fetch_timeouts, 1u);
+}
+
+TEST_F(MirrorTest, GarbageReplyCountsAsFailedPoll) {
+  FaultPlan plan(to_bytes("garbage-mirror"));
+  net_.set_fault_plan(&plan);
+  MirroredArchive cluster(params_, net_, timeline_, 1, LinkSpec{.base_delay = 1});
+  plan.set_byzantine(cluster.mirror_node(0), ByzantineMode::kGarbage);
+  cluster.publish(update("T1"));
+  timeline_.advance_to(2);  // replication done
+
+  NodeId rx = net_.add_node("receiver");
+  bool got = false;
+  cluster.fetch(rx, 0, "T1", LinkSpec{.base_delay = 1}, /*poll_period=*/2,
+                /*max_polls=*/3, [&](const core::KeyUpdate&) { got = true; });
+  timeline_.advance_to(100);
+  // Every reply was garbage: each poll failed, nothing was accepted.
+  EXPECT_FALSE(got);
+  EXPECT_EQ(cluster.stats().fetch_rejected, 3u);
+  EXPECT_EQ(cluster.stats().fetch_timeouts, 1u);
+  EXPECT_EQ(cluster.stats().fetch_successes, 0u);
+  EXPECT_EQ(cluster.stats().byzantine_replies, 3u);
+}
+
+TEST_F(MirrorTest, UnverifiableReplyCountsAsFailedPoll) {
+  // The mirror is honest at the wire level, but the caller's verifier
+  // (here: against a DIFFERENT server key) must still be able to refuse.
+  MirroredArchive cluster(params_, net_, timeline_, 1, LinkSpec{.base_delay = 1});
+  cluster.publish(update("T1"));
+  timeline_.advance_to(2);
+
+  core::ServerKeyPair other = scheme_.server_keygen(rng_);
+  NodeId rx = net_.add_node("receiver");
+  bool got = false;
+  cluster.fetch(
+      rx, 0, "T1", LinkSpec{.base_delay = 1}, /*poll_period=*/2, /*max_polls=*/2,
+      [&](const core::KeyUpdate&) { got = true; },
+      [&](const core::KeyUpdate& u) { return scheme_.verify_update(other.pub, u); });
+  timeline_.advance_to(100);
+  EXPECT_FALSE(got);
+  EXPECT_EQ(cluster.stats().fetch_rejected, 2u);
+  EXPECT_EQ(cluster.stats().fetch_timeouts, 1u);
+}
+
+TEST_F(MirrorTest, RelabelledReplyIsRejectedByTagCheck) {
+  FaultPlan plan(to_bytes("relabel-mirror"));
+  net_.set_fault_plan(&plan);
+  MirroredArchive cluster(params_, net_, timeline_, 1, LinkSpec{.base_delay = 1});
+  plan.set_byzantine(cluster.mirror_node(0), ByzantineMode::kRelabel);
+  cluster.publish(update("stale"));
+  cluster.publish(update("T1"));
+  timeline_.advance_to(2);
+
+  NodeId rx = net_.add_node("receiver");
+  bool got = false;
+  size_t verifier_saw_wrong_tag = 0;
+  cluster.fetch(
+      rx, 0, "T1", LinkSpec{.base_delay = 1}, /*poll_period=*/2, /*max_polls=*/2,
+      [&](const core::KeyUpdate&) { got = true; },
+      [&](const core::KeyUpdate& u) {
+        if (u.tag != "T1") ++verifier_saw_wrong_tag;
+        return scheme_.verify_update(server_.pub, u);
+      });
+  timeline_.advance_to(100);
+  // The relabelled update claims tag T1 but carries the stale tag's
+  // signature: the tag check passes, self-authentication fails.
+  EXPECT_FALSE(got);
+  EXPECT_EQ(verifier_saw_wrong_tag, 0u);  // relabelling forges the tag field
+  EXPECT_EQ(cluster.stats().fetch_rejected, 2u);
+  EXPECT_GE(cluster.stats().byzantine_replies, 2u);
 }
 
 }  // namespace

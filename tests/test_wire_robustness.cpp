@@ -140,6 +140,111 @@ TEST_F(WireRobustness, AnyCiphertextTruncations) {
   });
 }
 
+TEST_F(WireRobustness, KeyUpdateGarbageCorpus) {
+  // Pure noise at many lengths — including lengths that happen to match
+  // a genuine encoding — must never crash, and must never verify. This
+  // is exactly what a kGarbage Byzantine mirror serves (simnet/faults.h).
+  KeyUpdate genuine = scheme_.issue_update(server_, "2030-01-01");
+  size_t honest_len = genuine.to_bytes().size();
+  hashing::HmacDrbg fuzz(to_bytes("garbage-corpus"));
+  for (size_t len : {size_t{0}, size_t{1}, size_t{2}, size_t{3}, size_t{7},
+                     size_t{16}, size_t{33}, honest_len - 1, honest_len,
+                     honest_len + 1, size_t{256}, size_t{1024}}) {
+    for (int sample = 0; sample < 8; ++sample) {
+      Bytes junk(len);
+      fuzz.fill(junk);
+      std::optional<KeyUpdate> parsed =
+          KeyUpdate::try_from_bytes(scheme_.params(), junk);
+      if (parsed) {
+        EXPECT_FALSE(scheme_.verify_update(server_.pub, *parsed))
+            << "random " << len << "-byte blob verified";
+      }
+    }
+  }
+}
+
+TEST_F(WireRobustness, TryFromBytesMatchesThrowingParser) {
+  // try_from_bytes is the noexcept-shaped twin of from_bytes: nullopt
+  // exactly where from_bytes throws, identical value where it succeeds.
+  KeyUpdate upd = scheme_.issue_update(server_, "2030-01-01");
+  Bytes wire = upd.to_bytes();
+  std::optional<KeyUpdate> ok = KeyUpdate::try_from_bytes(scheme_.params(), wire);
+  ASSERT_TRUE(ok.has_value());
+  EXPECT_EQ(*ok, upd);
+  for (size_t len = 0; len < wire.size(); ++len) {
+    EXPECT_FALSE(
+        KeyUpdate::try_from_bytes(scheme_.params(), ByteSpan(wire.data(), len)))
+        << "length " << len;
+  }
+}
+
+TEST_F(WireRobustness, KeyUpdateLengthFieldManipulation) {
+  // The tag-length prefix is attacker-controlled framing: every possible
+  // value of the 16-bit field must parse cleanly or throw — lying about
+  // the tag length must not walk the parser out of bounds.
+  KeyUpdate upd = scheme_.issue_update(server_, "2030-01-01");
+  Bytes wire = upd.to_bytes();
+  for (unsigned v = 0; v <= 0xffff; ++v) {
+    Bytes mutated = wire;
+    mutated[0] = static_cast<std::uint8_t>(v >> 8);
+    mutated[1] = static_cast<std::uint8_t>(v & 0xff);
+    std::optional<KeyUpdate> parsed =
+        KeyUpdate::try_from_bytes(scheme_.params(), mutated);
+    if (parsed && scheme_.verify_update(server_.pub, *parsed)) {
+      // The genuine length reproduces the genuine update — the ONLY
+      // value allowed to still verify.
+      EXPECT_EQ(mutated, wire)
+          << "length field " << v << " produced a verifying forgery";
+    }
+  }
+}
+
+TEST_F(WireRobustness, CiphertextGarbageCorpus) {
+  // Noise fed to the ciphertext parsers: throw or parse, never crash.
+  Ciphertext genuine =
+      scheme_.encrypt(to_bytes("msg"), user_.pub, server_.pub, "T", rng_);
+  size_t honest_len = genuine.to_bytes().size();
+  hashing::HmacDrbg fuzz(to_bytes("ct-garbage"));
+  PolicyLock lock(params::load("tre-toy-96"));
+  for (size_t len : {size_t{0}, size_t{1}, size_t{5}, size_t{32}, honest_len,
+                     honest_len + 7, size_t{512}}) {
+    for (int sample = 0; sample < 8; ++sample) {
+      Bytes junk(len);
+      fuzz.fill(junk);
+      try {
+        (void)Ciphertext::from_bytes(scheme_.params(), junk);
+      } catch (const Error&) {
+      }
+      try {
+        (void)AnyCiphertext::from_bytes(scheme_.params(), junk);
+      } catch (const Error&) {
+      }
+    }
+  }
+}
+
+TEST_F(WireRobustness, AnyCiphertextFlipsNeverOpenWrongly) {
+  // The multi-wrap fallback ciphertext: a flipped bit may only turn
+  // decryption into a throw or garbage, never a crash. (Any* carries no
+  // integrity tag of its own — callers needing CCA wrap FO/REACT — so
+  // garbage output is in-contract; memory safety is what is on trial,
+  // under ASan/UBSan in the sanitizer build.)
+  PolicyLock lock(params::load("tre-toy-96"));
+  std::vector<std::string> conds = {"c1", "c2"};
+  Bytes msg = to_bytes("fallback wire");
+  AnyCiphertext ct = lock.lock_any(msg, user_.pub, server_.pub, conds, rng_);
+  KeyUpdate upd = scheme_.issue_update(server_, "c2");
+  Bytes wire = ct.to_bytes();
+  auto parse = [&](ByteSpan b) { return AnyCiphertext::from_bytes(scheme_.params(), b); };
+  flip_bits(wire, parse, [&](const AnyCiphertext& parsed, size_t) {
+    try {
+      (void)lock.unlock_any(parsed, user_.a, upd);
+    } catch (const Error&) {
+      // semantic rejection is fine; crashing is not
+    }
+  });
+}
+
 TEST_F(WireRobustness, HybridCiphertextTruncations) {
   baselines::HybridTre hybrid(params::load("tre-toy-96"));
   baselines::PkeKeyPair pke = hybrid.pke_keygen(rng_);

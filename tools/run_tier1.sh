@@ -5,19 +5,40 @@
 #   tools/run_tier1.sh                       # plain RelWithDebInfo build
 #   TRE_SANITIZE=address,undefined tools/run_tier1.sh
 #   BUILD_DIR=build-asan tools/run_tier1.sh  # custom build directory
+#   MATRIX=1 tools/run_tier1.sh              # plain + asan/ubsan + tsan
+#   TEST_TIMEOUT=600 tools/run_tier1.sh      # per-test ctest ceiling (s)
 #
 # TRE_SANITIZE is forwarded to the CMake option of the same name and
-# instruments every target with -fsanitize=<list>.
+# instruments every target with -fsanitize=<list>. MATRIX=1 runs the
+# full robustness matrix in separate build trees:
+#   build         plain (fast, the default tier-1 gate)
+#   build-asan    address+undefined — memory safety of the adversarial
+#                 deserialization corpus (tests/test_wire_robustness.cpp)
+#   build-tsan    thread — data races on the shared core::Tuning caches
+#                 (tests/test_concurrency.cpp joins ctest only here)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
-BUILD_DIR="${BUILD_DIR:-build}"
-CMAKE_ARGS=(-B "$BUILD_DIR" -S .)
-if [[ -n "${TRE_SANITIZE:-}" ]]; then
-  CMAKE_ARGS+=(-DTRE_SANITIZE="$TRE_SANITIZE")
-fi
+TEST_TIMEOUT="${TEST_TIMEOUT:-300}"
 
-cmake "${CMAKE_ARGS[@]}"
-cmake --build "$BUILD_DIR" -j"$(nproc)"
-ctest --test-dir "$BUILD_DIR" --output-on-failure -j"$(nproc)"
+run_one() {
+  local build_dir="$1" sanitize="$2"
+  local cmake_args=(-B "$build_dir" -S . -DTRE_TEST_TIMEOUT="$TEST_TIMEOUT")
+  if [[ -n "$sanitize" ]]; then
+    cmake_args+=(-DTRE_SANITIZE="$sanitize")
+  fi
+  echo "=== tier1: ${sanitize:-plain} -> $build_dir ==="
+  cmake "${cmake_args[@]}"
+  cmake --build "$build_dir" -j"$(nproc)"
+  ctest --test-dir "$build_dir" --output-on-failure -j"$(nproc)" \
+        --timeout "$TEST_TIMEOUT"
+}
+
+if [[ "${MATRIX:-0}" == "1" ]]; then
+  run_one "${BUILD_DIR:-build}" ""
+  run_one "${BUILD_DIR:-build}-asan" "address,undefined"
+  run_one "${BUILD_DIR:-build}-tsan" "thread"
+else
+  run_one "${BUILD_DIR:-build}" "${TRE_SANITIZE:-}"
+fi
