@@ -9,6 +9,7 @@
 // corrupted acceptances in every cell; the cost of the faults shows up
 // as availability latency and rejected-reply counts instead.
 #include <algorithm>
+#include <array>
 #include <cstdio>
 #include <memory>
 #include <string>
@@ -41,9 +42,11 @@ int main(int argc, char** argv) {
       simnet::ByzantineMode::kBitFlip, simnet::ByzantineMode::kRelabel,
       simnet::ByzantineMode::kGarbage, simnet::ByzantineMode::kDrop};
 
-  std::printf("%-6s | %-10s | %9s | %9s | %9s | %9s | %8s\n", "loss", "byzantine",
-              "delivered", "p50 avail", "p95 avail", "rejected", "forged");
-  std::printf("-------+------------+-----------+-----------+-----------+-----------+---------\n");
+  std::printf("%-6s | %-10s | %9s | %9s | %9s | %9s | %8s | %6s | %5s | %5s\n",
+              "loss", "byzantine", "delivered", "p50 avail", "p95 avail",
+              "rejected", "forged", "garble", "relbl", "forge");
+  std::printf("-------+------------+-----------+-----------+-----------+-----------"
+              "+----------+--------+-------+------\n");
 
   struct Row {
     double loss;
@@ -51,15 +54,26 @@ int main(int argc, char** argv) {
     size_t delivered, expected;
     std::int64_t p50, p95;
     std::uint64_t rejected, forged;
+    // Per-cause rejection deltas, read back from the global registry
+    // (client.rejected.*); all zero under -DTRE_METRICS=OFF.
+    std::uint64_t rej_parse, rej_tag, rej_sig;
   };
   std::vector<Row> rows;
   bool all_clean = true;
+
+  obs::Registry& greg = obs::Registry::global();
+  auto rejected_by_cause = [&greg] {
+    return std::array<std::uint64_t, 3>{greg.counter_value("client.rejected.parse"),
+                                        greg.counter_value("client.rejected.tag"),
+                                        greg.counter_value("client.rejected.sig")};
+  };
 
   for (double loss : {0.0, 0.25, 0.5}) {
     for (size_t byz : {size_t{0}, size_t{2}, kMirrors - 1}) {
       std::vector<std::int64_t> avail;
       std::uint64_t rejected = 0, forged = 0;
       size_t expected = 0;
+      const std::array<std::uint64_t, 3> cause_base = rejected_by_cause();
 
       for (int seed = 0; seed < kSeeds; ++seed) {
         std::string tag = "s" + std::to_string(seed);
@@ -110,6 +124,7 @@ int main(int argc, char** argv) {
       }
 
       std::sort(avail.begin(), avail.end());
+      const std::array<std::uint64_t, 3> cause_now = rejected_by_cause();
       Row row{loss,
               byz,
               avail.size(),
@@ -117,20 +132,28 @@ int main(int argc, char** argv) {
               avail.empty() ? -1 : avail[avail.size() / 2],
               avail.empty() ? -1 : avail[avail.size() * 95 / 100],
               rejected,
-              forged};
+              forged,
+              cause_now[0] - cause_base[0],
+              cause_now[1] - cause_base[1],
+              cause_now[2] - cause_base[2]};
       rows.push_back(row);
       if (forged != 0 || avail.size() != expected) all_clean = false;
-      std::printf("%-6.2f | %zu of %zu     | %4zu/%-4zu | %7lld s | %7lld s | %9llu | %8llu\n",
+      std::printf("%-6.2f | %zu of %zu     | %4zu/%-4zu | %7lld s | %7lld s | %8llu | %6llu | %6llu | %5llu | %5llu\n",
                   loss, byz, kMirrors, row.delivered, row.expected,
                   static_cast<long long>(row.p50), static_cast<long long>(row.p95),
                   static_cast<unsigned long long>(row.rejected),
-                  static_cast<unsigned long long>(row.forged));
+                  static_cast<unsigned long long>(row.forged),
+                  static_cast<unsigned long long>(row.rej_parse),
+                  static_cast<unsigned long long>(row.rej_tag),
+                  static_cast<unsigned long long>(row.rej_sig));
     }
   }
 
   std::printf("\n(forged must be 0 everywhere: integrity never degrades under "
               "faults — only latency and wasted replies do; 'rejected' counts "
-              "Byzantine/corrupt replies the verify gate turned away)\n");
+              "Byzantine/corrupt replies the verify gate turned away; the "
+              "garble/relbl/forge split is the registry's client.rejected.* "
+              "parse/tag/sig attribution)\n");
 
   const char* json_path = argc > 1 ? argv[1] : "BENCH_faults.json";
   if (std::FILE* f = std::fopen(json_path, "w")) {
@@ -145,15 +168,21 @@ int main(int argc, char** argv) {
                    "    {\"loss\": %.2f, \"byzantine_mirrors\": %zu, "
                    "\"delivered\": %zu, \"expected\": %zu, "
                    "\"p50_availability_s\": %lld, \"p95_availability_s\": %lld, "
-                   "\"rejected_replies\": %llu, \"forged_accepts\": %llu}%s\n",
+                   "\"rejected_replies\": %llu, \"forged_accepts\": %llu, "
+                   "\"rejected_parse\": %llu, \"rejected_tag\": %llu, "
+                   "\"rejected_sig\": %llu}%s\n",
                    r.loss, r.byz, r.delivered, r.expected,
                    static_cast<long long>(r.p50), static_cast<long long>(r.p95),
                    static_cast<unsigned long long>(r.rejected),
                    static_cast<unsigned long long>(r.forged),
+                   static_cast<unsigned long long>(r.rej_parse),
+                   static_cast<unsigned long long>(r.rej_tag),
+                   static_cast<unsigned long long>(r.rej_sig),
                    i + 1 < rows.size() ? "," : "");
     }
-    std::fprintf(f, "  ],\n  \"zero_forged_everywhere\": %s\n}\n",
+    std::fprintf(f, "  ],\n  \"zero_forged_everywhere\": %s,\n",
                  all_clean ? "true" : "false");
+    std::fprintf(f, "%s\n}\n", bench::metrics_json_field(2).c_str());
     std::fclose(f);
     std::printf("wrote %s\n", json_path);
   }

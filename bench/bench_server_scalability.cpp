@@ -74,5 +74,10 @@ int main() {
   std::printf("(a TRE sender reaches ANY future instant with %zu bytes of "
               "server key material)\n",
               server.pub.to_bytes().size());
+
+  // What the run cost in protocol operations, from the hot-path probes
+  // (all-zero counters under -DTRE_METRICS=OFF).
+  std::printf("\nmetrics snapshot (obs::Registry::global()):\n%s\n",
+              obs::Registry::global().to_json().c_str());
   return 0;
 }

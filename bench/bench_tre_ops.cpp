@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_util.h"
 #include "core/tre.h"
 #include "ec/curve.h"
 #include "hashing/drbg.h"
@@ -262,7 +263,8 @@ int run_comparison(const std::string& json_path) {
                  rows[i].after_ops / rows[i].before_ops,
                  i + 1 < rows.size() ? "," : "");
   }
-  std::fprintf(f, "  }\n}\n");
+  std::fprintf(f, "  },\n");
+  std::fprintf(f, "%s\n}\n", tre::bench::metrics_json_field(2).c_str());
   std::fclose(f);
 
   std::printf("%-20s | %12s | %12s | %8s\n", "operation", "before op/s",

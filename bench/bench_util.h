@@ -6,6 +6,9 @@
 #include <chrono>
 #include <cstdio>
 #include <functional>
+#include <string>
+
+#include "obs/metrics.h"
 
 namespace tre::bench {
 
@@ -21,6 +24,16 @@ inline double time_ms(int reps, const std::function<void()>& fn) {
 inline void header(const char* experiment, const char* claim) {
   std::printf("\n=== %s ===\n", experiment);
   std::printf("paper claim: %s\n\n", claim);
+}
+
+/// `"metrics": {...}` — the global obs registry snapshot as a field for
+/// a hand-rolled BENCH_*.json object, `indent` spaces deep. The caller
+/// manages surrounding commas. Under -DTRE_METRICS=OFF the snapshot is
+/// still valid JSON, with "metrics_enabled": false and only the
+/// always-on instruments populated.
+inline std::string metrics_json_field(int indent = 2) {
+  std::string margin(static_cast<size_t>(indent), ' ');
+  return margin + "\"metrics\":\n" + obs::Registry::global().to_json(indent);
 }
 
 }  // namespace tre::bench

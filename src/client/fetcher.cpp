@@ -7,6 +7,31 @@
 
 namespace tre::client {
 
+namespace {
+
+// Fleet-wide mirrors of the per-instance counters: every fetcher in the
+// process contributes, so E18 reads per-cause rejection totals straight
+// from the global registry (compiled out under -DTRE_METRICS=OFF).
+struct Probes {
+  obs::CounterProbe attempts{"client.fetch.attempts"};
+  obs::CounterProbe timeouts{"client.fetch.timeouts"};
+  obs::CounterProbe rejected_parse{"client.rejected.parse"};
+  obs::CounterProbe rejected_tag{"client.rejected.tag"};
+  obs::CounterProbe rejected_sig{"client.rejected.sig"};
+  obs::CounterProbe failovers{"client.fetch.failovers"};
+  obs::CounterProbe fallback_steps{"client.fetch.fallback_steps"};
+  obs::CounterProbe backoff_wait{"client.fetch.backoff_wait_s"};
+  obs::CounterProbe successes{"client.fetch.successes"};
+  obs::CounterProbe failures{"client.fetch.failures"};
+
+  static const Probes& get() {
+    static const Probes p;
+    return p;
+  }
+};
+
+}  // namespace
+
 UpdateFetcher::UpdateFetcher(core::TreScheme scheme, core::ServerPublicKey server,
                              simnet::MirroredArchive& archive,
                              server::Timeline& timeline, simnet::NodeId receiver,
@@ -40,6 +65,31 @@ int UpdateFetcher::health(size_t slot) const {
   return health_[slot];
 }
 
+FetchStats UpdateFetcher::lifetime_stats() const {
+  FetchStats s;
+  s.attempts = attempts_c_.value();
+  s.timeouts = timeouts_c_.value();
+  s.rejected_parse = rejected_parse_c_.value();
+  s.rejected_tag = rejected_tag_c_.value();
+  s.rejected_sig = rejected_sig_c_.value();
+  s.failovers = failovers_c_.value();
+  s.fallback_steps = fallback_steps_c_.value();
+  s.backoff_wait = backoff_wait_c_.value();
+  return s;
+}
+
+FetchStats UpdateFetcher::stats() const {
+  FetchStats now = lifetime_stats();
+  return FetchStats{now.attempts - baseline_.attempts,
+                    now.timeouts - baseline_.timeouts,
+                    now.rejected_parse - baseline_.rejected_parse,
+                    now.rejected_tag - baseline_.rejected_tag,
+                    now.rejected_sig - baseline_.rejected_sig,
+                    now.failovers - baseline_.failovers,
+                    now.fallback_steps - baseline_.fallback_steps,
+                    now.backoff_wait - baseline_.backoff_wait};
+}
+
 void UpdateFetcher::fetch_verified(std::vector<std::string> tags, SuccessFn done,
                                    FailureFn failed) {
   require(!busy_, "UpdateFetcher: a fetch is already running");
@@ -48,7 +98,7 @@ void UpdateFetcher::fetch_verified(std::vector<std::string> tags, SuccessFn done
   busy_ = true;
   tags_ = std::move(tags);
   tag_index_ = 0;
-  stats_ = FetchStats{};
+  baseline_ = lifetime_stats();  // stats() now reads zero for this fetch
   done_ = std::move(done);
   failed_ = std::move(failed);
   // Start from the healthiest known mirror: knowledge from earlier
@@ -72,7 +122,10 @@ void UpdateFetcher::fetch_release(const server::TimeSpec& release,
 void UpdateFetcher::start_tag() {
   attempts_left_ = config_.attempts_per_tag;
   prev_sleep_ = config_.base_backoff;
-  if (tag_index_ > 0) ++stats_.fallback_steps;
+  if (tag_index_ > 0) {
+    fallback_steps_c_.add();
+    Probes::get().fallback_steps.add();
+  }
   attempt();
 }
 
@@ -84,14 +137,19 @@ void UpdateFetcher::attempt() {
     if (tag_index_ >= tags_.size()) {
       busy_ = false;
       live_attempt_ = 0;
-      if (failed_) failed_(stats_);
+      Probes::get().failures.add();
+      if (failed_) {
+        FetchStats view = stats();
+        failed_(view);
+      }
       return;
     }
     start_tag();
     return;
   }
   --attempts_left_;
-  ++stats_.attempts;
+  attempts_c_.add();
+  Probes::get().attempts.add();
   std::uint64_t id = ++attempt_seq_;
   live_attempt_ = id;
   archive_.request(receiver_, mirrors_[current_slot_], tags_[tag_index_],
@@ -107,22 +165,26 @@ void UpdateFetcher::on_reply(std::uint64_t id, Bytes wire) {
   std::optional<core::KeyUpdate> parsed =
       core::KeyUpdate::try_from_bytes(scheme_.params(), wire);
   if (!parsed) {
-    ++stats_.rejected_parse;
+    rejected_parse_c_.add();
+    Probes::get().rejected_parse.add();
   } else if (parsed->tag != want) {
-    ++stats_.rejected_tag;
+    rejected_tag_c_.add();
+    Probes::get().rejected_tag.add();
   } else if (!scheme_.verify_update(server_, *parsed)) {
-    ++stats_.rejected_sig;
+    rejected_sig_c_.add();
+    Probes::get().rejected_sig.add();
   } else {
     // Verified: the ONLY path to acceptance.
     busy_ = false;
     live_attempt_ = 0;
     health_[current_slot_] =
         std::min(config_.max_health, health_[current_slot_] + 1);
+    Probes::get().successes.add();
     FetchResult result;
     result.update = std::move(*parsed);
     result.via_fallback = tag_index_ > 0;
     result.completed_at = timeline_.now();
-    result.stats = stats_;
+    result.stats = stats();
     done_(result);
     return;
   }
@@ -131,7 +193,8 @@ void UpdateFetcher::on_reply(std::uint64_t id, Bytes wire) {
 
 void UpdateFetcher::on_timeout(std::uint64_t id) {
   if (!busy_ || id != live_attempt_) return;  // answered (or settled) in time
-  ++stats_.timeouts;
+  timeouts_c_.add();
+  Probes::get().timeouts.add();
   fail_attempt();
 }
 
@@ -143,11 +206,15 @@ void UpdateFetcher::fail_attempt() {
   if (consecutive_failures_ >= config_.failover_after && mirrors_.size() > 1) {
     rotate();
   }
-  timeline_.schedule(next_backoff(), [this] { attempt(); });
+  std::int64_t sleep = next_backoff();
+  backoff_wait_c_.add(static_cast<std::uint64_t>(sleep));
+  Probes::get().backoff_wait.add(static_cast<std::uint64_t>(sleep));
+  timeline_.schedule(sleep, [this] { attempt(); });
 }
 
 void UpdateFetcher::rotate() {
-  ++stats_.failovers;
+  failovers_c_.add();
+  Probes::get().failovers.add();
   consecutive_failures_ = 0;
   // Healthiest alternative wins; ties resolve round-robin after the
   // current slot so equals are visited in order (this is what guarantees

@@ -40,6 +40,7 @@
 #include <vector>
 
 #include "core/tre.h"
+#include "obs/metrics.h"
 #include "simnet/mirrors.h"
 #include "timeserver/resilient.h"
 
@@ -57,7 +58,10 @@ struct FetcherConfig {
 };
 
 /// Per-fetch accounting, split by rejection cause so experiments can
-/// attribute latency to the right adversary.
+/// attribute latency to the right adversary. Computed as a delta over
+/// the fetcher's registry counters (baseline taken when the fetch
+/// starts); the same counters feed obs::Registry::global() as
+/// client.fetch.* / client.rejected.* for fleet-wide telemetry.
 struct FetchStats {
   size_t attempts = 0;        ///< requests sent
   size_t timeouts = 0;        ///< attempts with no reply inside the deadline
@@ -66,6 +70,7 @@ struct FetchStats {
   size_t rejected_sig = 0;    ///< parsed clean but failed self-authentication
   size_t failovers = 0;       ///< mirror rotations
   size_t fallback_steps = 0;  ///< coarser chain tags resorted to
+  size_t backoff_wait = 0;    ///< total seconds spent in retry backoff
   size_t total_rejected() const {
     return rejected_parse + rejected_tag + rejected_sig;
   }
@@ -111,8 +116,15 @@ class UpdateFetcher {
   /// Health score of `mirrors[slot]` (0 = neutral; negative = demoted).
   int health(size_t slot) const;
 
-  /// Accounting for the current/most recent fetch.
-  const FetchStats& stats() const { return stats_; }
+  /// Accounting for the current/most recent fetch (a view over the
+  /// registry counters, relative to the baseline at fetch start).
+  FetchStats stats() const;
+
+  /// Lifetime totals across every fetch this fetcher ran.
+  FetchStats lifetime_stats() const;
+
+  /// The instance-local registry backing stats() (snapshot/export hook).
+  const obs::Registry& metrics() const { return reg_; }
 
  private:
   void start_tag();
@@ -144,7 +156,19 @@ class UpdateFetcher {
   std::int64_t prev_sleep_ = 0;
   std::uint64_t attempt_seq_ = 0;
   std::uint64_t live_attempt_ = 0;  // 0 = none in flight
-  FetchStats stats_;
+  // Lifetime accounting in a private registry; handles resolved once
+  // because registry lookup takes a lock. baseline_ snapshots the
+  // counters when a fetch starts, making stats() per-fetch.
+  obs::Registry reg_;
+  obs::Counter& attempts_c_ = reg_.counter("attempts");
+  obs::Counter& timeouts_c_ = reg_.counter("timeouts");
+  obs::Counter& rejected_parse_c_ = reg_.counter("rejected_parse");
+  obs::Counter& rejected_tag_c_ = reg_.counter("rejected_tag");
+  obs::Counter& rejected_sig_c_ = reg_.counter("rejected_sig");
+  obs::Counter& failovers_c_ = reg_.counter("failovers");
+  obs::Counter& fallback_steps_c_ = reg_.counter("fallback_steps");
+  obs::Counter& backoff_wait_c_ = reg_.counter("backoff_wait");
+  FetchStats baseline_;
   SuccessFn done_;
   FailureFn failed_;
 };

@@ -1,12 +1,14 @@
 #include "core/tre.h"
 
 #include <mutex>
+#include <type_traits>
 #include <unordered_map>
 #include <unordered_set>
 
 #include "bigint/prime.h"
 #include "common/parallel.h"
 #include "hashing/kdf.h"
+#include "obs/metrics.h"
 
 namespace tre::core {
 
@@ -52,6 +54,39 @@ G1Point get_point(const params::GdhParams& params, ByteSpan bytes, size_t& off) 
 void expect_consumed(ByteSpan bytes, size_t off, const char* what) {
   require(off == bytes.size(), what);
 }
+
+// Hot-path probe handles, resolved once per process. Under
+// -DTRE_METRICS=OFF every member is an empty no-op and the optimizer
+// erases the call sites (docs/OBSERVABILITY.md lists the catalog).
+struct Probes {
+  obs::CounterProbe pairings{"core.pairings"};
+  obs::CounterProbe mul_fixed{"core.mul.fixed_base"};
+  obs::CounterProbe mul_comb{"core.mul.comb"};
+  obs::CounterProbe mul_varying{"core.mul.varying_base"};
+  obs::CounterProbe tag_hit{"core.cache.tags.hit"};
+  obs::CounterProbe tag_miss{"core.cache.tags.miss"};
+  obs::CounterProbe comb_hit{"core.cache.combs.hit"};
+  obs::CounterProbe comb_miss{"core.cache.combs.miss"};
+  obs::CounterProbe keycheck_hit{"core.cache.key_checks.hit"};
+  obs::CounterProbe keycheck_miss{"core.cache.key_checks.miss"};
+  obs::CounterProbe pairbase_hit{"core.cache.pair_bases.hit"};
+  obs::CounterProbe pairbase_miss{"core.cache.pair_bases.miss"};
+  obs::CounterProbe lines_hit{"core.cache.lines.hit"};
+  obs::CounterProbe lines_miss{"core.cache.lines.miss"};
+  obs::CounterProbe seals{"core.seals"};
+  obs::CounterProbe opens{"core.opens"};
+  obs::CounterProbe updates_issued{"core.updates_issued"};
+  obs::CounterProbe updates_verified{"core.updates_verified"};
+  obs::HistogramProbe encrypt_ns{"core.encrypt_ns"};
+  obs::HistogramProbe decrypt_ns{"core.decrypt_ns"};
+  obs::HistogramProbe issue_update_ns{"core.issue_update_ns"};
+  obs::HistogramProbe verify_update_ns{"core.verify_update_ns"};
+
+  static const Probes& get() {
+    static const Probes p;
+    return p;
+  }
+};
 
 }  // namespace
 
@@ -170,6 +205,75 @@ ReactCiphertext ReactCiphertext::from_bytes(const params::GdhParams& params,
   return ReactCiphertext{u, std::move(c_r), std::move(c_msg), std::move(mac)};
 }
 
+std::optional<Ciphertext> Ciphertext::try_from_bytes(const params::GdhParams& params,
+                                                     ByteSpan bytes) {
+  try {
+    return from_bytes(params, bytes);
+  } catch (const Error&) {
+    return std::nullopt;
+  }
+}
+
+std::optional<FoCiphertext> FoCiphertext::try_from_bytes(const params::GdhParams& params,
+                                                         ByteSpan bytes) {
+  try {
+    return from_bytes(params, bytes);
+  } catch (const Error&) {
+    return std::nullopt;
+  }
+}
+
+std::optional<ReactCiphertext> ReactCiphertext::try_from_bytes(
+    const params::GdhParams& params, ByteSpan bytes) {
+  try {
+    return from_bytes(params, bytes);
+  } catch (const Error&) {
+    return std::nullopt;
+  }
+}
+
+const char* mode_name(Mode m) {
+  switch (m) {
+    case Mode::kBasic: return "basic";
+    case Mode::kFo: return "fo";
+    case Mode::kReact: return "react";
+  }
+  return "unknown";
+}
+
+Bytes SealedCiphertext::to_bytes() const {
+  Bytes out;
+  out.push_back(static_cast<std::uint8_t>(mode()));
+  Bytes payload = std::visit([](const auto& ct) { return ct.to_bytes(); }, body);
+  out.insert(out.end(), payload.begin(), payload.end());
+  return out;
+}
+
+SealedCiphertext SealedCiphertext::from_bytes(const params::GdhParams& params,
+                                              ByteSpan bytes) {
+  require(!bytes.empty(), "SealedCiphertext: empty input");
+  ByteSpan payload = bytes.subspan(1);
+  switch (bytes[0]) {
+    case static_cast<std::uint8_t>(Mode::kBasic):
+      return SealedCiphertext{Ciphertext::from_bytes(params, payload)};
+    case static_cast<std::uint8_t>(Mode::kFo):
+      return SealedCiphertext{FoCiphertext::from_bytes(params, payload)};
+    case static_cast<std::uint8_t>(Mode::kReact):
+      return SealedCiphertext{ReactCiphertext::from_bytes(params, payload)};
+    default:
+      throw Error("SealedCiphertext: unknown mode byte");
+  }
+}
+
+std::optional<SealedCiphertext> SealedCiphertext::try_from_bytes(
+    const params::GdhParams& params, ByteSpan bytes) {
+  try {
+    return from_bytes(params, bytes);
+  } catch (const Error&) {
+    return std::nullopt;
+  }
+}
+
 // --- Scheme ------------------------------------------------------------------
 
 namespace {
@@ -213,8 +317,12 @@ G1Point TreScheme::cached_hash_tag(std::string_view tag) const {
   {
     std::scoped_lock lock(cache_->mu);
     auto it = cache_->tags.find(std::string(tag));
-    if (it != cache_->tags.end()) return it->second;
+    if (it != cache_->tags.end()) {
+      Probes::get().tag_hit.add();
+      return it->second;
+    }
   }
+  Probes::get().tag_miss.add();
   G1Point h = ec::hash_to_g1(params_->ctx(), tre::to_bytes(tag));
   std::scoped_lock lock(cache_->mu);
   bound_cache(cache_->tags);
@@ -228,8 +336,12 @@ std::shared_ptr<const ec::G1Precomp> TreScheme::comb_for(const G1Point& base) co
   {
     std::scoped_lock lock(cache_->mu);
     auto it = cache_->combs.find(key);
-    if (it != cache_->combs.end()) return it->second;
+    if (it != cache_->combs.end()) {
+      Probes::get().comb_hit.add();
+      return it->second;
+    }
   }
+  Probes::get().comb_miss.add();
   auto comb = std::make_shared<const ec::G1Precomp>(base);
   std::scoped_lock lock(cache_->mu);
   bound_cache(cache_->combs);
@@ -238,13 +350,18 @@ std::shared_ptr<const ec::G1Precomp> TreScheme::comb_for(const G1Point& base) co
 }
 
 G1Point TreScheme::mul_fixed_base(const G1Point& base, const Scalar& k) const {
-  if (auto comb = comb_for(base)) return comb->mul_secret(k);
+  if (auto comb = comb_for(base)) {
+    Probes::get().mul_comb.add();
+    return comb->mul_secret(k);
+  }
+  Probes::get().mul_fixed.add();
   return tuning_.fixed_base_comb ? base.mul_secret(k) : base.mul(k);
 }
 
 G1Point TreScheme::mul_varying_base(const G1Point& base, const Scalar& k) const {
   // A comb table costs hundreds of additions to build; for a base seen
   // once (H1(T), an update signature) the fixed-window ladder wins.
+  Probes::get().mul_varying.add();
   return tuning_.fixed_base_comb ? base.mul_secret(k) : base.mul(k);
 }
 
@@ -257,8 +374,12 @@ bool TreScheme::checked_user_key(const ServerPublicKey& server,
   key.append(uk.begin(), uk.end());
   {
     std::scoped_lock lock(cache_->mu);
-    if (cache_->good_keys.contains(key)) return true;
+    if (cache_->good_keys.contains(key)) {
+      Probes::get().keycheck_hit.add();
+      return true;
+    }
   }
+  Probes::get().keycheck_miss.add();
   // Only successful checks are memoized: a failure must stay a failure
   // even if a good key with the same bytes is later verified (impossible,
   // but cheap to keep trivially true).
@@ -271,14 +392,22 @@ bool TreScheme::checked_user_key(const ServerPublicKey& server,
 
 Gt TreScheme::pair_base(const G1Point& asg, std::string_view tag,
                         const G1Point& h1t) const {
-  if (!tuning_.cache_pair_bases) return pairing::pair(asg, h1t);
+  if (!tuning_.cache_pair_bases) {
+    Probes::get().pairings.add();
+    return pairing::pair(asg, h1t);
+  }
   std::string key = point_key(asg);  // fixed length, so asg||tag is unambiguous
   key.append(tag);
   {
     std::scoped_lock lock(cache_->mu);
     auto it = cache_->pair_bases.find(key);
-    if (it != cache_->pair_bases.end()) return it->second;
+    if (it != cache_->pair_bases.end()) {
+      Probes::get().pairbase_hit.add();
+      return it->second;
+    }
   }
+  Probes::get().pairbase_miss.add();
+  Probes::get().pairings.add();
   Gt base = pairing::pair(asg, h1t);
   std::scoped_lock lock(cache_->mu);
   bound_cache(cache_->pair_bases);
@@ -287,6 +416,7 @@ Gt TreScheme::pair_base(const G1Point& asg, std::string_view tag,
 }
 
 Gt TreScheme::pair_with_lines(const G1Point& fixed, const G1Point& u) const {
+  Probes::get().pairings.add();
   if (!tuning_.cache_update_lines) return pairing::pair(u, fixed);
   const std::string key = point_key(fixed);
   std::shared_ptr<const pairing::MillerPrecomp> lines;
@@ -295,7 +425,10 @@ Gt TreScheme::pair_with_lines(const G1Point& fixed, const G1Point& u) const {
     auto it = cache_->lines.find(key);
     if (it != cache_->lines.end()) lines = it->second;
   }
-  if (!lines) {
+  if (lines) {
+    Probes::get().lines_hit.add();
+  } else {
+    Probes::get().lines_miss.add();
     lines = std::make_shared<const pairing::MillerPrecomp>(fixed);
     std::scoped_lock lock(cache_->mu);
     bound_cache(cache_->lines);
@@ -359,11 +492,14 @@ bool TreScheme::verify_server_public_key(const ServerPublicKey& server) const {
 bool TreScheme::verify_user_public_key(const ServerPublicKey& server,
                                        const UserPublicKey& user) const {
   if (user.ag.is_infinity() || user.asg.is_infinity()) return false;
+  Probes::get().pairings.add(2);
   return pairing::pairings_equal(user.ag, server.sg, server.g, user.asg);
 }
 
 KeyUpdate TreScheme::issue_update(const ServerKeyPair& server,
                                   std::string_view tag) const {
+  obs::Span span(Probes::get().issue_update_ns);
+  Probes::get().updates_issued.add();
   return KeyUpdate{std::string(tag), mul_varying_base(hash_tag(tag), server.s)};
 }
 
@@ -380,12 +516,16 @@ std::vector<KeyUpdate> TreScheme::issue_updates(const ServerKeyPair& server,
 bool TreScheme::verify_update(const ServerPublicKey& server,
                               const KeyUpdate& update) const {
   if (update.sig.is_infinity()) return false;
+  obs::Span span(Probes::get().verify_update_ns);
+  Probes::get().updates_verified.add();
+  Probes::get().pairings.add(2);
   return pairing::pairings_equal(server.sg, hash_tag(update.tag), server.g, update.sig);
 }
 
-Ciphertext TreScheme::encrypt(ByteSpan msg, const UserPublicKey& user,
-                              const ServerPublicKey& server, std::string_view tag,
-                              tre::hashing::RandomSource& rng, KeyCheck check) const {
+Ciphertext TreScheme::seal_basic(ByteSpan msg, const UserPublicKey& user,
+                                 const ServerPublicKey& server, std::string_view tag,
+                                 tre::hashing::RandomSource& rng, KeyCheck check) const {
+  obs::Span span(Probes::get().encrypt_ns);
   if (check == KeyCheck::kVerify) {
     require(checked_user_key(server, user),
             "TRE encrypt: receiver public key fails the pairing check");
@@ -399,6 +539,12 @@ Ciphertext TreScheme::encrypt(ByteSpan msg, const UserPublicKey& user,
              ? gt_pow(pair_base(user.asg, tag, h1t), r)
              : pairing::pair(mul_varying_base(user.asg, r), h1t);
   return Ciphertext{u, xor_bytes(msg, mask_h2(k, msg.size()))};
+}
+
+Ciphertext TreScheme::encrypt(ByteSpan msg, const UserPublicKey& user,
+                              const ServerPublicKey& server, std::string_view tag,
+                              tre::hashing::RandomSource& rng, KeyCheck check) const {
+  return seal_basic(msg, user, server, tag, rng, check);
 }
 
 std::vector<Ciphertext> TreScheme::encrypt_batch(
@@ -447,14 +593,16 @@ std::vector<Ciphertext> TreScheme::encrypt_batch(
 
 Bytes TreScheme::decrypt(const Ciphertext& ct, const Scalar& a,
                          const KeyUpdate& update) const {
+  obs::Span span(Probes::get().decrypt_ns);
   Gt k = gt_pow(pair_with_lines(update.sig, ct.u), a);
   return xor_bytes(ct.v, mask_h2(k, ct.v.size()));
 }
 
-FoCiphertext TreScheme::encrypt_fo(ByteSpan msg, const UserPublicKey& user,
-                                   const ServerPublicKey& server, std::string_view tag,
-                                   tre::hashing::RandomSource& rng,
-                                   KeyCheck check) const {
+FoCiphertext TreScheme::seal_fo(ByteSpan msg, const UserPublicKey& user,
+                                const ServerPublicKey& server, std::string_view tag,
+                                tre::hashing::RandomSource& rng,
+                                KeyCheck check) const {
+  obs::Span span(Probes::get().encrypt_ns);
   if (check == KeyCheck::kVerify) {
     require(checked_user_key(server, user),
             "TRE encrypt_fo: receiver public key fails the pairing check");
@@ -473,10 +621,18 @@ FoCiphertext TreScheme::encrypt_fo(ByteSpan msg, const UserPublicKey& user,
   return FoCiphertext{u, std::move(c_sigma), std::move(c_msg)};
 }
 
+FoCiphertext TreScheme::encrypt_fo(ByteSpan msg, const UserPublicKey& user,
+                                   const ServerPublicKey& server, std::string_view tag,
+                                   tre::hashing::RandomSource& rng,
+                                   KeyCheck check) const {
+  return seal_fo(msg, user, server, tag, rng, check);
+}
+
 std::optional<Bytes> TreScheme::decrypt_fo(const FoCiphertext& ct, const Scalar& a,
                                            const KeyUpdate& update,
                                            const ServerPublicKey& server) const {
   if (ct.c_sigma.size() != kSigmaBytes) return std::nullopt;
+  obs::Span span(Probes::get().decrypt_ns);
   Gt k = gt_pow(pair_with_lines(update.sig, ct.u), a);
   Bytes sigma = xor_bytes(ct.c_sigma, mask_h2(k, kSigmaBytes));
   Bytes msg = xor_bytes(ct.c_msg, hashing::oracle_bytes("TRE-H4", sigma, ct.c_msg.size()));
@@ -486,11 +642,12 @@ std::optional<Bytes> TreScheme::decrypt_fo(const FoCiphertext& ct, const Scalar&
   return msg;
 }
 
-ReactCiphertext TreScheme::encrypt_react(ByteSpan msg, const UserPublicKey& user,
-                                         const ServerPublicKey& server,
-                                         std::string_view tag,
-                                         tre::hashing::RandomSource& rng,
-                                         KeyCheck check) const {
+ReactCiphertext TreScheme::seal_react(ByteSpan msg, const UserPublicKey& user,
+                                      const ServerPublicKey& server,
+                                      std::string_view tag,
+                                      tre::hashing::RandomSource& rng,
+                                      KeyCheck check) const {
+  obs::Span span(Probes::get().encrypt_ns);
   if (check == KeyCheck::kVerify) {
     require(checked_user_key(server, user),
             "TRE encrypt_react: receiver public key fails the pairing check");
@@ -509,10 +666,19 @@ ReactCiphertext TreScheme::encrypt_react(ByteSpan msg, const UserPublicKey& user
   return ReactCiphertext{u, std::move(c_r), std::move(c_msg), std::move(mac)};
 }
 
+ReactCiphertext TreScheme::encrypt_react(ByteSpan msg, const UserPublicKey& user,
+                                         const ServerPublicKey& server,
+                                         std::string_view tag,
+                                         tre::hashing::RandomSource& rng,
+                                         KeyCheck check) const {
+  return seal_react(msg, user, server, tag, rng, check);
+}
+
 std::optional<Bytes> TreScheme::decrypt_react(const ReactCiphertext& ct,
                                               const Scalar& a,
                                               const KeyUpdate& update) const {
   if (ct.c_r.size() != kSigmaBytes || ct.mac.size() != kMacBytes) return std::nullopt;
+  obs::Span span(Probes::get().decrypt_ns);
   Gt k = gt_pow(pair_with_lines(update.sig, ct.u), a);
   Bytes witness = xor_bytes(ct.c_r, mask_h2(k, kSigmaBytes));
   Bytes msg = xor_bytes(ct.c_msg, hashing::oracle_bytes("TRE-G", witness, ct.c_msg.size()));
@@ -521,6 +687,40 @@ std::optional<Bytes> TreScheme::decrypt_react(const ReactCiphertext& ct,
       concat({witness, msg, ct.u.to_bytes_compressed(), ct.c_r, ct.c_msg}), kMacBytes);
   if (!ct_equal(mac, ct.mac)) return std::nullopt;
   return msg;
+}
+
+SealedCiphertext TreScheme::seal(Mode mode, ByteSpan msg, const UserPublicKey& user,
+                                 const ServerPublicKey& server, std::string_view tag,
+                                 tre::hashing::RandomSource& rng,
+                                 KeyCheck check) const {
+  Probes::get().seals.add();
+  switch (mode) {
+    case Mode::kBasic:
+      return SealedCiphertext{seal_basic(msg, user, server, tag, rng, check)};
+    case Mode::kFo:
+      return SealedCiphertext{seal_fo(msg, user, server, tag, rng, check)};
+    case Mode::kReact:
+      return SealedCiphertext{seal_react(msg, user, server, tag, rng, check)};
+  }
+  throw Error("seal: unknown mode");
+}
+
+std::optional<Bytes> TreScheme::open(const SealedCiphertext& ct, const Scalar& a,
+                                     const KeyUpdate& update,
+                                     const ServerPublicKey& server) const {
+  Probes::get().opens.add();
+  return std::visit(
+      [&](const auto& body) -> std::optional<Bytes> {
+        using T = std::decay_t<decltype(body)>;
+        if constexpr (std::is_same_v<T, Ciphertext>) {
+          return decrypt(body, a, update);
+        } else if constexpr (std::is_same_v<T, FoCiphertext>) {
+          return decrypt_fo(body, a, update, server);
+        } else {
+          return decrypt_react(body, a, update);
+        }
+      },
+      ct.body);
 }
 
 EpochKey TreScheme::derive_epoch_key(const Scalar& a, const KeyUpdate& update) const {

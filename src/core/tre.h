@@ -27,6 +27,7 @@
 #include <span>
 #include <string>
 #include <string_view>
+#include <variant>
 #include <vector>
 
 #include "ec/curve.h"
@@ -94,6 +95,10 @@ struct Ciphertext {
 
   Bytes to_bytes() const;
   static Ciphertext from_bytes(const params::GdhParams& params, ByteSpan bytes);
+  /// Non-throwing parse for UNTRUSTED bytes (same contract as
+  /// KeyUpdate::try_from_bytes): nullopt on any malformed input.
+  static std::optional<Ciphertext> try_from_bytes(const params::GdhParams& params,
+                                                  ByteSpan bytes);
 };
 
 /// Fujisaki-Okamoto ciphertext: U = rG with r = H3(σ, M),
@@ -105,6 +110,8 @@ struct FoCiphertext {
 
   Bytes to_bytes() const;
   static FoCiphertext from_bytes(const params::GdhParams& params, ByteSpan bytes);
+  static std::optional<FoCiphertext> try_from_bytes(const params::GdhParams& params,
+                                                    ByteSpan bytes);
 };
 
 /// REACT ciphertext: c_r = R ⊕ H2(K), c_msg = M ⊕ G(R),
@@ -117,6 +124,31 @@ struct ReactCiphertext {
 
   Bytes to_bytes() const;
   static ReactCiphertext from_bytes(const params::GdhParams& params, ByteSpan bytes);
+  static std::optional<ReactCiphertext> try_from_bytes(const params::GdhParams& params,
+                                                       ByteSpan bytes);
+};
+
+/// The three ciphertext flavours behind one API. kBasic is the §5.1
+/// scheme verbatim (malleable, CPA only); kFo and kReact are the paper's
+/// two CCA transforms. Values are the wire header byte — fixed forever.
+enum class Mode : std::uint8_t { kBasic = 1, kFo = 2, kReact = 3 };
+
+const char* mode_name(Mode m);  // "basic" / "fo" / "react"
+
+/// Mode-tagged ciphertext: any flavour under ONE wire format (a 1-byte
+/// mode header followed by the flavour's own encoding). seal() produces
+/// it, open() consumes it; the per-flavour entry points remain as thin
+/// wrappers and interoperate bit-for-bit (a SealedCiphertext's payload
+/// IS the legacy encoding).
+struct SealedCiphertext {
+  std::variant<Ciphertext, FoCiphertext, ReactCiphertext> body;
+
+  Mode mode() const { return static_cast<Mode>(body.index() + 1); }
+
+  Bytes to_bytes() const;
+  static SealedCiphertext from_bytes(const params::GdhParams& params, ByteSpan bytes);
+  static std::optional<SealedCiphertext> try_from_bytes(const params::GdhParams& params,
+                                                        ByteSpan bytes);
 };
 
 /// §5.3.3 per-epoch decryption key a·I_T, derived on a safe device so the
@@ -196,6 +228,25 @@ class TreScheme {
 
   /// Self-authentication check ê(sG, H1(T)) == ê(G, I_T).
   bool verify_update(const ServerPublicKey& server, const KeyUpdate& update) const;
+
+  // --- Unified seal/open ------------------------------------------------------
+
+  /// One entry point for all three flavours: seal(Mode::kBasic, ...) is
+  /// bit-identical to encrypt(...) drawing the same randomness, and
+  /// likewise for kFo/kReact. The legacy per-flavour encrypt_* methods
+  /// below are thin wrappers over this.
+  SealedCiphertext seal(Mode mode, ByteSpan msg, const UserPublicKey& user,
+                        const ServerPublicKey& server, std::string_view tag,
+                        tre::hashing::RandomSource& rng,
+                        KeyCheck check = KeyCheck::kVerify) const;
+
+  /// Decrypts any flavour; dispatches on the ciphertext's mode. nullopt
+  /// on tampering (kFo/kReact) — kBasic has no integrity, so its result
+  /// is always engaged but only meaningful for matching inputs. `server`
+  /// is needed by the FO re-encryption check only.
+  std::optional<Bytes> open(const SealedCiphertext& ct, const Scalar& a,
+                            const KeyUpdate& update,
+                            const ServerPublicKey& server) const;
 
   // --- §5.1 basic scheme ------------------------------------------------------
 
@@ -324,9 +375,37 @@ class TreScheme {
   /// k^e in G_T honouring tuning_.unitary_gt_pow.
   Gt gt_pow(const Gt& k, const Scalar& e) const;
 
+  // Per-flavour implementations behind seal()/open(); the public
+  // encrypt_*/decrypt_* entry points delegate here too, so both API
+  // generations share one body per flavour.
+  Ciphertext seal_basic(ByteSpan msg, const UserPublicKey& user,
+                        const ServerPublicKey& server, std::string_view tag,
+                        tre::hashing::RandomSource& rng, KeyCheck check) const;
+  FoCiphertext seal_fo(ByteSpan msg, const UserPublicKey& user,
+                       const ServerPublicKey& server, std::string_view tag,
+                       tre::hashing::RandomSource& rng, KeyCheck check) const;
+  ReactCiphertext seal_react(ByteSpan msg, const UserPublicKey& user,
+                             const ServerPublicKey& server, std::string_view tag,
+                             tre::hashing::RandomSource& rng, KeyCheck check) const;
+
   std::shared_ptr<const params::GdhParams> params_;
   Tuning tuning_;
   std::shared_ptr<Cache> cache_;
 };
+
+/// Namespace-level spellings of the unified API, so call sites read
+/// core::seal(scheme, Mode::kFo, ...) / core::open(scheme, ...).
+inline SealedCiphertext seal(const TreScheme& scheme, Mode mode, ByteSpan msg,
+                             const UserPublicKey& user, const ServerPublicKey& server,
+                             std::string_view tag, tre::hashing::RandomSource& rng,
+                             KeyCheck check = KeyCheck::kVerify) {
+  return scheme.seal(mode, msg, user, server, tag, rng, check);
+}
+
+inline std::optional<Bytes> open(const TreScheme& scheme, const SealedCiphertext& ct,
+                                 const Scalar& a, const KeyUpdate& update,
+                                 const ServerPublicKey& server) {
+  return scheme.open(ct, a, update, server);
+}
 
 }  // namespace tre::core

@@ -1,0 +1,242 @@
+#include "obs/metrics.h"
+
+#include <chrono>
+#include <cstdio>
+#include <vector>
+
+namespace tre::obs {
+
+std::uint64_t now_ns() noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+std::uint64_t Histogram::quantile_bound(double q) const noexcept {
+  std::uint64_t total = count();
+  if (total == 0) return 0;
+  // Ceiling, clamped into [1, total]: q=1.0 lands on the last sample.
+  auto rank = static_cast<std::uint64_t>(q * static_cast<double>(total));
+  if (rank < 1) rank = 1;
+  if (rank > total) rank = total;
+  std::uint64_t cumulative = 0;
+  for (size_t b = 0; b < kBuckets; ++b) {
+    cumulative += bucket(b);
+    if (cumulative >= rank) return bucket_bound(b);
+  }
+  return bucket_bound(kBuckets - 1);
+}
+
+Registry& Registry::global() {
+  // Leaked on purpose: Span batches flush at thread exit, and a
+  // destroyed registry would turn those flushes into use-after-free.
+  static Registry* g = new Registry();
+  return *g;
+}
+
+Counter& Registry::counter(std::string_view name) {
+  std::scoped_lock lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>()).first;
+  }
+  return *it->second;
+}
+
+Gauge& Registry::gauge(std::string_view name) {
+  std::scoped_lock lock(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return *it->second;
+}
+
+Histogram& Registry::histogram(std::string_view name) {
+  std::scoped_lock lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(std::string(name), std::make_unique<Histogram>()).first;
+  }
+  return *it->second;
+}
+
+std::uint64_t Registry::counter_value(std::string_view name) const {
+  std::scoped_lock lock(mu_);
+  auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second->value();
+}
+
+std::int64_t Registry::gauge_value(std::string_view name) const {
+  std::scoped_lock lock(mu_);
+  auto it = gauges_.find(name);
+  return it == gauges_.end() ? 0 : it->second->value();
+}
+
+void Registry::reset() {
+  flush_this_thread();  // pending spans would otherwise resurrect post-reset
+  std::scoped_lock lock(mu_);
+  for (auto& [name, c] : counters_) c->reset();
+  for (auto& [name, g] : gauges_) g->reset();
+  for (auto& [name, h] : histograms_) h->reset();
+}
+
+namespace {
+
+// JSON string escaping for instrument names (metric names are plain
+// dotted identifiers in practice; this keeps arbitrary names safe).
+void append_json_string(std::string& out, std::string_view s) {
+  out.push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+}
+
+void append_u64(std::string& out, std::uint64_t v) {
+  out += std::to_string(v);
+}
+
+}  // namespace
+
+std::string Registry::to_json(int indent) const {
+  flush_this_thread();
+  const std::string margin(static_cast<size_t>(indent), ' ');
+  std::string out;
+  std::scoped_lock lock(mu_);
+
+  out += margin + "{\n";
+  out += margin + "  \"metrics_enabled\": ";
+  out += kEnabled ? "true" : "false";
+  out += ",\n";
+
+  out += margin + "  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, c] : counters_) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += margin + "    ";
+    append_json_string(out, name);
+    out += ": ";
+    append_u64(out, c->value());
+  }
+  out += first ? "},\n" : "\n" + margin + "  },\n";
+
+  out += margin + "  \"gauges\": {";
+  first = true;
+  for (const auto& [name, g] : gauges_) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += margin + "    ";
+    append_json_string(out, name);
+    out += ": ";
+    out += std::to_string(g->value());
+  }
+  out += first ? "},\n" : "\n" + margin + "  },\n";
+
+  out += margin + "  \"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    std::uint64_t count = h->count();
+    std::uint64_t sum = h->sum();
+    out += margin + "    ";
+    append_json_string(out, name);
+    out += ": {\"count\": ";
+    append_u64(out, count);
+    out += ", \"sum\": ";
+    append_u64(out, sum);
+    out += ", \"mean\": ";
+    char mean[32];
+    std::snprintf(mean, sizeof mean, "%.3f",
+                  count == 0 ? 0.0
+                             : static_cast<double>(sum) / static_cast<double>(count));
+    out += mean;
+    out += ", \"p50\": ";
+    append_u64(out, h->quantile_bound(0.50));
+    out += ", \"p95\": ";
+    append_u64(out, h->quantile_bound(0.95));
+    out += ", \"p99\": ";
+    append_u64(out, h->quantile_bound(0.99));
+    out += "}";
+  }
+  out += first ? "}\n" : "\n" + margin + "  }\n";
+
+  out += margin + "}";
+  return out;
+}
+
+// --- Span thread-local batching ----------------------------------------------
+
+#if TRE_METRICS_ENABLED
+
+namespace {
+
+// How many records a thread may hold back before publishing. Small
+// enough that snapshots lag negligibly, large enough that a hot loop
+// touches shared cache lines ~2% of the time.
+constexpr std::uint32_t kSpanFlushEvery = 64;
+
+struct SpanBatch {
+  Histogram* h = nullptr;  // most recently used histogram (single slot)
+  std::uint64_t buckets[Histogram::kBuckets] = {};
+  std::uint64_t count = 0;
+  std::uint64_t sum = 0;
+
+  void flush() noexcept {
+    if (h == nullptr || count == 0) return;
+    h->merge(buckets, count, sum);
+    for (auto& b : buckets) b = 0;
+    count = 0;
+    sum = 0;
+  }
+
+  void record(Histogram* target, std::uint64_t ns) noexcept {
+    if (target != h) {
+      flush();
+      h = target;
+    }
+    buckets[Histogram::bucket_of(ns)] += 1;
+    count += 1;
+    sum += ns;
+    if (count >= kSpanFlushEvery) flush();
+  }
+
+  ~SpanBatch() { flush(); }  // thread exit publishes the tail
+};
+
+SpanBatch& tls_batch() noexcept {
+  thread_local SpanBatch batch;
+  return batch;
+}
+
+}  // namespace
+
+void Span::record_batched(Histogram* h, std::uint64_t ns) noexcept {
+  tls_batch().record(h, ns);
+}
+
+void flush_this_thread() noexcept { tls_batch().flush(); }
+
+#else
+
+void flush_this_thread() noexcept {}
+
+#endif  // TRE_METRICS_ENABLED
+
+}  // namespace tre::obs

@@ -4,6 +4,31 @@
 
 namespace tre::simnet {
 
+namespace {
+
+// Fleet-wide mirrors of the per-instance counters, plus per-behaviour
+// breakdown of dishonest replies (compiled out under -DTRE_METRICS=OFF).
+struct Probes {
+  obs::CounterProbe publishes{"simnet.archive.publishes"};
+  obs::CounterProbe replication_messages{"simnet.archive.replication_messages"};
+  obs::CounterProbe origin_requests{"simnet.archive.origin_requests"};
+  obs::CounterProbe mirror_requests{"simnet.archive.mirror_requests"};
+  obs::CounterProbe byzantine_replies{"simnet.archive.byzantine_replies"};
+  obs::CounterProbe byzantine_bitflip{"simnet.archive.byzantine.bitflip"};
+  obs::CounterProbe byzantine_relabel{"simnet.archive.byzantine.relabel"};
+  obs::CounterProbe byzantine_garbage{"simnet.archive.byzantine.garbage"};
+  obs::CounterProbe fetch_successes{"simnet.archive.fetch_successes"};
+  obs::CounterProbe fetch_rejected{"simnet.archive.fetch_rejected"};
+  obs::CounterProbe fetch_timeouts{"simnet.archive.fetch_timeouts"};
+
+  static const Probes& get() {
+    static const Probes p;
+    return p;
+  }
+};
+
+}  // namespace
+
 MirroredArchive::MirroredArchive(std::shared_ptr<const params::GdhParams> params,
                                  Network& net, server::Timeline& timeline,
                                  size_t mirror_count, LinkSpec replication_link)
@@ -33,12 +58,21 @@ const server::UpdateArchive& MirroredArchive::archive_for(size_t mirror_idx) con
   return mirror_idx == kOrigin ? origin_archive_ : mirrors_[mirror_idx].archive;
 }
 
+MirroredArchive::Stats MirroredArchive::stats() const {
+  return Stats{publishes_.value(),         replication_messages_.value(),
+               origin_requests_.value(),   mirror_requests_.value(),
+               byzantine_replies_.value(), fetch_successes_.value(),
+               fetch_rejected_.value(),    fetch_timeouts_.value()};
+}
+
 void MirroredArchive::publish(const core::KeyUpdate& update) {
-  ++stats_.publishes;
+  publishes_.add();
+  Probes::get().publishes.add();
   origin_archive_.put(update);
   size_t wire = update.to_bytes().size();
   for (size_t i = 0; i < mirrors_.size(); ++i) {
-    ++stats_.replication_messages;
+    replication_messages_.add();
+    Probes::get().replication_messages.add();
     // Copy captured by value: the mirror stores it at arrival time.
     core::KeyUpdate copy = update;
     net_.send(origin_, mirrors_[i].node, wire,
@@ -64,7 +98,9 @@ std::optional<Bytes> MirroredArchive::replica_reply(size_t mirror_idx,
       return std::nullopt;
     case ByzantineMode::kBitFlip:
       if (!found) return std::nullopt;  // nothing to corrupt yet
-      ++stats_.byzantine_replies;
+      byzantine_replies_.add();
+      Probes::get().byzantine_replies.add();
+      Probes::get().byzantine_bitflip.add();
       return plan->flip_one_bit(found->to_bytes());
     case ByzantineMode::kRelabel: {
       // Serve some OTHER archived update's signature under the requested
@@ -72,19 +108,25 @@ std::optional<Bytes> MirroredArchive::replica_reply(size_t mirror_idx,
       const auto& all = archive.all();
       for (auto it = all.rbegin(); it != all.rend(); ++it) {
         if (it->tag != tag) {
-          ++stats_.byzantine_replies;
+          byzantine_replies_.add();
+          Probes::get().byzantine_replies.add();
+          Probes::get().byzantine_relabel.add();
           return core::KeyUpdate{tag, it->sig}.to_bytes();
         }
       }
       if (all.empty()) return std::nullopt;
       // Only the requested update exists: degrade to garbage of honest size.
-      ++stats_.byzantine_replies;
+      byzantine_replies_.add();
+      Probes::get().byzantine_replies.add();
+      Probes::get().byzantine_garbage.add();
       return plan->garbage(all.front().to_bytes().size());
     }
     case ByzantineMode::kGarbage: {
       size_t len = found ? found->to_bytes().size()
                          : tag.size() + 2 + params_->g1_compressed_bytes();
-      ++stats_.byzantine_replies;
+      byzantine_replies_.add();
+      Probes::get().byzantine_replies.add();
+      Probes::get().byzantine_garbage.add();
       return plan->garbage(len);
     }
   }
@@ -99,9 +141,11 @@ void MirroredArchive::request(NodeId receiver, size_t mirror_idx, std::string ta
   NodeId target = node_for(mirror_idx);
   net_.connect(receiver, target, access_link);
   if (mirror_idx == kOrigin) {
-    ++stats_.origin_requests;
+    origin_requests_.add();
+    Probes::get().origin_requests.add();
   } else {
-    ++stats_.mirror_requests;
+    mirror_requests_.add();
+    Probes::get().mirror_requests.add();
   }
   // Request leg; the replica decides its reply (if any) at arrival time.
   size_t request_bytes = tag.size();  // before the move below
@@ -156,7 +200,8 @@ void MirroredArchive::poll_once(std::shared_ptr<FetchJob> job) {
   if (job->done || job->timed_out) return;
   if (job->polls_left == 0) {
     job->timed_out = true;
-    ++stats_.fetch_timeouts;
+    fetch_timeouts_.add();
+    Probes::get().fetch_timeouts.add();
     return;
   }
   --job->polls_left;
@@ -170,11 +215,13 @@ void MirroredArchive::poll_once(std::shared_ptr<FetchJob> job) {
                 core::KeyUpdate::try_from_bytes(*params_, wire);
             if (!parsed || parsed->tag != job->tag ||
                 (job->verify && !job->verify(*parsed))) {
-              ++stats_.fetch_rejected;  // a failed poll; retry is already armed
+              fetch_rejected_.add();  // a failed poll; retry is already armed
+              Probes::get().fetch_rejected.add();
               return;
             }
             job->done = true;
-            ++stats_.fetch_successes;
+            fetch_successes_.add();
+            Probes::get().fetch_successes.add();
             job->on_done(*parsed);
           });
   // Receiver-driven exponential backoff: the next poll fires whether or

@@ -68,6 +68,8 @@ class MirroredArchive {
              std::function<void(const core::KeyUpdate&)> done,
              std::function<bool(const core::KeyUpdate&)> verify = nullptr);
 
+  /// Point-in-time view over the instance registry (mirrored into
+  /// obs::Registry::global() as simnet.archive.*).
   struct Stats {
     std::uint64_t publishes = 0;
     std::uint64_t replication_messages = 0;
@@ -78,7 +80,10 @@ class MirroredArchive {
     std::uint64_t fetch_rejected = 0;     // replies discarded by fetch()
     std::uint64_t fetch_timeouts = 0;
   };
-  const Stats& stats() const { return stats_; }
+  Stats stats() const;
+
+  /// The instance-local registry backing stats() (snapshot/export hook).
+  const obs::Registry& metrics() const { return reg_; }
 
  private:
   struct Replica {
@@ -101,7 +106,17 @@ class MirroredArchive {
   NodeId origin_;
   server::UpdateArchive origin_archive_;
   std::vector<Replica> mirrors_;
-  Stats stats_;
+  // Instance accounting in a private registry; handles resolved once
+  // because registry lookup takes a lock.
+  obs::Registry reg_;
+  obs::Counter& publishes_ = reg_.counter("publishes");
+  obs::Counter& replication_messages_ = reg_.counter("replication_messages");
+  obs::Counter& origin_requests_ = reg_.counter("origin_requests");
+  obs::Counter& mirror_requests_ = reg_.counter("mirror_requests");
+  obs::Counter& byzantine_replies_ = reg_.counter("byzantine_replies");
+  obs::Counter& fetch_successes_ = reg_.counter("fetch_successes");
+  obs::Counter& fetch_rejected_ = reg_.counter("fetch_rejected");
+  obs::Counter& fetch_timeouts_ = reg_.counter("fetch_timeouts");
 };
 
 }  // namespace tre::simnet

@@ -5,6 +5,25 @@
 
 namespace tre::simnet {
 
+namespace {
+
+// Fleet-wide mirrors of the per-instance counters (every Network on the
+// process shares these; compiled out under -DTRE_METRICS=OFF).
+struct Probes {
+  obs::CounterProbe sent{"simnet.net.sent"};
+  obs::CounterProbe delivered{"simnet.net.delivered"};
+  obs::CounterProbe dropped{"simnet.net.dropped"};
+  obs::CounterProbe fault_drops{"simnet.net.fault_drops"};
+  obs::CounterProbe bytes_carried{"simnet.net.bytes_carried"};
+
+  static const Probes& get() {
+    static const Probes p;
+    return p;
+  }
+};
+
+}  // namespace
+
 Network::Network(server::Timeline& timeline, ByteSpan seed)
     : timeline_(timeline),
       rng_(seed.empty() ? ByteSpan(to_bytes("simnet-default")) : seed) {}
@@ -33,20 +52,29 @@ std::uint64_t Network::inbound_count(NodeId node) const {
   return inbound_[node];
 }
 
+Network::Stats Network::stats() const {
+  return Stats{sent_.value(), delivered_.value(), dropped_.value(),
+               fault_drops_.value(), bytes_carried_.value()};
+}
+
 void Network::send(NodeId from, NodeId to, size_t bytes,
                    std::function<void()> on_deliver) {
   require(from < names_.size() && to < names_.size(), "Network: unknown node");
-  ++stats_.sent;
+  sent_.add();
+  Probes::get().sent.add();
   if (faults_ && !faults_->empty() &&
       (!faults_->node_up(from, timeline_.now()) ||
        !faults_->link_up(from, to, timeline_.now()))) {
-    ++stats_.dropped;
-    ++stats_.fault_drops;
+    dropped_.add();
+    fault_drops_.add();
+    Probes::get().dropped.add();
+    Probes::get().fault_drops.add();
     return;
   }
   auto it = links_.find({std::min(from, to), std::max(from, to)});
   if (it == links_.end()) {
-    ++stats_.dropped;
+    dropped_.add();
+    Probes::get().dropped.add();
     return;
   }
   const LinkSpec& link = it->second;
@@ -54,7 +82,8 @@ void Network::send(NodeId from, NodeId to, size_t bytes,
   double u = static_cast<double>(bigint::BigInt<1>::from_bytes_be(draw).w[0]) /
              (static_cast<double>(UINT64_MAX) + 1.0);
   if (u < link.loss) {
-    ++stats_.dropped;
+    dropped_.add();
+    Probes::get().dropped.add();
     return;
   }
   std::int64_t delay = link.base_delay;
@@ -63,13 +92,16 @@ void Network::send(NodeId from, NodeId to, size_t bytes,
     delay += static_cast<std::int64_t>(bigint::BigInt<1>::from_bytes_be(jb).w[0] %
                                        static_cast<std::uint64_t>(link.jitter + 1));
   }
-  ++stats_.delivered;
-  stats_.bytes_carried += bytes;
+  delivered_.add();
+  bytes_carried_.add(bytes);
+  Probes::get().delivered.add();
+  Probes::get().bytes_carried.add(bytes);
   ++inbound_[to];
   // A receiver that is down at the arrival instant loses the message.
   timeline_.schedule(delay, [this, to, fn = std::move(on_deliver)] {
     if (faults_ && !faults_->node_up(to, timeline_.now())) {
-      ++stats_.fault_drops;
+      fault_drops_.add();
+      Probes::get().fault_drops.add();
       return;
     }
     fn();

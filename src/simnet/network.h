@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "hashing/drbg.h"
+#include "obs/metrics.h"
 #include "simnet/faults.h"
 #include "timeserver/timeline.h"
 
@@ -48,6 +49,8 @@ class Network {
   void set_fault_plan(FaultPlan* plan) { faults_ = plan; }
   FaultPlan* fault_plan() const { return faults_; }
 
+  /// Point-in-time view over the instance registry (the counters behind
+  /// it are also mirrored into obs::Registry::global() as simnet.net.*).
   struct Stats {
     std::uint64_t sent = 0;
     std::uint64_t delivered = 0;   // scheduled for delivery
@@ -55,7 +58,10 @@ class Network {
     std::uint64_t fault_drops = 0; // subset of drops caused by the fault plan
     std::uint64_t bytes_carried = 0;
   };
-  const Stats& stats() const { return stats_; }
+  Stats stats() const;
+
+  /// The instance-local registry backing stats() (snapshot/export hook).
+  const obs::Registry& metrics() const { return reg_; }
 
   /// Messages addressed to `node` (load accounting for E16).
   std::uint64_t inbound_count(NodeId node) const;
@@ -67,7 +73,14 @@ class Network {
   std::map<std::pair<NodeId, NodeId>, LinkSpec> links_;
   std::vector<std::uint64_t> inbound_;
   FaultPlan* faults_ = nullptr;
-  Stats stats_;
+  // Instance accounting lives in a private registry; handles are resolved
+  // once here because registry lookup takes a lock.
+  obs::Registry reg_;
+  obs::Counter& sent_ = reg_.counter("sent");
+  obs::Counter& delivered_ = reg_.counter("delivered");
+  obs::Counter& dropped_ = reg_.counter("dropped");
+  obs::Counter& fault_drops_ = reg_.counter("fault_drops");
+  obs::Counter& bytes_carried_ = reg_.counter("bytes_carried");
 };
 
 }  // namespace tre::simnet

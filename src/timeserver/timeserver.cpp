@@ -2,7 +2,25 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
+
 namespace tre::server {
+
+namespace {
+
+// Fleet-wide telemetry; TimeServer::Stats remains the per-instance view.
+struct Probes {
+  obs::CounterProbe updates_issued{"server.updates_issued"};
+  obs::CounterProbe broadcast_bytes{"server.broadcast_bytes"};
+  obs::HistogramProbe issue_ns{"server.issue_ns"};
+
+  static const Probes& get() {
+    static const Probes p;
+    return p;
+  }
+};
+
+}  // namespace
 
 TimeServer::TimeServer(std::shared_ptr<const params::GdhParams> params,
                        Timeline& timeline, Granularity g,
@@ -29,11 +47,15 @@ TimeServer::TimeServer(std::shared_ptr<const params::GdhParams> params,
 Granularity TimeServer::granularity() const { return levels_.front().granularity; }
 
 core::KeyUpdate TimeServer::issue_unchecked(const TimeSpec& t) {
+  obs::Span span(Probes::get().issue_ns);
   core::KeyUpdate update = scheme_.issue_update(keys_, t.canonical());
   archive_.put(update);
   bus_.publish(update);
   ++stats_.updates_issued;
-  stats_.bytes_published += update.to_bytes().size();
+  const std::uint64_t wire_bytes = update.to_bytes().size();
+  stats_.bytes_published += wire_bytes;
+  Probes::get().updates_issued.add();
+  Probes::get().broadcast_bytes.add(wire_bytes);
   return update;
 }
 
@@ -101,7 +123,10 @@ Result<std::vector<core::KeyUpdate>> TimeServer::try_issue_range(const TimeSpec&
     archive_.put(fresh[j]);
     bus_.publish(fresh[j]);
     ++stats_.updates_issued;
-    stats_.bytes_published += fresh[j].to_bytes().size();
+    const std::uint64_t wire_bytes = fresh[j].to_bytes().size();
+    stats_.bytes_published += wire_bytes;
+    Probes::get().updates_issued.add();
+    Probes::get().broadcast_bytes.add(wire_bytes);
     out[missing_at[j]] = std::move(fresh[j]);
   }
 

@@ -30,6 +30,24 @@ for mode in basic react; do
   cmp msg.txt "out-$mode.txt"
 done
 
+# Sealed (mode-tagged) wire: decrypt needs no --mode, the file says.
+for mode in sealed sealed-basic sealed-fo sealed-react; do
+  "$CLI" encrypt --user-pub user.pub --server-pub server.pub \
+    --tag "2031-05-05T05:05:05Z" --in msg.txt --out "ct-$mode.bin" --mode "$mode"
+  "$CLI" decrypt --user-key user.key --server-pub server.pub --update update.bin \
+    --in "ct-$mode.bin" --out "out-$mode.txt"
+  cmp msg.txt "out-$mode.txt"
+done
+
+# --metrics dumps a registry snapshot JSON (all-zero counters when the
+# build compiled the probes out — the flag must still work).
+"$CLI" decrypt --user-key user.key --server-pub server.pub --update update.bin \
+  --in ct-sealed.bin --out out-m.txt --metrics metrics.json
+cmp msg.txt out-m.txt
+grep -q '"metrics_enabled"' metrics.json
+grep -q '"counters"' metrics.json
+"$CLI" params --metrics - | grep -q '"metrics_enabled"'
+
 # The wrong update must NOT decrypt under FO.
 "$CLI" issue --server-key server.key --tag "2031-01-01T00:00:00Z" --out early.bin
 if "$CLI" decrypt --user-key user.key --server-pub server.pub --update early.bin \

@@ -8,11 +8,14 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdint>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include "core/tre.h"
 #include "hashing/drbg.h"
+#include "obs/metrics.h"
 
 namespace tre::core {
 namespace {
@@ -97,6 +100,52 @@ TEST(SharedSchemeContention, IssueUpdatesPoolSharesOneCache) {
   for (size_t i = 0; i < tags.size(); ++i) {
     EXPECT_EQ(updates[i].tag, tags[i]);
     EXPECT_TRUE(scheme.verify_update(server.pub, updates[i]));
+  }
+}
+
+TEST(RegistryContention, InstrumentsAndSpansUnderConcurrentWriters) {
+  // The obs:: layer's thread-safety claims, on trial before TSan: racing
+  // registration of the same and of fresh names, relaxed-atomic updates
+  // to shared instruments, Span thread-local batches flushing into the
+  // global registry, and JSON snapshots taken mid-flight.
+  obs::Registry reg;
+  constexpr int kThreads = 8;
+  constexpr int kIters = 2000;
+
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int w = 0; w < kThreads; ++w) {
+    workers.emplace_back([&, w] {
+      obs::Counter& c = reg.counter("shared.counter");
+      obs::Gauge& g = reg.gauge("shared.gauge");
+      obs::Histogram& h = reg.histogram("shared.hist");
+      obs::HistogramProbe span_probe("concurrency.span_ns");
+      for (int i = 0; i < kIters; ++i) {
+        c.add();
+        g.add(w % 2 == 0 ? 1 : -1);
+        h.record(static_cast<std::uint64_t>(i));
+        obs::Span span(span_probe);
+        if (i % 512 == 0) (void)reg.to_json();
+        reg.counter("per-thread." + std::to_string(w)).add();
+      }
+      obs::flush_this_thread();
+    });
+  }
+  for (auto& t : workers) t.join();
+
+  constexpr std::uint64_t kTotal = std::uint64_t{kThreads} * kIters;
+  EXPECT_EQ(reg.counter_value("shared.counter"), kTotal);
+  EXPECT_EQ(reg.gauge_value("shared.gauge"), 0);  // 4 up-threads, 4 down
+  EXPECT_EQ(reg.histogram("shared.hist").count(), kTotal);
+  for (int w = 0; w < kThreads; ++w) {
+    EXPECT_EQ(reg.counter_value("per-thread." + std::to_string(w)),
+              std::uint64_t{kIters});
+  }
+  if constexpr (obs::kEnabled) {
+    // Every thread flushed before joining, so the global histogram holds
+    // one sample per span.
+    EXPECT_EQ(obs::Registry::global().histogram("concurrency.span_ns").count(),
+              kTotal);
   }
 }
 

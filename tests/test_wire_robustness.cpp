@@ -200,7 +200,8 @@ TEST_F(WireRobustness, KeyUpdateLengthFieldManipulation) {
 }
 
 TEST_F(WireRobustness, CiphertextGarbageCorpus) {
-  // Noise fed to the ciphertext parsers: throw or parse, never crash.
+  // Noise fed to the ciphertext parsers, routed through the non-throwing
+  // try_from_bytes twins: nullopt or a parse, never a crash.
   Ciphertext genuine =
       scheme_.encrypt(to_bytes("msg"), user_.pub, server_.pub, "T", rng_);
   size_t honest_len = genuine.to_bytes().size();
@@ -211,16 +212,109 @@ TEST_F(WireRobustness, CiphertextGarbageCorpus) {
     for (int sample = 0; sample < 8; ++sample) {
       Bytes junk(len);
       fuzz.fill(junk);
-      try {
-        (void)Ciphertext::from_bytes(scheme_.params(), junk);
-      } catch (const Error&) {
-      }
+      (void)Ciphertext::try_from_bytes(scheme_.params(), junk);
+      (void)FoCiphertext::try_from_bytes(scheme_.params(), junk);
+      (void)ReactCiphertext::try_from_bytes(scheme_.params(), junk);
+      (void)SealedCiphertext::try_from_bytes(scheme_.params(), junk);
       try {
         (void)AnyCiphertext::from_bytes(scheme_.params(), junk);
       } catch (const Error&) {
       }
     }
   }
+}
+
+TEST_F(WireRobustness, CiphertextTryFromBytesMatchesThrowingParser) {
+  // Same contract KeyUpdate::try_from_bytes already honours, for all
+  // three flavours: nullopt exactly where from_bytes throws, identical
+  // re-encoding where it succeeds.
+  Bytes msg = to_bytes("twin parsers");
+  Ciphertext basic = scheme_.encrypt(msg, user_.pub, server_.pub, "T", rng_);
+  FoCiphertext fo = scheme_.encrypt_fo(msg, user_.pub, server_.pub, "T", rng_);
+  ReactCiphertext react = scheme_.encrypt_react(msg, user_.pub, server_.pub, "T", rng_);
+
+  auto check = [&](const Bytes& wire, auto try_parse) {
+    auto ok = try_parse(ByteSpan(wire));
+    ASSERT_TRUE(ok.has_value());
+    EXPECT_EQ(ok->to_bytes(), wire);
+    for (size_t len = 0; len < wire.size(); ++len) {
+      EXPECT_FALSE(try_parse(ByteSpan(wire.data(), len))) << "length " << len;
+    }
+  };
+  check(basic.to_bytes(),
+        [&](ByteSpan b) { return Ciphertext::try_from_bytes(scheme_.params(), b); });
+  check(fo.to_bytes(),
+        [&](ByteSpan b) { return FoCiphertext::try_from_bytes(scheme_.params(), b); });
+  check(react.to_bytes(),
+        [&](ByteSpan b) { return ReactCiphertext::try_from_bytes(scheme_.params(), b); });
+}
+
+TEST_F(WireRobustness, SealedCiphertextTruncations) {
+  for (Mode mode : {Mode::kBasic, Mode::kFo, Mode::kReact}) {
+    SealedCiphertext sc =
+        scheme_.seal(mode, to_bytes("msg"), user_.pub, server_.pub, "T", rng_);
+    expect_truncations_throw(sc.to_bytes(), [&](ByteSpan b) {
+      return SealedCiphertext::from_bytes(scheme_.params(), b);
+    });
+  }
+}
+
+TEST_F(WireRobustness, SealedCiphertextUnknownModeByte) {
+  SealedCiphertext sc =
+      scheme_.seal(Mode::kFo, to_bytes("msg"), user_.pub, server_.pub, "T", rng_);
+  Bytes wire = sc.to_bytes();
+  for (unsigned b = 0; b <= 0xff; ++b) {
+    if (b == 1 || b == 2 || b == 3) continue;
+    Bytes mutated = wire;
+    mutated[0] = static_cast<std::uint8_t>(b);
+    EXPECT_FALSE(SealedCiphertext::try_from_bytes(scheme_.params(), mutated))
+        << "mode byte " << b << " accepted";
+  }
+}
+
+TEST_F(WireRobustness, SealedCiphertextModeConfusionNeverAccepted) {
+  // Relabelling a sealed body as a different flavour is a framing attack:
+  // the parse may throw (layout mismatch), and when it happens to parse,
+  // the CCA flavours must refuse to open it. (A body relabelled as kBasic
+  // may emit garbage — Basic is the CPA flavour and carries no tag — but
+  // must not crash.)
+  KeyUpdate upd = scheme_.issue_update(server_, "T");
+  for (Mode from : {Mode::kBasic, Mode::kFo, Mode::kReact}) {
+    SealedCiphertext sc =
+        scheme_.seal(from, to_bytes("confusion"), user_.pub, server_.pub, "T", rng_);
+    Bytes wire = sc.to_bytes();
+    for (std::uint8_t to : {std::uint8_t{1}, std::uint8_t{2}, std::uint8_t{3}}) {
+      if (to == static_cast<std::uint8_t>(from)) continue;
+      Bytes mutated = wire;
+      mutated[0] = to;
+      std::optional<SealedCiphertext> parsed =
+          SealedCiphertext::try_from_bytes(scheme_.params(), mutated);
+      if (!parsed) continue;
+      auto out = scheme_.open(*parsed, user_.a, upd, server_.pub);
+      if (parsed->mode() != Mode::kBasic) {
+        EXPECT_FALSE(out.has_value())
+            << mode_name(from) << " body opened under " << mode_name(parsed->mode());
+      }
+    }
+  }
+}
+
+TEST_F(WireRobustness, SealedFoCiphertextFlipsNeverOpen) {
+  // The unified wire inherits the FO flavour's CCA robustness: any
+  // single-bit flip — including in the mode byte — throws, refuses, or
+  // (mode byte -> kBasic only) degrades to garbage, never crashes and
+  // never opens to the true plaintext under a CCA flavour.
+  Bytes msg = to_bytes("integrity matters");
+  SealedCiphertext sc = scheme_.seal(Mode::kFo, msg, user_.pub, server_.pub, "T", rng_);
+  KeyUpdate upd = scheme_.issue_update(server_, "T");
+  Bytes wire = sc.to_bytes();
+  auto parse = [&](ByteSpan b) { return SealedCiphertext::from_bytes(scheme_.params(), b); };
+  expect_truncations_throw(wire, parse);
+  flip_bits(wire, parse, [&](const SealedCiphertext& parsed, size_t bit) {
+    auto out = scheme_.open(parsed, user_.a, upd, server_.pub);
+    if (parsed.mode() == Mode::kBasic) return;  // CPA flavour: garbage in-contract
+    EXPECT_FALSE(out.has_value()) << "bit " << bit << " survived the sealed open";
+  });
 }
 
 TEST_F(WireRobustness, AnyCiphertextFlipsNeverOpenWrongly) {

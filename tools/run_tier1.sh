@@ -6,6 +6,7 @@
 #   TRE_SANITIZE=address,undefined tools/run_tier1.sh
 #   BUILD_DIR=build-asan tools/run_tier1.sh  # custom build directory
 #   MATRIX=1 tools/run_tier1.sh              # plain + asan/ubsan + tsan
+#   METRICS=0 tools/run_tier1.sh             # probes compiled out (-DTRE_METRICS=OFF)
 #   TEST_TIMEOUT=600 tools/run_tier1.sh      # per-test ctest ceiling (s)
 #
 # TRE_SANITIZE is forwarded to the CMake option of the same name and
@@ -16,6 +17,10 @@
 #                 deserialization corpus (tests/test_wire_robustness.cpp)
 #   build-tsan    thread — data races on the shared core::Tuning caches
 #                 (tests/test_concurrency.cpp joins ctest only here)
+#
+# METRICS=0 selects a metrics-off tree (default BUILD_DIR build-nometrics)
+# and proves the suite — including the exact-value accounting tests —
+# passes with every obs:: probe compiled to nothing.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -28,6 +33,9 @@ run_one() {
   if [[ -n "$sanitize" ]]; then
     cmake_args+=(-DTRE_SANITIZE="$sanitize")
   fi
+  if [[ "${METRICS:-1}" == "0" ]]; then
+    cmake_args+=(-DTRE_METRICS=OFF)
+  fi
   echo "=== tier1: ${sanitize:-plain} -> $build_dir ==="
   cmake "${cmake_args[@]}"
   cmake --build "$build_dir" -j"$(nproc)"
@@ -35,10 +43,17 @@ run_one() {
         --timeout "$TEST_TIMEOUT"
 }
 
+# Metrics-off runs default to their own tree so they never poison the
+# plain tier-1 cache with TRE_METRICS=OFF.
+DEFAULT_DIR=build
+if [[ "${METRICS:-1}" == "0" ]]; then
+  DEFAULT_DIR=build-nometrics
+fi
+
 if [[ "${MATRIX:-0}" == "1" ]]; then
-  run_one "${BUILD_DIR:-build}" ""
-  run_one "${BUILD_DIR:-build}-asan" "address,undefined"
-  run_one "${BUILD_DIR:-build}-tsan" "thread"
+  run_one "${BUILD_DIR:-$DEFAULT_DIR}" ""
+  run_one "${BUILD_DIR:-$DEFAULT_DIR}-asan" "address,undefined"
+  run_one "${BUILD_DIR:-$DEFAULT_DIR}-tsan" "thread"
 else
-  run_one "${BUILD_DIR:-build}" "${TRE_SANITIZE:-}"
+  run_one "${BUILD_DIR:-$DEFAULT_DIR}" "${TRE_SANITIZE:-}"
 fi

@@ -17,11 +17,13 @@
 #include <cstring>
 #include <fstream>
 #include <map>
+#include <optional>
 #include <string>
 
 #include "core/tre.h"
 #include "hashing/drbg.h"
 #include "keystore/keystore.h"
+#include "obs/metrics.h"
 
 namespace {
 
@@ -40,6 +42,7 @@ enum class FileKind : std::uint8_t {
   kCiphertextReact = 8,
   kServerKeySealed = 9,   // keystore-encrypted under --password
   kUserKeySealed = 10,
+  kCiphertextSealed = 11, // mode-tagged core::SealedCiphertext wire
 };
 
 struct Envelope {
@@ -161,9 +164,12 @@ int usage() {
                "  issue         --server-key FILE --tag T --out FILE\n"
                "  verify-update --server-pub FILE --update FILE\n"
                "  encrypt       --user-pub FILE --server-pub FILE --tag T\n"
-               "                --in FILE --out FILE [--mode basic|fo|react]\n"
+               "                --in FILE --out FILE [--mode basic|fo|react|sealed[-basic|-fo|-react]]\n"
                "  decrypt       --user-key FILE --server-pub FILE --update FILE\n"
-               "                --in FILE --out FILE [--mode basic|fo|react]\n");
+               "                --in FILE --out FILE [--mode basic|fo|react]\n"
+               "                (sealed ciphertexts self-describe; no --mode needed)\n"
+               "  any command   [--metrics FILE]  dump the obs registry as JSON\n"
+               "                (FILE = '-' for stdout)\n");
   return 2;
 }
 
@@ -263,17 +269,31 @@ int cmd_encrypt(const Args& args) {
   std::string tag = args.get("tag");
   std::string mode = args.get_or("mode", "fo");
 
+  // "sealed[-flavour]" uses the unified seal() API and the mode-tagged
+  // wire format (one file kind for all three flavours).
+  std::optional<core::Mode> sealed_mode;
+  if (mode == "sealed" || mode == "sealed-fo") sealed_mode = core::Mode::kFo;
+  if (mode == "sealed-basic") sealed_mode = core::Mode::kBasic;
+  if (mode == "sealed-react") sealed_mode = core::Mode::kReact;
+
   Bytes payload;
-  if (mode == "basic") {
+  FileKind kind;
+  if (sealed_mode) {
+    payload = core::seal(scheme, *sealed_mode, msg, user, server, tag, rng).to_bytes();
+    kind = FileKind::kCiphertextSealed;
+  } else if (mode == "basic") {
     payload = scheme.encrypt(msg, user, server, tag, rng).to_bytes();
+    kind = ct_kind(mode);
   } else if (mode == "fo") {
     payload = scheme.encrypt_fo(msg, user, server, tag, rng).to_bytes();
+    kind = ct_kind(mode);
   } else if (mode == "react") {
     payload = scheme.encrypt_react(msg, user, server, tag, rng).to_bytes();
+    kind = ct_kind(mode);
   } else {
-    throw Error("unknown --mode (use basic, fo or react)");
+    throw Error("unknown --mode (use basic, fo, react or sealed[-flavour])");
   }
-  write_envelope(args.get("out"), ct_kind(mode), p->name, payload);
+  write_envelope(args.get("out"), kind, p->name, payload);
   std::printf("%zu bytes encrypted for release at \"%s\" (%s mode, %zu bytes)\n",
               msg.size(), tag.c_str(), mode.c_str(), payload.size());
   return 0;
@@ -292,9 +312,27 @@ int cmd_decrypt(const Args& args) {
   require(upd_env.set_name == p->name, "update uses a different parameter set");
   core::KeyUpdate upd = core::KeyUpdate::from_bytes(*p, upd_env.payload);
 
-  std::string mode = args.get_or("mode", "fo");
-  Envelope ct_env = read_envelope(args.get("in"), ct_kind(mode));
+  Envelope ct_env = parse_envelope(args.get("in"));
   require(ct_env.set_name == p->name, "ciphertext uses a different parameter set");
+
+  if (ct_env.kind == FileKind::kCiphertextSealed) {
+    // Self-describing wire: the mode byte picks the flavour, open()
+    // dispatches. --server-pub is always required (the FO flavour's
+    // re-encryption check needs it).
+    std::shared_ptr<const params::GdhParams> sp;
+    core::ServerPublicKey server = read_server_pub(args.get("server-pub"), sp);
+    require(sp->name == p->name, "server key uses a different parameter set");
+    core::SealedCiphertext sc = core::SealedCiphertext::from_bytes(*p, ct_env.payload);
+    auto out = core::open(scheme, sc, a, upd, server);
+    require(out.has_value(), "decryption failed: wrong key/update or tampered ciphertext");
+    write_file(args.get("out"), *out);
+    std::printf("%zu bytes decrypted (%s mode)\n", out->size(),
+                core::mode_name(sc.mode()));
+    return 0;
+  }
+
+  std::string mode = args.get_or("mode", "fo");
+  require(ct_env.kind == ct_kind(mode), "wrong file kind for this option");
 
   Bytes msg;
   if (mode == "basic") {
@@ -319,19 +357,44 @@ int cmd_decrypt(const Args& args) {
 
 }  // namespace
 
+namespace {
+
+int dispatch(const std::string& cmd, const Args& args) {
+  if (cmd == "params") return cmd_params();
+  if (cmd == "server-keygen") return cmd_server_keygen(args);
+  if (cmd == "user-keygen") return cmd_user_keygen(args);
+  if (cmd == "issue") return cmd_issue(args);
+  if (cmd == "verify-update") return cmd_verify_update(args);
+  if (cmd == "encrypt") return cmd_encrypt(args);
+  if (cmd == "decrypt") return cmd_decrypt(args);
+  return usage();
+}
+
+// --metrics FILE: dump the global registry snapshot after the command
+// (FILE = '-' writes to stdout). Works with every command.
+void maybe_dump_metrics(const Args& args) {
+  std::string path = args.get_or("metrics", "");
+  if (path.empty()) return;
+  std::string json = obs::Registry::global().to_json();
+  json.push_back('\n');
+  if (path == "-") {
+    std::fwrite(json.data(), 1, json.size(), stdout);
+  } else {
+    write_file(path, ByteSpan(reinterpret_cast<const std::uint8_t*>(json.data()),
+                              json.size()));
+  }
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   if (argc < 2) return usage();
   std::string cmd = argv[1];
   try {
     Args args(argc, argv);
-    if (cmd == "params") return cmd_params();
-    if (cmd == "server-keygen") return cmd_server_keygen(args);
-    if (cmd == "user-keygen") return cmd_user_keygen(args);
-    if (cmd == "issue") return cmd_issue(args);
-    if (cmd == "verify-update") return cmd_verify_update(args);
-    if (cmd == "encrypt") return cmd_encrypt(args);
-    if (cmd == "decrypt") return cmd_decrypt(args);
-    return usage();
+    int rc = dispatch(cmd, args);
+    maybe_dump_metrics(args);
+    return rc;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "tre_cli %s: %s\n", cmd.c_str(), e.what());
     return 1;
