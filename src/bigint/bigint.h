@@ -214,33 +214,48 @@ constexpr BigInt<L> shr(const BigInt<L>& a, size_t n) {
 // ---------------------------------------------------------------------------
 // Scalar recoding.
 
+/// Upper bound on the number of wNAF digits of a BigInt<L>: one digit per
+/// bit, plus one for the carry a negative digit can push past the top bit.
+/// Sizes the stack scratch buffers of the allocation-free hot paths.
+template <size_t L>
+inline constexpr size_t kWnafMaxDigits = 64 * L + 1;
+
 /// Width-w non-adjacent form: digits in {0, ±1, ±3, ..., ±(2^{w-1} − 1)},
 /// least-significant first, with at most one nonzero digit in any `width`
 /// consecutive positions. Shared by the G_1 scalar-multiplication engine
 /// (ec/curve.cpp) and the unitary G_T exponentiation (field/fp2.cpp).
-/// `width` must be in [2, 8].
+/// `width` must be in [2, 8]. Writes into `out` (capacity at least
+/// kWnafMaxDigits<L>) and returns the digit count — the hot paths use a
+/// stack buffer, so recoding allocates nothing.
 template <size_t L>
-inline std::vector<std::int8_t> wnaf(BigInt<L> n, unsigned width) {
+inline size_t wnaf_into(BigInt<L> n, unsigned width, std::int8_t* out) {
   require(width >= 2 && width <= 8, "wnaf: width out of range");
-  std::vector<std::int8_t> digits;
-  digits.reserve(n.bit_length() + 1);
+  size_t count = 0;
   const std::uint64_t mask = (std::uint64_t{1} << width) - 1;
   const std::int64_t half = std::int64_t{1} << (width - 1);
   while (!n.is_zero()) {
     if (n.is_odd()) {
       std::int64_t d = static_cast<std::int64_t>(n.w[0] & mask);
       if (d >= half) d -= 2 * half;
-      digits.push_back(static_cast<std::int8_t>(d));
+      out[count++] = static_cast<std::int8_t>(d);
       if (d > 0) {
         sub_assign(n, BigInt<L>::from_u64(static_cast<std::uint64_t>(d)));
       } else {
         add_assign(n, BigInt<L>::from_u64(static_cast<std::uint64_t>(-d)));
       }
     } else {
-      digits.push_back(0);
+      out[count++] = 0;
     }
     n = shr(n, 1);
   }
+  return count;
+}
+
+/// Allocating convenience wrapper over wnaf_into.
+template <size_t L>
+inline std::vector<std::int8_t> wnaf(const BigInt<L>& n, unsigned width) {
+  std::vector<std::int8_t> digits(kWnafMaxDigits<L>);
+  digits.resize(wnaf_into(n, width, digits.data()));
   return digits;
 }
 

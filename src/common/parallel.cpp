@@ -1,53 +1,182 @@
 #include "common/parallel.h"
 
+#include <algorithm>
 #include <atomic>
+#include <condition_variable>
+#include <cstdlib>
 #include <exception>
 #include <mutex>
 #include <thread>
 #include <vector>
 
+#include "obs/metrics.h"
+
 namespace tre {
 
-unsigned parallel_workers(size_t n, unsigned max_threads) {
-  if (n <= 1) return 1;
-  unsigned cap = max_threads != 0 ? max_threads : std::thread::hardware_concurrency();
-  if (cap == 0) cap = 1;  // hardware_concurrency may report 0
-  return static_cast<unsigned>(std::min<size_t>(cap, n));
+namespace {
+
+unsigned hardware_threads() {
+  unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;  // hardware_concurrency may report 0
 }
 
-void parallel_for(size_t n, const std::function<void(size_t)>& fn,
-                  unsigned max_threads) {
-  if (n == 0) return;
-  const unsigned workers = parallel_workers(n, max_threads);
-  if (workers == 1) {
-    for (size_t i = 0; i < n; ++i) fn(i);
-    return;
+/// Pool worker count override (workers the pool SPAWNS, excluding
+/// callers): TRE_POOL_THREADS, read once. Default hardware_concurrency-1
+/// so a saturating parallel_for uses exactly the hardware.
+unsigned configured_pool_threads() {
+  if (const char* env = std::getenv("TRE_POOL_THREADS")) {
+    long v = std::strtol(env, nullptr, 10);
+    if (v >= 0 && v <= 1024) return static_cast<unsigned>(v);
+  }
+  return hardware_threads() - 1;
+}
+
+/// One blocking parallel-for invocation. Lives on the caller's stack;
+/// pool workers only touch it between being admitted (under the pool
+/// mutex) and their exit bookkeeping (under the pool mutex), and the
+/// caller does not return before every admitted worker has exited.
+struct Task {
+  Task(size_t n_items, IndexFnRef f, unsigned max_parts, size_t chunk_size)
+      : n(n_items), chunk(chunk_size), fn(f), max_participants(max_parts) {}
+
+  const size_t n;
+  const size_t chunk;
+  const IndexFnRef fn;
+  const unsigned max_participants;  // callers + workers, from parallel_workers
+
+  std::atomic<size_t> next{0};     // the chunked ticket
+  unsigned joined = 1;             // admitted participants (pool mutex); 1 = caller
+  unsigned active = 1;             // participants still running (pool mutex)
+  std::exception_ptr error;        // first failure (pool mutex)
+
+  bool wants_workers() const {
+    return joined < max_participants && next.load(std::memory_order_relaxed) < n;
+  }
+};
+
+class Pool {
+ public:
+  static Pool& instance() {
+    // Leaked on purpose (the obs::Registry pattern): workers park on the
+    // condvar forever, and tearing the pool down during static
+    // destruction would race their wakeups.
+    static Pool* p = new Pool();
+    return *p;
   }
 
-  std::atomic<size_t> next{0};
-  std::exception_ptr first_error;
-  std::mutex error_mu;
-  auto body = [&] {
+  unsigned thread_count() const { return spawned_; }
+
+  void run(size_t n, IndexFnRef fn, unsigned max_workers) {
+    tasks_probe_.add();
+    Task task(n, fn, max_workers,
+              /*chunk=*/std::max<size_t>(1, n / (size_t{max_workers} * 4)));
+    {
+      std::scoped_lock lock(mu_);
+      // A task that cannot admit anyone (no pool threads, or already
+      // satisfied) is simply run by the caller alone, unqueued.
+      if (task.wants_workers() && spawned_ > 0) {
+        tasks_.push_back(&task);
+        cv_.notify_all();
+      }
+    }
+
+    run_chunks(task);
+
+    std::unique_lock lock(mu_);
+    // Close admissions, then wait out workers already admitted.
+    tasks_.erase(std::remove(tasks_.begin(), tasks_.end(), &task), tasks_.end());
+    task.active -= 1;  // the caller is done
+    done_cv_.wait(lock, [&] { return task.active == 0; });
+    lock.unlock();
+    if (task.error) std::rethrow_exception(task.error);
+  }
+
+ private:
+  Pool() {
+    spawned_ = configured_pool_threads();
+    threads_.reserve(spawned_);
+    for (unsigned t = 0; t < spawned_; ++t) {
+      threads_.emplace_back([this] { worker_loop(); });
+    }
+    obs::Registry::global().gauge("pool.threads").set(spawned_);
+  }
+
+  static void run_chunks(Task& task) {
     for (;;) {
-      size_t i = next.fetch_add(1, std::memory_order_relaxed);
-      if (i >= n) return;
+      size_t begin = task.next.fetch_add(task.chunk, std::memory_order_relaxed);
+      if (begin >= task.n) return;
+      size_t end = std::min(begin + task.chunk, task.n);
       try {
-        fn(i);
+        for (size_t i = begin; i < end; ++i) task.fn(i);
       } catch (...) {
-        std::scoped_lock lock(error_mu);
-        if (!first_error) first_error = std::current_exception();
-        next.store(n, std::memory_order_relaxed);  // drain remaining work
+        // Record the first failure and drain the ticket so every
+        // participant winds down promptly.
+        Pool& pool = instance();
+        std::scoped_lock lock(pool.mu_);
+        if (!task.error) task.error = std::current_exception();
+        task.next.store(task.n, std::memory_order_relaxed);
         return;
       }
     }
-  };
+  }
 
-  std::vector<std::thread> pool;
-  pool.reserve(workers - 1);
-  for (unsigned t = 0; t + 1 < workers; ++t) pool.emplace_back(body);
-  body();  // the caller is worker 0
-  for (auto& th : pool) th.join();
-  if (first_error) std::rethrow_exception(first_error);
+  void worker_loop() {
+    for (;;) {
+      Task* task = nullptr;
+      {
+        std::unique_lock lock(mu_);
+        cv_.wait(lock, [&] {
+          for (Task* t : tasks_) {
+            if (t->wants_workers()) {
+              task = t;
+              return true;
+            }
+          }
+          return false;
+        });
+        task->joined += 1;
+        task->active += 1;
+        if (!task->wants_workers()) {
+          tasks_.erase(std::remove(tasks_.begin(), tasks_.end(), task),
+                       tasks_.end());
+        }
+      }
+      run_chunks(*task);
+      {
+        std::scoped_lock lock(mu_);
+        task->active -= 1;
+        tasks_.erase(std::remove(tasks_.begin(), tasks_.end(), task), tasks_.end());
+        if (task->active == 0) done_cv_.notify_all();
+      }
+    }
+  }
+
+  std::mutex mu_;
+  std::condition_variable cv_;       // workers: "a task wants hands"
+  std::condition_variable done_cv_;  // callers: "your task finished"
+  std::vector<Task*> tasks_;         // open tasks still admitting workers
+  std::vector<std::thread> threads_; // never joined; park on cv_ forever
+  unsigned spawned_ = 0;
+  obs::CounterProbe tasks_probe_{"pool.tasks"};
+};
+
+}  // namespace
+
+unsigned parallel_workers(size_t n, unsigned max_threads) {
+  if (n <= 1) return 1;
+  unsigned cap = max_threads != 0 ? max_threads : hardware_threads();
+  if (cap == 0) cap = 1;
+  return static_cast<unsigned>(std::min<size_t>(cap, n));
 }
+
+unsigned pool_thread_count() { return Pool::instance().thread_count(); }
+
+namespace detail {
+
+void parallel_run(size_t n, IndexFnRef fn, unsigned max_workers) {
+  Pool::instance().run(n, fn, max_workers);
+}
+
+}  // namespace detail
 
 }  // namespace tre

@@ -1,28 +1,88 @@
-// Minimal fork-join fan-out for the batch APIs.
+// Parallel fan-out for the batch APIs, on a PERSISTENT worker pool.
 //
 // The TRE workloads that batch well (encrypt_batch over one tag, bulk
-// key-update issuance, receiver fan-out) share only immutable inputs, so a
-// plain atomic work counter over std::threads is all the pool the hot
-// paths need. Sized by hardware_concurrency by default; callers pass an
-// explicit cap to stay deterministic in tests or to co-exist with an
-// outer pool.
+// key-update issuance, receiver fan-out) share only immutable inputs, so
+// the orchestration they need is an index loop distributed over threads.
+// Two things make this version cheap enough for ms-scale batches:
+//
+//   * The pool is lazily created once per process and reused: a
+//     parallel_for call costs one queue push + condvar notify instead of
+//     spawning and joining std::threads per batch.
+//   * Work is handed out through a CHUNKED atomic ticket: workers grab
+//     contiguous index ranges with one fetch_add, so per-item overhead is
+//     a function call, not a cache-line bounce. The calling thread always
+//     participates (it is worker 0), which also makes nested
+//     parallel_for calls deadlock-free: a caller never blocks waiting for
+//     pool capacity, it chews through its own ticket.
+//
+// parallel_for is a template over the callable: the per-item invocation
+// is a direct (inlinable) call on the caller's lambda type; only the
+// pool boundary erases the type, through a non-owning, non-allocating
+// IndexFnRef (the callable outlives the blocking call by construction).
+//
+// Determinism: `max_threads = 1` runs serially on the caller;
+// any other value only caps concurrency — outputs must not depend on the
+// schedule (every TRE batch writes out[i] from input i alone).
+// The pool size can be pinned with the TRE_POOL_THREADS environment
+// variable (read once, at first use).
 #pragma once
 
 #include <cstddef>
-#include <functional>
+#include <type_traits>
+#include <utility>
 
 namespace tre {
+
+/// Non-owning reference to a `void(size_t)` callable. The referenced
+/// callable must outlive every call — parallel_for blocks until the loop
+/// completes, so stack lambdas are safe.
+class IndexFnRef {
+ public:
+  template <typename F,
+            typename = std::enable_if_t<!std::is_same_v<std::decay_t<F>, IndexFnRef>>>
+  IndexFnRef(F&& fn) noexcept  // NOLINT: implicit by design (function_ref idiom)
+      : obj_(const_cast<void*>(static_cast<const void*>(&fn))),
+        call_([](void* obj, size_t i) {
+          (*static_cast<std::remove_reference_t<F>*>(obj))(i);
+        }) {}
+
+  void operator()(size_t i) const { call_(obj_, i); }
+
+ private:
+  void* obj_;
+  void (*call_)(void*, size_t);
+};
 
 /// Number of workers parallel_for would use for `n` items under `max_threads`
 /// (0 = std::thread::hardware_concurrency). Always in [1, n] for n > 0.
 unsigned parallel_workers(size_t n, unsigned max_threads);
 
+/// Worker threads the persistent pool owns (0 before first parallel use
+/// and on single-core hosts; the caller thread is not counted).
+unsigned pool_thread_count();
+
+namespace detail {
+/// Pool entry point: distributes [0, n) over up to `max_workers`
+/// participants (callers + pool workers) and blocks until done. The
+/// first exception thrown by any participant is rethrown on the caller.
+void parallel_run(size_t n, IndexFnRef fn, unsigned max_workers);
+}  // namespace detail
+
 /// Runs fn(i) for every i in [0, n), fanning out across up to `max_threads`
 /// threads (0 = hardware_concurrency; 1 = run serially on the caller).
 /// `fn` must be safe to call concurrently for distinct i. The first
-/// exception thrown by any worker is rethrown on the caller after all
-/// workers have joined.
-void parallel_for(size_t n, const std::function<void(size_t)>& fn,
-                  unsigned max_threads = 0);
+/// exception thrown by any worker is rethrown on the caller after the
+/// loop has drained. Accepts any callable — no std::function type
+/// erasure on the per-item path.
+template <typename F>
+void parallel_for(size_t n, F&& fn, unsigned max_threads = 0) {
+  if (n == 0) return;
+  const unsigned workers = parallel_workers(n, max_threads);
+  if (workers == 1) {
+    for (size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  detail::parallel_run(n, IndexFnRef(fn), workers);
+}
 
 }  // namespace tre

@@ -1,12 +1,10 @@
 #include "core/tre.h"
 
-#include <mutex>
 #include <type_traits>
-#include <unordered_map>
-#include <unordered_set>
 
 #include "bigint/prime.h"
 #include "common/parallel.h"
+#include "common/snapshot_cache.h"
 #include "hashing/kdf.h"
 #include "obs/metrics.h"
 
@@ -81,6 +79,10 @@ struct Probes {
   obs::HistogramProbe decrypt_ns{"core.decrypt_ns"};
   obs::HistogramProbe issue_update_ns{"core.issue_update_ns"};
   obs::HistogramProbe verify_update_ns{"core.verify_update_ns"};
+  // Nanoseconds spent blocked on a CONTENDED cache write lock (hits never
+  // lock). count == number of contended acquisitions; stays 0 when the
+  // snapshot substrate keeps writers out of each other's way.
+  obs::HistogramProbe cache_lock_wait_ns{"core.cache.lock_wait_ns"};
 
   static const Probes& get() {
     static const Probes p;
@@ -284,68 +286,73 @@ namespace {
 // clearing on overflow is good enough.
 constexpr size_t kMaxCacheEntries = 1024;
 
-template <typename Map>
-void bound_cache(Map& m) {
-  if (m.size() >= kMaxCacheEntries) m.clear();
-}
-
 std::string point_key(const G1Point& p) {
   Bytes b = p.to_bytes_compressed();
   return std::string(b.begin(), b.end());
 }
 
+SnapshotCacheOptions cache_options(bool snapshots) {
+  SnapshotCacheOptions opt;
+  opt.max_entries = kMaxCacheEntries;
+  opt.snapshots = snapshots;
+  opt.lock_wait_ns = +[](std::uint64_t ns) {
+    Probes::get().cache_lock_wait_ns.record(ns);
+  };
+  return opt;
+}
+
 }  // namespace
 
+// Read-mostly memoization (common/snapshot_cache.h): every member is an
+// RCU-style snapshot map — hits are lock-free with zero shared writes,
+// misses compute outside any lock and publish copy-on-write under striped
+// write locks. `Tuning::snapshot_caches = false` flips all five to the
+// legacy take-a-lock-per-access substrate; values and outputs are
+// identical either way.
 struct TreScheme::Cache {
-  std::mutex mu;
-  std::unordered_map<std::string, G1Point> tags;   // tag -> H1(T)
-  std::unordered_set<std::string> good_keys;       // verified (server, user) keys
-  std::unordered_map<std::string, std::shared_ptr<const ec::G1Precomp>> combs;
-  std::unordered_map<std::string, Gt> pair_bases;  // asg || tag -> ê(asG, H1(T))
-  std::unordered_map<std::string, std::shared_ptr<const pairing::MillerPrecomp>> lines;
+  explicit Cache(bool snapshots)
+      : tags(cache_options(snapshots)),
+        good_keys(cache_options(snapshots)),
+        combs(cache_options(snapshots)),
+        pair_bases(cache_options(snapshots)),
+        lines(cache_options(snapshots)) {}
+
+  SnapshotCache<G1Point> tags;  // tag -> H1(T)
+  SnapshotCache<char> good_keys;  // verified (server, user) keys (presence set)
+  SnapshotCache<std::shared_ptr<const ec::G1Precomp>> combs;
+  SnapshotCache<Gt> pair_bases;  // asg || tag -> ê(asG, H1(T))
+  SnapshotCache<std::shared_ptr<const pairing::MillerPrecomp>> lines;
 };
 
 TreScheme::TreScheme(std::shared_ptr<const params::GdhParams> params, Tuning tuning)
     : params_(std::move(params)),
       tuning_(tuning),
-      cache_(std::make_shared<Cache>()) {
+      cache_(std::make_shared<Cache>(tuning.snapshot_caches)) {
   require(params_ != nullptr, "TreScheme: null params");
 }
 
 G1Point TreScheme::cached_hash_tag(std::string_view tag) const {
   if (!tuning_.cache_tags) return ec::hash_to_g1(params_->ctx(), tre::to_bytes(tag));
-  {
-    std::scoped_lock lock(cache_->mu);
-    auto it = cache_->tags.find(std::string(tag));
-    if (it != cache_->tags.end()) {
-      Probes::get().tag_hit.add();
-      return it->second;
-    }
+  if (auto hit = cache_->tags.find(tag)) {
+    Probes::get().tag_hit.add();
+    return *hit;
   }
   Probes::get().tag_miss.add();
   G1Point h = ec::hash_to_g1(params_->ctx(), tre::to_bytes(tag));
-  std::scoped_lock lock(cache_->mu);
-  bound_cache(cache_->tags);
-  cache_->tags.emplace(std::string(tag), h);
+  cache_->tags.insert(tag, h);
   return h;
 }
 
 std::shared_ptr<const ec::G1Precomp> TreScheme::comb_for(const G1Point& base) const {
   if (!tuning_.fixed_base_comb || base.is_infinity()) return nullptr;
   const std::string key = point_key(base);
-  {
-    std::scoped_lock lock(cache_->mu);
-    auto it = cache_->combs.find(key);
-    if (it != cache_->combs.end()) {
-      Probes::get().comb_hit.add();
-      return it->second;
-    }
+  if (auto hit = cache_->combs.find(key)) {
+    Probes::get().comb_hit.add();
+    return *hit;
   }
   Probes::get().comb_miss.add();
   auto comb = std::make_shared<const ec::G1Precomp>(base);
-  std::scoped_lock lock(cache_->mu);
-  bound_cache(cache_->combs);
-  cache_->combs.emplace(key, comb);
+  cache_->combs.insert(key, comb);
   return comb;
 }
 
@@ -372,21 +379,16 @@ bool TreScheme::checked_user_key(const ServerPublicKey& server,
   Bytes uk = user.to_bytes();
   std::string key(sk.begin(), sk.end());
   key.append(uk.begin(), uk.end());
-  {
-    std::scoped_lock lock(cache_->mu);
-    if (cache_->good_keys.contains(key)) {
-      Probes::get().keycheck_hit.add();
-      return true;
-    }
+  if (cache_->good_keys.contains(key)) {
+    Probes::get().keycheck_hit.add();
+    return true;
   }
   Probes::get().keycheck_miss.add();
   // Only successful checks are memoized: a failure must stay a failure
   // even if a good key with the same bytes is later verified (impossible,
   // but cheap to keep trivially true).
   if (!verify_user_public_key(server, user)) return false;
-  std::scoped_lock lock(cache_->mu);
-  bound_cache(cache_->good_keys);
-  cache_->good_keys.insert(key);
+  cache_->good_keys.insert(key, char{1});
   return true;
 }
 
@@ -398,20 +400,14 @@ Gt TreScheme::pair_base(const G1Point& asg, std::string_view tag,
   }
   std::string key = point_key(asg);  // fixed length, so asg||tag is unambiguous
   key.append(tag);
-  {
-    std::scoped_lock lock(cache_->mu);
-    auto it = cache_->pair_bases.find(key);
-    if (it != cache_->pair_bases.end()) {
-      Probes::get().pairbase_hit.add();
-      return it->second;
-    }
+  if (auto hit = cache_->pair_bases.find(key)) {
+    Probes::get().pairbase_hit.add();
+    return *hit;
   }
   Probes::get().pairbase_miss.add();
   Probes::get().pairings.add();
   Gt base = pairing::pair(asg, h1t);
-  std::scoped_lock lock(cache_->mu);
-  bound_cache(cache_->pair_bases);
-  cache_->pair_bases.emplace(key, base);
+  cache_->pair_bases.insert(key, base);
   return base;
 }
 
@@ -420,19 +416,13 @@ Gt TreScheme::pair_with_lines(const G1Point& fixed, const G1Point& u) const {
   if (!tuning_.cache_update_lines) return pairing::pair(u, fixed);
   const std::string key = point_key(fixed);
   std::shared_ptr<const pairing::MillerPrecomp> lines;
-  {
-    std::scoped_lock lock(cache_->mu);
-    auto it = cache_->lines.find(key);
-    if (it != cache_->lines.end()) lines = it->second;
-  }
-  if (lines) {
+  if (auto hit = cache_->lines.find(key)) {
     Probes::get().lines_hit.add();
+    lines = *hit;
   } else {
     Probes::get().lines_miss.add();
     lines = std::make_shared<const pairing::MillerPrecomp>(fixed);
-    std::scoped_lock lock(cache_->mu);
-    bound_cache(cache_->lines);
-    cache_->lines.emplace(key, lines);
+    cache_->lines.insert(key, lines);
   }
   // ê(fixed, u) == ê(u, fixed): the pairing is symmetric on cyclic G_1.
   return lines->pair(u);

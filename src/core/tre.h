@@ -177,10 +177,23 @@ struct Tuning {
   bool cache_pair_bases = true;    ///< memoize ê(asG, H1(T)); encrypt pays one G_T pow
   bool cache_update_lines = true;  ///< Miller-loop line precomp per key update
   bool unitary_gt_pow = true;      ///< conjugate-wNAF G_T exponentiation
+  /// Read-mostly cache concurrency: true = RCU-style snapshot reads with
+  /// zero shared writes on a hit (common/snapshot_cache.h); false = the
+  /// PR-1-era behaviour of taking a lock on every cache access. Purely a
+  /// concurrency-substrate switch — cached values, hit/miss pattern and
+  /// all outputs are bit-identical either way (test_concurrency proves it).
+  bool snapshot_caches = true;
 
   static Tuning fast() { return Tuning{}; }
+  /// fast() on the locked cache substrate — the "before" side of the
+  /// multicore scaling comparison and of the cache-equivalence tests.
+  static Tuning fast_locked() {
+    Tuning t;
+    t.snapshot_caches = false;
+    return t;
+  }
   static Tuning legacy() {
-    return Tuning{false, false, false, false, false, false};
+    return Tuning{false, false, false, false, false, false, false};
   }
 };
 
@@ -219,9 +232,10 @@ class TreScheme {
   /// I_T = s·H1(T). Stateless: any tag, past or future, any order.
   KeyUpdate issue_update(const ServerKeyPair& server, std::string_view tag) const;
 
-  /// Bulk issuance: one update per tag, fanned out on a std::thread pool
-  /// (`threads` = 0 picks hardware_concurrency, 1 runs serially). Each
-  /// update is identical to issue_update(server, tags[i]).
+  /// Bulk issuance: one update per tag, fanned out on the persistent
+  /// worker pool (`threads` = 0 picks hardware_concurrency, 1 runs
+  /// serially on the caller). Each update is identical to
+  /// issue_update(server, tags[i]).
   std::vector<KeyUpdate> issue_updates(const ServerKeyPair& server,
                                        std::span<const std::string> tags,
                                        unsigned threads = 0) const;
@@ -259,9 +273,9 @@ class TreScheme {
   /// receiver-key pairing check, tag hash, and base pairing once for the
   /// whole batch; per-message work drops to one fixed-base comb multiply
   /// and one G_T exponentiation. With `threads` != 1 the per-message work
-  /// fans out on a std::thread pool (0 = hardware_concurrency). Output is
-  /// bit-identical to sequential encrypt() calls drawing the same
-  /// randomness.
+  /// fans out on the persistent worker pool (0 = hardware_concurrency).
+  /// Output is bit-identical to sequential encrypt() calls drawing the
+  /// same randomness.
   std::vector<Ciphertext> encrypt_batch(std::span<const Bytes> msgs,
                                         const UserPublicKey& user,
                                         const ServerPublicKey& server,
@@ -338,9 +352,11 @@ class TreScheme {
   // Memoized precomputation, shared by copies of the scheme (the scheme is
   // a value type; the cache is an implementation detail keyed only on
   // public data, so sharing it across copies is safe and desirable).
-  // Every map is bounded and cleared wholesale on overflow — the working
-  // sets (a handful of generators, one tag per epoch, one update per
-  // epoch) are tiny, so eviction policy does not matter.
+  // Each map is a read-mostly SnapshotCache: hits are lock-free snapshot
+  // reads (no shared writes), misses publish copy-on-write under striped
+  // locks. Bounded and cleared wholesale on overflow — the working sets
+  // (a handful of generators, one tag per epoch, one update per epoch)
+  // are tiny, so eviction policy does not matter.
   struct Cache;
 
   /// H1(T), memoized when tuning_.cache_tags.

@@ -251,9 +251,12 @@ G1Point G1Point::mul(const FpInt& k) const {
   odd[0] = base;
   for (size_t i = 1; i < odd.size(); ++i) odd[i] = jac_add(odd[i - 1], twice, fp);
 
-  std::vector<std::int8_t> digits = bigint::wnaf(k, 4);
+  // Stack recoding buffer: mul() sits on the in_subgroup()/verification
+  // hot paths, which pool workers hammer concurrently — no heap traffic.
+  std::array<std::int8_t, bigint::kWnafMaxDigits<field::kMaxFieldLimbs>> digits;
+  const size_t ndigits = bigint::wnaf_into(k, 4, digits.data());
   Jac acc = {Fp::one(fp), Fp::one(fp), Fp::zero(fp)};
-  for (size_t i = digits.size(); i-- > 0;) {
+  for (size_t i = ndigits; i-- > 0;) {
     acc = jac_double(acc, fp);
     std::int8_t d = digits[i];
     if (d > 0) {

@@ -44,15 +44,18 @@ Fp2 Fp2::pow(const FpInt& e) const {
 Fp2 Fp2::pow_unitary(const FpInt& e) const {
   const FpCtx* fp = ctx();
   require(norm() == Fp::one(fp), "Fp2::pow_unitary: element is not norm-1");
-  // Signed digits are free: for norm-1 z, z^{-1} = conj(z).
-  std::vector<std::int8_t> digits = bigint::wnaf(e, 5);
+  // Signed digits are free: for norm-1 z, z^{-1} = conj(z). The recoding
+  // lives on the stack: pow_unitary runs once per encrypt/decrypt on
+  // every pool worker, so the exponentiation inner loop allocates nothing.
+  std::array<std::int8_t, bigint::kWnafMaxDigits<kMaxFieldLimbs>> digits;
+  const size_t ndigits = bigint::wnaf_into(e, 5, digits.data());
   std::array<Fp2, 8> odd;  // z^1, z^3, ..., z^15
   odd[0] = *this;
   const Fp2 sq = squared();
   for (size_t i = 1; i < odd.size(); ++i) odd[i] = odd[i - 1] * sq;
 
   Fp2 acc = one(fp);
-  for (size_t i = digits.size(); i-- > 0;) {
+  for (size_t i = ndigits; i-- > 0;) {
     acc = acc.squared();
     std::int8_t d = digits[i];
     if (d > 0) {

@@ -35,51 +35,102 @@ Registry& Registry::global() {
   return *g;
 }
 
-Counter& Registry::counter(std::string_view name) {
+namespace {
+
+// Lock `mu`, recording the wait into `contended` only when the lock was
+// actually contested (try_lock failed). Uncontended registrations — the
+// overwhelming majority — never touch the clock.
+std::unique_lock<std::mutex> lock_timed(std::mutex& mu, Histogram& contended) {
+  std::unique_lock<std::mutex> lock(mu, std::try_to_lock);
+  if (!lock.owns_lock()) {
+    const std::uint64_t t0 = now_ns();
+    lock.lock();
+    contended.record(now_ns() - t0);  // relaxed atomics; safe under the lock
+  }
+  return lock;
+}
+
+}  // namespace
+
+Registry::Registry() {
+  // Publish the first generation eagerly so readers never see a null
+  // index; it already carries the built-in lock-wait histogram.
   std::scoped_lock lock(mu_);
+  republish_locked();
+}
+
+Registry::~Registry() = default;
+
+void Registry::republish_locked() {
+  auto next = std::make_unique<Index>();
+  for (const auto& [name, c] : counters_) next->counters.emplace(name, c.get());
+  for (const auto& [name, g] : gauges_) next->gauges.emplace(name, g.get());
+  for (const auto& [name, h] : histograms_) next->histograms.emplace(name, h.get());
+  next->histograms.emplace("registry.lock_wait", &lock_wait_);
+  index_.store(next.get(), std::memory_order_release);
+  retired_.push_back(std::move(next));
+}
+
+Counter& Registry::counter(std::string_view name) {
+  const Index* idx = index();
+  if (auto it = idx->counters.find(name); it != idx->counters.end()) {
+    return *it->second;
+  }
+  auto lock = lock_timed(mu_, lock_wait_);
   auto it = counters_.find(name);
   if (it == counters_.end()) {
     it = counters_.emplace(std::string(name), std::make_unique<Counter>()).first;
+    republish_locked();
   }
   return *it->second;
 }
 
 Gauge& Registry::gauge(std::string_view name) {
-  std::scoped_lock lock(mu_);
+  const Index* idx = index();
+  if (auto it = idx->gauges.find(name); it != idx->gauges.end()) {
+    return *it->second;
+  }
+  auto lock = lock_timed(mu_, lock_wait_);
   auto it = gauges_.find(name);
   if (it == gauges_.end()) {
     it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+    republish_locked();
   }
   return *it->second;
 }
 
 Histogram& Registry::histogram(std::string_view name) {
-  std::scoped_lock lock(mu_);
+  const Index* idx = index();
+  if (auto it = idx->histograms.find(name); it != idx->histograms.end()) {
+    return *it->second;  // includes the built-in "registry.lock_wait"
+  }
+  auto lock = lock_timed(mu_, lock_wait_);
   auto it = histograms_.find(name);
   if (it == histograms_.end()) {
     it = histograms_.emplace(std::string(name), std::make_unique<Histogram>()).first;
+    republish_locked();
   }
   return *it->second;
 }
 
 std::uint64_t Registry::counter_value(std::string_view name) const {
-  std::scoped_lock lock(mu_);
-  auto it = counters_.find(name);
-  return it == counters_.end() ? 0 : it->second->value();
+  const Index* idx = index();
+  auto it = idx->counters.find(name);
+  return it == idx->counters.end() ? 0 : it->second->value();
 }
 
 std::int64_t Registry::gauge_value(std::string_view name) const {
-  std::scoped_lock lock(mu_);
-  auto it = gauges_.find(name);
-  return it == gauges_.end() ? 0 : it->second->value();
+  const Index* idx = index();
+  auto it = idx->gauges.find(name);
+  return it == idx->gauges.end() ? 0 : it->second->value();
 }
 
 void Registry::reset() {
   flush_this_thread();  // pending spans would otherwise resurrect post-reset
-  std::scoped_lock lock(mu_);
-  for (auto& [name, c] : counters_) c->reset();
-  for (auto& [name, g] : gauges_) g->reset();
-  for (auto& [name, h] : histograms_) h->reset();
+  const Index* idx = index();
+  for (const auto& [name, c] : idx->counters) c->reset();
+  for (const auto& [name, g] : idx->gauges) g->reset();
+  for (const auto& [name, h] : idx->histograms) h->reset();
 }
 
 namespace {
@@ -117,7 +168,9 @@ std::string Registry::to_json(int indent) const {
   flush_this_thread();
   const std::string margin(static_cast<size_t>(indent), ' ');
   std::string out;
-  std::scoped_lock lock(mu_);
+  // Lock-free: serializes the published index snapshot. The built-in
+  // "registry.lock_wait" histogram is part of every generation.
+  const Index* idx = index();
 
   out += margin + "{\n";
   out += margin + "  \"metrics_enabled\": ";
@@ -126,7 +179,7 @@ std::string Registry::to_json(int indent) const {
 
   out += margin + "  \"counters\": {";
   bool first = true;
-  for (const auto& [name, c] : counters_) {
+  for (const auto& [name, c] : idx->counters) {
     out += first ? "\n" : ",\n";
     first = false;
     out += margin + "    ";
@@ -138,7 +191,7 @@ std::string Registry::to_json(int indent) const {
 
   out += margin + "  \"gauges\": {";
   first = true;
-  for (const auto& [name, g] : gauges_) {
+  for (const auto& [name, g] : idx->gauges) {
     out += first ? "\n" : ",\n";
     first = false;
     out += margin + "    ";
@@ -150,7 +203,7 @@ std::string Registry::to_json(int indent) const {
 
   out += margin + "  \"histograms\": {";
   first = true;
-  for (const auto& [name, h] : histograms_) {
+  for (const auto& [name, h] : idx->histograms) {
     out += first ? "\n" : ",\n";
     first = false;
     std::uint64_t count = h->count();

@@ -43,6 +43,7 @@
 #include <mutex>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #ifndef TRE_METRICS_ENABLED
 #define TRE_METRICS_ENABLED 1
@@ -145,11 +146,21 @@ class Histogram {
 /// Named instruments plus JSON snapshot export. Instantiable: components
 /// with per-instance accounting (a mirror cluster, a fetcher) own a
 /// private registry; fleet-wide telemetry lives in `Registry::global()`.
-/// Lookup takes a mutex — resolve once and keep the reference (instrument
-/// addresses are stable for the registry's lifetime).
+///
+/// Concurrency: the name->instrument index is an immutable snapshot
+/// published through an atomic pointer (read-copy-update). Lookups of
+/// already-registered names — the `counter(name)` fast path, and every
+/// snapshot read (`counter_value`, `gauge_value`, `to_json`, `reset`) —
+/// are one acquire load plus a map walk: lock-free, no shared writes.
+/// Only first-time registration takes `mu_`, copies the index, and
+/// republishes. Contended registration waits are recorded (in ns) into
+/// the built-in "registry.lock_wait" histogram; its count is the number
+/// of contended acquisitions. Instrument addresses are stable for the
+/// registry's lifetime — resolve once and keep the reference.
 class Registry {
  public:
-  Registry() = default;
+  Registry();
+  ~Registry();
   Registry(const Registry&) = delete;
   Registry& operator=(const Registry&) = delete;
 
@@ -163,6 +174,7 @@ class Registry {
 
   /// Value of a named counter; 0 when it was never registered (so
   /// metrics-off readers degrade to zeros instead of branching).
+  /// Lock-free: reads the published index snapshot.
   std::uint64_t counter_value(std::string_view name) const;
   std::int64_t gauge_value(std::string_view name) const;
 
@@ -180,15 +192,43 @@ class Registry {
   std::string to_json(int indent = 0) const;
 
   /// Zeroes every registered instrument (bench runs that want per-phase
-  /// deltas). Handles stay valid.
+  /// deltas). Handles stay valid. Lock-free: walks the published index,
+  /// so an instrument whose registration races with reset() may keep its
+  /// pre-reset value — benign for the bench/test use this serves.
   void reset();
 
  private:
+  // Immutable name->instrument view. Readers hold it only for the
+  // duration of one call; superseded generations are retired (kept
+  // alive) until the registry dies, so a pointer loaded by a racing
+  // reader can never dangle. Registration is rare and bounded (probe
+  // sites resolve once), so retired generations cost a few map nodes.
+  struct Index {
+    std::map<std::string, Counter*, std::less<>> counters;
+    std::map<std::string, Gauge*, std::less<>> gauges;
+    std::map<std::string, Histogram*, std::less<>> histograms;
+  };
+
+  const Index* index() const noexcept {
+    return index_.load(std::memory_order_acquire);
+  }
+  /// Rebuilds the index from the owning maps and publishes it. Caller
+  /// holds mu_.
+  void republish_locked();
+
   mutable std::mutex mu_;
   // Stable addresses (unique_ptr), deterministic JSON order (std::map).
+  // Owning maps are written under mu_ only; readers go through index_.
   std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
   std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+  std::atomic<const Index*> index_{nullptr};
+  std::vector<std::unique_ptr<const Index>> retired_;  // all generations, owned
+  // Built-in: nanoseconds spent blocked on mu_ by contended
+  // registrations. A direct member (not in the owning maps) so recording
+  // it never re-enters registration; seeded into every index generation
+  // as "registry.lock_wait".
+  Histogram lock_wait_;
 };
 
 /// Flushes the calling thread's pending Span batch into its histogram.

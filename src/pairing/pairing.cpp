@@ -153,7 +153,13 @@ MillerValue miller_loop_multi(std::span<const std::pair<G1Point, G1Point>> pairs
   require(curve != nullptr, "miller_loop_multi: null curve");
   const field::FpCtx* fp = curve->fp.get();
 
-  std::vector<PairMillerState> states;
+  // Per-worker scratch: the verification paths (pairings_equal,
+  // pair_product) run inside pool workers and receiver threads, so the
+  // state vector is thread-local and reused — after a thread's first
+  // call the Miller loop performs no heap allocation. Safe because the
+  // function never re-enters itself on the same thread (no callbacks).
+  thread_local std::vector<PairMillerState> states;
+  states.clear();
   states.reserve(pairs.size());
   for (const auto& [p, q] : pairs) {
     require(p.curve() == curve && q.curve() == curve,

@@ -58,8 +58,8 @@ class TimeServer {
   /// granularity, e.g. backfilling an archive gap for late joiners. Still
   /// enforces trust assumption 2 on the whole range. Already-archived
   /// instants are served from the archive; the missing signatures are
-  /// computed on a thread pool (`threads` as in TreScheme::issue_updates)
-  /// and archived/broadcast in timeline order.
+  /// computed on the persistent worker pool (`threads` as in
+  /// TreScheme::issue_updates) and archived/broadcast in timeline order.
   std::vector<core::KeyUpdate> issue_range(const TimeSpec& from, const TimeSpec& to,
                                            unsigned threads = 0);
 

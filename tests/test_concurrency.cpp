@@ -13,6 +13,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/parallel.h"
 #include "core/tre.h"
 #include "hashing/drbg.h"
 #include "obs/metrics.h"
@@ -101,6 +102,131 @@ TEST(SharedSchemeContention, IssueUpdatesPoolSharesOneCache) {
     EXPECT_EQ(updates[i].tag, tags[i]);
     EXPECT_TRUE(scheme.verify_update(server.pub, updates[i]));
   }
+}
+
+// One unit of work with its own DRBG: the ciphertext it produces is a
+// pure function of (seed, msg, tag), independent of which thread runs it
+// or what the shared caches held at the time.
+struct SealJob {
+  std::string seed;
+  Bytes msg;
+  size_t tag;  // index into the shared tag list
+};
+
+Bytes ciphertext_bytes(const Ciphertext& ct) {
+  Bytes out = ct.u.to_bytes_compressed();
+  out.insert(out.end(), ct.v.begin(), ct.v.end());
+  return out;
+}
+
+TEST(SharedSchemeContention, MixedSealOpenIssueBitIdentical) {
+  // The snapshot caches must be a pure concurrency substrate: a cold
+  // shared scheme hammered by racing threads, a warm serial scheme, and
+  // a serial scheme in legacy locked mode must all emit byte-identical
+  // ciphertexts for the same per-job DRBG seeds.
+  auto params = params::load("tre-toy-96");
+  hashing::HmacDrbg key_rng(to_bytes("bit-identical-keys"));
+  TreScheme keygen_scheme(params);
+  ServerKeyPair server = keygen_scheme.server_keygen(key_rng);
+  UserKeyPair user = keygen_scheme.user_keygen(server.pub, key_rng);
+
+  const std::vector<std::string> tags = {"epoch-1", "epoch-2", "epoch-3"};
+  constexpr int kThreads = 8;
+  constexpr int kJobsPerThread = 4;
+  std::vector<SealJob> jobs;
+  for (int j = 0; j < kThreads * kJobsPerThread; ++j) {
+    jobs.push_back(SealJob{"job-seed-" + std::to_string(j),
+                           to_bytes("payload-" + std::to_string(j)),
+                           static_cast<size_t>(j) % tags.size()});
+  }
+
+  auto run_serial = [&](Tuning tuning) {
+    TreScheme scheme(params, tuning);
+    std::vector<Bytes> out(jobs.size());
+    for (size_t j = 0; j < jobs.size(); ++j) {
+      hashing::HmacDrbg rng(to_bytes(jobs[j].seed));
+      out[j] = ciphertext_bytes(
+          scheme.encrypt(jobs[j].msg, user.pub, server.pub, tags[jobs[j].tag], rng));
+    }
+    return out;
+  };
+  const std::vector<Bytes> reference = run_serial(Tuning{});
+  EXPECT_EQ(run_serial(Tuning::fast_locked()), reference)
+      << "snapshot and locked cache substrates disagree";
+
+  // Concurrent run: one cold shared scheme, every thread also opening
+  // ciphertexts and issuing updates so all five caches warm up racily.
+  TreScheme shared(params);
+  std::vector<KeyUpdate> updates;
+  for (const auto& t : tags) updates.push_back(shared.issue_update(server, t));
+  std::vector<Bytes> concurrent(jobs.size());
+  std::atomic<int> failures{0};
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int w = 0; w < kThreads; ++w) {
+    workers.emplace_back([&, w] {
+      for (int i = 0; i < kJobsPerThread; ++i) {
+        const size_t j = static_cast<size_t>(w * kJobsPerThread + i);
+        hashing::HmacDrbg rng(to_bytes(jobs[j].seed));
+        Ciphertext ct = shared.encrypt(jobs[j].msg, user.pub, server.pub,
+                                       tags[jobs[j].tag], rng);
+        concurrent[j] = ciphertext_bytes(ct);
+        if (shared.decrypt(ct, user.a, updates[jobs[j].tag]) != jobs[j].msg) {
+          failures.fetch_add(1);
+        }
+        if (i == 0) {  // keep the issue/verify paths in the race too
+          KeyUpdate upd = shared.issue_update(server, tags[jobs[j].tag]);
+          if (!shared.verify_update(server.pub, upd)) failures.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& t : workers) t.join();
+
+  EXPECT_EQ(failures.load(), 0);
+  for (size_t j = 0; j < jobs.size(); ++j) {
+    EXPECT_EQ(concurrent[j], reference[j]) << "job " << j << " diverged";
+  }
+}
+
+TEST(PoolContention, ConcurrentParallelForCallers) {
+  // Several external threads drive the persistent pool at once; each
+  // loop's index space must still be covered exactly once.
+  constexpr int kCallers = 4;
+  constexpr size_t kN = 2'000;
+  std::vector<std::vector<std::atomic<std::uint32_t>>> hits(kCallers);
+  for (auto& h : hits) {
+    h = std::vector<std::atomic<std::uint32_t>>(kN);
+  }
+  std::vector<std::thread> callers;
+  callers.reserve(kCallers);
+  for (int c = 0; c < kCallers; ++c) {
+    callers.emplace_back([&, c] {
+      for (int round = 0; round < 3; ++round) {
+        tre::parallel_for(kN, [&, c](size_t i) {
+          hits[static_cast<size_t>(c)][i].fetch_add(1, std::memory_order_relaxed);
+        });
+      }
+    });
+  }
+  for (auto& t : callers) t.join();
+  for (int c = 0; c < kCallers; ++c) {
+    for (size_t i = 0; i < kN; ++i) {
+      ASSERT_EQ(hits[static_cast<size_t>(c)][i].load(), 3u)
+          << "caller " << c << " index " << i;
+    }
+  }
+}
+
+TEST(RegistryContention, LockWaitHistogramIsPublished) {
+  // The built-in registry.lock_wait histogram exists from birth and
+  // appears in every JSON snapshot, even before any contention.
+  obs::Registry reg;
+  EXPECT_NE(reg.to_json().find("\"registry.lock_wait\""), std::string::npos);
+  // It is addressable like any other histogram (and is the same object).
+  obs::Histogram& h = reg.histogram("registry.lock_wait");
+  h.record(42);
+  EXPECT_EQ(reg.histogram("registry.lock_wait").count(), 1u);
 }
 
 TEST(RegistryContention, InstrumentsAndSpansUnderConcurrentWriters) {

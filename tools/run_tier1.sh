@@ -7,6 +7,7 @@
 #   BUILD_DIR=build-asan tools/run_tier1.sh  # custom build directory
 #   MATRIX=1 tools/run_tier1.sh              # plain + asan/ubsan + tsan
 #   METRICS=0 tools/run_tier1.sh             # probes compiled out (-DTRE_METRICS=OFF)
+#   SCALING=1 tools/run_tier1.sh             # multicore throughput gate (bench_throughput)
 #   TEST_TIMEOUT=600 tools/run_tier1.sh      # per-test ctest ceiling (s)
 #
 # TRE_SANITIZE is forwarded to the CMake option of the same name and
@@ -15,12 +16,21 @@
 #   build         plain (fast, the default tier-1 gate)
 #   build-asan    address+undefined — memory safety of the adversarial
 #                 deserialization corpus (tests/test_wire_robustness.cpp)
-#   build-tsan    thread — data races on the shared core::Tuning caches
-#                 (tests/test_concurrency.cpp joins ctest only here)
+#   build-tsan    thread — data races on the shared core::Tuning caches,
+#                 the persistent parallel_for pool, and the snapshot
+#                 registry (tests/test_concurrency.cpp joins ctest only
+#                 here)
 #
 # METRICS=0 selects a metrics-off tree (default BUILD_DIR build-nometrics)
 # and proves the suite — including the exact-value accounting tests —
 # passes with every obs:: probe compiled to nothing.
+#
+# SCALING=1 (after the test leg) runs bench_throughput — receiver-side
+# decryption at 1/2/4/8 threads — and FAILS if threads_8/threads_1 falls
+# below SCALING_MIN (default 3.0). The gate needs real cores: on hosts
+# with fewer than 8 hardware threads it prints the ratio and skips the
+# verdict, because no scheduler can conjure parallel speedup out of one
+# core.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -50,10 +60,42 @@ if [[ "${METRICS:-1}" == "0" ]]; then
   DEFAULT_DIR=build-nometrics
 fi
 
+run_scaling_gate() {
+  local build_dir="$1" min_ratio="${SCALING_MIN:-3.0}"
+  local json="$build_dir/BENCH_throughput_gate.json"
+  echo "=== scaling gate: bench_throughput (1/2/4/8 threads) -> $json ==="
+  "$build_dir/bench/bench_throughput" "$json"
+  # Pull threads_1 / threads_8 out of the "results" block without jq.
+  local t1 t8 cores
+  t1="$(awk -F': ' '/"threads_1":/ {gsub(/,/, "", $2); print $2; exit}' "$json")"
+  t8="$(awk -F': ' '/"threads_8":/ {gsub(/,/, "", $2); print $2; exit}' "$json")"
+  cores="$(nproc)"
+  local verdict
+  verdict="$(awk -v t1="$t1" -v t8="$t8" -v min="$min_ratio" -v cores="$cores" '
+    BEGIN {
+      ratio = t1 > 0 ? t8 / t1 : 0
+      printf "threads_8/threads_1 = %.2f (gate %.2f, %d cores)\n", ratio, min, cores
+      if (cores < 8)        print "SKIP"
+      else if (ratio < min) print "FAIL"
+      else                  print "PASS"
+    }')"
+  echo "$verdict" | head -1
+  case "$(echo "$verdict" | tail -1)" in
+    PASS) echo "scaling gate: PASS" ;;
+    SKIP) echo "scaling gate: SKIPPED — host has $cores hardware thread(s);" \
+               "an 8-thread speedup gate is meaningless below 8 cores" ;;
+    FAIL) echo "scaling gate: FAIL — multicore throughput regressed" >&2; return 1 ;;
+  esac
+}
+
 if [[ "${MATRIX:-0}" == "1" ]]; then
   run_one "${BUILD_DIR:-$DEFAULT_DIR}" ""
   run_one "${BUILD_DIR:-$DEFAULT_DIR}-asan" "address,undefined"
   run_one "${BUILD_DIR:-$DEFAULT_DIR}-tsan" "thread"
 else
   run_one "${BUILD_DIR:-$DEFAULT_DIR}" "${TRE_SANITIZE:-}"
+fi
+
+if [[ "${SCALING:-0}" == "1" ]]; then
+  run_scaling_gate "${BUILD_DIR:-$DEFAULT_DIR}"
 fi
