@@ -17,6 +17,14 @@ struct ThresholdKey381 {
   size_t k = 0;
   G2Point381 group_pk;                    // s·G_2: what users bind to
   std::vector<G2Point381> share_pks;      // s_i·G_2 per operator
+
+  /// The group key viewed as a generic scheme server key: the threshold
+  /// service uses the context's fixed G_2 generator (the drand layout),
+  /// so combined updates verify and decrypt through Tre381Scheme exactly
+  /// like a single-server key with G = G_2gen.
+  ServerPublicKey381 as_server_public_key() const {
+    return ServerPublicKey381{Bls12Ctx::get()->g2_generator(), group_pk};
+  }
 };
 
 struct Share381 {

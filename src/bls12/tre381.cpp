@@ -1,142 +1,11 @@
+// Explicit instantiation of the backend-generic TRE core for BLS12-381.
+// The 142-line bespoke Tre381 this file used to hold is gone: the scheme
+// logic lives once in core/tre_core.h and is bound to the type-3 curve by
+// the Bls381Backend policy (bls12/backend381.h).
 #include "bls12/tre381.h"
 
-#include "hashing/kdf.h"
+namespace tre::core {
 
-namespace tre::bls12 {
+template class BasicTreScheme<bls12::Bls381Backend>;
 
-Bytes Tre381::mask(const Gt381& k, size_t len) const {
-  return hashing::oracle_bytes("TRE381-H2", ctx_->gt_to_bytes(k), len);
-}
-
-ServerKey381 Tre381::server_keygen(tre::hashing::RandomSource& rng) const {
-  Scalar s = ctx_->random_scalar(rng);
-  return ServerKey381{s, ctx_->g2_mul(ctx_->g2_generator(), s)};
-}
-
-UserKey381 Tre381::user_keygen(const G2Point381& server_pk,
-                               tre::hashing::RandomSource& rng) const {
-  Scalar a = ctx_->random_scalar(rng);
-  return UserKey381{a, ctx_->g1_mul(ctx_->g1_generator(), a),
-                    ctx_->g2_mul(server_pk, a)};
-}
-
-bool Tre381::verify_user_key(const G2Point381& server_pk, const G1Point381& a1,
-                             const G2Point381& a2) const {
-  if (a1.inf || a2.inf) return false;
-  return ctx_->pairings_equal(a1, server_pk, ctx_->g1_generator(), a2);
-}
-
-Update381 Tre381::issue_update(const ServerKey381& server, std::string_view tag) const {
-  return Update381{std::string(tag),
-                   ctx_->g1_mul(ctx_->hash_to_g1(to_bytes(tag)), server.s)};
-}
-
-bool Tre381::verify_update(const G2Point381& server_pk, const Update381& update) const {
-  if (update.sig.inf) return false;
-  return ctx_->pairings_equal(update.sig, ctx_->g2_generator(),
-                              ctx_->hash_to_g1(to_bytes(update.tag)), server_pk);
-}
-
-Ciphertext381 Tre381::encrypt(ByteSpan msg, const G1Point381& user_a1,
-                              const G2Point381& user_a2, const G2Point381& server_pk,
-                              std::string_view tag,
-                              tre::hashing::RandomSource& rng) const {
-  require(verify_user_key(server_pk, user_a1, user_a2),
-          "Tre381 encrypt: receiver public key fails the pairing check");
-  Scalar r = ctx_->random_scalar(rng);
-  Gt381 k = ctx_->pair(ctx_->hash_to_g1(to_bytes(tag)), ctx_->g2_mul(user_a2, r));
-  Ciphertext381 ct;
-  ct.u = ctx_->g2_mul(ctx_->g2_generator(), r);
-  ct.v = xor_bytes(msg, mask(k, msg.size()));
-  return ct;
-}
-
-Bytes Tre381::decrypt(const Ciphertext381& ct, const Scalar& a,
-                      const Update381& update) const {
-  Gt381 k = ctx_->gt_pow(ctx_->pair(update.sig, ct.u), a);
-  return xor_bytes(ct.v, mask(k, ct.v.size()));
-}
-
-Scalar Tre381::hash_to_scalar(ByteSpan input) const {
-  Bytes wide = hashing::oracle_bytes("TRE381-H3", input, ctx_->fr()->byte_len + 16);
-  auto v = bigint::BigInt<2 * field::kMaxFieldLimbs>::from_bytes_be(wide);
-  Scalar r = bigint::mod_wide(v, ctx_->r());
-  if (r.is_zero()) r = Scalar::from_u64(1);
-  return r;
-}
-
-Gt381 Tre381::session_key(const G2Point381& user_a2, std::string_view tag,
-                          const Scalar& r) const {
-  return ctx_->pair(ctx_->hash_to_g1(to_bytes(tag)), ctx_->g2_mul(user_a2, r));
-}
-
-FoCiphertext381 Tre381::encrypt_fo(ByteSpan msg, const G1Point381& user_a1,
-                                   const G2Point381& user_a2,
-                                   const G2Point381& server_pk, std::string_view tag,
-                                   tre::hashing::RandomSource& rng) const {
-  require(verify_user_key(server_pk, user_a1, user_a2),
-          "Tre381 encrypt_fo: receiver public key fails the pairing check");
-  Bytes sigma = rng.bytes(32);
-  Scalar r = hash_to_scalar(concat({sigma, msg}));
-  Gt381 k = session_key(user_a2, tag, r);
-  FoCiphertext381 ct;
-  ct.u = ctx_->g2_mul(ctx_->g2_generator(), r);
-  ct.c_sigma = xor_bytes(sigma, mask(k, sigma.size()));
-  ct.c_msg = xor_bytes(msg, hashing::oracle_bytes("TRE381-H4", sigma, msg.size()));
-  return ct;
-}
-
-std::optional<Bytes> Tre381::decrypt_fo(const FoCiphertext381& ct, const Scalar& a,
-                                        const Update381& update) const {
-  if (ct.c_sigma.size() != 32) return std::nullopt;
-  Gt381 k = ctx_->gt_pow(ctx_->pair(update.sig, ct.u), a);
-  Bytes sigma = xor_bytes(ct.c_sigma, mask(k, ct.c_sigma.size()));
-  Bytes msg = xor_bytes(ct.c_msg,
-                        hashing::oracle_bytes("TRE381-H4", sigma, ct.c_msg.size()));
-  Scalar r = hash_to_scalar(concat({sigma, msg}));
-  if (!ctx_->g2_eq(ctx_->g2_mul(ctx_->g2_generator(), r), ct.u)) return std::nullopt;
-  return msg;
-}
-
-Bytes Tre381::update_to_bytes(const Update381& u) const {
-  require(u.tag.size() <= 0xffff, "Tre381: tag too long");
-  Bytes out;
-  out.push_back(static_cast<std::uint8_t>(u.tag.size() >> 8));
-  out.push_back(static_cast<std::uint8_t>(u.tag.size() & 0xff));
-  out.insert(out.end(), u.tag.begin(), u.tag.end());
-  Bytes sig = ctx_->g1_to_bytes(u.sig);
-  out.insert(out.end(), sig.begin(), sig.end());
-  return out;
-}
-
-Update381 Tre381::update_from_bytes(ByteSpan bytes) const {
-  require(bytes.size() >= 2, "Tre381 update: truncated");
-  size_t tag_len = static_cast<size_t>(bytes[0]) << 8 | bytes[1];
-  require(bytes.size() == 2 + tag_len + 49, "Tre381 update: bad length");
-  Update381 u;
-  u.tag.assign(bytes.begin() + 2, bytes.begin() + 2 + static_cast<long>(tag_len));
-  u.sig = ctx_->g1_from_bytes(bytes.subspan(2 + tag_len));  // subgroup-checked
-  return u;
-}
-
-Bytes Tre381::ciphertext_to_bytes(const Ciphertext381& ct) const {
-  Bytes out = ctx_->g2_to_bytes(ct.u);
-  require(ct.v.size() <= 0xffff, "Tre381 ciphertext: body too long");
-  out.push_back(static_cast<std::uint8_t>(ct.v.size() >> 8));
-  out.push_back(static_cast<std::uint8_t>(ct.v.size() & 0xff));
-  out.insert(out.end(), ct.v.begin(), ct.v.end());
-  return out;
-}
-
-Ciphertext381 Tre381::ciphertext_from_bytes(ByteSpan bytes) const {
-  size_t header = 1 + 2 * ctx_->fp()->byte_len;
-  require(bytes.size() >= header + 2, "Tre381 ciphertext: truncated");
-  Ciphertext381 ct;
-  ct.u = ctx_->g2_from_bytes(bytes.subspan(0, header));  // subgroup-checked
-  size_t n = static_cast<size_t>(bytes[header]) << 8 | bytes[header + 1];
-  require(bytes.size() == header + 2 + n, "Tre381 ciphertext: bad length");
-  ct.v.assign(bytes.begin() + static_cast<long>(header + 2), bytes.end());
-  return ct;
-}
-
-}  // namespace tre::bls12
+}  // namespace tre::core

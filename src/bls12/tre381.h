@@ -1,103 +1,53 @@
 // The paper's TRE instantiated on BLS12-381 (type-3 pairing) — the
 // layout today's deployments of this scheme (drand/tlock) use.
 //
-// With asymmetric groups the artifacts split:
-//   * time-bound key updates live in G_1 (48-byte points — even shorter
-//     than the 2005 curve's 65 bytes at a higher security level);
-//   * the ciphertext header U = r·G_2 and the keys live in G_2.
+// This is the SAME generic core as core::TreScheme (core/tre_core.h):
+// seal/open for all three modes, the §5.1 step-1 key check, the five
+// Tuning memo caches, the batch APIs and the obs probes (under
+// "core.bls381.*") are one template, bound here to the Bls381Backend
+// policy. See bls12/backend381.h for the type-3 artifact-placement notes
+// (updates and the user anchor in G_1, keys and ciphertext headers in
+// G_2, the degenerate §5.3.4 same-secret check).
 //
-//   server : s, public S = s·G_2 (generator fixed by the context)
-//   user   : a, public (A1 = a·G_1gen, A2 = a·S ∈ G_2); the sender's
-//            §5.1-step-1 check becomes ê(A1, S) == ê(G_1gen, A2)
-//   update : I_T = s·H1(T) ∈ G_1; verify ê(I_T, G_2) == ê(H1(T), S)
-//   encrypt: K = ê(H1(T), r·A2) = ê(H1(T), G_2)^{ras};  C = ⟨rG_2, M⊕H2(K)⟩
+//   server : s, public (G = h·G_2gen, S = s·G) — like the type-1 scheme
+//            the server chooses its own G_2 generator; the fixed-generator
+//            drand layout is the special case G = G_2gen (see
+//            ThresholdKey381::as_server_public_key)
+//   user   : a, public (A1 = a·G_1gen, A2 = a·S); the sender's
+//            §5.1-step-1 check is ê(A1, S) == ê(G_1gen, A2)
+//   update : I_T = s·H1(T) ∈ G_1 (49 B compressed vs the 2005 curve's
+//            65 B, at a far higher security level); verify
+//            ê(H1(T), S) == ê(I_T, G)
+//   encrypt: K = ê(H1(T), r·A2) = ê(H1(T), A2)^r;  C = ⟨rG, M ⊕ H2(K)⟩
 //   decrypt: K' = ê(I_T, U)^a
+//
+// Wire formats are the generic backend-tagged framing: points carry their
+// backend-specific compressed width (G_1 49 B, G_2 97 B), so 381 bytes
+// fed to a type-1 context fail cleanly in try_from_bytes and vice versa.
 #pragma once
 
-#include <optional>
-#include <string_view>
-
-#include "bls12/bls12.h"
+#include "bls12/backend381.h"
 
 namespace tre::bls12 {
 
-struct ServerKey381 {
-  Scalar s;
-  G2Point381 pk;  // s·G_2
-};
+using Tre381Scheme = core::BasicTreScheme<Bls381Backend>;
 
-struct UserKey381 {
-  Scalar a;
-  G1Point381 a1;  // a·G_1gen (the CA-certifiable anchor)
-  G2Point381 a2;  // a·(s·G_2)
-};
+using ServerPublicKey381 = core::BasicServerPublicKey<Bls381Backend>;
+using ServerKey381 = core::BasicServerKeyPair<Bls381Backend>;
+using UserPublicKey381 = core::BasicUserPublicKey<Bls381Backend>;
+using UserKey381 = core::BasicUserKeyPair<Bls381Backend>;
+using Update381 = core::BasicKeyUpdate<Bls381Backend>;
+using Ciphertext381 = core::BasicCiphertext<Bls381Backend>;
+using FoCiphertext381 = core::BasicFoCiphertext<Bls381Backend>;
+using ReactCiphertext381 = core::BasicReactCiphertext<Bls381Backend>;
+using SealedCiphertext381 = core::BasicSealedCiphertext<Bls381Backend>;
+using EpochKey381 = core::BasicEpochKey<Bls381Backend>;
 
-struct Update381 {
-  std::string tag;
-  G1Point381 sig;  // s·H1(tag): a 48-byte BLS signature
-};
-
-struct Ciphertext381 {
-  G2Point381 u;  // r·G_2
-  Bytes v;
-};
-
-/// Fujisaki-Okamoto-hardened ciphertext (CCA in the ROM), mirroring the
-/// type-1 backend's FoCiphertext.
-struct FoCiphertext381 {
-  G2Point381 u;
-  Bytes c_sigma;
-  Bytes c_msg;
-};
-
-class Tre381 {
- public:
-  Tre381() : ctx_(Bls12Ctx::get()) {}
-
-  const Bls12Ctx& curve() const { return *ctx_; }
-
-  ServerKey381 server_keygen(tre::hashing::RandomSource& rng) const;
-  UserKey381 user_keygen(const G2Point381& server_pk,
-                         tre::hashing::RandomSource& rng) const;
-
-  /// ê(A1, S) == ê(G_1gen, A2): the receiver really needs the update.
-  bool verify_user_key(const G2Point381& server_pk, const G1Point381& a1,
-                       const G2Point381& a2) const;
-
-  Update381 issue_update(const ServerKey381& server, std::string_view tag) const;
-  bool verify_update(const G2Point381& server_pk, const Update381& update) const;
-
-  Ciphertext381 encrypt(ByteSpan msg, const G1Point381& user_a1,
-                        const G2Point381& user_a2, const G2Point381& server_pk,
-                        std::string_view tag, tre::hashing::RandomSource& rng) const;
-
-  Bytes decrypt(const Ciphertext381& ct, const Scalar& a, const Update381& update) const;
-
-  /// FO transform: r = H3(σ, M); decryption re-derives and checks U.
-  FoCiphertext381 encrypt_fo(ByteSpan msg, const G1Point381& user_a1,
-                             const G2Point381& user_a2, const G2Point381& server_pk,
-                             std::string_view tag,
-                             tre::hashing::RandomSource& rng) const;
-  std::optional<Bytes> decrypt_fo(const FoCiphertext381& ct, const Scalar& a,
-                                  const Update381& update) const;
-
-  /// Wire formats (update = tag || 48-byte point; ciphertexts length-framed).
-  Bytes update_to_bytes(const Update381& u) const;
-  Update381 update_from_bytes(ByteSpan bytes) const;
-  Bytes ciphertext_to_bytes(const Ciphertext381& ct) const;
-  Ciphertext381 ciphertext_from_bytes(ByteSpan bytes) const;
-
-  /// Wire sizes for the E17 comparison.
-  size_t update_bytes() const { return 1 + 48; }
-  size_t ciphertext_header_bytes() const { return 1 + 96; }
-
- private:
-  Bytes mask(const Gt381& k, size_t len) const;
-  Scalar hash_to_scalar(ByteSpan input) const;
-  Gt381 session_key(const G2Point381& user_a2, std::string_view tag,
-                    const Scalar& r) const;
-
-  std::shared_ptr<const Bls12Ctx> ctx_;
-};
+/// Convenience constructor: the 381 scheme over the cached validated
+/// context. Pairings here are reference-speed (~tens of ms), so prefer
+/// Tuning::fast() (the default), whose memo caches amortize them.
+inline Tre381Scheme make_tre381(core::Tuning tuning = core::Tuning::fast()) {
+  return Tre381Scheme(Bls12Ctx::get(), tuning);
+}
 
 }  // namespace tre::bls12

@@ -1,246 +1,7 @@
 #include "client/fetcher.h"
 
-#include <algorithm>
-#include <limits>
-
-#include "bigint/bigint.h"
-
 namespace tre::client {
 
-namespace {
-
-// Fleet-wide mirrors of the per-instance counters: every fetcher in the
-// process contributes, so E18 reads per-cause rejection totals straight
-// from the global registry (compiled out under -DTRE_METRICS=OFF).
-struct Probes {
-  obs::CounterProbe attempts{"client.fetch.attempts"};
-  obs::CounterProbe timeouts{"client.fetch.timeouts"};
-  obs::CounterProbe rejected_parse{"client.rejected.parse"};
-  obs::CounterProbe rejected_tag{"client.rejected.tag"};
-  obs::CounterProbe rejected_sig{"client.rejected.sig"};
-  obs::CounterProbe failovers{"client.fetch.failovers"};
-  obs::CounterProbe fallback_steps{"client.fetch.fallback_steps"};
-  obs::CounterProbe backoff_wait{"client.fetch.backoff_wait_s"};
-  obs::CounterProbe successes{"client.fetch.successes"};
-  obs::CounterProbe failures{"client.fetch.failures"};
-
-  static const Probes& get() {
-    static const Probes p;
-    return p;
-  }
-};
-
-}  // namespace
-
-UpdateFetcher::UpdateFetcher(core::TreScheme scheme, core::ServerPublicKey server,
-                             simnet::MirroredArchive& archive,
-                             server::Timeline& timeline, simnet::NodeId receiver,
-                             std::vector<size_t> mirrors,
-                             simnet::LinkSpec access_link, ByteSpan seed,
-                             FetcherConfig config)
-    : scheme_(std::move(scheme)),
-      server_(std::move(server)),
-      archive_(archive),
-      timeline_(timeline),
-      receiver_(receiver),
-      mirrors_(std::move(mirrors)),
-      access_link_(access_link),
-      config_(config),
-      rng_(seed.empty() ? ByteSpan(to_bytes("fetcher-default")) : seed) {
-  require(!mirrors_.empty(), "UpdateFetcher: need at least one mirror");
-  for (size_t idx : mirrors_) {
-    require(idx == simnet::MirroredArchive::kOrigin || idx < archive_.mirror_count(),
-            "UpdateFetcher: bad mirror index");
-  }
-  require(config_.base_backoff > 0 && config_.max_backoff >= config_.base_backoff,
-          "UpdateFetcher: bad backoff bounds");
-  require(config_.reply_timeout > 0, "UpdateFetcher: bad reply timeout");
-  require(config_.failover_after > 0 && config_.attempts_per_tag > 0,
-          "UpdateFetcher: bad budgets");
-  health_.assign(mirrors_.size(), 0);
-}
-
-int UpdateFetcher::health(size_t slot) const {
-  require(slot < health_.size(), "UpdateFetcher: bad mirror slot");
-  return health_[slot];
-}
-
-FetchStats UpdateFetcher::lifetime_stats() const {
-  FetchStats s;
-  s.attempts = attempts_c_.value();
-  s.timeouts = timeouts_c_.value();
-  s.rejected_parse = rejected_parse_c_.value();
-  s.rejected_tag = rejected_tag_c_.value();
-  s.rejected_sig = rejected_sig_c_.value();
-  s.failovers = failovers_c_.value();
-  s.fallback_steps = fallback_steps_c_.value();
-  s.backoff_wait = backoff_wait_c_.value();
-  return s;
-}
-
-FetchStats UpdateFetcher::stats() const {
-  FetchStats now = lifetime_stats();
-  return FetchStats{now.attempts - baseline_.attempts,
-                    now.timeouts - baseline_.timeouts,
-                    now.rejected_parse - baseline_.rejected_parse,
-                    now.rejected_tag - baseline_.rejected_tag,
-                    now.rejected_sig - baseline_.rejected_sig,
-                    now.failovers - baseline_.failovers,
-                    now.fallback_steps - baseline_.fallback_steps,
-                    now.backoff_wait - baseline_.backoff_wait};
-}
-
-void UpdateFetcher::fetch_verified(std::vector<std::string> tags, SuccessFn done,
-                                   FailureFn failed) {
-  require(!busy_, "UpdateFetcher: a fetch is already running");
-  require(!tags.empty(), "UpdateFetcher: no tags to fetch");
-  require(done != nullptr, "UpdateFetcher: null success callback");
-  busy_ = true;
-  tags_ = std::move(tags);
-  tag_index_ = 0;
-  baseline_ = lifetime_stats();  // stats() now reads zero for this fetch
-  done_ = std::move(done);
-  failed_ = std::move(failed);
-  // Start from the healthiest known mirror: knowledge from earlier
-  // fetches (demoted replicas) carries over.
-  current_slot_ = static_cast<size_t>(
-      std::max_element(health_.begin(), health_.end()) - health_.begin());
-  consecutive_failures_ = 0;
-  start_tag();
-}
-
-void UpdateFetcher::fetch_release(const server::TimeSpec& release,
-                                  server::Granularity coarsest, SuccessFn done,
-                                  FailureFn failed) {
-  std::vector<std::string> tags;
-  for (const server::TimeSpec& t : server::fallback_chain(release, coarsest)) {
-    tags.push_back(t.canonical());
-  }
-  fetch_verified(std::move(tags), std::move(done), std::move(failed));
-}
-
-void UpdateFetcher::start_tag() {
-  attempts_left_ = config_.attempts_per_tag;
-  prev_sleep_ = config_.base_backoff;
-  if (tag_index_ > 0) {
-    fallback_steps_c_.add();
-    Probes::get().fallback_steps.add();
-  }
-  attempt();
-}
-
-void UpdateFetcher::attempt() {
-  if (!busy_) return;
-  if (attempts_left_ == 0) {
-    // This tag's budget is spent: degrade precision before giving up.
-    ++tag_index_;
-    if (tag_index_ >= tags_.size()) {
-      busy_ = false;
-      live_attempt_ = 0;
-      Probes::get().failures.add();
-      if (failed_) {
-        FetchStats view = stats();
-        failed_(view);
-      }
-      return;
-    }
-    start_tag();
-    return;
-  }
-  --attempts_left_;
-  attempts_c_.add();
-  Probes::get().attempts.add();
-  std::uint64_t id = ++attempt_seq_;
-  live_attempt_ = id;
-  archive_.request(receiver_, mirrors_[current_slot_], tags_[tag_index_],
-                   access_link_, [this, id](Bytes wire) { on_reply(id, wire); });
-  timeline_.schedule(config_.reply_timeout, [this, id] { on_timeout(id); });
-}
-
-void UpdateFetcher::on_reply(std::uint64_t id, Bytes wire) {
-  if (!busy_ || id != live_attempt_) return;  // stale or already settled
-  const std::string& want = tags_[tag_index_];
-  // The trust boundary: parse, tag check, self-authentication — in that
-  // order, each failure attributed to its own counter.
-  std::optional<core::KeyUpdate> parsed =
-      core::KeyUpdate::try_from_bytes(scheme_.params(), wire);
-  if (!parsed) {
-    rejected_parse_c_.add();
-    Probes::get().rejected_parse.add();
-  } else if (parsed->tag != want) {
-    rejected_tag_c_.add();
-    Probes::get().rejected_tag.add();
-  } else if (!scheme_.verify_update(server_, *parsed)) {
-    rejected_sig_c_.add();
-    Probes::get().rejected_sig.add();
-  } else {
-    // Verified: the ONLY path to acceptance.
-    busy_ = false;
-    live_attempt_ = 0;
-    health_[current_slot_] =
-        std::min(config_.max_health, health_[current_slot_] + 1);
-    Probes::get().successes.add();
-    FetchResult result;
-    result.update = std::move(*parsed);
-    result.via_fallback = tag_index_ > 0;
-    result.completed_at = timeline_.now();
-    result.stats = stats();
-    done_(result);
-    return;
-  }
-  fail_attempt();
-}
-
-void UpdateFetcher::on_timeout(std::uint64_t id) {
-  if (!busy_ || id != live_attempt_) return;  // answered (or settled) in time
-  timeouts_c_.add();
-  Probes::get().timeouts.add();
-  fail_attempt();
-}
-
-void UpdateFetcher::fail_attempt() {
-  live_attempt_ = 0;  // a late reply to this attempt is ignored
-  health_[current_slot_] =
-      std::max(config_.min_health, health_[current_slot_] - 1);
-  ++consecutive_failures_;
-  if (consecutive_failures_ >= config_.failover_after && mirrors_.size() > 1) {
-    rotate();
-  }
-  std::int64_t sleep = next_backoff();
-  backoff_wait_c_.add(static_cast<std::uint64_t>(sleep));
-  Probes::get().backoff_wait.add(static_cast<std::uint64_t>(sleep));
-  timeline_.schedule(sleep, [this] { attempt(); });
-}
-
-void UpdateFetcher::rotate() {
-  failovers_c_.add();
-  Probes::get().failovers.add();
-  consecutive_failures_ = 0;
-  // Healthiest alternative wins; ties resolve round-robin after the
-  // current slot so equals are visited in order (this is what guarantees
-  // an honest mirror is eventually reached).
-  size_t best = current_slot_;
-  int best_health = std::numeric_limits<int>::min();
-  for (size_t step = 1; step < mirrors_.size(); ++step) {
-    size_t slot = (current_slot_ + step) % mirrors_.size();
-    if (health_[slot] > best_health) {
-      best_health = health_[slot];
-      best = slot;
-    }
-  }
-  current_slot_ = best;
-}
-
-std::int64_t UpdateFetcher::next_backoff() {
-  // Decorrelated jitter: sleep ~ U[base, prev*3], capped. Growth is
-  // exponential in expectation, but desynchronized across receivers.
-  std::int64_t lo = config_.base_backoff;
-  std::int64_t hi = std::min(config_.max_backoff, prev_sleep_ * 3);
-  std::int64_t span = std::max<std::int64_t>(1, hi - lo + 1);
-  Bytes draw = rng_.bytes(8);
-  std::uint64_t r = bigint::BigInt<1>::from_bytes_be(draw).w[0];
-  prev_sleep_ = lo + static_cast<std::int64_t>(r % static_cast<std::uint64_t>(span));
-  return prev_sleep_;
-}
+template class BasicUpdateFetcher<core::Tre512Backend>;
 
 }  // namespace tre::client

@@ -1,760 +1,11 @@
+// Explicit instantiation of the backend-generic TRE core for the type-1
+// curve. The scheme logic itself lives ONCE in core/tre_core.h; see
+// core/backend512.h for the backend policy and bls12/tre381.cpp for the
+// BLS12-381 instantiation of the same template.
 #include "core/tre.h"
-
-#include <type_traits>
-
-#include "bigint/prime.h"
-#include "common/parallel.h"
-#include "common/snapshot_cache.h"
-#include "hashing/kdf.h"
-#include "obs/metrics.h"
 
 namespace tre::core {
 
-using ec::G1Point;
-using field::FpInt;
-
-namespace {
-
-constexpr size_t kSigmaBytes = 32;  // FO commitment / REACT witness size
-constexpr size_t kMacBytes = 32;
-
-void put_u16(Bytes& out, size_t v) {
-  require(v <= 0xffff, "serialization: length exceeds u16");
-  out.push_back(static_cast<std::uint8_t>(v >> 8));
-  out.push_back(static_cast<std::uint8_t>(v & 0xff));
-}
-
-size_t get_u16(ByteSpan bytes, size_t& off) {
-  require(off + 2 <= bytes.size(), "deserialization: truncated length");
-  size_t v = static_cast<size_t>(bytes[off]) << 8 | bytes[off + 1];
-  off += 2;
-  return v;
-}
-
-Bytes get_exact(ByteSpan bytes, size_t& off, size_t n, const char* what) {
-  require(off + n <= bytes.size(), what);
-  Bytes out(bytes.begin() + static_cast<long>(off),
-            bytes.begin() + static_cast<long>(off + n));
-  off += n;
-  return out;
-}
-
-G1Point get_point(const params::GdhParams& params, ByteSpan bytes, size_t& off) {
-  size_t n = params.g1_compressed_bytes();
-  Bytes raw = get_exact(bytes, off, n, "deserialization: truncated point");
-  G1Point p = G1Point::from_bytes(params.ctx(), raw);
-  // Small-subgroup hardening: curve membership alone admits points of
-  // order dividing the cofactor 12r; every protocol point must be in G_1.
-  require(p.in_subgroup(), "deserialization: point outside the order-q subgroup");
-  return p;
-}
-
-void expect_consumed(ByteSpan bytes, size_t off, const char* what) {
-  require(off == bytes.size(), what);
-}
-
-// Hot-path probe handles, resolved once per process. Under
-// -DTRE_METRICS=OFF every member is an empty no-op and the optimizer
-// erases the call sites (docs/OBSERVABILITY.md lists the catalog).
-struct Probes {
-  obs::CounterProbe pairings{"core.pairings"};
-  obs::CounterProbe mul_fixed{"core.mul.fixed_base"};
-  obs::CounterProbe mul_comb{"core.mul.comb"};
-  obs::CounterProbe mul_varying{"core.mul.varying_base"};
-  obs::CounterProbe tag_hit{"core.cache.tags.hit"};
-  obs::CounterProbe tag_miss{"core.cache.tags.miss"};
-  obs::CounterProbe comb_hit{"core.cache.combs.hit"};
-  obs::CounterProbe comb_miss{"core.cache.combs.miss"};
-  obs::CounterProbe keycheck_hit{"core.cache.key_checks.hit"};
-  obs::CounterProbe keycheck_miss{"core.cache.key_checks.miss"};
-  obs::CounterProbe pairbase_hit{"core.cache.pair_bases.hit"};
-  obs::CounterProbe pairbase_miss{"core.cache.pair_bases.miss"};
-  obs::CounterProbe lines_hit{"core.cache.lines.hit"};
-  obs::CounterProbe lines_miss{"core.cache.lines.miss"};
-  obs::CounterProbe seals{"core.seals"};
-  obs::CounterProbe opens{"core.opens"};
-  obs::CounterProbe updates_issued{"core.updates_issued"};
-  obs::CounterProbe updates_verified{"core.updates_verified"};
-  obs::HistogramProbe encrypt_ns{"core.encrypt_ns"};
-  obs::HistogramProbe decrypt_ns{"core.decrypt_ns"};
-  obs::HistogramProbe issue_update_ns{"core.issue_update_ns"};
-  obs::HistogramProbe verify_update_ns{"core.verify_update_ns"};
-  // Nanoseconds spent blocked on a CONTENDED cache write lock (hits never
-  // lock). count == number of contended acquisitions; stays 0 when the
-  // snapshot substrate keeps writers out of each other's way.
-  obs::HistogramProbe cache_lock_wait_ns{"core.cache.lock_wait_ns"};
-
-  static const Probes& get() {
-    static const Probes p;
-    return p;
-  }
-};
-
-}  // namespace
-
-// --- Serialization -----------------------------------------------------------
-
-Bytes ServerPublicKey::to_bytes() const {
-  return concat({g.to_bytes_compressed(), sg.to_bytes_compressed()});
-}
-
-ServerPublicKey ServerPublicKey::from_bytes(const params::GdhParams& params,
-                                            ByteSpan bytes) {
-  size_t off = 0;
-  ServerPublicKey pk{get_point(params, bytes, off), get_point(params, bytes, off)};
-  expect_consumed(bytes, off, "ServerPublicKey: trailing bytes");
-  return pk;
-}
-
-Bytes UserPublicKey::to_bytes() const {
-  return concat({ag.to_bytes_compressed(), asg.to_bytes_compressed()});
-}
-
-UserPublicKey UserPublicKey::from_bytes(const params::GdhParams& params,
-                                        ByteSpan bytes) {
-  size_t off = 0;
-  UserPublicKey pk{get_point(params, bytes, off), get_point(params, bytes, off)};
-  expect_consumed(bytes, off, "UserPublicKey: trailing bytes");
-  return pk;
-}
-
-Bytes KeyUpdate::to_bytes() const {
-  Bytes out;
-  put_u16(out, tag.size());
-  Bytes tag_bytes = tre::to_bytes(tag);
-  out.insert(out.end(), tag_bytes.begin(), tag_bytes.end());
-  Bytes sig_bytes = sig.to_bytes_compressed();
-  out.insert(out.end(), sig_bytes.begin(), sig_bytes.end());
-  return out;
-}
-
-KeyUpdate KeyUpdate::from_bytes(const params::GdhParams& params, ByteSpan bytes) {
-  size_t off = 0;
-  size_t tag_len = get_u16(bytes, off);
-  Bytes tag_bytes = get_exact(bytes, off, tag_len, "KeyUpdate: truncated tag");
-  G1Point sig = get_point(params, bytes, off);
-  expect_consumed(bytes, off, "KeyUpdate: trailing bytes");
-  return KeyUpdate{std::string(tag_bytes.begin(), tag_bytes.end()), sig};
-}
-
-std::optional<KeyUpdate> KeyUpdate::try_from_bytes(const params::GdhParams& params,
-                                                   ByteSpan bytes) {
-  try {
-    return from_bytes(params, bytes);
-  } catch (const Error&) {
-    return std::nullopt;
-  }
-}
-
-Bytes Ciphertext::to_bytes() const {
-  Bytes out = u.to_bytes_compressed();
-  put_u16(out, v.size());
-  out.insert(out.end(), v.begin(), v.end());
-  return out;
-}
-
-Ciphertext Ciphertext::from_bytes(const params::GdhParams& params, ByteSpan bytes) {
-  size_t off = 0;
-  G1Point u = get_point(params, bytes, off);
-  size_t n = get_u16(bytes, off);
-  Bytes v = get_exact(bytes, off, n, "Ciphertext: truncated body");
-  expect_consumed(bytes, off, "Ciphertext: trailing bytes");
-  return Ciphertext{u, std::move(v)};
-}
-
-Bytes FoCiphertext::to_bytes() const {
-  Bytes out = u.to_bytes_compressed();
-  put_u16(out, c_sigma.size());
-  out.insert(out.end(), c_sigma.begin(), c_sigma.end());
-  put_u16(out, c_msg.size());
-  out.insert(out.end(), c_msg.begin(), c_msg.end());
-  return out;
-}
-
-FoCiphertext FoCiphertext::from_bytes(const params::GdhParams& params, ByteSpan bytes) {
-  size_t off = 0;
-  G1Point u = get_point(params, bytes, off);
-  size_t n1 = get_u16(bytes, off);
-  Bytes c_sigma = get_exact(bytes, off, n1, "FoCiphertext: truncated sigma");
-  size_t n2 = get_u16(bytes, off);
-  Bytes c_msg = get_exact(bytes, off, n2, "FoCiphertext: truncated body");
-  expect_consumed(bytes, off, "FoCiphertext: trailing bytes");
-  return FoCiphertext{u, std::move(c_sigma), std::move(c_msg)};
-}
-
-Bytes ReactCiphertext::to_bytes() const {
-  Bytes out = u.to_bytes_compressed();
-  put_u16(out, c_r.size());
-  out.insert(out.end(), c_r.begin(), c_r.end());
-  put_u16(out, c_msg.size());
-  out.insert(out.end(), c_msg.begin(), c_msg.end());
-  put_u16(out, mac.size());
-  out.insert(out.end(), mac.begin(), mac.end());
-  return out;
-}
-
-ReactCiphertext ReactCiphertext::from_bytes(const params::GdhParams& params,
-                                            ByteSpan bytes) {
-  size_t off = 0;
-  G1Point u = get_point(params, bytes, off);
-  size_t n1 = get_u16(bytes, off);
-  Bytes c_r = get_exact(bytes, off, n1, "ReactCiphertext: truncated c_r");
-  size_t n2 = get_u16(bytes, off);
-  Bytes c_msg = get_exact(bytes, off, n2, "ReactCiphertext: truncated body");
-  size_t n3 = get_u16(bytes, off);
-  Bytes mac = get_exact(bytes, off, n3, "ReactCiphertext: truncated mac");
-  expect_consumed(bytes, off, "ReactCiphertext: trailing bytes");
-  return ReactCiphertext{u, std::move(c_r), std::move(c_msg), std::move(mac)};
-}
-
-std::optional<Ciphertext> Ciphertext::try_from_bytes(const params::GdhParams& params,
-                                                     ByteSpan bytes) {
-  try {
-    return from_bytes(params, bytes);
-  } catch (const Error&) {
-    return std::nullopt;
-  }
-}
-
-std::optional<FoCiphertext> FoCiphertext::try_from_bytes(const params::GdhParams& params,
-                                                         ByteSpan bytes) {
-  try {
-    return from_bytes(params, bytes);
-  } catch (const Error&) {
-    return std::nullopt;
-  }
-}
-
-std::optional<ReactCiphertext> ReactCiphertext::try_from_bytes(
-    const params::GdhParams& params, ByteSpan bytes) {
-  try {
-    return from_bytes(params, bytes);
-  } catch (const Error&) {
-    return std::nullopt;
-  }
-}
-
-const char* mode_name(Mode m) {
-  switch (m) {
-    case Mode::kBasic: return "basic";
-    case Mode::kFo: return "fo";
-    case Mode::kReact: return "react";
-  }
-  return "unknown";
-}
-
-Bytes SealedCiphertext::to_bytes() const {
-  Bytes out;
-  out.push_back(static_cast<std::uint8_t>(mode()));
-  Bytes payload = std::visit([](const auto& ct) { return ct.to_bytes(); }, body);
-  out.insert(out.end(), payload.begin(), payload.end());
-  return out;
-}
-
-SealedCiphertext SealedCiphertext::from_bytes(const params::GdhParams& params,
-                                              ByteSpan bytes) {
-  require(!bytes.empty(), "SealedCiphertext: empty input");
-  ByteSpan payload = bytes.subspan(1);
-  switch (bytes[0]) {
-    case static_cast<std::uint8_t>(Mode::kBasic):
-      return SealedCiphertext{Ciphertext::from_bytes(params, payload)};
-    case static_cast<std::uint8_t>(Mode::kFo):
-      return SealedCiphertext{FoCiphertext::from_bytes(params, payload)};
-    case static_cast<std::uint8_t>(Mode::kReact):
-      return SealedCiphertext{ReactCiphertext::from_bytes(params, payload)};
-    default:
-      throw Error("SealedCiphertext: unknown mode byte");
-  }
-}
-
-std::optional<SealedCiphertext> SealedCiphertext::try_from_bytes(
-    const params::GdhParams& params, ByteSpan bytes) {
-  try {
-    return from_bytes(params, bytes);
-  } catch (const Error&) {
-    return std::nullopt;
-  }
-}
-
-// --- Scheme ------------------------------------------------------------------
-
-namespace {
-
-// Bound on each memoization map. The live working set is tiny (a few
-// generators, one tag and one update per epoch), so the bound only guards
-// against unbounded growth under adversarial tag floods; wholesale
-// clearing on overflow is good enough.
-constexpr size_t kMaxCacheEntries = 1024;
-
-std::string point_key(const G1Point& p) {
-  Bytes b = p.to_bytes_compressed();
-  return std::string(b.begin(), b.end());
-}
-
-SnapshotCacheOptions cache_options(bool snapshots) {
-  SnapshotCacheOptions opt;
-  opt.max_entries = kMaxCacheEntries;
-  opt.snapshots = snapshots;
-  opt.lock_wait_ns = +[](std::uint64_t ns) {
-    Probes::get().cache_lock_wait_ns.record(ns);
-  };
-  return opt;
-}
-
-}  // namespace
-
-// Read-mostly memoization (common/snapshot_cache.h): every member is an
-// RCU-style snapshot map — hits are lock-free with zero shared writes,
-// misses compute outside any lock and publish copy-on-write under striped
-// write locks. `Tuning::snapshot_caches = false` flips all five to the
-// legacy take-a-lock-per-access substrate; values and outputs are
-// identical either way.
-struct TreScheme::Cache {
-  explicit Cache(bool snapshots)
-      : tags(cache_options(snapshots)),
-        good_keys(cache_options(snapshots)),
-        combs(cache_options(snapshots)),
-        pair_bases(cache_options(snapshots)),
-        lines(cache_options(snapshots)) {}
-
-  SnapshotCache<G1Point> tags;  // tag -> H1(T)
-  SnapshotCache<char> good_keys;  // verified (server, user) keys (presence set)
-  SnapshotCache<std::shared_ptr<const ec::G1Precomp>> combs;
-  SnapshotCache<Gt> pair_bases;  // asg || tag -> ê(asG, H1(T))
-  SnapshotCache<std::shared_ptr<const pairing::MillerPrecomp>> lines;
-};
-
-TreScheme::TreScheme(std::shared_ptr<const params::GdhParams> params, Tuning tuning)
-    : params_(std::move(params)),
-      tuning_(tuning),
-      cache_(std::make_shared<Cache>(tuning.snapshot_caches)) {
-  require(params_ != nullptr, "TreScheme: null params");
-}
-
-G1Point TreScheme::cached_hash_tag(std::string_view tag) const {
-  if (!tuning_.cache_tags) return ec::hash_to_g1(params_->ctx(), tre::to_bytes(tag));
-  if (auto hit = cache_->tags.find(tag)) {
-    Probes::get().tag_hit.add();
-    return *hit;
-  }
-  Probes::get().tag_miss.add();
-  G1Point h = ec::hash_to_g1(params_->ctx(), tre::to_bytes(tag));
-  cache_->tags.insert(tag, h);
-  return h;
-}
-
-std::shared_ptr<const ec::G1Precomp> TreScheme::comb_for(const G1Point& base) const {
-  if (!tuning_.fixed_base_comb || base.is_infinity()) return nullptr;
-  const std::string key = point_key(base);
-  if (auto hit = cache_->combs.find(key)) {
-    Probes::get().comb_hit.add();
-    return *hit;
-  }
-  Probes::get().comb_miss.add();
-  auto comb = std::make_shared<const ec::G1Precomp>(base);
-  cache_->combs.insert(key, comb);
-  return comb;
-}
-
-G1Point TreScheme::mul_fixed_base(const G1Point& base, const Scalar& k) const {
-  if (auto comb = comb_for(base)) {
-    Probes::get().mul_comb.add();
-    return comb->mul_secret(k);
-  }
-  Probes::get().mul_fixed.add();
-  return tuning_.fixed_base_comb ? base.mul_secret(k) : base.mul(k);
-}
-
-G1Point TreScheme::mul_varying_base(const G1Point& base, const Scalar& k) const {
-  // A comb table costs hundreds of additions to build; for a base seen
-  // once (H1(T), an update signature) the fixed-window ladder wins.
-  Probes::get().mul_varying.add();
-  return tuning_.fixed_base_comb ? base.mul_secret(k) : base.mul(k);
-}
-
-bool TreScheme::checked_user_key(const ServerPublicKey& server,
-                                 const UserPublicKey& user) const {
-  if (!tuning_.cache_key_checks) return verify_user_public_key(server, user);
-  Bytes sk = server.to_bytes();
-  Bytes uk = user.to_bytes();
-  std::string key(sk.begin(), sk.end());
-  key.append(uk.begin(), uk.end());
-  if (cache_->good_keys.contains(key)) {
-    Probes::get().keycheck_hit.add();
-    return true;
-  }
-  Probes::get().keycheck_miss.add();
-  // Only successful checks are memoized: a failure must stay a failure
-  // even if a good key with the same bytes is later verified (impossible,
-  // but cheap to keep trivially true).
-  if (!verify_user_public_key(server, user)) return false;
-  cache_->good_keys.insert(key, char{1});
-  return true;
-}
-
-Gt TreScheme::pair_base(const G1Point& asg, std::string_view tag,
-                        const G1Point& h1t) const {
-  if (!tuning_.cache_pair_bases) {
-    Probes::get().pairings.add();
-    return pairing::pair(asg, h1t);
-  }
-  std::string key = point_key(asg);  // fixed length, so asg||tag is unambiguous
-  key.append(tag);
-  if (auto hit = cache_->pair_bases.find(key)) {
-    Probes::get().pairbase_hit.add();
-    return *hit;
-  }
-  Probes::get().pairbase_miss.add();
-  Probes::get().pairings.add();
-  Gt base = pairing::pair(asg, h1t);
-  cache_->pair_bases.insert(key, base);
-  return base;
-}
-
-Gt TreScheme::pair_with_lines(const G1Point& fixed, const G1Point& u) const {
-  Probes::get().pairings.add();
-  if (!tuning_.cache_update_lines) return pairing::pair(u, fixed);
-  const std::string key = point_key(fixed);
-  std::shared_ptr<const pairing::MillerPrecomp> lines;
-  if (auto hit = cache_->lines.find(key)) {
-    Probes::get().lines_hit.add();
-    lines = *hit;
-  } else {
-    Probes::get().lines_miss.add();
-    lines = std::make_shared<const pairing::MillerPrecomp>(fixed);
-    cache_->lines.insert(key, lines);
-  }
-  // ê(fixed, u) == ê(u, fixed): the pairing is symmetric on cyclic G_1.
-  return lines->pair(u);
-}
-
-Gt TreScheme::gt_pow(const Gt& k, const Scalar& e) const {
-  return tuning_.unitary_gt_pow ? k.pow_unitary(e) : k.pow(e);
-}
-
-G1Point TreScheme::hash_tag(std::string_view tag) const {
-  return cached_hash_tag(tag);
-}
-
-Bytes TreScheme::mask_h2(const Gt& k, size_t len) const {
-  return hashing::oracle_bytes("TRE-H2", k.to_bytes(), len);
-}
-
-Scalar TreScheme::hash_to_scalar(std::string_view label, ByteSpan input) const {
-  // Oversample by 16 bytes so the mod-q bias is negligible; map 0 -> 1.
-  Bytes wide = hashing::oracle_bytes(label, input, params_->scalar_bytes() + 16);
-  auto v = bigint::BigInt<2 * field::kMaxFieldLimbs>::from_bytes_be(wide);
-  Scalar r = bigint::mod_wide(v, params_->group_order());
-  if (r.is_zero()) r = Scalar::from_u64(1);
-  return r;
-}
-
-ServerKeyPair TreScheme::server_keygen(tre::hashing::RandomSource& rng) const {
-  // G = h·base for random h is a uniform generator of the order-q subgroup.
-  Scalar h = params::random_scalar(*params_, rng);
-  Scalar s = params::random_scalar(*params_, rng);
-  G1Point g = mul_fixed_base(params_->base, h);
-  return ServerKeyPair{s, ServerPublicKey{g, mul_varying_base(g, s)}};
-}
-
-UserKeyPair TreScheme::user_keygen(const ServerPublicKey& server,
-                                   tre::hashing::RandomSource& rng) const {
-  Scalar a = params::random_scalar(*params_, rng);
-  return UserKeyPair{
-      a, UserPublicKey{mul_fixed_base(server.g, a), mul_fixed_base(server.sg, a)}};
-}
-
-UserKeyPair TreScheme::user_keygen_from_password(const ServerPublicKey& server,
-                                                 std::string_view password) const {
-  // Domain-separate by the server key so one password yields unrelated
-  // secrets under different servers.
-  Bytes input = concat({tre::to_bytes(password), server.to_bytes()});
-  Scalar a = hash_to_scalar("TRE-PWKDF", input);
-  return UserKeyPair{
-      a, UserPublicKey{mul_fixed_base(server.g, a), mul_fixed_base(server.sg, a)}};
-}
-
-bool TreScheme::verify_server_public_key(const ServerPublicKey& server) const {
-  return !server.g.is_infinity() && !server.sg.is_infinity() &&
-         server.g.in_subgroup() && server.sg.in_subgroup();
-}
-
-bool TreScheme::verify_user_public_key(const ServerPublicKey& server,
-                                       const UserPublicKey& user) const {
-  if (user.ag.is_infinity() || user.asg.is_infinity()) return false;
-  Probes::get().pairings.add(2);
-  return pairing::pairings_equal(user.ag, server.sg, server.g, user.asg);
-}
-
-KeyUpdate TreScheme::issue_update(const ServerKeyPair& server,
-                                  std::string_view tag) const {
-  obs::Span span(Probes::get().issue_update_ns);
-  Probes::get().updates_issued.add();
-  return KeyUpdate{std::string(tag), mul_varying_base(hash_tag(tag), server.s)};
-}
-
-std::vector<KeyUpdate> TreScheme::issue_updates(const ServerKeyPair& server,
-                                                std::span<const std::string> tags,
-                                                unsigned threads) const {
-  std::vector<KeyUpdate> out(tags.size());
-  tre::parallel_for(
-      tags.size(), [&](size_t i) { out[i] = issue_update(server, tags[i]); },
-      threads);
-  return out;
-}
-
-bool TreScheme::verify_update(const ServerPublicKey& server,
-                              const KeyUpdate& update) const {
-  if (update.sig.is_infinity()) return false;
-  obs::Span span(Probes::get().verify_update_ns);
-  Probes::get().updates_verified.add();
-  Probes::get().pairings.add(2);
-  return pairing::pairings_equal(server.sg, hash_tag(update.tag), server.g, update.sig);
-}
-
-Ciphertext TreScheme::seal_basic(ByteSpan msg, const UserPublicKey& user,
-                                 const ServerPublicKey& server, std::string_view tag,
-                                 tre::hashing::RandomSource& rng, KeyCheck check) const {
-  obs::Span span(Probes::get().encrypt_ns);
-  if (check == KeyCheck::kVerify) {
-    require(checked_user_key(server, user),
-            "TRE encrypt: receiver public key fails the pairing check");
-  }
-  Scalar r = params::random_scalar(*params_, rng);
-  G1Point u = mul_fixed_base(server.g, r);
-  G1Point h1t = hash_tag(tag);
-  // ê(r·asG, H1(T)) == ê(asG, H1(T))^r: with the base pairing memoized,
-  // the per-message cost is one comb multiply and one G_T exponentiation.
-  Gt k = tuning_.cache_pair_bases
-             ? gt_pow(pair_base(user.asg, tag, h1t), r)
-             : pairing::pair(mul_varying_base(user.asg, r), h1t);
-  return Ciphertext{u, xor_bytes(msg, mask_h2(k, msg.size()))};
-}
-
-Ciphertext TreScheme::encrypt(ByteSpan msg, const UserPublicKey& user,
-                              const ServerPublicKey& server, std::string_view tag,
-                              tre::hashing::RandomSource& rng, KeyCheck check) const {
-  return seal_basic(msg, user, server, tag, rng, check);
-}
-
-std::vector<Ciphertext> TreScheme::encrypt_batch(
-    std::span<const Bytes> msgs, const UserPublicKey& user,
-    const ServerPublicKey& server, std::string_view tag,
-    tre::hashing::RandomSource& rng, KeyCheck check, unsigned threads) const {
-  if (check == KeyCheck::kVerify) {
-    require(checked_user_key(server, user),
-            "TRE encrypt_batch: receiver public key fails the pairing check");
-  }
-  std::vector<Ciphertext> out(msgs.size());
-  if (msgs.empty()) return out;
-
-  // All randomness is drawn up front, in order, so the batch produces
-  // exactly the ciphertexts |msgs| sequential encrypt() calls would.
-  std::vector<Scalar> rs;
-  rs.reserve(msgs.size());
-  for (size_t i = 0; i < msgs.size(); ++i) {
-    rs.push_back(params::random_scalar(*params_, rng));
-  }
-
-  const G1Point h1t = hash_tag(tag);
-  if (tuning_.cache_pair_bases) {
-    const Gt base = pair_base(user.asg, tag, h1t);  // one pairing for the batch
-    auto comb = comb_for(server.g);
-    tre::parallel_for(
-        msgs.size(),
-        [&](size_t i) {
-          G1Point u = comb ? comb->mul_secret(rs[i]) : mul_fixed_base(server.g, rs[i]);
-          Gt k = gt_pow(base, rs[i]);
-          out[i] = Ciphertext{u, xor_bytes(msgs[i], mask_h2(k, msgs[i].size()))};
-        },
-        threads);
-  } else {
-    tre::parallel_for(
-        msgs.size(),
-        [&](size_t i) {
-          G1Point u = mul_fixed_base(server.g, rs[i]);
-          Gt k = pairing::pair(mul_varying_base(user.asg, rs[i]), h1t);
-          out[i] = Ciphertext{u, xor_bytes(msgs[i], mask_h2(k, msgs[i].size()))};
-        },
-        threads);
-  }
-  return out;
-}
-
-Bytes TreScheme::decrypt(const Ciphertext& ct, const Scalar& a,
-                         const KeyUpdate& update) const {
-  obs::Span span(Probes::get().decrypt_ns);
-  Gt k = gt_pow(pair_with_lines(update.sig, ct.u), a);
-  return xor_bytes(ct.v, mask_h2(k, ct.v.size()));
-}
-
-FoCiphertext TreScheme::seal_fo(ByteSpan msg, const UserPublicKey& user,
-                                const ServerPublicKey& server, std::string_view tag,
-                                tre::hashing::RandomSource& rng,
-                                KeyCheck check) const {
-  obs::Span span(Probes::get().encrypt_ns);
-  if (check == KeyCheck::kVerify) {
-    require(checked_user_key(server, user),
-            "TRE encrypt_fo: receiver public key fails the pairing check");
-  }
-  Bytes sigma = rng.bytes(kSigmaBytes);
-  // r = H3(sigma, M): decryption re-derives it, making the scheme
-  // plaintext-aware (CCA in the ROM per Fujisaki-Okamoto).
-  Scalar r = hash_to_scalar("TRE-H3", concat({sigma, msg}));
-  G1Point u = mul_fixed_base(server.g, r);
-  G1Point h1t = hash_tag(tag);
-  Gt k = tuning_.cache_pair_bases
-             ? gt_pow(pair_base(user.asg, tag, h1t), r)
-             : pairing::pair(mul_varying_base(user.asg, r), h1t);
-  Bytes c_sigma = xor_bytes(sigma, mask_h2(k, kSigmaBytes));
-  Bytes c_msg = xor_bytes(msg, hashing::oracle_bytes("TRE-H4", sigma, msg.size()));
-  return FoCiphertext{u, std::move(c_sigma), std::move(c_msg)};
-}
-
-FoCiphertext TreScheme::encrypt_fo(ByteSpan msg, const UserPublicKey& user,
-                                   const ServerPublicKey& server, std::string_view tag,
-                                   tre::hashing::RandomSource& rng,
-                                   KeyCheck check) const {
-  return seal_fo(msg, user, server, tag, rng, check);
-}
-
-std::optional<Bytes> TreScheme::decrypt_fo(const FoCiphertext& ct, const Scalar& a,
-                                           const KeyUpdate& update,
-                                           const ServerPublicKey& server) const {
-  if (ct.c_sigma.size() != kSigmaBytes) return std::nullopt;
-  obs::Span span(Probes::get().decrypt_ns);
-  Gt k = gt_pow(pair_with_lines(update.sig, ct.u), a);
-  Bytes sigma = xor_bytes(ct.c_sigma, mask_h2(k, kSigmaBytes));
-  Bytes msg = xor_bytes(ct.c_msg, hashing::oracle_bytes("TRE-H4", sigma, ct.c_msg.size()));
-  Scalar r = hash_to_scalar("TRE-H3", concat({sigma, msg}));
-  // Re-encryption check through the same comb table as encryption.
-  if (!(mul_fixed_base(server.g, r) == ct.u)) return std::nullopt;
-  return msg;
-}
-
-ReactCiphertext TreScheme::seal_react(ByteSpan msg, const UserPublicKey& user,
-                                      const ServerPublicKey& server,
-                                      std::string_view tag,
-                                      tre::hashing::RandomSource& rng,
-                                      KeyCheck check) const {
-  obs::Span span(Probes::get().encrypt_ns);
-  if (check == KeyCheck::kVerify) {
-    require(checked_user_key(server, user),
-            "TRE encrypt_react: receiver public key fails the pairing check");
-  }
-  Bytes witness = rng.bytes(kSigmaBytes);  // REACT's random R
-  Scalar r = params::random_scalar(*params_, rng);
-  G1Point u = mul_fixed_base(server.g, r);
-  G1Point h1t = hash_tag(tag);
-  Gt k = tuning_.cache_pair_bases
-             ? gt_pow(pair_base(user.asg, tag, h1t), r)
-             : pairing::pair(mul_varying_base(user.asg, r), h1t);
-  Bytes c_r = xor_bytes(witness, mask_h2(k, kSigmaBytes));
-  Bytes c_msg = xor_bytes(msg, hashing::oracle_bytes("TRE-G", witness, msg.size()));
-  Bytes mac = hashing::oracle_bytes(
-      "TRE-H5", concat({witness, msg, u.to_bytes_compressed(), c_r, c_msg}), kMacBytes);
-  return ReactCiphertext{u, std::move(c_r), std::move(c_msg), std::move(mac)};
-}
-
-ReactCiphertext TreScheme::encrypt_react(ByteSpan msg, const UserPublicKey& user,
-                                         const ServerPublicKey& server,
-                                         std::string_view tag,
-                                         tre::hashing::RandomSource& rng,
-                                         KeyCheck check) const {
-  return seal_react(msg, user, server, tag, rng, check);
-}
-
-std::optional<Bytes> TreScheme::decrypt_react(const ReactCiphertext& ct,
-                                              const Scalar& a,
-                                              const KeyUpdate& update) const {
-  if (ct.c_r.size() != kSigmaBytes || ct.mac.size() != kMacBytes) return std::nullopt;
-  obs::Span span(Probes::get().decrypt_ns);
-  Gt k = gt_pow(pair_with_lines(update.sig, ct.u), a);
-  Bytes witness = xor_bytes(ct.c_r, mask_h2(k, kSigmaBytes));
-  Bytes msg = xor_bytes(ct.c_msg, hashing::oracle_bytes("TRE-G", witness, ct.c_msg.size()));
-  Bytes mac = hashing::oracle_bytes(
-      "TRE-H5",
-      concat({witness, msg, ct.u.to_bytes_compressed(), ct.c_r, ct.c_msg}), kMacBytes);
-  if (!ct_equal(mac, ct.mac)) return std::nullopt;
-  return msg;
-}
-
-SealedCiphertext TreScheme::seal(Mode mode, ByteSpan msg, const UserPublicKey& user,
-                                 const ServerPublicKey& server, std::string_view tag,
-                                 tre::hashing::RandomSource& rng,
-                                 KeyCheck check) const {
-  Probes::get().seals.add();
-  switch (mode) {
-    case Mode::kBasic:
-      return SealedCiphertext{seal_basic(msg, user, server, tag, rng, check)};
-    case Mode::kFo:
-      return SealedCiphertext{seal_fo(msg, user, server, tag, rng, check)};
-    case Mode::kReact:
-      return SealedCiphertext{seal_react(msg, user, server, tag, rng, check)};
-  }
-  throw Error("seal: unknown mode");
-}
-
-std::optional<Bytes> TreScheme::open(const SealedCiphertext& ct, const Scalar& a,
-                                     const KeyUpdate& update,
-                                     const ServerPublicKey& server) const {
-  Probes::get().opens.add();
-  return std::visit(
-      [&](const auto& body) -> std::optional<Bytes> {
-        using T = std::decay_t<decltype(body)>;
-        if constexpr (std::is_same_v<T, Ciphertext>) {
-          return decrypt(body, a, update);
-        } else if constexpr (std::is_same_v<T, FoCiphertext>) {
-          return decrypt_fo(body, a, update, server);
-        } else {
-          return decrypt_react(body, a, update);
-        }
-      },
-      ct.body);
-}
-
-EpochKey TreScheme::derive_epoch_key(const Scalar& a, const KeyUpdate& update) const {
-  // a·I_T = a·s·H1(T): all the secret material a ciphertext for tag T
-  // needs, and useless for any other tag (CDH). The paper's §5.3.3 text
-  // writes the epoch key as aH1(T_i); only a·(s·H1(T_i)) closes the
-  // decryption equation — see DESIGN.md for the fidelity note.
-  return EpochKey{update.tag, mul_varying_base(update.sig, a)};
-}
-
-Bytes TreScheme::decrypt_with_epoch_key(const Ciphertext& ct, const EpochKey& key) const {
-  Gt k = pair_with_lines(key.d, ct.u);
-  return xor_bytes(ct.v, mask_h2(k, ct.v.size()));
-}
-
-std::optional<Bytes> TreScheme::decrypt_fo_with_epoch_key(
-    const FoCiphertext& ct, const EpochKey& key, const ServerPublicKey& server) const {
-  if (ct.c_sigma.size() != kSigmaBytes) return std::nullopt;
-  Gt k = pair_with_lines(key.d, ct.u);
-  Bytes sigma = xor_bytes(ct.c_sigma, mask_h2(k, kSigmaBytes));
-  Bytes msg = xor_bytes(ct.c_msg, hashing::oracle_bytes("TRE-H4", sigma, ct.c_msg.size()));
-  Scalar r = hash_to_scalar("TRE-H3", concat({sigma, msg}));
-  if (!(mul_fixed_base(server.g, r) == ct.u)) return std::nullopt;
-  return msg;
-}
-
-UserPublicKey TreScheme::rebind_user_key(const Scalar& a,
-                                         const ServerPublicKey& new_server) const {
-  return UserPublicKey{mul_fixed_base(new_server.g, a),
-                       mul_fixed_base(new_server.sg, a)};
-}
-
-bool TreScheme::verify_rebound_key(const ec::G1Point& certified_ag,
-                                   const ec::G1Point& old_generator,
-                                   const ServerPublicKey& new_server,
-                                   const UserPublicKey& candidate) const {
-  if (candidate.ag.is_infinity() || candidate.asg.is_infinity()) return false;
-  // (1) Same secret a as in the certified key: ê(aG', G_o) == ê(aG_o, G').
-  if (!pairing::pairings_equal(candidate.ag, old_generator, certified_ag,
-                               new_server.g)) {
-    return false;
-  }
-  // (2) Well-formed under the new server key.
-  return verify_user_public_key(new_server, candidate);
-}
+template class BasicTreScheme<Tre512Backend>;
 
 }  // namespace tre::core

@@ -1,5 +1,5 @@
 // Timed Release Encryption (TRE) — the paper's §5.1 construction with the
-// §5.3 extensions.
+// §5.3 extensions, on the legacy type-1 curve.
 //
 // Roles and artifacts:
 //   * Time server: secret s, public (G, sG) with G a server-chosen random
@@ -20,408 +20,34 @@
 // The tag argument is an opaque byte string: a canonical time string for
 // timed release (see timeserver/timespec.h) or any condition string for
 // the §5.3.2 policy-lock generalization.
+//
+// Since the backend-generic refactor the entire scheme lives in
+// core/tre_core.h as a template over a PairingBackend policy; this header
+// is the type-1 instantiation (core/backend512.h) under the historical
+// names. The BLS12-381 instantiation of the SAME code is bls12/tre381.h.
 #pragma once
 
-#include <memory>
-#include <optional>
-#include <span>
-#include <string>
-#include <string_view>
-#include <variant>
-#include <vector>
-
-#include "ec/curve.h"
-#include "hashing/drbg.h"
-#include "pairing/pairing.h"
-#include "params/params.h"
+#include "core/backend512.h"
+#include "core/tre_core.h"
 
 namespace tre::core {
 
-using Scalar = field::FpInt;  // value in [1, q)
 using Gt = pairing::Gt;
 
-struct ServerPublicKey {
-  ec::G1Point g;   // G, server-chosen generator
-  ec::G1Point sg;  // s·G
-
-  Bytes to_bytes() const;
-  static ServerPublicKey from_bytes(const params::GdhParams& params, ByteSpan bytes);
-  friend bool operator==(const ServerPublicKey&, const ServerPublicKey&) = default;
-};
-
-struct ServerKeyPair {
-  Scalar s;
-  ServerPublicKey pub;
-};
-
-struct UserPublicKey {
-  ec::G1Point ag;   // a·G
-  ec::G1Point asg;  // a·s·G
-
-  Bytes to_bytes() const;
-  static UserPublicKey from_bytes(const params::GdhParams& params, ByteSpan bytes);
-  friend bool operator==(const UserPublicKey&, const UserPublicKey&) = default;
-};
-
-struct UserKeyPair {
-  Scalar a;
-  UserPublicKey pub;
-};
-
-/// The server's entire per-instant output: identical for every receiver.
-struct KeyUpdate {
-  std::string tag;  // the signed time / condition string T
-  ec::G1Point sig;  // s·H1(T)
-
-  /// Wire format: u16 tag length || tag || compressed point. This is what
-  /// the scalability experiment (E3) counts as "bytes broadcast".
-  Bytes to_bytes() const;
-  static KeyUpdate from_bytes(const params::GdhParams& params, ByteSpan bytes);
-
-  /// Non-throwing parse for bytes from UNTRUSTED sources (mirrors, the
-  /// wire): nullopt on any malformed/truncated/off-curve input, so a
-  /// hostile reply cannot drive control flow through exceptions. A
-  /// returned update is well-formed but NOT authenticated — callers must
-  /// still pass it through TreScheme::verify_update.
-  static std::optional<KeyUpdate> try_from_bytes(const params::GdhParams& params,
-                                                 ByteSpan bytes);
-  friend bool operator==(const KeyUpdate&, const KeyUpdate&) = default;
-};
-
-/// §5.1 ciphertext ⟨U, V⟩ = ⟨rG, M ⊕ H2(K)⟩.
-struct Ciphertext {
-  ec::G1Point u;
-  Bytes v;
-
-  Bytes to_bytes() const;
-  static Ciphertext from_bytes(const params::GdhParams& params, ByteSpan bytes);
-  /// Non-throwing parse for UNTRUSTED bytes (same contract as
-  /// KeyUpdate::try_from_bytes): nullopt on any malformed input.
-  static std::optional<Ciphertext> try_from_bytes(const params::GdhParams& params,
-                                                  ByteSpan bytes);
-};
-
-/// Fujisaki-Okamoto ciphertext: U = rG with r = H3(σ, M),
-/// c_sigma = σ ⊕ H2(K), c_msg = M ⊕ H4(σ).
-struct FoCiphertext {
-  ec::G1Point u;
-  Bytes c_sigma;
-  Bytes c_msg;
-
-  Bytes to_bytes() const;
-  static FoCiphertext from_bytes(const params::GdhParams& params, ByteSpan bytes);
-  static std::optional<FoCiphertext> try_from_bytes(const params::GdhParams& params,
-                                                    ByteSpan bytes);
-};
-
-/// REACT ciphertext: c_r = R ⊕ H2(K), c_msg = M ⊕ G(R),
-/// mac = H5(R, M, U, c_r, c_msg).
-struct ReactCiphertext {
-  ec::G1Point u;
-  Bytes c_r;
-  Bytes c_msg;
-  Bytes mac;
-
-  Bytes to_bytes() const;
-  static ReactCiphertext from_bytes(const params::GdhParams& params, ByteSpan bytes);
-  static std::optional<ReactCiphertext> try_from_bytes(const params::GdhParams& params,
-                                                       ByteSpan bytes);
-};
-
-/// The three ciphertext flavours behind one API. kBasic is the §5.1
-/// scheme verbatim (malleable, CPA only); kFo and kReact are the paper's
-/// two CCA transforms. Values are the wire header byte — fixed forever.
-enum class Mode : std::uint8_t { kBasic = 1, kFo = 2, kReact = 3 };
-
-const char* mode_name(Mode m);  // "basic" / "fo" / "react"
-
-/// Mode-tagged ciphertext: any flavour under ONE wire format (a 1-byte
-/// mode header followed by the flavour's own encoding). seal() produces
-/// it, open() consumes it; the per-flavour entry points remain as thin
-/// wrappers and interoperate bit-for-bit (a SealedCiphertext's payload
-/// IS the legacy encoding).
-struct SealedCiphertext {
-  std::variant<Ciphertext, FoCiphertext, ReactCiphertext> body;
-
-  Mode mode() const { return static_cast<Mode>(body.index() + 1); }
-
-  Bytes to_bytes() const;
-  static SealedCiphertext from_bytes(const params::GdhParams& params, ByteSpan bytes);
-  static std::optional<SealedCiphertext> try_from_bytes(const params::GdhParams& params,
-                                                        ByteSpan bytes);
-};
-
-/// §5.3.3 per-epoch decryption key a·I_T, derived on a safe device so the
-/// long-term secret a never reaches the decryption device. Compromise of
-/// one epoch key reveals nothing about other epochs (CDH).
-struct EpochKey {
-  std::string tag;
-  ec::G1Point d;  // a·s·H1(T)
-};
-
-/// Whether encrypt() performs the paper's step-1 pairing check on the
-/// receiver public key. The check proves asg is really a·(sG), i.e. the
-/// receiver cannot decrypt without the server's update.
-enum class KeyCheck { kVerify, kSkip };
-
-/// Feature switches of the scalar-multiplication / precomputation engine.
-/// The default enables everything; legacy() reproduces the seed cost
-/// profile (no tables, no memoization, binary G_T exponentiation) and is
-/// what the before/after benchmarks and the equivalence tests run against.
-/// Every switch is output-transparent: ciphertexts and plaintexts are
-/// bit-identical across tunings.
-struct Tuning {
-  bool fixed_base_comb = true;     ///< G1Precomp comb tables per generator
-  bool cache_tags = true;          ///< memoize H1(T) per scheme
-  bool cache_key_checks = true;    ///< memoize successful receiver-key pairing checks
-  bool cache_pair_bases = true;    ///< memoize ê(asG, H1(T)); encrypt pays one G_T pow
-  bool cache_update_lines = true;  ///< Miller-loop line precomp per key update
-  bool unitary_gt_pow = true;      ///< conjugate-wNAF G_T exponentiation
-  /// Read-mostly cache concurrency: true = RCU-style snapshot reads with
-  /// zero shared writes on a hit (common/snapshot_cache.h); false = the
-  /// PR-1-era behaviour of taking a lock on every cache access. Purely a
-  /// concurrency-substrate switch — cached values, hit/miss pattern and
-  /// all outputs are bit-identical either way (test_concurrency proves it).
-  bool snapshot_caches = true;
-
-  static Tuning fast() { return Tuning{}; }
-  /// fast() on the locked cache substrate — the "before" side of the
-  /// multicore scaling comparison and of the cache-equivalence tests.
-  static Tuning fast_locked() {
-    Tuning t;
-    t.snapshot_caches = false;
-    return t;
-  }
-  static Tuning legacy() {
-    return Tuning{false, false, false, false, false, false, false};
-  }
-};
-
-class TreScheme {
- public:
-  explicit TreScheme(std::shared_ptr<const params::GdhParams> params,
-                     Tuning tuning = Tuning::fast());
-
-  const params::GdhParams& params() const { return *params_; }
-  const Tuning& tuning() const { return tuning_; }
-
-  // --- Key generation -------------------------------------------------------
-
-  /// Picks a random generator G and secret s (the server alone controls
-  /// its generator, mitigating the §5.1-point-6 rogue-generator concern
-  /// from the *user's* side: senders may additionally avoid G == H1(T)).
-  ServerKeyPair server_keygen(tre::hashing::RandomSource& rng) const;
-
-  UserKeyPair user_keygen(const ServerPublicKey& server,
-                          tre::hashing::RandomSource& rng) const;
-
-  /// Paper §5.1: the secret may be derived from a human-memorable password
-  /// through a good hash. Deterministic per (password, server key).
-  UserKeyPair user_keygen_from_password(const ServerPublicKey& server,
-                                        std::string_view password) const;
-
-  /// Structural validation of a server key (on-curve, order-q, not O).
-  bool verify_server_public_key(const ServerPublicKey& server) const;
-
-  /// The encryptor's check: ê(aG, sG) == ê(G, asG) (paper Encryption #1).
-  bool verify_user_public_key(const ServerPublicKey& server,
-                              const UserPublicKey& user) const;
-
-  // --- Time-bound key updates -----------------------------------------------
-
-  /// I_T = s·H1(T). Stateless: any tag, past or future, any order.
-  KeyUpdate issue_update(const ServerKeyPair& server, std::string_view tag) const;
-
-  /// Bulk issuance: one update per tag, fanned out on the persistent
-  /// worker pool (`threads` = 0 picks hardware_concurrency, 1 runs
-  /// serially on the caller). Each update is identical to
-  /// issue_update(server, tags[i]).
-  std::vector<KeyUpdate> issue_updates(const ServerKeyPair& server,
-                                       std::span<const std::string> tags,
-                                       unsigned threads = 0) const;
-
-  /// Self-authentication check ê(sG, H1(T)) == ê(G, I_T).
-  bool verify_update(const ServerPublicKey& server, const KeyUpdate& update) const;
-
-  // --- Unified seal/open ------------------------------------------------------
-
-  /// One entry point for all three flavours: seal(Mode::kBasic, ...) is
-  /// bit-identical to encrypt(...) drawing the same randomness, and
-  /// likewise for kFo/kReact. The legacy per-flavour encrypt_* methods
-  /// below are thin wrappers over this.
-  SealedCiphertext seal(Mode mode, ByteSpan msg, const UserPublicKey& user,
-                        const ServerPublicKey& server, std::string_view tag,
-                        tre::hashing::RandomSource& rng,
-                        KeyCheck check = KeyCheck::kVerify) const;
-
-  /// Decrypts any flavour; dispatches on the ciphertext's mode. nullopt
-  /// on tampering (kFo/kReact) — kBasic has no integrity, so its result
-  /// is always engaged but only meaningful for matching inputs. `server`
-  /// is needed by the FO re-encryption check only.
-  std::optional<Bytes> open(const SealedCiphertext& ct, const Scalar& a,
-                            const KeyUpdate& update,
-                            const ServerPublicKey& server) const;
-
-  // --- §5.1 basic scheme ------------------------------------------------------
-
-  Ciphertext encrypt(ByteSpan msg, const UserPublicKey& user,
-                     const ServerPublicKey& server, std::string_view tag,
-                     tre::hashing::RandomSource& rng,
-                     KeyCheck check = KeyCheck::kVerify) const;
-
-  /// Encrypts every message under ONE tag for one receiver, paying the
-  /// receiver-key pairing check, tag hash, and base pairing once for the
-  /// whole batch; per-message work drops to one fixed-base comb multiply
-  /// and one G_T exponentiation. With `threads` != 1 the per-message work
-  /// fans out on the persistent worker pool (0 = hardware_concurrency).
-  /// Output is bit-identical to sequential encrypt() calls drawing the
-  /// same randomness.
-  std::vector<Ciphertext> encrypt_batch(std::span<const Bytes> msgs,
-                                        const UserPublicKey& user,
-                                        const ServerPublicKey& server,
-                                        std::string_view tag,
-                                        tre::hashing::RandomSource& rng,
-                                        KeyCheck check = KeyCheck::kVerify,
-                                        unsigned threads = 0) const;
-
-  /// The basic scheme has no integrity: output is only meaningful when the
-  /// inputs match the ciphertext (use the FO/REACT variants otherwise).
-  Bytes decrypt(const Ciphertext& ct, const Scalar& a, const KeyUpdate& update) const;
-
-  // --- Fujisaki-Okamoto (CCA) -------------------------------------------------
-
-  FoCiphertext encrypt_fo(ByteSpan msg, const UserPublicKey& user,
-                          const ServerPublicKey& server, std::string_view tag,
-                          tre::hashing::RandomSource& rng,
-                          KeyCheck check = KeyCheck::kVerify) const;
-
-  /// nullopt on any tampering (re-encryption check fails). The server key
-  /// is needed to recompute U = H3(σ, M)·G.
-  std::optional<Bytes> decrypt_fo(const FoCiphertext& ct, const Scalar& a,
-                                  const KeyUpdate& update,
-                                  const ServerPublicKey& server) const;
-
-  // --- REACT (CCA) -------------------------------------------------------------
-
-  ReactCiphertext encrypt_react(ByteSpan msg, const UserPublicKey& user,
-                                const ServerPublicKey& server, std::string_view tag,
-                                tre::hashing::RandomSource& rng,
-                                KeyCheck check = KeyCheck::kVerify) const;
-
-  std::optional<Bytes> decrypt_react(const ReactCiphertext& ct, const Scalar& a,
-                                     const KeyUpdate& update) const;
-
-  // --- §5.3.3 key insulation ----------------------------------------------------
-
-  /// Safe-device step: combine the long-term secret with a fresh update.
-  EpochKey derive_epoch_key(const Scalar& a, const KeyUpdate& update) const;
-
-  /// Insecure-device step: decrypt using only the epoch key.
-  Bytes decrypt_with_epoch_key(const Ciphertext& ct, const EpochKey& key) const;
-  std::optional<Bytes> decrypt_fo_with_epoch_key(const FoCiphertext& ct,
-                                                 const EpochKey& key,
-                                                 const ServerPublicKey& server) const;
-
-  // --- §5.3.4 time-server change --------------------------------------------------
-
-  /// Produces the user's public key under a new server without touching
-  /// the CA: (a·G', a·s'·G').
-  UserPublicKey rebind_user_key(const Scalar& a, const ServerPublicKey& new_server) const;
-
-  /// Anyone can check a rebound key against the aG certified under the
-  /// *old* server (no re-certification, paper §5.3.4):
-  ///   (1) ê(a·G', G_old) == ê(a·G_old, G')  — same secret a;
-  ///   (2) ê(a·G', s'G') == ê(G', a·s'G')    — well-formed under s'.
-  bool verify_rebound_key(const ec::G1Point& certified_ag,
-                          const ec::G1Point& old_generator,
-                          const ServerPublicKey& new_server,
-                          const UserPublicKey& candidate) const;
-
-  // --- Shared internals (used by the multi-server and policy variants) ---
-
-  /// H1 onto G_1 with the scheme's domain separation.
-  ec::G1Point hash_tag(std::string_view tag) const;
-
-  /// Mask bytes H2(K) of a given length.
-  Bytes mask_h2(const Gt& k, size_t len) const;
-
-  /// Random-oracle hash to a nonzero scalar in Z_q (H3-style oracles).
-  Scalar hash_to_scalar(std::string_view label, ByteSpan input) const;
-
- private:
-  // Memoized precomputation, shared by copies of the scheme (the scheme is
-  // a value type; the cache is an implementation detail keyed only on
-  // public data, so sharing it across copies is safe and desirable).
-  // Each map is a read-mostly SnapshotCache: hits are lock-free snapshot
-  // reads (no shared writes), misses publish copy-on-write under striped
-  // locks. Bounded and cleared wholesale on overflow — the working sets
-  // (a handful of generators, one tag per epoch, one update per epoch)
-  // are tiny, so eviction policy does not matter.
-  struct Cache;
-
-  /// H1(T), memoized when tuning_.cache_tags.
-  ec::G1Point cached_hash_tag(std::string_view tag) const;
-
-  /// Comb table for a long-lived generator, memoized when
-  /// tuning_.fixed_base_comb; nullptr when the comb engine is disabled.
-  std::shared_ptr<const ec::G1Precomp> comb_for(const ec::G1Point& base) const;
-
-  /// base·k for secret k where base is a long-lived generator (params
-  /// base, server G / sG): fixed-pattern comb walk when enabled, seed-era
-  /// wNAF otherwise.
-  ec::G1Point mul_fixed_base(const ec::G1Point& base, const Scalar& k) const;
-
-  /// base·k for secret k where base varies call to call (H1(T), update
-  /// signatures): fixed-window ladder when the engine is on, wNAF otherwise.
-  ec::G1Point mul_varying_base(const ec::G1Point& base, const Scalar& k) const;
-
-  /// verify_user_public_key with positive results memoized.
-  bool checked_user_key(const ServerPublicKey& server,
-                        const UserPublicKey& user) const;
-
-  /// ê(asG, H1(T)) with the result memoized per (asG, tag); the per-message
-  /// encryption key is then base^r.
-  Gt pair_base(const ec::G1Point& asg, std::string_view tag,
-               const ec::G1Point& h1t) const;
-
-  /// ê(u, fixed) with cached Miller line precomp for `fixed` (an update
-  /// signature or epoch key, reused across every ciphertext of an epoch).
-  Gt pair_with_lines(const ec::G1Point& fixed, const ec::G1Point& u) const;
-
-  /// k^e in G_T honouring tuning_.unitary_gt_pow.
-  Gt gt_pow(const Gt& k, const Scalar& e) const;
-
-  // Per-flavour implementations behind seal()/open(); the public
-  // encrypt_*/decrypt_* entry points delegate here too, so both API
-  // generations share one body per flavour.
-  Ciphertext seal_basic(ByteSpan msg, const UserPublicKey& user,
-                        const ServerPublicKey& server, std::string_view tag,
-                        tre::hashing::RandomSource& rng, KeyCheck check) const;
-  FoCiphertext seal_fo(ByteSpan msg, const UserPublicKey& user,
-                       const ServerPublicKey& server, std::string_view tag,
-                       tre::hashing::RandomSource& rng, KeyCheck check) const;
-  ReactCiphertext seal_react(ByteSpan msg, const UserPublicKey& user,
-                             const ServerPublicKey& server, std::string_view tag,
-                             tre::hashing::RandomSource& rng, KeyCheck check) const;
-
-  std::shared_ptr<const params::GdhParams> params_;
-  Tuning tuning_;
-  std::shared_ptr<Cache> cache_;
-};
-
-/// Namespace-level spellings of the unified API, so call sites read
-/// core::seal(scheme, Mode::kFo, ...) / core::open(scheme, ...).
-inline SealedCiphertext seal(const TreScheme& scheme, Mode mode, ByteSpan msg,
-                             const UserPublicKey& user, const ServerPublicKey& server,
-                             std::string_view tag, tre::hashing::RandomSource& rng,
-                             KeyCheck check = KeyCheck::kVerify) {
-  return scheme.seal(mode, msg, user, server, tag, rng, check);
-}
-
-inline std::optional<Bytes> open(const TreScheme& scheme, const SealedCiphertext& ct,
-                                 const Scalar& a, const KeyUpdate& update,
-                                 const ServerPublicKey& server) {
-  return scheme.open(ct, a, update, server);
-}
+using ServerPublicKey = BasicServerPublicKey<Tre512Backend>;
+using ServerKeyPair = BasicServerKeyPair<Tre512Backend>;
+using UserPublicKey = BasicUserPublicKey<Tre512Backend>;
+using UserKeyPair = BasicUserKeyPair<Tre512Backend>;
+using KeyUpdate = BasicKeyUpdate<Tre512Backend>;
+using Ciphertext = BasicCiphertext<Tre512Backend>;
+using FoCiphertext = BasicFoCiphertext<Tre512Backend>;
+using ReactCiphertext = BasicReactCiphertext<Tre512Backend>;
+using SealedCiphertext = BasicSealedCiphertext<Tre512Backend>;
+using EpochKey = BasicEpochKey<Tre512Backend>;
+using TreScheme = BasicTreScheme<Tre512Backend>;
+
+// The type-1 scheme is compiled once into tre_core (tre.cpp); every other
+// translation unit links against that instantiation.
+extern template class BasicTreScheme<Tre512Backend>;
 
 }  // namespace tre::core

@@ -1,0 +1,1125 @@
+// Backend-generic TRE core — the paper's §5.1 construction written ONCE
+// over an abstract pairing backend.
+//
+// The construction only assumes a Gap Diffie-Hellman group with a
+// pairing, so the whole production surface (seal/open modes, the step-1
+// receiver-key check, the Tuning memo caches, the batch APIs, the obs
+// probes, the wire codecs) is a template over a `PairingBackend` policy
+// and instantiated per curve:
+//   * core::Tre512Backend  (core/backend512.h)  — the 2005-era type-1
+//     supersingular curve. `core::TreScheme` is that instantiation, and
+//     its outputs are bit-identical to the pre-template scheme.
+//   * bls12::Bls381Backend (bls12/backend381.h) — BLS12-381, the type-3
+//     curve today's deployments of this very scheme (drand/tlock) use.
+//
+// A backend names two source groups, because the type-3 artifacts split:
+//   * Gu — the "update" group: key updates I_T = s·H1(T), the H1 image,
+//     the user's certifiable anchor aG, and epoch keys. G_1 on both
+//     backends (type-3 G_1 points are the SHORT ones — BLS signatures).
+//   * Gh — the "header" group: the server generator G, the public keys
+//     sG / a·sG, and the ciphertext header U = rG. G_1 again on the
+//     symmetric curve; G_2 on BLS12-381.
+// The pairing is oriented Gu × Gh -> Gt by named operations
+// (pair_session, pair_decrypt, pairings_equal_{uh,hu}) so that each
+// type-1 call site keeps its exact historical argument order — that is
+// what keeps the 512 instantiation bit-identical (test_seal's golden
+// vectors enforce it).
+//
+// The backend policy (all static; `Params` is the curve context):
+//   types   : Params, Gu, Gh, Gt, GhPrecomp (fixed-base engine),
+//             PairPrecomp (Miller-line engine)
+//   consts  : kProbePrefix (obs name prefix, e.g. "core." /
+//             "core.bls381."), kAnchorIsGh (type-1: the anchor aG lives
+//             in Gh and shares its comb cache; type-3: it is a·G1gen)
+//   scalars : random_scalar, scalar_bytes, group_order
+//   hashing : hash_tag (H1 onto Gu)
+//   groups  : {gu,gh}_{mul,mul_secret,is_infinity,in_subgroup,eq,
+//             to_bytes,from_bytes,wire_bytes}, header_base, anchor_base
+//   pairing : pair_session(asg, h1t), pair_decrypt(sig, u),
+//             pairings_equal_uh/hu, same_secret, gt_pow, gt_to_bytes
+//   precomp : make_comb, make_lines
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <type_traits>
+#include <variant>
+#include <vector>
+
+#include "bigint/prime.h"
+#include "common/error.h"
+#include "field/fp.h"
+#include "common/parallel.h"
+#include "common/snapshot_cache.h"
+#include "hashing/drbg.h"
+#include "hashing/kdf.h"
+#include "obs/metrics.h"
+
+namespace tre::core {
+
+using Scalar = field::FpInt;  // value in [1, q); both backends share it
+
+/// The three ciphertext flavours behind one API. kBasic is the §5.1
+/// scheme verbatim (malleable, CPA only); kFo and kReact are the paper's
+/// two CCA transforms. Values are the wire header byte — fixed forever.
+enum class Mode : std::uint8_t { kBasic = 1, kFo = 2, kReact = 3 };
+
+inline const char* mode_name(Mode m) {
+  switch (m) {
+    case Mode::kBasic: return "basic";
+    case Mode::kFo: return "fo";
+    case Mode::kReact: return "react";
+  }
+  return "unknown";
+}
+
+/// Whether encrypt() performs the paper's step-1 pairing check on the
+/// receiver public key. The check proves asg is really a·(sG), i.e. the
+/// receiver cannot decrypt without the server's update.
+enum class KeyCheck { kVerify, kSkip };
+
+/// Feature switches of the scalar-multiplication / precomputation engine.
+/// The default enables everything; legacy() reproduces the seed cost
+/// profile (no tables, no memoization, binary G_T exponentiation) and is
+/// what the before/after benchmarks and the equivalence tests run against.
+/// Every switch is output-transparent: ciphertexts and plaintexts are
+/// bit-identical across tunings.
+struct Tuning {
+  bool fixed_base_comb = true;     ///< comb tables per generator
+  bool cache_tags = true;          ///< memoize H1(T) per scheme
+  bool cache_key_checks = true;    ///< memoize successful receiver-key pairing checks
+  bool cache_pair_bases = true;    ///< memoize ê(asG, H1(T)); encrypt pays one G_T pow
+  bool cache_update_lines = true;  ///< Miller-loop line precomp per key update
+  bool unitary_gt_pow = true;      ///< conjugate-wNAF G_T exponentiation (type-1 only)
+  /// Read-mostly cache concurrency: true = RCU-style snapshot reads with
+  /// zero shared writes on a hit (common/snapshot_cache.h); false = the
+  /// PR-1-era behaviour of taking a lock on every cache access. Purely a
+  /// concurrency-substrate switch — cached values, hit/miss pattern and
+  /// all outputs are bit-identical either way (test_concurrency proves it).
+  bool snapshot_caches = true;
+
+  static Tuning fast() { return Tuning{}; }
+  /// fast() on the locked cache substrate — the "before" side of the
+  /// multicore scaling comparison and of the cache-equivalence tests.
+  static Tuning fast_locked() {
+    Tuning t;
+    t.snapshot_caches = false;
+    return t;
+  }
+  static Tuning legacy() {
+    return Tuning{false, false, false, false, false, false, false};
+  }
+};
+
+namespace detail {
+
+inline constexpr size_t kSigmaBytes = 32;  // FO commitment / REACT witness size
+inline constexpr size_t kMacBytes = 32;
+
+// Bound on each memoization map. The live working set is tiny (a few
+// generators, one tag and one update per epoch), so the bound only guards
+// against unbounded growth under adversarial tag floods; wholesale
+// clearing on overflow is good enough.
+inline constexpr size_t kMaxCacheEntries = 1024;
+
+inline void put_u16(Bytes& out, size_t v) {
+  require(v <= 0xffff, "serialization: length exceeds u16");
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v & 0xff));
+}
+
+inline size_t get_u16(ByteSpan bytes, size_t& off) {
+  require(off + 2 <= bytes.size(), "deserialization: truncated length");
+  size_t v = static_cast<size_t>(bytes[off]) << 8 | bytes[off + 1];
+  off += 2;
+  return v;
+}
+
+inline Bytes get_exact(ByteSpan bytes, size_t& off, size_t n, const char* what) {
+  require(off + n <= bytes.size(), what);
+  Bytes out(bytes.begin() + static_cast<long>(off),
+            bytes.begin() + static_cast<long>(off + n));
+  off += n;
+  return out;
+}
+
+inline void expect_consumed(ByteSpan bytes, size_t off, const char* what) {
+  require(off == bytes.size(), what);
+}
+
+/// Reads one fixed-width Gu point; the backend's from_bytes validates
+/// curve and subgroup membership (small-subgroup hardening), so every
+/// deserialized protocol point is in the prime-order group.
+template <class B>
+typename B::Gu get_gu(const typename B::Params& params, ByteSpan bytes, size_t& off) {
+  Bytes raw = get_exact(bytes, off, B::gu_wire_bytes(params),
+                        "deserialization: truncated point");
+  return B::gu_from_bytes(params, raw);
+}
+
+template <class B>
+typename B::Gh get_gh(const typename B::Params& params, ByteSpan bytes, size_t& off) {
+  Bytes raw = get_exact(bytes, off, B::gh_wire_bytes(params),
+                        "deserialization: truncated point");
+  return B::gh_from_bytes(params, raw);
+}
+
+// Hot-path probe handles, resolved once per process PER BACKEND: the
+// backend's kProbePrefix labels the instruments, so the type-1 scheme
+// keeps its documented "core.*" names while BLS12-381 reports under
+// "core.bls381.*" (docs/OBSERVABILITY.md lists both catalogs). Under
+// -DTRE_METRICS=OFF every member is an empty no-op and the optimizer
+// erases the call sites.
+template <class B>
+struct SchemeProbes {
+  static std::string n(const char* suffix) {
+    return std::string(B::kProbePrefix) + suffix;
+  }
+
+  obs::CounterProbe pairings{n("pairings")};
+  obs::CounterProbe mul_fixed{n("mul.fixed_base")};
+  obs::CounterProbe mul_comb{n("mul.comb")};
+  obs::CounterProbe mul_varying{n("mul.varying_base")};
+  obs::CounterProbe tag_hit{n("cache.tags.hit")};
+  obs::CounterProbe tag_miss{n("cache.tags.miss")};
+  obs::CounterProbe comb_hit{n("cache.combs.hit")};
+  obs::CounterProbe comb_miss{n("cache.combs.miss")};
+  obs::CounterProbe keycheck_hit{n("cache.key_checks.hit")};
+  obs::CounterProbe keycheck_miss{n("cache.key_checks.miss")};
+  obs::CounterProbe pairbase_hit{n("cache.pair_bases.hit")};
+  obs::CounterProbe pairbase_miss{n("cache.pair_bases.miss")};
+  obs::CounterProbe lines_hit{n("cache.lines.hit")};
+  obs::CounterProbe lines_miss{n("cache.lines.miss")};
+  obs::CounterProbe seals{n("seals")};
+  obs::CounterProbe opens{n("opens")};
+  obs::CounterProbe updates_issued{n("updates_issued")};
+  obs::CounterProbe updates_verified{n("updates_verified")};
+  obs::HistogramProbe encrypt_ns{n("encrypt_ns")};
+  obs::HistogramProbe decrypt_ns{n("decrypt_ns")};
+  obs::HistogramProbe issue_update_ns{n("issue_update_ns")};
+  obs::HistogramProbe verify_update_ns{n("verify_update_ns")};
+  // Nanoseconds spent blocked on a CONTENDED cache write lock (hits never
+  // lock). count == number of contended acquisitions; stays 0 when the
+  // snapshot substrate keeps writers out of each other's way.
+  obs::HistogramProbe cache_lock_wait_ns{n("cache.lock_wait_ns")};
+
+  static const SchemeProbes& get() {
+    static const SchemeProbes p;
+    return p;
+  }
+};
+
+template <class B>
+SnapshotCacheOptions cache_options(bool snapshots) {
+  SnapshotCacheOptions opt;
+  opt.max_entries = kMaxCacheEntries;
+  opt.snapshots = snapshots;
+  opt.lock_wait_ns = +[](std::uint64_t ns) {
+    SchemeProbes<B>::get().cache_lock_wait_ns.record(ns);
+  };
+  return opt;
+}
+
+}  // namespace detail
+
+template <class B>
+struct BasicServerPublicKey {
+  typename B::Gh g;   // G, server-chosen generator of the header group
+  typename B::Gh sg;  // s·G
+
+  Bytes to_bytes() const {
+    return concat({B::gh_to_bytes(g), B::gh_to_bytes(sg)});
+  }
+  static BasicServerPublicKey from_bytes(const typename B::Params& params,
+                                         ByteSpan bytes) {
+    size_t off = 0;
+    BasicServerPublicKey pk{detail::get_gh<B>(params, bytes, off),
+                            detail::get_gh<B>(params, bytes, off)};
+    detail::expect_consumed(bytes, off, "ServerPublicKey: trailing bytes");
+    return pk;
+  }
+  friend bool operator==(const BasicServerPublicKey& a,
+                         const BasicServerPublicKey& b) {
+    return B::gh_eq(a.g, b.g) && B::gh_eq(a.sg, b.sg);
+  }
+};
+
+template <class B>
+struct BasicServerKeyPair {
+  Scalar s;
+  BasicServerPublicKey<B> pub;
+};
+
+template <class B>
+struct BasicUserPublicKey {
+  typename B::Gu ag;   // a·G (type-1) / a·G1gen (type-3): the CA anchor
+  typename B::Gh asg;  // a·s·G
+
+  Bytes to_bytes() const {
+    return concat({B::gu_to_bytes(ag), B::gh_to_bytes(asg)});
+  }
+  static BasicUserPublicKey from_bytes(const typename B::Params& params,
+                                       ByteSpan bytes) {
+    size_t off = 0;
+    BasicUserPublicKey pk{detail::get_gu<B>(params, bytes, off),
+                          detail::get_gh<B>(params, bytes, off)};
+    detail::expect_consumed(bytes, off, "UserPublicKey: trailing bytes");
+    return pk;
+  }
+  friend bool operator==(const BasicUserPublicKey& a, const BasicUserPublicKey& b) {
+    return B::gu_eq(a.ag, b.ag) && B::gh_eq(a.asg, b.asg);
+  }
+};
+
+template <class B>
+struct BasicUserKeyPair {
+  Scalar a;
+  BasicUserPublicKey<B> pub;
+};
+
+/// The server's entire per-instant output: identical for every receiver.
+template <class B>
+struct BasicKeyUpdate {
+  std::string tag;     // the signed time / condition string T
+  typename B::Gu sig;  // s·H1(T)
+
+  /// Wire format: u16 tag length || tag || compressed point. This is what
+  /// the scalability experiment (E3) counts as "bytes broadcast".
+  Bytes to_bytes() const {
+    Bytes out;
+    detail::put_u16(out, tag.size());
+    Bytes tag_bytes = tre::to_bytes(tag);
+    out.insert(out.end(), tag_bytes.begin(), tag_bytes.end());
+    Bytes sig_bytes = B::gu_to_bytes(sig);
+    out.insert(out.end(), sig_bytes.begin(), sig_bytes.end());
+    return out;
+  }
+  static BasicKeyUpdate from_bytes(const typename B::Params& params, ByteSpan bytes) {
+    size_t off = 0;
+    size_t tag_len = detail::get_u16(bytes, off);
+    Bytes tag_bytes = detail::get_exact(bytes, off, tag_len, "KeyUpdate: truncated tag");
+    typename B::Gu sig = detail::get_gu<B>(params, bytes, off);
+    detail::expect_consumed(bytes, off, "KeyUpdate: trailing bytes");
+    return BasicKeyUpdate{std::string(tag_bytes.begin(), tag_bytes.end()), sig};
+  }
+
+  /// Non-throwing parse for bytes from UNTRUSTED sources (mirrors, the
+  /// wire): nullopt on any malformed/truncated/off-curve input, so a
+  /// hostile reply cannot drive control flow through exceptions. A
+  /// returned update is well-formed but NOT authenticated — callers must
+  /// still pass it through the scheme's verify_update. Backend-tagged
+  /// framing is structural: point widths and curve equations differ per
+  /// backend, so bytes from the wrong backend fail here (tested).
+  static std::optional<BasicKeyUpdate> try_from_bytes(const typename B::Params& params,
+                                                      ByteSpan bytes) {
+    try {
+      return from_bytes(params, bytes);
+    } catch (const Error&) {
+      return std::nullopt;
+    }
+  }
+  friend bool operator==(const BasicKeyUpdate& a, const BasicKeyUpdate& b) {
+    return a.tag == b.tag && B::gu_eq(a.sig, b.sig);
+  }
+};
+
+/// §5.1 ciphertext ⟨U, V⟩ = ⟨rG, M ⊕ H2(K)⟩.
+template <class B>
+struct BasicCiphertext {
+  typename B::Gh u;
+  Bytes v;
+
+  Bytes to_bytes() const {
+    Bytes out = B::gh_to_bytes(u);
+    detail::put_u16(out, v.size());
+    out.insert(out.end(), v.begin(), v.end());
+    return out;
+  }
+  static BasicCiphertext from_bytes(const typename B::Params& params, ByteSpan bytes) {
+    size_t off = 0;
+    typename B::Gh u = detail::get_gh<B>(params, bytes, off);
+    size_t n = detail::get_u16(bytes, off);
+    Bytes v = detail::get_exact(bytes, off, n, "Ciphertext: truncated body");
+    detail::expect_consumed(bytes, off, "Ciphertext: trailing bytes");
+    return BasicCiphertext{u, std::move(v)};
+  }
+  /// Non-throwing parse for UNTRUSTED bytes (same contract as
+  /// BasicKeyUpdate::try_from_bytes): nullopt on any malformed input.
+  static std::optional<BasicCiphertext> try_from_bytes(const typename B::Params& params,
+                                                       ByteSpan bytes) {
+    try {
+      return from_bytes(params, bytes);
+    } catch (const Error&) {
+      return std::nullopt;
+    }
+  }
+};
+
+/// Fujisaki-Okamoto ciphertext: U = rG with r = H3(σ, M),
+/// c_sigma = σ ⊕ H2(K), c_msg = M ⊕ H4(σ).
+template <class B>
+struct BasicFoCiphertext {
+  typename B::Gh u;
+  Bytes c_sigma;
+  Bytes c_msg;
+
+  Bytes to_bytes() const {
+    Bytes out = B::gh_to_bytes(u);
+    detail::put_u16(out, c_sigma.size());
+    out.insert(out.end(), c_sigma.begin(), c_sigma.end());
+    detail::put_u16(out, c_msg.size());
+    out.insert(out.end(), c_msg.begin(), c_msg.end());
+    return out;
+  }
+  static BasicFoCiphertext from_bytes(const typename B::Params& params,
+                                      ByteSpan bytes) {
+    size_t off = 0;
+    typename B::Gh u = detail::get_gh<B>(params, bytes, off);
+    size_t n1 = detail::get_u16(bytes, off);
+    Bytes c_sigma = detail::get_exact(bytes, off, n1, "FoCiphertext: truncated sigma");
+    size_t n2 = detail::get_u16(bytes, off);
+    Bytes c_msg = detail::get_exact(bytes, off, n2, "FoCiphertext: truncated body");
+    detail::expect_consumed(bytes, off, "FoCiphertext: trailing bytes");
+    return BasicFoCiphertext{u, std::move(c_sigma), std::move(c_msg)};
+  }
+  static std::optional<BasicFoCiphertext> try_from_bytes(
+      const typename B::Params& params, ByteSpan bytes) {
+    try {
+      return from_bytes(params, bytes);
+    } catch (const Error&) {
+      return std::nullopt;
+    }
+  }
+};
+
+/// REACT ciphertext: c_r = R ⊕ H2(K), c_msg = M ⊕ G(R),
+/// mac = H5(R, M, U, c_r, c_msg).
+template <class B>
+struct BasicReactCiphertext {
+  typename B::Gh u;
+  Bytes c_r;
+  Bytes c_msg;
+  Bytes mac;
+
+  Bytes to_bytes() const {
+    Bytes out = B::gh_to_bytes(u);
+    detail::put_u16(out, c_r.size());
+    out.insert(out.end(), c_r.begin(), c_r.end());
+    detail::put_u16(out, c_msg.size());
+    out.insert(out.end(), c_msg.begin(), c_msg.end());
+    detail::put_u16(out, mac.size());
+    out.insert(out.end(), mac.begin(), mac.end());
+    return out;
+  }
+  static BasicReactCiphertext from_bytes(const typename B::Params& params,
+                                         ByteSpan bytes) {
+    size_t off = 0;
+    typename B::Gh u = detail::get_gh<B>(params, bytes, off);
+    size_t n1 = detail::get_u16(bytes, off);
+    Bytes c_r = detail::get_exact(bytes, off, n1, "ReactCiphertext: truncated c_r");
+    size_t n2 = detail::get_u16(bytes, off);
+    Bytes c_msg = detail::get_exact(bytes, off, n2, "ReactCiphertext: truncated body");
+    size_t n3 = detail::get_u16(bytes, off);
+    Bytes mac = detail::get_exact(bytes, off, n3, "ReactCiphertext: truncated mac");
+    detail::expect_consumed(bytes, off, "ReactCiphertext: trailing bytes");
+    return BasicReactCiphertext{u, std::move(c_r), std::move(c_msg), std::move(mac)};
+  }
+  static std::optional<BasicReactCiphertext> try_from_bytes(
+      const typename B::Params& params, ByteSpan bytes) {
+    try {
+      return from_bytes(params, bytes);
+    } catch (const Error&) {
+      return std::nullopt;
+    }
+  }
+};
+
+/// Mode-tagged ciphertext: any flavour under ONE wire format (a 1-byte
+/// mode header followed by the flavour's own encoding). seal() produces
+/// it, open() consumes it; the per-flavour entry points remain as thin
+/// wrappers and interoperate bit-for-bit (a SealedCiphertext's payload
+/// IS the legacy encoding).
+template <class B>
+struct BasicSealedCiphertext {
+  std::variant<BasicCiphertext<B>, BasicFoCiphertext<B>, BasicReactCiphertext<B>> body;
+
+  Mode mode() const { return static_cast<Mode>(body.index() + 1); }
+
+  Bytes to_bytes() const {
+    Bytes out;
+    out.push_back(static_cast<std::uint8_t>(mode()));
+    Bytes payload = std::visit([](const auto& ct) { return ct.to_bytes(); }, body);
+    out.insert(out.end(), payload.begin(), payload.end());
+    return out;
+  }
+  static BasicSealedCiphertext from_bytes(const typename B::Params& params,
+                                          ByteSpan bytes) {
+    require(!bytes.empty(), "SealedCiphertext: empty input");
+    ByteSpan payload = bytes.subspan(1);
+    switch (bytes[0]) {
+      case static_cast<std::uint8_t>(Mode::kBasic):
+        return BasicSealedCiphertext{BasicCiphertext<B>::from_bytes(params, payload)};
+      case static_cast<std::uint8_t>(Mode::kFo):
+        return BasicSealedCiphertext{BasicFoCiphertext<B>::from_bytes(params, payload)};
+      case static_cast<std::uint8_t>(Mode::kReact):
+        return BasicSealedCiphertext{
+            BasicReactCiphertext<B>::from_bytes(params, payload)};
+      default:
+        throw Error("SealedCiphertext: unknown mode byte");
+    }
+  }
+  static std::optional<BasicSealedCiphertext> try_from_bytes(
+      const typename B::Params& params, ByteSpan bytes) {
+    try {
+      return from_bytes(params, bytes);
+    } catch (const Error&) {
+      return std::nullopt;
+    }
+  }
+};
+
+/// §5.3.3 per-epoch decryption key a·I_T, derived on a safe device so the
+/// long-term secret a never reaches the decryption device. Compromise of
+/// one epoch key reveals nothing about other epochs (CDH).
+template <class B>
+struct BasicEpochKey {
+  std::string tag;
+  typename B::Gu d;  // a·s·H1(T)
+};
+
+template <class B>
+class BasicTreScheme {
+ public:
+  using Backend = B;
+  using Gt = typename B::Gt;
+
+  explicit BasicTreScheme(std::shared_ptr<const typename B::Params> params,
+                          Tuning tuning = Tuning::fast())
+      : params_(std::move(params)),
+        tuning_(tuning),
+        cache_(std::make_shared<Cache>(tuning.snapshot_caches)) {
+    require(params_ != nullptr, "TreScheme: null params");
+  }
+
+  const typename B::Params& params() const { return *params_; }
+  const Tuning& tuning() const { return tuning_; }
+
+  // --- Key generation -------------------------------------------------------
+
+  /// Picks a random generator G and secret s (the server alone controls
+  /// its generator, mitigating the §5.1-point-6 rogue-generator concern
+  /// from the *user's* side: senders may additionally avoid G == H1(T)).
+  BasicServerKeyPair<B> server_keygen(tre::hashing::RandomSource& rng) const {
+    // G = h·base for random h is a uniform generator of the order-q subgroup.
+    Scalar h = B::random_scalar(*params_, rng);
+    Scalar s = B::random_scalar(*params_, rng);
+    typename B::Gh g = mul_fixed_base(B::header_base(*params_), h);
+    return BasicServerKeyPair<B>{s,
+                                 BasicServerPublicKey<B>{g, mul_varying_gh(g, s)}};
+  }
+
+  BasicUserKeyPair<B> user_keygen(const BasicServerPublicKey<B>& server,
+                                  tre::hashing::RandomSource& rng) const {
+    Scalar a = B::random_scalar(*params_, rng);
+    return BasicUserKeyPair<B>{
+        a, BasicUserPublicKey<B>{mul_anchor(server, a),
+                                 mul_fixed_base(server.sg, a)}};
+  }
+
+  /// Paper §5.1: the secret may be derived from a human-memorable password
+  /// through a good hash. Deterministic per (password, server key).
+  BasicUserKeyPair<B> user_keygen_from_password(const BasicServerPublicKey<B>& server,
+                                                std::string_view password) const {
+    // Domain-separate by the server key so one password yields unrelated
+    // secrets under different servers.
+    Bytes input = concat({tre::to_bytes(password), server.to_bytes()});
+    Scalar a = hash_to_scalar("TRE-PWKDF", input);
+    return BasicUserKeyPair<B>{
+        a, BasicUserPublicKey<B>{mul_anchor(server, a),
+                                 mul_fixed_base(server.sg, a)}};
+  }
+
+  /// Structural validation of a server key (on-curve, order-q, not O).
+  bool verify_server_public_key(const BasicServerPublicKey<B>& server) const {
+    return !B::gh_is_infinity(server.g) && !B::gh_is_infinity(server.sg) &&
+           B::gh_in_subgroup(*params_, server.g) &&
+           B::gh_in_subgroup(*params_, server.sg);
+  }
+
+  /// The encryptor's check: ê(aG, sG) == ê(G, asG) (paper Encryption #1;
+  /// on a type-3 backend the anchor side reads ê(A1, S) == ê(G1gen, A2)).
+  bool verify_user_public_key(const BasicServerPublicKey<B>& server,
+                              const BasicUserPublicKey<B>& user) const {
+    if (B::gu_is_infinity(user.ag) || B::gh_is_infinity(user.asg)) return false;
+    probes().pairings.add(2);
+    return B::pairings_equal_uh(*params_, user.ag, server.sg,
+                                B::anchor_base(*params_, server.g), user.asg);
+  }
+
+  // --- Time-bound key updates -----------------------------------------------
+
+  /// I_T = s·H1(T). Stateless: any tag, past or future, any order.
+  BasicKeyUpdate<B> issue_update(const BasicServerKeyPair<B>& server,
+                                 std::string_view tag) const {
+    obs::Span span(probes().issue_update_ns);
+    probes().updates_issued.add();
+    return BasicKeyUpdate<B>{std::string(tag),
+                             mul_varying_gu(hash_tag(tag), server.s)};
+  }
+
+  /// Bulk issuance: one update per tag, fanned out on the persistent
+  /// worker pool (`threads` = 0 picks hardware_concurrency, 1 runs
+  /// serially on the caller). Each update is identical to
+  /// issue_update(server, tags[i]).
+  std::vector<BasicKeyUpdate<B>> issue_updates(const BasicServerKeyPair<B>& server,
+                                               std::span<const std::string> tags,
+                                               unsigned threads = 0) const {
+    std::vector<BasicKeyUpdate<B>> out(tags.size());
+    tre::parallel_for(
+        tags.size(), [&](size_t i) { out[i] = issue_update(server, tags[i]); },
+        threads);
+    return out;
+  }
+
+  /// Self-authentication check ê(sG, H1(T)) == ê(G, I_T).
+  bool verify_update(const BasicServerPublicKey<B>& server,
+                     const BasicKeyUpdate<B>& update) const {
+    if (B::gu_is_infinity(update.sig)) return false;
+    obs::Span span(probes().verify_update_ns);
+    probes().updates_verified.add();
+    probes().pairings.add(2);
+    return B::pairings_equal_hu(*params_, server.sg, hash_tag(update.tag),
+                                server.g, update.sig);
+  }
+
+  // --- Unified seal/open ------------------------------------------------------
+
+  /// One entry point for all three flavours: seal(Mode::kBasic, ...) is
+  /// bit-identical to encrypt(...) drawing the same randomness, and
+  /// likewise for kFo/kReact. The legacy per-flavour encrypt_* methods
+  /// below are thin wrappers over this.
+  BasicSealedCiphertext<B> seal(Mode mode, ByteSpan msg,
+                                const BasicUserPublicKey<B>& user,
+                                const BasicServerPublicKey<B>& server,
+                                std::string_view tag, tre::hashing::RandomSource& rng,
+                                KeyCheck check = KeyCheck::kVerify) const {
+    probes().seals.add();
+    switch (mode) {
+      case Mode::kBasic:
+        return BasicSealedCiphertext<B>{seal_basic(msg, user, server, tag, rng, check)};
+      case Mode::kFo:
+        return BasicSealedCiphertext<B>{seal_fo(msg, user, server, tag, rng, check)};
+      case Mode::kReact:
+        return BasicSealedCiphertext<B>{seal_react(msg, user, server, tag, rng, check)};
+    }
+    throw Error("seal: unknown mode");
+  }
+
+  /// Decrypts any flavour; dispatches on the ciphertext's mode. nullopt
+  /// on tampering (kFo/kReact) — kBasic has no integrity, so its result
+  /// is always engaged but only meaningful for matching inputs. `server`
+  /// is needed by the FO re-encryption check only.
+  std::optional<Bytes> open(const BasicSealedCiphertext<B>& ct, const Scalar& a,
+                            const BasicKeyUpdate<B>& update,
+                            const BasicServerPublicKey<B>& server) const {
+    probes().opens.add();
+    return std::visit(
+        [&](const auto& body) -> std::optional<Bytes> {
+          using T = std::decay_t<decltype(body)>;
+          if constexpr (std::is_same_v<T, BasicCiphertext<B>>) {
+            return decrypt(body, a, update);
+          } else if constexpr (std::is_same_v<T, BasicFoCiphertext<B>>) {
+            return decrypt_fo(body, a, update, server);
+          } else {
+            return decrypt_react(body, a, update);
+          }
+        },
+        ct.body);
+  }
+
+  // --- §5.1 basic scheme ------------------------------------------------------
+
+  BasicCiphertext<B> encrypt(ByteSpan msg, const BasicUserPublicKey<B>& user,
+                             const BasicServerPublicKey<B>& server,
+                             std::string_view tag, tre::hashing::RandomSource& rng,
+                             KeyCheck check = KeyCheck::kVerify) const {
+    return seal_basic(msg, user, server, tag, rng, check);
+  }
+
+  /// Encrypts every message under ONE tag for one receiver, paying the
+  /// receiver-key pairing check, tag hash, and base pairing once for the
+  /// whole batch; per-message work drops to one fixed-base comb multiply
+  /// and one G_T exponentiation. With `threads` != 1 the per-message work
+  /// fans out on the persistent worker pool (0 = hardware_concurrency).
+  /// Output is bit-identical to sequential encrypt() calls drawing the
+  /// same randomness.
+  std::vector<BasicCiphertext<B>> encrypt_batch(
+      std::span<const Bytes> msgs, const BasicUserPublicKey<B>& user,
+      const BasicServerPublicKey<B>& server, std::string_view tag,
+      tre::hashing::RandomSource& rng, KeyCheck check = KeyCheck::kVerify,
+      unsigned threads = 0) const {
+    if (check == KeyCheck::kVerify) {
+      require(checked_user_key(server, user),
+              "TRE encrypt_batch: receiver public key fails the pairing check");
+    }
+    std::vector<BasicCiphertext<B>> out(msgs.size());
+    if (msgs.empty()) return out;
+
+    // All randomness is drawn up front, in order, so the batch produces
+    // exactly the ciphertexts |msgs| sequential encrypt() calls would.
+    std::vector<Scalar> rs;
+    rs.reserve(msgs.size());
+    for (size_t i = 0; i < msgs.size(); ++i) {
+      rs.push_back(B::random_scalar(*params_, rng));
+    }
+
+    const typename B::Gu h1t = hash_tag(tag);
+    if (tuning_.cache_pair_bases) {
+      const Gt base = pair_base(user.asg, tag, h1t);  // one pairing for the batch
+      auto comb = comb_for(server.g);
+      tre::parallel_for(
+          msgs.size(),
+          [&](size_t i) {
+            typename B::Gh u =
+                comb ? comb->mul_secret(rs[i]) : mul_fixed_base(server.g, rs[i]);
+            Gt k = gt_pow(base, rs[i]);
+            out[i] = BasicCiphertext<B>{u, xor_bytes(msgs[i], mask_h2(k, msgs[i].size()))};
+          },
+          threads);
+    } else {
+      tre::parallel_for(
+          msgs.size(),
+          [&](size_t i) {
+            typename B::Gh u = mul_fixed_base(server.g, rs[i]);
+            Gt k = B::pair_session(*params_, mul_varying_gh(user.asg, rs[i]), h1t);
+            out[i] = BasicCiphertext<B>{u, xor_bytes(msgs[i], mask_h2(k, msgs[i].size()))};
+          },
+          threads);
+    }
+    return out;
+  }
+
+  /// The basic scheme has no integrity: output is only meaningful when the
+  /// inputs match the ciphertext (use the FO/REACT variants otherwise).
+  Bytes decrypt(const BasicCiphertext<B>& ct, const Scalar& a,
+                const BasicKeyUpdate<B>& update) const {
+    obs::Span span(probes().decrypt_ns);
+    Gt k = gt_pow(pair_with_lines(update.sig, ct.u), a);
+    return xor_bytes(ct.v, mask_h2(k, ct.v.size()));
+  }
+
+  // --- Fujisaki-Okamoto (CCA) -------------------------------------------------
+
+  BasicFoCiphertext<B> encrypt_fo(ByteSpan msg, const BasicUserPublicKey<B>& user,
+                                  const BasicServerPublicKey<B>& server,
+                                  std::string_view tag,
+                                  tre::hashing::RandomSource& rng,
+                                  KeyCheck check = KeyCheck::kVerify) const {
+    return seal_fo(msg, user, server, tag, rng, check);
+  }
+
+  /// nullopt on any tampering (re-encryption check fails). The server key
+  /// is needed to recompute U = H3(σ, M)·G.
+  std::optional<Bytes> decrypt_fo(const BasicFoCiphertext<B>& ct, const Scalar& a,
+                                  const BasicKeyUpdate<B>& update,
+                                  const BasicServerPublicKey<B>& server) const {
+    if (ct.c_sigma.size() != detail::kSigmaBytes) return std::nullopt;
+    obs::Span span(probes().decrypt_ns);
+    Gt k = gt_pow(pair_with_lines(update.sig, ct.u), a);
+    Bytes sigma = xor_bytes(ct.c_sigma, mask_h2(k, detail::kSigmaBytes));
+    Bytes msg =
+        xor_bytes(ct.c_msg, hashing::oracle_bytes("TRE-H4", sigma, ct.c_msg.size()));
+    Scalar r = hash_to_scalar("TRE-H3", concat({sigma, msg}));
+    // Re-encryption check through the same comb table as encryption.
+    if (!B::gh_eq(mul_fixed_base(server.g, r), ct.u)) return std::nullopt;
+    return msg;
+  }
+
+  // --- REACT (CCA) -------------------------------------------------------------
+
+  BasicReactCiphertext<B> encrypt_react(ByteSpan msg,
+                                        const BasicUserPublicKey<B>& user,
+                                        const BasicServerPublicKey<B>& server,
+                                        std::string_view tag,
+                                        tre::hashing::RandomSource& rng,
+                                        KeyCheck check = KeyCheck::kVerify) const {
+    return seal_react(msg, user, server, tag, rng, check);
+  }
+
+  std::optional<Bytes> decrypt_react(const BasicReactCiphertext<B>& ct,
+                                     const Scalar& a,
+                                     const BasicKeyUpdate<B>& update) const {
+    if (ct.c_r.size() != detail::kSigmaBytes || ct.mac.size() != detail::kMacBytes) {
+      return std::nullopt;
+    }
+    obs::Span span(probes().decrypt_ns);
+    Gt k = gt_pow(pair_with_lines(update.sig, ct.u), a);
+    Bytes witness = xor_bytes(ct.c_r, mask_h2(k, detail::kSigmaBytes));
+    Bytes msg =
+        xor_bytes(ct.c_msg, hashing::oracle_bytes("TRE-G", witness, ct.c_msg.size()));
+    Bytes mac = hashing::oracle_bytes(
+        "TRE-H5", concat({witness, msg, B::gh_to_bytes(ct.u), ct.c_r, ct.c_msg}),
+        detail::kMacBytes);
+    if (!ct_equal(mac, ct.mac)) return std::nullopt;
+    return msg;
+  }
+
+  // --- §5.3.3 key insulation ----------------------------------------------------
+
+  /// Safe-device step: combine the long-term secret with a fresh update.
+  BasicEpochKey<B> derive_epoch_key(const Scalar& a,
+                                    const BasicKeyUpdate<B>& update) const {
+    // a·I_T = a·s·H1(T): all the secret material a ciphertext for tag T
+    // needs, and useless for any other tag (CDH). The paper's §5.3.3 text
+    // writes the epoch key as aH1(T_i); only a·(s·H1(T_i)) closes the
+    // decryption equation — see DESIGN.md for the fidelity note.
+    return BasicEpochKey<B>{update.tag, mul_varying_gu(update.sig, a)};
+  }
+
+  /// Insecure-device step: decrypt using only the epoch key.
+  Bytes decrypt_with_epoch_key(const BasicCiphertext<B>& ct,
+                               const BasicEpochKey<B>& key) const {
+    Gt k = pair_with_lines(key.d, ct.u);
+    return xor_bytes(ct.v, mask_h2(k, ct.v.size()));
+  }
+  std::optional<Bytes> decrypt_fo_with_epoch_key(
+      const BasicFoCiphertext<B>& ct, const BasicEpochKey<B>& key,
+      const BasicServerPublicKey<B>& server) const {
+    if (ct.c_sigma.size() != detail::kSigmaBytes) return std::nullopt;
+    Gt k = pair_with_lines(key.d, ct.u);
+    Bytes sigma = xor_bytes(ct.c_sigma, mask_h2(k, detail::kSigmaBytes));
+    Bytes msg =
+        xor_bytes(ct.c_msg, hashing::oracle_bytes("TRE-H4", sigma, ct.c_msg.size()));
+    Scalar r = hash_to_scalar("TRE-H3", concat({sigma, msg}));
+    if (!B::gh_eq(mul_fixed_base(server.g, r), ct.u)) return std::nullopt;
+    return msg;
+  }
+
+  // --- §5.3.4 time-server change --------------------------------------------------
+
+  /// Produces the user's public key under a new server without touching
+  /// the CA: (a·G', a·s'·G'). On a type-3 backend the anchor a·G1gen is
+  /// server-independent, so only the asg half actually changes.
+  BasicUserPublicKey<B> rebind_user_key(const Scalar& a,
+                                        const BasicServerPublicKey<B>& new_server) const {
+    return BasicUserPublicKey<B>{mul_anchor(new_server, a),
+                                 mul_fixed_base(new_server.sg, a)};
+  }
+
+  /// Anyone can check a rebound key against the aG certified under the
+  /// *old* server (no re-certification, paper §5.3.4):
+  ///   (1) ê(a·G', G_old) == ê(a·G_old, G')  — same secret a (on a
+  ///       type-3 backend the anchor is server-independent, so this
+  ///       degenerates to an equality check — see the backend policy);
+  ///   (2) ê(a·G', s'G') == ê(G', a·s'G')    — well-formed under s'.
+  bool verify_rebound_key(const typename B::Gu& certified_ag,
+                          const typename B::Gh& old_generator,
+                          const BasicServerPublicKey<B>& new_server,
+                          const BasicUserPublicKey<B>& candidate) const {
+    if (B::gu_is_infinity(candidate.ag) || B::gh_is_infinity(candidate.asg)) {
+      return false;
+    }
+    // (1) Same secret a as in the certified key.
+    if (!B::same_secret(*params_, candidate.ag, old_generator, certified_ag,
+                        new_server.g)) {
+      return false;
+    }
+    // (2) Well-formed under the new server key.
+    return verify_user_public_key(new_server, candidate);
+  }
+
+  // --- Shared internals (used by the multi-server and policy variants) ---
+
+  /// H1 onto G_u with the scheme's domain separation.
+  typename B::Gu hash_tag(std::string_view tag) const { return cached_hash_tag(tag); }
+
+  /// Mask bytes H2(K) of a given length.
+  Bytes mask_h2(const Gt& k, size_t len) const {
+    return hashing::oracle_bytes("TRE-H2", B::gt_to_bytes(*params_, k), len);
+  }
+
+  /// Random-oracle hash to a nonzero scalar in Z_q (H3-style oracles).
+  Scalar hash_to_scalar(std::string_view label, ByteSpan input) const {
+    // Oversample by 16 bytes so the mod-q bias is negligible; map 0 -> 1.
+    Bytes wide =
+        hashing::oracle_bytes(label, input, B::scalar_bytes(*params_) + 16);
+    auto v = bigint::BigInt<2 * field::kMaxFieldLimbs>::from_bytes_be(wide);
+    Scalar r = bigint::mod_wide(v, B::group_order(*params_));
+    if (r.is_zero()) r = Scalar::from_u64(1);
+    return r;
+  }
+
+ private:
+  static const detail::SchemeProbes<B>& probes() {
+    return detail::SchemeProbes<B>::get();
+  }
+
+  static std::string point_key_gu(const typename B::Gu& p) {
+    Bytes b = B::gu_to_bytes(p);
+    return std::string(b.begin(), b.end());
+  }
+  static std::string point_key_gh(const typename B::Gh& p) {
+    Bytes b = B::gh_to_bytes(p);
+    return std::string(b.begin(), b.end());
+  }
+
+  // Memoized precomputation, shared by copies of the scheme (the scheme is
+  // a value type; the cache is an implementation detail keyed only on
+  // public data, so sharing it across copies is safe and desirable).
+  // Each map is a read-mostly SnapshotCache: hits are lock-free snapshot
+  // reads (no shared writes), misses publish copy-on-write under striped
+  // locks. Bounded and cleared wholesale on overflow — the working sets
+  // (a handful of generators, one tag per epoch, one update per epoch)
+  // are tiny, so eviction policy does not matter.
+  struct Cache {
+    explicit Cache(bool snapshots)
+        : tags(detail::cache_options<B>(snapshots)),
+          good_keys(detail::cache_options<B>(snapshots)),
+          combs(detail::cache_options<B>(snapshots)),
+          pair_bases(detail::cache_options<B>(snapshots)),
+          lines(detail::cache_options<B>(snapshots)) {}
+
+    SnapshotCache<typename B::Gu> tags;  // tag -> H1(T)
+    SnapshotCache<char> good_keys;       // verified (server, user) keys (presence set)
+    SnapshotCache<std::shared_ptr<const typename B::GhPrecomp>> combs;
+    SnapshotCache<Gt> pair_bases;  // asg || tag -> ê(asG, H1(T))
+    SnapshotCache<std::shared_ptr<const typename B::PairPrecomp>> lines;
+  };
+
+  /// H1(T), memoized when tuning_.cache_tags.
+  typename B::Gu cached_hash_tag(std::string_view tag) const {
+    if (!tuning_.cache_tags) return B::hash_tag(*params_, tre::to_bytes(tag));
+    if (auto hit = cache_->tags.find(tag)) {
+      probes().tag_hit.add();
+      return *hit;
+    }
+    probes().tag_miss.add();
+    typename B::Gu h = B::hash_tag(*params_, tre::to_bytes(tag));
+    cache_->tags.insert(tag, h);
+    return h;
+  }
+
+  /// Comb table for a long-lived generator, memoized when
+  /// tuning_.fixed_base_comb; nullptr when the comb engine is disabled.
+  std::shared_ptr<const typename B::GhPrecomp> comb_for(const typename B::Gh& base) const {
+    if (!tuning_.fixed_base_comb || B::gh_is_infinity(base)) return nullptr;
+    const std::string key = point_key_gh(base);
+    if (auto hit = cache_->combs.find(key)) {
+      probes().comb_hit.add();
+      return *hit;
+    }
+    probes().comb_miss.add();
+    auto comb = B::make_comb(*params_, base);
+    cache_->combs.insert(key, comb);
+    return comb;
+  }
+
+  /// base·k for secret k where base is a long-lived generator (params
+  /// base, server G / sG): fixed-pattern comb walk when enabled, seed-era
+  /// wNAF otherwise.
+  typename B::Gh mul_fixed_base(const typename B::Gh& base, const Scalar& k) const {
+    if (auto comb = comb_for(base)) {
+      probes().mul_comb.add();
+      return comb->mul_secret(k);
+    }
+    probes().mul_fixed.add();
+    return tuning_.fixed_base_comb ? B::gh_mul_secret(*params_, base, k)
+                                   : B::gh_mul(*params_, base, k);
+  }
+
+  /// base·k for secret k where base varies call to call (the asg half of
+  /// a receiver key during non-cached encrypt, fresh server generators):
+  /// fixed-window ladder when the engine is on, wNAF otherwise.
+  typename B::Gh mul_varying_gh(const typename B::Gh& base, const Scalar& k) const {
+    // A comb table costs hundreds of additions to build; for a base seen
+    // once the fixed-window ladder wins.
+    probes().mul_varying.add();
+    return tuning_.fixed_base_comb ? B::gh_mul_secret(*params_, base, k)
+                                   : B::gh_mul(*params_, base, k);
+  }
+
+  /// Same, for the update group (H1(T), update signatures).
+  typename B::Gu mul_varying_gu(const typename B::Gu& base, const Scalar& k) const {
+    probes().mul_varying.add();
+    return tuning_.fixed_base_comb ? B::gu_mul_secret(*params_, base, k)
+                                   : B::gu_mul(*params_, base, k);
+  }
+
+  /// The user's certifiable anchor a·(anchor base). On type-1 the anchor
+  /// base IS the server generator, so this shares the Gh comb cache (and
+  /// its probe counts) with every other fixed-base multiply; on type-3 it
+  /// is the context's G_1 generator.
+  typename B::Gu mul_anchor(const BasicServerPublicKey<B>& server,
+                            const Scalar& a) const {
+    if constexpr (B::kAnchorIsGh) {
+      return mul_fixed_base(server.g, a);
+    } else {
+      return B::gu_mul(*params_, B::anchor_base(*params_, server.g), a);
+    }
+  }
+
+  /// verify_user_public_key with positive results memoized.
+  bool checked_user_key(const BasicServerPublicKey<B>& server,
+                        const BasicUserPublicKey<B>& user) const {
+    if (!tuning_.cache_key_checks) return verify_user_public_key(server, user);
+    Bytes sk = server.to_bytes();
+    Bytes uk = user.to_bytes();
+    std::string key(sk.begin(), sk.end());
+    key.append(uk.begin(), uk.end());
+    if (cache_->good_keys.contains(key)) {
+      probes().keycheck_hit.add();
+      return true;
+    }
+    probes().keycheck_miss.add();
+    // Only successful checks are memoized: a failure must stay a failure
+    // even if a good key with the same bytes is later verified (impossible,
+    // but cheap to keep trivially true).
+    if (!verify_user_public_key(server, user)) return false;
+    cache_->good_keys.insert(key, char{1});
+    return true;
+  }
+
+  /// ê(asG, H1(T)) with the result memoized per (asg, tag); the per-message
+  /// encryption key is then base^r.
+  Gt pair_base(const typename B::Gh& asg, std::string_view tag,
+               const typename B::Gu& h1t) const {
+    if (!tuning_.cache_pair_bases) {
+      probes().pairings.add();
+      return B::pair_session(*params_, asg, h1t);
+    }
+    std::string key = point_key_gh(asg);  // fixed length, so asg||tag is unambiguous
+    key.append(tag);
+    if (auto hit = cache_->pair_bases.find(key)) {
+      probes().pairbase_hit.add();
+      return *hit;
+    }
+    probes().pairbase_miss.add();
+    probes().pairings.add();
+    Gt base = B::pair_session(*params_, asg, h1t);
+    cache_->pair_bases.insert(key, base);
+    return base;
+  }
+
+  /// ê(fixed, u) with cached Miller line precomp for `fixed` (an update
+  /// signature or epoch key, reused across every ciphertext of an epoch).
+  Gt pair_with_lines(const typename B::Gu& fixed, const typename B::Gh& u) const {
+    probes().pairings.add();
+    if (!tuning_.cache_update_lines) return B::pair_decrypt(*params_, fixed, u);
+    const std::string key = point_key_gu(fixed);
+    std::shared_ptr<const typename B::PairPrecomp> lines;
+    if (auto hit = cache_->lines.find(key)) {
+      probes().lines_hit.add();
+      lines = *hit;
+    } else {
+      probes().lines_miss.add();
+      lines = B::make_lines(*params_, fixed);
+      cache_->lines.insert(key, lines);
+    }
+    return lines->pair(u);
+  }
+
+  /// k^e in G_T honouring tuning_.unitary_gt_pow.
+  Gt gt_pow(const Gt& k, const Scalar& e) const {
+    return B::gt_pow(*params_, k, e, tuning_.unitary_gt_pow);
+  }
+
+  // Per-flavour implementations behind seal()/open(); the public
+  // encrypt_*/decrypt_* entry points delegate here too, so both API
+  // generations share one body per flavour.
+  BasicCiphertext<B> seal_basic(ByteSpan msg, const BasicUserPublicKey<B>& user,
+                                const BasicServerPublicKey<B>& server,
+                                std::string_view tag, tre::hashing::RandomSource& rng,
+                                KeyCheck check) const {
+    obs::Span span(probes().encrypt_ns);
+    if (check == KeyCheck::kVerify) {
+      require(checked_user_key(server, user),
+              "TRE encrypt: receiver public key fails the pairing check");
+    }
+    Scalar r = B::random_scalar(*params_, rng);
+    typename B::Gh u = mul_fixed_base(server.g, r);
+    typename B::Gu h1t = hash_tag(tag);
+    // ê(r·asG, H1(T)) == ê(asG, H1(T))^r: with the base pairing memoized,
+    // the per-message cost is one comb multiply and one G_T exponentiation.
+    Gt k = tuning_.cache_pair_bases
+               ? gt_pow(pair_base(user.asg, tag, h1t), r)
+               : B::pair_session(*params_, mul_varying_gh(user.asg, r), h1t);
+    return BasicCiphertext<B>{u, xor_bytes(msg, mask_h2(k, msg.size()))};
+  }
+
+  BasicFoCiphertext<B> seal_fo(ByteSpan msg, const BasicUserPublicKey<B>& user,
+                               const BasicServerPublicKey<B>& server,
+                               std::string_view tag, tre::hashing::RandomSource& rng,
+                               KeyCheck check) const {
+    obs::Span span(probes().encrypt_ns);
+    if (check == KeyCheck::kVerify) {
+      require(checked_user_key(server, user),
+              "TRE encrypt_fo: receiver public key fails the pairing check");
+    }
+    Bytes sigma = rng.bytes(detail::kSigmaBytes);
+    // r = H3(sigma, M): decryption re-derives it, making the scheme
+    // plaintext-aware (CCA in the ROM per Fujisaki-Okamoto).
+    Scalar r = hash_to_scalar("TRE-H3", concat({sigma, msg}));
+    typename B::Gh u = mul_fixed_base(server.g, r);
+    typename B::Gu h1t = hash_tag(tag);
+    Gt k = tuning_.cache_pair_bases
+               ? gt_pow(pair_base(user.asg, tag, h1t), r)
+               : B::pair_session(*params_, mul_varying_gh(user.asg, r), h1t);
+    Bytes c_sigma = xor_bytes(sigma, mask_h2(k, detail::kSigmaBytes));
+    Bytes c_msg = xor_bytes(msg, hashing::oracle_bytes("TRE-H4", sigma, msg.size()));
+    return BasicFoCiphertext<B>{u, std::move(c_sigma), std::move(c_msg)};
+  }
+
+  BasicReactCiphertext<B> seal_react(ByteSpan msg, const BasicUserPublicKey<B>& user,
+                                     const BasicServerPublicKey<B>& server,
+                                     std::string_view tag,
+                                     tre::hashing::RandomSource& rng,
+                                     KeyCheck check) const {
+    obs::Span span(probes().encrypt_ns);
+    if (check == KeyCheck::kVerify) {
+      require(checked_user_key(server, user),
+              "TRE encrypt_react: receiver public key fails the pairing check");
+    }
+    Bytes witness = rng.bytes(detail::kSigmaBytes);  // REACT's random R
+    Scalar r = B::random_scalar(*params_, rng);
+    typename B::Gh u = mul_fixed_base(server.g, r);
+    typename B::Gu h1t = hash_tag(tag);
+    Gt k = tuning_.cache_pair_bases
+               ? gt_pow(pair_base(user.asg, tag, h1t), r)
+               : B::pair_session(*params_, mul_varying_gh(user.asg, r), h1t);
+    Bytes c_r = xor_bytes(witness, mask_h2(k, detail::kSigmaBytes));
+    Bytes c_msg = xor_bytes(msg, hashing::oracle_bytes("TRE-G", witness, msg.size()));
+    Bytes mac = hashing::oracle_bytes(
+        "TRE-H5", concat({witness, msg, B::gh_to_bytes(u), c_r, c_msg}),
+        detail::kMacBytes);
+    return BasicReactCiphertext<B>{u, std::move(c_r), std::move(c_msg), std::move(mac)};
+  }
+
+  std::shared_ptr<const typename B::Params> params_;
+  Tuning tuning_;
+  std::shared_ptr<Cache> cache_;
+};
+
+/// Namespace-level spellings of the unified API, so call sites read
+/// core::seal(scheme, Mode::kFo, ...) / core::open(scheme, ...) — generic
+/// over the backend.
+template <class B>
+BasicSealedCiphertext<B> seal(const BasicTreScheme<B>& scheme, Mode mode, ByteSpan msg,
+                              const BasicUserPublicKey<B>& user,
+                              const BasicServerPublicKey<B>& server,
+                              std::string_view tag, tre::hashing::RandomSource& rng,
+                              KeyCheck check = KeyCheck::kVerify) {
+  return scheme.seal(mode, msg, user, server, tag, rng, check);
+}
+
+template <class B>
+std::optional<Bytes> open(const BasicTreScheme<B>& scheme,
+                          const BasicSealedCiphertext<B>& ct, const Scalar& a,
+                          const BasicKeyUpdate<B>& update,
+                          const BasicServerPublicKey<B>& server) {
+  return scheme.open(ct, a, update, server);
+}
+
+}  // namespace tre::core

@@ -14,8 +14,15 @@
 //     relabelled, or garbage bytes, or none at all. Receivers survive
 //     because updates self-authenticate (ê(sG,H1(T)) == ê(G,I_T)), the
 //     check client/fetcher.h builds its pipeline on.
+//
+// Backend-generic: BasicMirroredArchive<B> replicates whichever
+// backend's updates the server broadcasts; the trust boundary in fetch()
+// uses that backend's wire codec, so e.g. a type-1 update served to a
+// BLS12-381 receiver is rejected at parse time. `MirroredArchive` is the
+// type-1 instantiation.
 #pragma once
 
+#include <algorithm>
 #include <optional>
 
 #include "core/tre.h"
@@ -24,23 +31,79 @@
 
 namespace tre::simnet {
 
-class MirroredArchive {
+namespace detail {
+
+// Fleet-wide mirrors of the per-instance counters, plus per-behaviour
+// breakdown of dishonest replies (compiled out under -DTRE_METRICS=OFF).
+// Shared across backends: replication traffic is replication traffic.
+struct MirrorProbes {
+  obs::CounterProbe publishes{"simnet.archive.publishes"};
+  obs::CounterProbe replication_messages{"simnet.archive.replication_messages"};
+  obs::CounterProbe origin_requests{"simnet.archive.origin_requests"};
+  obs::CounterProbe mirror_requests{"simnet.archive.mirror_requests"};
+  obs::CounterProbe byzantine_replies{"simnet.archive.byzantine_replies"};
+  obs::CounterProbe byzantine_bitflip{"simnet.archive.byzantine.bitflip"};
+  obs::CounterProbe byzantine_relabel{"simnet.archive.byzantine.relabel"};
+  obs::CounterProbe byzantine_garbage{"simnet.archive.byzantine.garbage"};
+  obs::CounterProbe fetch_successes{"simnet.archive.fetch_successes"};
+  obs::CounterProbe fetch_rejected{"simnet.archive.fetch_rejected"};
+  obs::CounterProbe fetch_timeouts{"simnet.archive.fetch_timeouts"};
+};
+
+inline const MirrorProbes& mirror_probes() {
+  static const MirrorProbes p;
+  return p;
+}
+
+}  // namespace detail
+
+template <class B>
+class BasicMirroredArchive {
  public:
   /// Builds origin + `mirror_count` mirrors, all linked to the origin
   /// with `replication_link`. `params` is needed receiver-side: fetched
   /// bytes are parsed (and possibly rejected) at the trust boundary.
-  MirroredArchive(std::shared_ptr<const params::GdhParams> params, Network& net,
-                  server::Timeline& timeline, size_t mirror_count,
-                  LinkSpec replication_link);
+  BasicMirroredArchive(std::shared_ptr<const typename B::Params> params,
+                       Network& net, server::Timeline& timeline,
+                       size_t mirror_count, LinkSpec replication_link)
+      : params_(std::move(params)),
+        net_(net),
+        timeline_(timeline),
+        origin_(net.add_node("origin")) {
+    require(params_ != nullptr, "MirroredArchive: null params");
+    mirrors_.reserve(mirror_count);
+    for (size_t i = 0; i < mirror_count; ++i) {
+      NodeId node = net_.add_node("mirror-" + std::to_string(i));
+      net_.connect(origin_, node, replication_link);
+      mirrors_.push_back(Replica{node, {}});
+    }
+  }
 
   NodeId origin() const { return origin_; }
   size_t mirror_count() const { return mirrors_.size(); }
-  NodeId mirror_node(size_t idx) const;
+
+  NodeId mirror_node(size_t idx) const {
+    require(idx < mirrors_.size(), "MirroredArchive: bad mirror index");
+    return mirrors_[idx].node;
+  }
 
   /// Origin-side: stores locally and pushes one copy per mirror. A
   /// mirror that is crashed (per the fault plan) at the replication
   /// arrival instant misses the update until a later publish.
-  void publish(const core::KeyUpdate& update);
+  void publish(const core::BasicKeyUpdate<B>& update) {
+    publishes_.add();
+    detail::mirror_probes().publishes.add();
+    origin_archive_.put(update);
+    size_t wire = update.to_bytes().size();
+    for (size_t i = 0; i < mirrors_.size(); ++i) {
+      replication_messages_.add();
+      detail::mirror_probes().replication_messages.add();
+      // Copy captured by value: the mirror stores it at arrival time.
+      core::BasicKeyUpdate<B> copy = update;
+      net_.send(origin_, mirrors_[i].node, wire,
+                [this, i, copy = std::move(copy)] { mirrors_[i].archive.put(copy); });
+    }
+  }
 
   static constexpr size_t kOrigin = static_cast<size_t>(-1);
 
@@ -52,7 +115,31 @@ class MirroredArchive {
   /// mirror stays silent; the CALLER owns retry timing. This is the
   /// primitive client::UpdateFetcher drives.
   void request(NodeId receiver, size_t mirror_idx, std::string tag,
-               LinkSpec access_link, std::function<void(Bytes)> on_reply);
+               LinkSpec access_link, std::function<void(Bytes)> on_reply) {
+    require(mirror_idx == kOrigin || mirror_idx < mirrors_.size(),
+            "MirroredArchive: bad mirror index");
+    NodeId target = node_for(mirror_idx);
+    net_.connect(receiver, target, access_link);
+    if (mirror_idx == kOrigin) {
+      origin_requests_.add();
+      detail::mirror_probes().origin_requests.add();
+    } else {
+      mirror_requests_.add();
+      detail::mirror_probes().mirror_requests.add();
+    }
+    // Request leg; the replica decides its reply (if any) at arrival time.
+    size_t request_bytes = tag.size();  // before the move below
+    net_.send(receiver, target, request_bytes,
+              [this, receiver, mirror_idx, target, tag = std::move(tag),
+               on_reply = std::move(on_reply)]() mutable {
+                std::optional<Bytes> reply = replica_reply(mirror_idx, tag);
+                if (!reply) return;
+                size_t wire = reply->size();
+                net_.send(target, receiver, wire,
+                          [bytes = std::move(*reply),
+                           on_reply = std::move(on_reply)] { on_reply(bytes); });
+              });
+  }
 
   /// Receiver-side convenience poller: polls `mirror_idx` (or the origin
   /// when mirror_idx == kOrigin) over `access_link` until a reply parses
@@ -65,8 +152,22 @@ class MirroredArchive {
   /// (failover, health, jittered backoff) use client::UpdateFetcher.
   void fetch(NodeId receiver, size_t mirror_idx, std::string tag,
              LinkSpec access_link, std::int64_t poll_period, size_t max_polls,
-             std::function<void(const core::KeyUpdate&)> done,
-             std::function<bool(const core::KeyUpdate&)> verify = nullptr);
+             std::function<void(const core::BasicKeyUpdate<B>&)> done,
+             std::function<bool(const core::BasicKeyUpdate<B>&)> verify = nullptr) {
+    require(mirror_idx == kOrigin || mirror_idx < mirrors_.size(),
+            "MirroredArchive: bad mirror index");
+    require(poll_period > 0, "MirroredArchive: poll period must be positive");
+    auto job = std::make_shared<FetchJob>();
+    job->receiver = receiver;
+    job->mirror_idx = mirror_idx;
+    job->tag = std::move(tag);
+    job->access_link = access_link;
+    job->base_period = poll_period;
+    job->polls_left = max_polls;
+    job->on_done = std::move(done);
+    job->verify = std::move(verify);
+    poll_once(std::move(job));
+  }
 
   /// Point-in-time view over the instance registry (mirrored into
   /// obs::Registry::global() as simnet.archive.*).
@@ -80,7 +181,13 @@ class MirroredArchive {
     std::uint64_t fetch_rejected = 0;     // replies discarded by fetch()
     std::uint64_t fetch_timeouts = 0;
   };
-  Stats stats() const;
+
+  Stats stats() const {
+    return Stats{publishes_.value(),         replication_messages_.value(),
+                 origin_requests_.value(),   mirror_requests_.value(),
+                 byzantine_replies_.value(), fetch_successes_.value(),
+                 fetch_rejected_.value(),    fetch_timeouts_.value()};
+  }
 
   /// The instance-local registry backing stats() (snapshot/export hook).
   const obs::Registry& metrics() const { return reg_; }
@@ -88,23 +195,125 @@ class MirroredArchive {
  private:
   struct Replica {
     NodeId node;
-    server::UpdateArchive archive;
+    server::BasicUpdateArchive<B> archive;
   };
-  struct FetchJob;
 
-  NodeId node_for(size_t mirror_idx) const;
-  const server::UpdateArchive& archive_for(size_t mirror_idx) const;
+  struct FetchJob {
+    NodeId receiver;
+    size_t mirror_idx;
+    std::string tag;
+    LinkSpec access_link;
+    std::int64_t base_period;
+    size_t polls_left;
+    size_t backoff_shift = 0;  // doubling exponent, capped at 8× the base
+    bool done = false;
+    bool timed_out = false;
+    std::function<void(const core::BasicKeyUpdate<B>&)> on_done;
+    std::function<bool(const core::BasicKeyUpdate<B>&)> verify;
+  };
+
+  NodeId node_for(size_t mirror_idx) const {
+    return mirror_idx == kOrigin ? origin_ : mirrors_[mirror_idx].node;
+  }
+
+  const server::BasicUpdateArchive<B>& archive_for(size_t mirror_idx) const {
+    return mirror_idx == kOrigin ? origin_archive_ : mirrors_[mirror_idx].archive;
+  }
 
   /// What the replica puts on the wire for `tag` (empty = stay silent).
-  std::optional<Bytes> replica_reply(size_t mirror_idx, const std::string& tag);
+  std::optional<Bytes> replica_reply(size_t mirror_idx, const std::string& tag) {
+    const server::BasicUpdateArchive<B>& archive = archive_for(mirror_idx);
+    std::optional<core::BasicKeyUpdate<B>> found = archive.find(tag);
 
-  void poll_once(std::shared_ptr<FetchJob> job);
+    ByzantineMode mode = ByzantineMode::kHonest;
+    FaultPlan* plan = net_.fault_plan();
+    // The origin is the server's own box; only mirrors go Byzantine.
+    if (plan && mirror_idx != kOrigin) mode = plan->behaviour(node_for(mirror_idx));
 
-  std::shared_ptr<const params::GdhParams> params_;
+    switch (mode) {
+      case ByzantineMode::kHonest:
+        if (!found) return std::nullopt;
+        return found->to_bytes();
+      case ByzantineMode::kDrop:
+        return std::nullopt;
+      case ByzantineMode::kBitFlip:
+        if (!found) return std::nullopt;  // nothing to corrupt yet
+        byzantine_replies_.add();
+        detail::mirror_probes().byzantine_replies.add();
+        detail::mirror_probes().byzantine_bitflip.add();
+        return plan->flip_one_bit(found->to_bytes());
+      case ByzantineMode::kRelabel: {
+        // Serve some OTHER archived update's signature under the requested
+        // tag — a well-formed point that fails self-authentication.
+        const auto& all = archive.all();
+        for (auto it = all.rbegin(); it != all.rend(); ++it) {
+          if (it->tag != tag) {
+            byzantine_replies_.add();
+            detail::mirror_probes().byzantine_replies.add();
+            detail::mirror_probes().byzantine_relabel.add();
+            return core::BasicKeyUpdate<B>{tag, it->sig}.to_bytes();
+          }
+        }
+        if (all.empty()) return std::nullopt;
+        // Only the requested update exists: degrade to garbage of honest size.
+        byzantine_replies_.add();
+        detail::mirror_probes().byzantine_replies.add();
+        detail::mirror_probes().byzantine_garbage.add();
+        return plan->garbage(all.front().to_bytes().size());
+      }
+      case ByzantineMode::kGarbage: {
+        size_t len = found ? found->to_bytes().size()
+                           : tag.size() + 2 + B::gu_wire_bytes(*params_);
+        byzantine_replies_.add();
+        detail::mirror_probes().byzantine_replies.add();
+        detail::mirror_probes().byzantine_garbage.add();
+        return plan->garbage(len);
+      }
+    }
+    return std::nullopt;
+  }
+
+  void poll_once(std::shared_ptr<FetchJob> job) {
+    if (job->done || job->timed_out) return;
+    if (job->polls_left == 0) {
+      job->timed_out = true;
+      fetch_timeouts_.add();
+      detail::mirror_probes().fetch_timeouts.add();
+      return;
+    }
+    --job->polls_left;
+    request(job->receiver, job->mirror_idx, job->tag, job->access_link,
+            [this, job](Bytes wire) {
+              if (job->done || job->timed_out) return;
+              // The trust boundary: bytes from an untrusted replica must
+              // parse, carry the requested tag (relabelling is an attack),
+              // and pass the caller's verification before acceptance.
+              std::optional<core::BasicKeyUpdate<B>> parsed =
+                  core::BasicKeyUpdate<B>::try_from_bytes(*params_, wire);
+              if (!parsed || parsed->tag != job->tag ||
+                  (job->verify && !job->verify(*parsed))) {
+                fetch_rejected_.add();  // a failed poll; retry is already armed
+                detail::mirror_probes().fetch_rejected.add();
+                return;
+              }
+              job->done = true;
+              fetch_successes_.add();
+              detail::mirror_probes().fetch_successes.add();
+              job->on_done(*parsed);
+            });
+    // Receiver-driven exponential backoff: the next poll fires whether or
+    // not the replica answers (absence and garbage cost the same).
+    std::int64_t delay = job->base_period
+                         << std::min<size_t>(job->backoff_shift, 3);
+    ++job->backoff_shift;
+    timeline_.schedule(delay, [this, job] { poll_once(job); });
+  }
+
+  std::shared_ptr<const typename B::Params> params_;
   Network& net_;
   server::Timeline& timeline_;
   NodeId origin_;
-  server::UpdateArchive origin_archive_;
+  server::BasicUpdateArchive<B> origin_archive_;
   std::vector<Replica> mirrors_;
   // Instance accounting in a private registry; handles resolved once
   // because registry lookup takes a lock.
@@ -118,5 +327,9 @@ class MirroredArchive {
   obs::Counter& fetch_rejected_ = reg_.counter("fetch_rejected");
   obs::Counter& fetch_timeouts_ = reg_.counter("fetch_timeouts");
 };
+
+using MirroredArchive = BasicMirroredArchive<core::Tre512Backend>;
+
+extern template class BasicMirroredArchive<core::Tre512Backend>;
 
 }  // namespace tre::simnet

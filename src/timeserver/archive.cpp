@@ -4,23 +4,7 @@
 
 namespace tre::server {
 
-void UpdateArchive::put(const core::KeyUpdate& update) {
-  auto it = index_.find(update.tag);
-  if (it != index_.end()) {
-    require(ordered_[it->second].sig == update.sig,
-            "UpdateArchive: conflicting update for the same tag");
-    return;
-  }
-  index_.emplace(update.tag, ordered_.size());
-  ordered_.push_back(update);
-  total_bytes_ += update.to_bytes().size();
-}
-
-std::optional<core::KeyUpdate> UpdateArchive::find(std::string_view tag) const {
-  auto it = index_.find(std::string(tag));
-  if (it == index_.end()) return std::nullopt;
-  return ordered_[it->second];
-}
+template class BasicUpdateArchive<core::Tre512Backend>;
 
 bool verify_update_batch(std::shared_ptr<const params::GdhParams> params,
                          const core::ServerPublicKey& server,
@@ -34,14 +18,6 @@ bool verify_update_batch(std::shared_ptr<const params::GdhParams> params,
     batch.push_back(bls::SignedMessage{upd.tag, bls::Signature{upd.sig}});
   }
   return bls.verify_batch(server.g, server.sg, batch, rng);
-}
-
-std::vector<core::KeyUpdate> UpdateArchive::since(size_t& cursor) const {
-  require(cursor <= ordered_.size(), "UpdateArchive: cursor out of range");
-  std::vector<core::KeyUpdate> out(ordered_.begin() + static_cast<long>(cursor),
-                                   ordered_.end());
-  cursor = ordered_.size();
-  return out;
 }
 
 }  // namespace tre::server

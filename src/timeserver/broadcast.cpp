@@ -1,71 +1,7 @@
 #include "timeserver/broadcast.h"
 
-#include <algorithm>
-
 namespace tre::server {
 
-BroadcastBus::BroadcastBus(Timeline& timeline, ByteSpan seed)
-    : timeline_(timeline),
-      rng_(seed.empty() ? ByteSpan(to_bytes("broadcast-bus-default")) : seed) {}
-
-BroadcastBus::SubscriberId BroadcastBus::subscribe(Handler handler) {
-  require(handler != nullptr, "BroadcastBus: null handler");
-  subscribers_.push_back(Subscriber{next_id_, std::move(handler)});
-  return next_id_++;
-}
-
-void BroadcastBus::unsubscribe(SubscriberId id) {
-  std::erase_if(subscribers_, [id](const Subscriber& s) { return s.id == id; });
-}
-
-void BroadcastBus::set_loss_probability(double p) {
-  require(p >= 0.0 && p <= 1.0, "BroadcastBus: loss probability out of range");
-  loss_probability_ = p;
-}
-
-void BroadcastBus::set_delay_range(std::int64_t min_seconds, std::int64_t max_seconds) {
-  require(0 <= min_seconds && min_seconds <= max_seconds,
-          "BroadcastBus: bad delay range");
-  delay_min_ = min_seconds;
-  delay_max_ = max_seconds;
-}
-
-size_t BroadcastBus::subscriber_count() const { return subscribers_.size(); }
-
-BroadcastBus::PublishOutcome BroadcastBus::publish(const core::KeyUpdate& update) {
-  PublishOutcome outcome;
-  ++stats_.published;
-  // The server transmits once regardless of audience size — that is the
-  // scheme's scalability claim; per-subscriber loss/delay model the
-  // receive side of a shared medium.
-  stats_.bytes_broadcast += update.to_bytes().size();
-  for (const auto& sub : subscribers_) {
-    Bytes draw = rng_.bytes(8);
-    double u = static_cast<double>(bigint::BigInt<1>::from_bytes_be(draw).w[0]) /
-               static_cast<double>(UINT64_MAX);
-    if (u < loss_probability_) {
-      ++stats_.drops;
-      ++outcome.lost;
-      outcome.missed.push_back(sub.id);
-      continue;
-    }
-    std::int64_t delay = delay_min_;
-    if (delay_max_ > delay_min_) {
-      Bytes jitter = rng_.bytes(8);
-      delay += static_cast<std::int64_t>(
-          bigint::BigInt<1>::from_bytes_be(jitter).w[0] %
-          static_cast<std::uint64_t>(delay_max_ - delay_min_ + 1));
-    }
-    ++stats_.deliveries;
-    ++outcome.scheduled;
-    // Copy update and handler by value: subscriber list may change before
-    // the event fires.
-    Handler handler = sub.handler;
-    core::KeyUpdate copy = update;
-    timeline_.schedule(delay, [handler = std::move(handler),
-                               copy = std::move(copy)] { handler(copy); });
-  }
-  return outcome;
-}
+template class BasicBroadcastBus<core::Tre512Backend>;
 
 }  // namespace tre::server

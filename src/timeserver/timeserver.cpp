@@ -1,150 +1,7 @@
 #include "timeserver/timeserver.h"
 
-#include <algorithm>
-
-#include "obs/metrics.h"
-
 namespace tre::server {
 
-namespace {
-
-// Fleet-wide telemetry; TimeServer::Stats remains the per-instance view.
-struct Probes {
-  obs::CounterProbe updates_issued{"server.updates_issued"};
-  obs::CounterProbe broadcast_bytes{"server.broadcast_bytes"};
-  obs::HistogramProbe issue_ns{"server.issue_ns"};
-
-  static const Probes& get() {
-    static const Probes p;
-    return p;
-  }
-};
-
-}  // namespace
-
-TimeServer::TimeServer(std::shared_ptr<const params::GdhParams> params,
-                       Timeline& timeline, Granularity g,
-                       tre::hashing::RandomSource& rng)
-    : TimeServer(std::move(params), timeline, std::vector<Granularity>{g}, rng) {}
-
-TimeServer::TimeServer(std::shared_ptr<const params::GdhParams> params,
-                       Timeline& timeline, std::vector<Granularity> levels,
-                       tre::hashing::RandomSource& rng)
-    : scheme_(std::move(params)),
-      keys_(scheme_.server_keygen(rng)),
-      timeline_(timeline),
-      bus_(timeline) {
-  require(!levels.empty(), "TimeServer: no granularities");
-  // Finest first; duplicates removed.
-  std::sort(levels.begin(), levels.end(),
-            [](Granularity a, Granularity b) { return a > b; });
-  levels.erase(std::unique(levels.begin(), levels.end()), levels.end());
-  for (Granularity g : levels) {
-    levels_.push_back(Level{g, TimeSpec::from_unix(timeline.now(), g)});
-  }
-}
-
-Granularity TimeServer::granularity() const { return levels_.front().granularity; }
-
-core::KeyUpdate TimeServer::issue_unchecked(const TimeSpec& t) {
-  obs::Span span(Probes::get().issue_ns);
-  core::KeyUpdate update = scheme_.issue_update(keys_, t.canonical());
-  archive_.put(update);
-  bus_.publish(update);
-  ++stats_.updates_issued;
-  const std::uint64_t wire_bytes = update.to_bytes().size();
-  stats_.bytes_published += wire_bytes;
-  Probes::get().updates_issued.add();
-  Probes::get().broadcast_bytes.add(wire_bytes);
-  return update;
-}
-
-size_t TimeServer::tick() {
-  size_t issued = 0;
-  for (Level& level : levels_) {
-    while (level.next_due.unix_seconds() <= timeline_.now()) {
-      issue_unchecked(level.next_due);
-      level.next_due = level.next_due.next();
-      ++issued;
-    }
-  }
-  return issued;
-}
-
-std::int64_t TimeServer::next_boundary() const {
-  std::int64_t soonest = levels_.front().next_due.unix_seconds();
-  for (const Level& level : levels_) {
-    soonest = std::min(soonest, level.next_due.unix_seconds());
-  }
-  return soonest;
-}
-
-void TimeServer::run(std::int64_t until_unix_seconds) {
-  tick();
-  std::int64_t due = next_boundary();
-  if (due > until_unix_seconds) return;
-  timeline_.schedule(due - timeline_.now(),
-                     [this, until_unix_seconds] { run(until_unix_seconds); });
-}
-
-std::vector<core::KeyUpdate> TimeServer::issue_range(const TimeSpec& from,
-                                                     const TimeSpec& to,
-                                                     unsigned threads) {
-  return try_issue_range(from, to, threads).value();  // throws on error
-}
-
-Result<std::vector<core::KeyUpdate>> TimeServer::try_issue_range(const TimeSpec& from,
-                                                                 const TimeSpec& to,
-                                                                 unsigned threads) {
-  // Trust assumption 2 applies to the whole range.
-  if (to.unix_seconds() > timeline_.now()) return Errc::kFutureInstant;
-  if (from.unix_seconds() > to.unix_seconds()) return Errc::kBadRange;
-
-  std::vector<TimeSpec> instants;
-  for (TimeSpec t = from; t.unix_seconds() <= to.unix_seconds(); t = t.next()) {
-    instants.push_back(t);
-  }
-
-  // Serve what the archive already has (idempotent backfill), then sign
-  // the missing instants on the pool and publish them in timeline order.
-  std::vector<std::optional<core::KeyUpdate>> out(instants.size());
-  std::vector<std::string> missing_tags;
-  std::vector<size_t> missing_at;
-  for (size_t i = 0; i < instants.size(); ++i) {
-    out[i] = archive_.find(instants[i].canonical());
-    if (!out[i]) {
-      missing_tags.push_back(instants[i].canonical());
-      missing_at.push_back(i);
-    }
-  }
-  std::vector<core::KeyUpdate> fresh =
-      scheme_.issue_updates(keys_, missing_tags, threads);
-  for (size_t j = 0; j < fresh.size(); ++j) {
-    archive_.put(fresh[j]);
-    bus_.publish(fresh[j]);
-    ++stats_.updates_issued;
-    const std::uint64_t wire_bytes = fresh[j].to_bytes().size();
-    stats_.bytes_published += wire_bytes;
-    Probes::get().updates_issued.add();
-    Probes::get().broadcast_bytes.add(wire_bytes);
-    out[missing_at[j]] = std::move(fresh[j]);
-  }
-
-  std::vector<core::KeyUpdate> result;
-  result.reserve(out.size());
-  for (auto& u : out) result.push_back(std::move(*u));
-  return result;
-}
-
-core::KeyUpdate TimeServer::issue_for(const TimeSpec& t) {
-  return try_issue_for(t).value();  // throws on error
-}
-
-Result<core::KeyUpdate> TimeServer::try_issue_for(const TimeSpec& t) {
-  // Trust assumption 2: never sign a future instant.
-  if (t.unix_seconds() > timeline_.now()) return Errc::kFutureInstant;
-  if (auto existing = archive_.find(t.canonical())) return *existing;
-  return issue_unchecked(t);
-}
+template class BasicTimeServer<core::Tre512Backend>;
 
 }  // namespace tre::server

@@ -70,4 +70,35 @@ if "$CLI" verify-update --server-pub update.bin --update server.pub 2>/dev/null;
   exit 1
 fi
 
+# ---- BLS12-381 backend: same commands, same flow, modern curve. -------
+"$CLI" params | grep -q 'bls12-381'
+"$CLI" server-keygen --backend bls381 --key server381.key --pub server381.pub
+"$CLI" user-keygen --server-pub server381.pub --key user381.key --pub user381.pub
+"$CLI" encrypt --user-pub user381.pub --server-pub server381.pub \
+  --tag "2031-05-05T05:05:05Z" --in msg.txt --out ct381.bin --mode sealed
+"$CLI" issue --server-key server381.key --tag "2031-05-05T05:05:05Z" --out update381.bin
+"$CLI" verify-update --server-pub server381.pub --update update381.bin >/dev/null
+"$CLI" decrypt --user-key user381.key --server-pub server381.pub \
+  --update update381.bin --in ct381.bin --out out381.txt
+cmp msg.txt out381.txt
+
+# An explicit --backend is cross-checked against the files.
+"$CLI" issue --backend bls381 --server-key server381.key --tag T381 --out u381.bin
+if "$CLI" issue --backend tre512 --server-key server381.key --tag T381 \
+  --out u381b.bin 2>/dev/null; then
+  echo "FAIL: --backend tre512 accepted bls381 key file" >&2
+  exit 1
+fi
+
+# Cross-backend artifacts are rejected before any cryptography runs.
+if "$CLI" verify-update --server-pub server381.pub --update update.bin 2>/dev/null; then
+  echo "FAIL: type-1 update accepted by bls381 server key" >&2
+  exit 1
+fi
+if "$CLI" decrypt --user-key user.key --server-pub server.pub --update update.bin \
+  --in ct381.bin --out cross.txt 2>/dev/null; then
+  echo "FAIL: bls381 ciphertext decrypted with type-1 keys" >&2
+  exit 1
+fi
+
 echo "cli roundtrip ok"

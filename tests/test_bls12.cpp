@@ -161,30 +161,33 @@ TEST_F(Bls12Test, PairingsEqualHelper) {
 class Tre381Test : public ::testing::Test {
  protected:
   Tre381Test()
-      : rng_(to_bytes("tre381-tests")),
+      : scheme_(make_tre381()),
+        rng_(to_bytes("tre381-tests")),
         server_(scheme_.server_keygen(rng_)),
-        user_(scheme_.user_keygen(server_.pk, rng_)) {}
+        user_(scheme_.user_keygen(server_.pub, rng_)) {}
 
-  Tre381 scheme_;
+  Tre381Scheme scheme_;
   hashing::HmacDrbg rng_;
   ServerKey381 server_;
   UserKey381 user_;
 };
 
 TEST_F(Tre381Test, KeysAndUpdatesVerify) {
-  EXPECT_TRUE(scheme_.verify_user_key(server_.pk, user_.a1, user_.a2));
+  EXPECT_TRUE(scheme_.verify_server_public_key(server_.pub));
+  EXPECT_TRUE(scheme_.verify_user_public_key(server_.pub, user_.pub));
   Update381 upd = scheme_.issue_update(server_, "2030-01-01T00:00:00Z");
-  EXPECT_TRUE(scheme_.verify_update(server_.pk, upd));
+  EXPECT_TRUE(scheme_.verify_update(server_.pub, upd));
   // Forgeries rejected.
   Update381 relabeled{"2031-01-01T00:00:00Z", upd.sig};
-  EXPECT_FALSE(scheme_.verify_update(server_.pk, relabeled));
-  UserKey381 eve = scheme_.user_keygen(server_.pk, rng_);
-  EXPECT_FALSE(scheme_.verify_user_key(server_.pk, user_.a1, eve.a2));
+  EXPECT_FALSE(scheme_.verify_update(server_.pub, relabeled));
+  UserKey381 eve = scheme_.user_keygen(server_.pub, rng_);
+  UserPublicKey381 mixed{user_.pub.ag, eve.pub.asg};
+  EXPECT_FALSE(scheme_.verify_user_public_key(server_.pub, mixed));
 }
 
 TEST_F(Tre381Test, RoundtripAndTimeLock) {
   Bytes msg = to_bytes("tlock-style timed release");
-  auto ct = scheme_.encrypt(msg, user_.a1, user_.a2, server_.pk,
+  auto ct = scheme_.encrypt(msg, user_.pub, server_.pub,
                             "2030-01-01T00:00:00Z", rng_);
   Update381 upd = scheme_.issue_update(server_, "2030-01-01T00:00:00Z");
   EXPECT_EQ(scheme_.decrypt(ct, user_.a, upd), msg);
@@ -192,42 +195,52 @@ TEST_F(Tre381Test, RoundtripAndTimeLock) {
   // Wrong update or wrong secret yields garbage.
   Update381 early = scheme_.issue_update(server_, "2029-12-31T23:59:59Z");
   EXPECT_NE(scheme_.decrypt(ct, user_.a, early), msg);
-  UserKey381 eve = scheme_.user_keygen(server_.pk, rng_);
+  UserKey381 eve = scheme_.user_keygen(server_.pub, rng_);
   EXPECT_NE(scheme_.decrypt(ct, eve.a, upd), msg);
 }
 
 TEST_F(Tre381Test, UpdatesAreShorterThanThe2005Curve) {
-  // 48-byte G1 points at ~128-bit security vs 64-byte at ~80-bit.
-  EXPECT_EQ(scheme_.update_bytes(), 49u);
+  // 48-byte G1 x-coordinates at ~128-bit security vs 64-byte at ~80-bit.
+  EXPECT_EQ(Bls381Backend::gu_wire_bytes(*Bls12Ctx::get()), 49u);
+  EXPECT_EQ(Bls381Backend::gh_wire_bytes(*Bls12Ctx::get()), 97u);
+  const std::string tag = "2030-01-01T00:00:00Z";
+  Update381 upd = scheme_.issue_update(server_, tag);
+  EXPECT_EQ(upd.to_bytes().size(), 2 + tag.size() + 49);
 }
 
 TEST_F(Tre381Test, FoRoundtripAndTamperRejection) {
   Bytes msg = to_bytes("cca on the modern curve");
-  auto ct = scheme_.encrypt_fo(msg, user_.a1, user_.a2, server_.pk,
+  auto ct = scheme_.encrypt_fo(msg, user_.pub, server_.pub,
                                "2030-01-01T00:00:00Z", rng_);
   Update381 upd = scheme_.issue_update(server_, "2030-01-01T00:00:00Z");
-  auto out = scheme_.decrypt_fo(ct, user_.a, upd);
+  auto out = scheme_.decrypt_fo(ct, user_.a, upd, server_.pub);
   ASSERT_TRUE(out.has_value());
   EXPECT_EQ(*out, msg);
   ct.c_msg[0] ^= 1;
-  EXPECT_FALSE(scheme_.decrypt_fo(ct, user_.a, upd).has_value());
+  EXPECT_FALSE(scheme_.decrypt_fo(ct, user_.a, upd, server_.pub).has_value());
 }
 
 TEST_F(Tre381Test, WireRoundtrips) {
+  const Bls12Ctx& ctx = scheme_.params();
   Update381 upd = scheme_.issue_update(server_, "2030-01-01T00:00:00Z");
-  Update381 upd2 = scheme_.update_from_bytes(scheme_.update_to_bytes(upd));
+  Update381 upd2 = Update381::from_bytes(ctx, upd.to_bytes());
   EXPECT_EQ(upd2.tag, upd.tag);
-  EXPECT_TRUE(scheme_.curve().g1_eq(upd2.sig, upd.sig));
+  EXPECT_TRUE(ctx.g1_eq(upd2.sig, upd.sig));
 
   Bytes msg = to_bytes("wire");
-  auto ct = scheme_.encrypt(msg, user_.a1, user_.a2, server_.pk, "T", rng_);
-  auto ct2 = scheme_.ciphertext_from_bytes(scheme_.ciphertext_to_bytes(ct));
+  auto ct = scheme_.encrypt(msg, user_.pub, server_.pub, "T", rng_);
+  auto ct2 = Ciphertext381::from_bytes(ctx, ct.to_bytes());
   Update381 updt = scheme_.issue_update(server_, "T");
   EXPECT_EQ(scheme_.decrypt(ct2, user_.a, updt), msg);
 
-  Bytes wire = scheme_.update_to_bytes(upd);
-  EXPECT_THROW(scheme_.update_from_bytes(ByteSpan(wire.data(), wire.size() - 1)),
+  Bytes wire = upd.to_bytes();
+  EXPECT_THROW(Update381::from_bytes(ctx, ByteSpan(wire.data(), wire.size() - 1)),
                Error);
+  // The non-throwing parse returns nullopt on the same input.
+  EXPECT_FALSE(
+      Update381::try_from_bytes(ctx, ByteSpan(wire.data(), wire.size() - 1))
+          .has_value());
+  ASSERT_TRUE(Update381::try_from_bytes(ctx, wire).has_value());
 }
 
 
@@ -235,15 +248,17 @@ TEST_F(Tre381Test, WireRoundtrips) {
 
 TEST(Threshold381Test, ThreeOfFiveEndToEnd) {
   Threshold381 net;
-  Tre381 scheme;
+  Tre381Scheme scheme = make_tre381();
+  auto ctx = Bls12Ctx::get();
   hashing::HmacDrbg rng(to_bytes("threshold381-tests"));
   auto [key, shares] = net.setup(5, 3, rng);
 
-  // User binds to the group key; the sharing is invisible.
-  UserKey381 user = scheme.user_keygen(key.group_pk, rng);
+  // User binds to the group key (seen as an ordinary server key over the
+  // fixed G_2 generator); the sharing is invisible.
+  ServerPublicKey381 group = key.as_server_public_key();
+  UserKey381 user = scheme.user_keygen(group, rng);
   Bytes msg = to_bytes("released by the network");
-  auto ct = scheme.encrypt(msg, user.a1, user.a2, key.group_pk,
-                           "round-12345", rng);
+  auto ct = scheme.encrypt(msg, user.pub, group, "round-12345", rng);
 
   // Operators 1, 3, 5 publish partials; 4 is corrupt.
   std::vector<Partial381> partials = {net.issue_partial(shares[0], "round-12345"),
@@ -251,11 +266,11 @@ TEST(Threshold381Test, ThreeOfFiveEndToEnd) {
                                       net.issue_partial(shares[4], "round-12345")};
   for (const auto& p : partials) EXPECT_TRUE(net.verify_partial(key, p));
   Partial381 corrupt = net.issue_partial(shares[3], "round-12345");
-  corrupt.sig = scheme.curve().g1_add(corrupt.sig, corrupt.sig);
+  corrupt.sig = ctx->g1_add(corrupt.sig, corrupt.sig);
   EXPECT_FALSE(net.verify_partial(key, corrupt));
 
   Update381 update = net.combine(key, partials);
-  EXPECT_TRUE(scheme.verify_update(key.group_pk, update));
+  EXPECT_TRUE(scheme.verify_update(group, update));
   EXPECT_EQ(scheme.decrypt(ct, user.a, update), msg);
 
   // Any other k-subset combines to the identical update.
@@ -263,7 +278,7 @@ TEST(Threshold381Test, ThreeOfFiveEndToEnd) {
                                    net.issue_partial(shares[3], "round-12345"),
                                    net.issue_partial(shares[0], "round-12345")};
   Update381 update2 = net.combine(key, other);
-  EXPECT_TRUE(scheme.curve().g1_eq(update.sig, update2.sig));
+  EXPECT_TRUE(ctx->g1_eq(update.sig, update2.sig));
 
   // Below threshold fails.
   std::vector<Partial381> two(partials.begin(), partials.begin() + 2);

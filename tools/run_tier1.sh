@@ -9,6 +9,7 @@
 #   METRICS=0 tools/run_tier1.sh             # probes compiled out (-DTRE_METRICS=OFF)
 #   SCALING=1 tools/run_tier1.sh             # multicore throughput gate (bench_throughput)
 #   TEST_TIMEOUT=600 tools/run_tier1.sh      # per-test ctest ceiling (s)
+#   BACKEND=381 tools/run_tier1.sh           # BLS12-381 leg only (see below)
 #
 # TRE_SANITIZE is forwarded to the CMake option of the same name and
 # instruments every target with -fsanitize=<list>. MATRIX=1 runs the
@@ -25,6 +26,14 @@
 # and proves the suite — including the exact-value accounting tests —
 # passes with every obs:: probe compiled to nothing.
 #
+# BACKEND=381 restricts every ctest leg (including the MATRIX trees) to
+# the BLS12-381 backend suites — the low-level curve/pairing tests
+# (Bls12Test), the generic-core instantiation and parity suites
+# (Tre381Test, Tre381ParityTest, Threshold381Test), and the two-backend
+# CLI roundtrip — for fast iteration on the modern curve. The default
+# (BACKEND unset or "all") runs the full suite, which already contains
+# those tests: the plain gate covers both backends.
+#
 # SCALING=1 (after the test leg) runs bench_throughput — receiver-side
 # decryption at 1/2/4/8 threads — and FAILS if threads_8/threads_1 falls
 # below SCALING_MIN (default 3.0). The gate needs real cores: on hosts
@@ -36,6 +45,15 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 TEST_TIMEOUT="${TEST_TIMEOUT:-300}"
+
+# BACKEND=381 narrows ctest to the BLS12-381 suites; anything else (or
+# unset) runs everything.
+CTEST_FILTER=()
+case "${BACKEND:-all}" in
+  381) CTEST_FILTER=(-R '381|Bls12Test|cli_roundtrip') ;;
+  all) ;;
+  *) echo "run_tier1.sh: unknown BACKEND '$BACKEND' (use 381 or all)" >&2; exit 2 ;;
+esac
 
 run_one() {
   local build_dir="$1" sanitize="$2"
@@ -50,7 +68,7 @@ run_one() {
   cmake "${cmake_args[@]}"
   cmake --build "$build_dir" -j"$(nproc)"
   ctest --test-dir "$build_dir" --output-on-failure -j"$(nproc)" \
-        --timeout "$TEST_TIMEOUT"
+        --timeout "$TEST_TIMEOUT" ${CTEST_FILTER[@]+"${CTEST_FILTER[@]}"}
 }
 
 # Metrics-off runs default to their own tree so they never poison the

@@ -2,6 +2,7 @@
 //
 //   tre_cli params
 //   tre_cli server-keygen --set tre-512 --key server.key --pub server.pub
+//   tre_cli server-keygen --backend bls381 --key server.key --pub server.pub
 //   tre_cli user-keygen   --server-pub server.pub --key user.key --pub user.pub
 //   tre_cli issue         --server-key server.key [--password PW] --tag 2030-01-01T00:00:00Z --out update.bin
 //   tre_cli verify-update --server-pub server.pub --update update.bin
@@ -13,6 +14,12 @@
 // Files are self-describing: a 4-byte magic, a type byte, the parameter
 // set name, then the payload, so mixing parameter sets or file kinds is
 // caught before any cryptography runs.
+//
+// Backends: every command body is ONE template over the pairing backend.
+// `--backend {tre512,bls381}` picks the curve at server-keygen time
+// ("bls381" maps to the reserved set name "bls12-381"); downstream
+// commands dispatch on the set name baked into their input files, so keys
+// made on either curve flow through issue/encrypt/decrypt unchanged.
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -20,6 +27,7 @@
 #include <optional>
 #include <string>
 
+#include "bls12/tre381.h"
 #include "core/tre.h"
 #include "hashing/drbg.h"
 #include "keystore/keystore.h"
@@ -30,6 +38,10 @@ namespace {
 using namespace tre;
 
 constexpr char kMagic[4] = {'T', 'R', 'E', '1'};
+
+// The set name that routes an envelope to the BLS12-381 backend; type-1
+// envelopes carry a params::available() name instead.
+constexpr const char* kBls381Set = "bls12-381";
 
 enum class FileKind : std::uint8_t {
   kServerKey = 1,
@@ -109,14 +121,6 @@ Envelope read_secret(const std::string& path, FileKind plain_kind,
   return env;
 }
 
-// Secret-key payloads: scalar || public part.
-Bytes keypair_payload(const params::GdhParams& p, const core::Scalar& secret,
-                      ByteSpan pub) {
-  Bytes out = secret.to_bytes_be(p.scalar_bytes());
-  out.insert(out.end(), pub.begin(), pub.end());
-  return out;
-}
-
 // Writes a secret-key file, sealed under `password` when one is given.
 void write_secret(const std::string& path, FileKind plain_kind, FileKind sealed_kind,
                   const std::string& set_name, ByteSpan payload,
@@ -160,6 +164,7 @@ int usage() {
                "usage: tre_cli <command> [--opt value ...]\n"
                "  params\n"
                "  server-keygen --set NAME --key FILE --pub FILE [--password PW]\n"
+               "                [--backend tre512|bls381]\n"
                "  user-keygen   --server-pub FILE --key FILE --pub FILE [--password PW]\n"
                "  issue         --server-key FILE --tag T --out FILE\n"
                "  verify-update --server-pub FILE --update FILE\n"
@@ -169,12 +174,25 @@ int usage() {
                "                --in FILE --out FILE [--mode basic|fo|react]\n"
                "                (sealed ciphertexts self-describe; no --mode needed)\n"
                "  any command   [--metrics FILE]  dump the obs registry as JSON\n"
-               "                (FILE = '-' for stdout)\n");
+               "                (FILE = '-' for stdout)\n"
+               "  downstream commands infer the backend from their input files;\n"
+               "  an explicit --backend must then match the files\n");
   return 2;
 }
 
 std::shared_ptr<const params::GdhParams> load_set(const std::string& name) {
+  require(name != kBls381Set, "internal: bls12-381 files take the 381 path");
   return params::load(name);
+}
+
+// An optional --backend on a file-driven command is a cross-check, not a
+// selector: the file's set name is authoritative.
+void check_backend_flag(const Args& args, const std::string& set_name) {
+  std::string b = args.get_or("backend", "");
+  if (b.empty()) return;
+  require(b == "tre512" || b == "bls381", "unknown --backend (use tre512 or bls381)");
+  require((b == "bls381") == (set_name == kBls381Set),
+          "--backend does not match the backend of the input files");
 }
 
 int cmd_params() {
@@ -184,67 +202,84 @@ int cmd_params() {
                 p->group_order().bit_length(), p->curve->p.bit_length(),
                 p->g1_compressed_bytes());
   }
+  auto ctx = bls12::Bls12Ctx::get();
+  std::printf("%-12s q=%zu bits  p=%zu bits  update=%zu bytes  (--backend bls381)\n",
+              kBls381Set, ctx->r().bit_length(), ctx->p().bit_length(),
+              bls12::Bls381Backend::gu_wire_bytes(*ctx));
   return 0;
 }
 
-int cmd_server_keygen(const Args& args) {
-  auto p = load_set(args.get_or("set", "tre-512"));
-  core::TreScheme scheme(p);
+// ---- backend-generic command bodies -----------------------------------
+// Each body exists once; the dispatchers below instantiate it for the
+// type-1 curve and BLS12-381.
+
+// Secret-key payloads: scalar || public part.
+template <class B>
+Bytes keypair_payload(const typename B::Params& p, const core::Scalar& secret,
+                      ByteSpan pub) {
+  Bytes out = secret.to_bytes_be(B::scalar_bytes(p));
+  out.insert(out.end(), pub.begin(), pub.end());
+  return out;
+}
+
+template <class B>
+int cmd_server_keygen_g(std::shared_ptr<const typename B::Params> p,
+                        const std::string& set_name, const Args& args) {
+  core::BasicTreScheme<B> scheme(p);
   hashing::SystemRandom rng;
-  core::ServerKeyPair keys = scheme.server_keygen(rng);
+  core::BasicServerKeyPair<B> keys = scheme.server_keygen(rng);
   write_secret(args.get("key"), FileKind::kServerKey, FileKind::kServerKeySealed,
-               p->name, keypair_payload(*p, keys.s, keys.pub.to_bytes()),
+               set_name, keypair_payload<B>(*p, keys.s, keys.pub.to_bytes()),
                args.get_or("password", ""), rng);
-  write_envelope(args.get("pub"), FileKind::kServerPub, p->name, keys.pub.to_bytes());
-  std::printf("server key pair written (%s)\n", p->name.c_str());
+  write_envelope(args.get("pub"), FileKind::kServerPub, set_name, keys.pub.to_bytes());
+  std::printf("server key pair written (%s)\n", set_name.c_str());
   return 0;
 }
 
-core::ServerPublicKey read_server_pub(const std::string& path,
-                                      std::shared_ptr<const params::GdhParams>& p) {
-  Envelope env = read_envelope(path, FileKind::kServerPub);
-  p = load_set(env.set_name);
-  return core::ServerPublicKey::from_bytes(*p, env.payload);
-}
-
-int cmd_user_keygen(const Args& args) {
-  std::shared_ptr<const params::GdhParams> p;
-  core::ServerPublicKey server = read_server_pub(args.get("server-pub"), p);
-  core::TreScheme scheme(p);
+template <class B>
+int cmd_user_keygen_g(std::shared_ptr<const typename B::Params> p,
+                      const std::string& set_name, const Envelope& server_env,
+                      const Args& args) {
+  core::BasicServerPublicKey<B> server =
+      core::BasicServerPublicKey<B>::from_bytes(*p, server_env.payload);
+  core::BasicTreScheme<B> scheme(p);
   hashing::SystemRandom rng;
-  core::UserKeyPair keys = scheme.user_keygen(server, rng);
-  write_secret(args.get("key"), FileKind::kUserKey, FileKind::kUserKeySealed, p->name,
-               keypair_payload(*p, keys.a, keys.pub.to_bytes()),
+  core::BasicUserKeyPair<B> keys = scheme.user_keygen(server, rng);
+  write_secret(args.get("key"), FileKind::kUserKey, FileKind::kUserKeySealed, set_name,
+               keypair_payload<B>(*p, keys.a, keys.pub.to_bytes()),
                args.get_or("password", ""), rng);
-  write_envelope(args.get("pub"), FileKind::kUserPub, p->name, keys.pub.to_bytes());
-  std::printf("user key pair written, bound to the server key (%s)\n", p->name.c_str());
+  write_envelope(args.get("pub"), FileKind::kUserPub, set_name, keys.pub.to_bytes());
+  std::printf("user key pair written, bound to the server key (%s)\n", set_name.c_str());
   return 0;
 }
 
-int cmd_issue(const Args& args) {
-  Envelope env = read_secret(args.get("server-key"), FileKind::kServerKey,
-                             FileKind::kServerKeySealed, args.get_or("password", ""));
-  auto p = load_set(env.set_name);
-  core::TreScheme scheme(p);
-  size_t sw = p->scalar_bytes();
+template <class B>
+int cmd_issue_g(std::shared_ptr<const typename B::Params> p,
+                const std::string& set_name, const Envelope& env, const Args& args) {
+  core::BasicTreScheme<B> scheme(p);
+  size_t sw = B::scalar_bytes(*p);
   require(env.payload.size() > sw, "corrupt server key file");
   core::Scalar s = core::Scalar::from_bytes_be(ByteSpan(env.payload.data(), sw));
-  core::ServerPublicKey pub = core::ServerPublicKey::from_bytes(
+  core::BasicServerPublicKey<B> pub = core::BasicServerPublicKey<B>::from_bytes(
       *p, ByteSpan(env.payload.data() + sw, env.payload.size() - sw));
-  core::KeyUpdate upd = scheme.issue_update(core::ServerKeyPair{s, pub}, args.get("tag"));
-  write_envelope(args.get("out"), FileKind::kUpdate, p->name, upd.to_bytes());
+  core::BasicKeyUpdate<B> upd =
+      scheme.issue_update(core::BasicServerKeyPair<B>{s, pub}, args.get("tag"));
+  write_envelope(args.get("out"), FileKind::kUpdate, set_name, upd.to_bytes());
   std::printf("update issued for \"%s\" (%zu bytes)\n", upd.tag.c_str(),
               upd.to_bytes().size());
   return 0;
 }
 
-int cmd_verify_update(const Args& args) {
-  std::shared_ptr<const params::GdhParams> p;
-  core::ServerPublicKey server = read_server_pub(args.get("server-pub"), p);
+template <class B>
+int cmd_verify_update_g(std::shared_ptr<const typename B::Params> p,
+                        const std::string& set_name, const Envelope& server_env,
+                        const Args& args) {
+  core::BasicServerPublicKey<B> server =
+      core::BasicServerPublicKey<B>::from_bytes(*p, server_env.payload);
   Envelope env = read_envelope(args.get("update"), FileKind::kUpdate);
-  require(env.set_name == p->name, "update and server key use different parameter sets");
-  core::TreScheme scheme(p);
-  core::KeyUpdate upd = core::KeyUpdate::from_bytes(*p, env.payload);
+  require(env.set_name == set_name, "update and server key use different parameter sets");
+  core::BasicTreScheme<B> scheme(p);
+  core::BasicKeyUpdate<B> upd = core::BasicKeyUpdate<B>::from_bytes(*p, env.payload);
   bool ok = scheme.verify_update(server, upd);
   std::printf("update for \"%s\": %s\n", upd.tag.c_str(), ok ? "VALID" : "INVALID");
   return ok ? 0 : 1;
@@ -257,13 +292,17 @@ FileKind ct_kind(const std::string& mode) {
   throw Error("unknown --mode (use basic, fo or react)");
 }
 
-int cmd_encrypt(const Args& args) {
-  std::shared_ptr<const params::GdhParams> p;
-  core::ServerPublicKey server = read_server_pub(args.get("server-pub"), p);
+template <class B>
+int cmd_encrypt_g(std::shared_ptr<const typename B::Params> p,
+                  const std::string& set_name, const Envelope& server_env,
+                  const Args& args) {
+  core::BasicServerPublicKey<B> server =
+      core::BasicServerPublicKey<B>::from_bytes(*p, server_env.payload);
   Envelope user_env = read_envelope(args.get("user-pub"), FileKind::kUserPub);
-  require(user_env.set_name == p->name, "user and server keys use different sets");
-  core::UserPublicKey user = core::UserPublicKey::from_bytes(*p, user_env.payload);
-  core::TreScheme scheme(p);
+  require(user_env.set_name == set_name, "user and server keys use different sets");
+  core::BasicUserPublicKey<B> user =
+      core::BasicUserPublicKey<B>::from_bytes(*p, user_env.payload);
+  core::BasicTreScheme<B> scheme(p);
   hashing::SystemRandom rng;
   Bytes msg = read_file(args.get("in"));
   std::string tag = args.get("tag");
@@ -293,36 +332,41 @@ int cmd_encrypt(const Args& args) {
   } else {
     throw Error("unknown --mode (use basic, fo, react or sealed[-flavour])");
   }
-  write_envelope(args.get("out"), kind, p->name, payload);
+  write_envelope(args.get("out"), kind, set_name, payload);
   std::printf("%zu bytes encrypted for release at \"%s\" (%s mode, %zu bytes)\n",
               msg.size(), tag.c_str(), mode.c_str(), payload.size());
   return 0;
 }
 
-int cmd_decrypt(const Args& args) {
-  Envelope key_env = read_secret(args.get("user-key"), FileKind::kUserKey,
-                                 FileKind::kUserKeySealed, args.get_or("password", ""));
-  auto p = load_set(key_env.set_name);
-  core::TreScheme scheme(p);
-  size_t sw = p->scalar_bytes();
+template <class B>
+int cmd_decrypt_g(std::shared_ptr<const typename B::Params> p,
+                  const std::string& set_name, const Envelope& key_env,
+                  const Args& args) {
+  core::BasicTreScheme<B> scheme(p);
+  size_t sw = B::scalar_bytes(*p);
   require(key_env.payload.size() > sw, "corrupt user key file");
   core::Scalar a = core::Scalar::from_bytes_be(ByteSpan(key_env.payload.data(), sw));
 
   Envelope upd_env = read_envelope(args.get("update"), FileKind::kUpdate);
-  require(upd_env.set_name == p->name, "update uses a different parameter set");
-  core::KeyUpdate upd = core::KeyUpdate::from_bytes(*p, upd_env.payload);
+  require(upd_env.set_name == set_name, "update uses a different parameter set");
+  core::BasicKeyUpdate<B> upd = core::BasicKeyUpdate<B>::from_bytes(*p, upd_env.payload);
 
   Envelope ct_env = parse_envelope(args.get("in"));
-  require(ct_env.set_name == p->name, "ciphertext uses a different parameter set");
+  require(ct_env.set_name == set_name, "ciphertext uses a different parameter set");
+
+  auto read_server = [&]() {
+    Envelope env = read_envelope(args.get("server-pub"), FileKind::kServerPub);
+    require(env.set_name == set_name, "server key uses a different parameter set");
+    return core::BasicServerPublicKey<B>::from_bytes(*p, env.payload);
+  };
 
   if (ct_env.kind == FileKind::kCiphertextSealed) {
     // Self-describing wire: the mode byte picks the flavour, open()
     // dispatches. --server-pub is always required (the FO flavour's
     // re-encryption check needs it).
-    std::shared_ptr<const params::GdhParams> sp;
-    core::ServerPublicKey server = read_server_pub(args.get("server-pub"), sp);
-    require(sp->name == p->name, "server key uses a different parameter set");
-    core::SealedCiphertext sc = core::SealedCiphertext::from_bytes(*p, ct_env.payload);
+    core::BasicServerPublicKey<B> server = read_server();
+    core::BasicSealedCiphertext<B> sc =
+        core::BasicSealedCiphertext<B>::from_bytes(*p, ct_env.payload);
     auto out = core::open(scheme, sc, a, upd, server);
     require(out.has_value(), "decryption failed: wrong key/update or tampered ciphertext");
     write_file(args.get("out"), *out);
@@ -336,23 +380,84 @@ int cmd_decrypt(const Args& args) {
 
   Bytes msg;
   if (mode == "basic") {
-    msg = scheme.decrypt(core::Ciphertext::from_bytes(*p, ct_env.payload), a, upd);
+    msg = scheme.decrypt(core::BasicCiphertext<B>::from_bytes(*p, ct_env.payload), a, upd);
   } else if (mode == "fo") {
-    std::shared_ptr<const params::GdhParams> sp;
-    core::ServerPublicKey server = read_server_pub(args.get("server-pub"), sp);
-    auto out = scheme.decrypt_fo(core::FoCiphertext::from_bytes(*p, ct_env.payload), a,
-                                 upd, server);
+    core::BasicServerPublicKey<B> server = read_server();
+    auto out = scheme.decrypt_fo(
+        core::BasicFoCiphertext<B>::from_bytes(*p, ct_env.payload), a, upd, server);
     require(out.has_value(), "decryption failed: wrong key/update or tampered ciphertext");
     msg = *out;
   } else {
     auto out = scheme.decrypt_react(
-        core::ReactCiphertext::from_bytes(*p, ct_env.payload), a, upd);
+        core::BasicReactCiphertext<B>::from_bytes(*p, ct_env.payload), a, upd);
     require(out.has_value(), "decryption failed: wrong key/update or tampered ciphertext");
     msg = *out;
   }
   write_file(args.get("out"), msg);
   std::printf("%zu bytes decrypted\n", msg.size());
   return 0;
+}
+
+// ---- dispatchers -------------------------------------------------------
+// server-keygen picks the backend from --backend; every other command
+// reads it off its input files' set name.
+
+int cmd_server_keygen(const Args& args) {
+  std::string backend = args.get_or("backend", "tre512");
+  if (backend == "bls381") {
+    return cmd_server_keygen_g<bls12::Bls381Backend>(bls12::Bls12Ctx::get(),
+                                                     kBls381Set, args);
+  }
+  require(backend == "tre512", "unknown --backend (use tre512 or bls381)");
+  auto p = load_set(args.get_or("set", "tre-512"));
+  return cmd_server_keygen_g<core::Tre512Backend>(p, p->name, args);
+}
+
+// Runs `fn<B>(params, set_name)` for the backend `set_name` selects.
+template <class Fn>
+int with_backend(const std::string& set_name, const Args& args, Fn&& fn) {
+  check_backend_flag(args, set_name);
+  if (set_name == kBls381Set) {
+    return fn(bls12::Bls381Backend{}, bls12::Bls12Ctx::get());
+  }
+  return fn(core::Tre512Backend{}, load_set(set_name));
+}
+
+int cmd_user_keygen(const Args& args) {
+  Envelope env = read_envelope(args.get("server-pub"), FileKind::kServerPub);
+  return with_backend(env.set_name, args, [&](auto b, auto p) {
+    return cmd_user_keygen_g<decltype(b)>(p, env.set_name, env, args);
+  });
+}
+
+int cmd_issue(const Args& args) {
+  Envelope env = read_secret(args.get("server-key"), FileKind::kServerKey,
+                             FileKind::kServerKeySealed, args.get_or("password", ""));
+  return with_backend(env.set_name, args, [&](auto b, auto p) {
+    return cmd_issue_g<decltype(b)>(p, env.set_name, env, args);
+  });
+}
+
+int cmd_verify_update(const Args& args) {
+  Envelope env = read_envelope(args.get("server-pub"), FileKind::kServerPub);
+  return with_backend(env.set_name, args, [&](auto b, auto p) {
+    return cmd_verify_update_g<decltype(b)>(p, env.set_name, env, args);
+  });
+}
+
+int cmd_encrypt(const Args& args) {
+  Envelope env = read_envelope(args.get("server-pub"), FileKind::kServerPub);
+  return with_backend(env.set_name, args, [&](auto b, auto p) {
+    return cmd_encrypt_g<decltype(b)>(p, env.set_name, env, args);
+  });
+}
+
+int cmd_decrypt(const Args& args) {
+  Envelope env = read_secret(args.get("user-key"), FileKind::kUserKey,
+                             FileKind::kUserKeySealed, args.get_or("password", ""));
+  return with_backend(env.set_name, args, [&](auto b, auto p) {
+    return cmd_decrypt_g<decltype(b)>(p, env.set_name, env, args);
+  });
 }
 
 }  // namespace
