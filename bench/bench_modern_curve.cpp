@@ -6,15 +6,17 @@
 //   * BLS12-381 type-3 pairing, ~128-bit security (what drand/tlock run
 //     this very construction on today).
 // The headline: the modern curve gives SHORTER updates (49-byte G1
-// points vs 65) at much higher security; our BLS12 pairing is a
-// reference implementation (no sparse/cyclotomic optimizations), so its
-// timings are upper bounds. Ciphertext headers move to G2 (97 B) on the
-// type-3 layout — the size trade the asymmetric pairing imposes.
+// points vs 65) at much higher security, and since the projective
+// Miller loop + cyclotomic final exponentiation landed the 381 column
+// is within a small factor of the 2005 curve instead of ~20x behind.
 //
 // Alongside the table the harness writes BENCH_modern_curve.json with
-// the per-backend rows plus the global metrics registry snapshot, so the
-// per-backend probe prefixes (core.* vs core.bls381.*) are visible in
-// one artifact.
+// the per-backend rows (including the pre-optimization `baseline_*`
+// timings, pinned from the seed run so the speedup is auditable without
+// digging through git), pairing-engine sub-timings (Miller loop vs
+// final exponentiation, cold vs cached lines), and the global metrics
+// registry snapshot, so the per-backend probe prefixes (core.* vs
+// core.bls381.*) are visible in one artifact.
 #include <cstdio>
 
 #include "bench_util.h"
@@ -24,7 +26,7 @@
 
 int main(int argc, char** argv) {
   using namespace tre;
-  bench::header("E17: 2005 type-1 curve vs BLS12-381 type-3 (reference impl)",
+  bench::header("E17: 2005 type-1 curve vs BLS12-381 type-3 (fast engine)",
                 "the paper's scheme ports unchanged to modern asymmetric "
                 "pairings; updates get SHORTER (49 B vs 65 B) while security "
                 "rises from ~80 to ~128 bits");
@@ -47,11 +49,31 @@ int main(int argc, char** argv) {
   bls12::Update381 upd3 = t3.issue_update(s3, tag);
   auto ct3 = t3.encrypt(msg, u3.pub, s3.pub, tag, rng, core::KeyCheck::kSkip);
 
-  const int reps = 3;
+  // Warm every memo cache (tag hashes, Miller lines, pair bases, combs)
+  // before timing: the table documents steady-state costs, matching the
+  // "warm caches" convention of docs/PERF.md. With the fast engine the
+  // per-op costs are single-digit milliseconds, so the rep count is high
+  // enough that a stray scheduler blip does not dominate the mean.
+  (void)t1.verify_update(s1.pub, upd1);
+  (void)t1.decrypt(ct1, u1.a, upd1);
+  (void)t3.verify_update(s3.pub, upd3);
+  (void)t3.decrypt(ct3, u3.a, upd3);
+
+  const int reps = 20;
+  // The seed tree's timings (affine F_p12 Miller loop, generic
+  // final-exponentiation power, double-and-add ladders) on this same
+  // harness — the denominators of the speedup line below.
+  struct Baseline {
+    double issue, verify, enc, dec;
+  };
+  const Baseline kBaseline512{0.642, 3.571, 0.324, 6.694};
+  const Baseline kBaseline381{0.854, 77.137, 13.352, 66.572};
+
   struct Row {
     const char* name;
     const char* curve;
     double issue, verify, enc, dec;
+    Baseline baseline;
     size_t update_point_bytes, update_wire_bytes, ct_header_bytes;
     const char* security;
   };
@@ -64,19 +86,37 @@ int main(int argc, char** argv) {
                   (void)t1.encrypt(msg, u1.pub, s1.pub, tag, rng, core::KeyCheck::kSkip);
                 }),
                 bench::time_ms(reps, [&] { (void)t1.decrypt(ct1, u1.a, upd1); }),
-                t1.params().g1_compressed_bytes(), upd1.to_bytes().size(),
-                t1.params().g1_compressed_bytes(), "~80-bit"};
+                kBaseline512, t1.params().g1_compressed_bytes(),
+                upd1.to_bytes().size(), t1.params().g1_compressed_bytes(),
+                "~80-bit"};
 
   const bls12::Bls12Ctx& ctx = t3.params();
-  rows[1] = Row{"type-3 BLS12-381 (reference)", "bls12-381",
+  rows[1] = Row{"type-3 BLS12-381 (fast)", "bls12-381",
                 bench::time_ms(reps, [&] { (void)t3.issue_update(s3, tag); }),
                 bench::time_ms(reps, [&] { (void)t3.verify_update(s3.pub, upd3); }),
                 bench::time_ms(reps, [&] {
                   (void)t3.encrypt(msg, u3.pub, s3.pub, tag, rng, core::KeyCheck::kSkip);
                 }),
                 bench::time_ms(reps, [&] { (void)t3.decrypt(ct3, u3.a, upd3); }),
-                bls12::Bls381Backend::gu_wire_bytes(ctx), upd3.to_bytes().size(),
-                bls12::Bls381Backend::gh_wire_bytes(ctx), "~128-bit"};
+                kBaseline381, bls12::Bls381Backend::gu_wire_bytes(ctx),
+                upd3.to_bytes().size(), bls12::Bls381Backend::gh_wire_bytes(ctx),
+                "~128-bit"};
+
+  // Pairing-engine sub-timings (the anatomy of one ê(P, Q)): the Miller
+  // loop and final exponentiation separately, plus the line-cache effect
+  // on a full pairing against a fixed Q.
+  bls12::G1Point381 bp = ctx.hash_to_g1(to_bytes("bench-pair-sub"));
+  const bls12::G2Point381& bq = ctx.g2_generator();
+  auto prepared = ctx.prepare_g2(bq);
+  double prep_ms = bench::time_ms(reps, [&] { (void)ctx.prepare_g2(bq); });
+  double miller_ms =
+      bench::time_ms(reps, [&] { (void)ctx.miller_loop(bp, *prepared); });
+  bls12::Fp12 mval = ctx.miller_loop(bp, *prepared);
+  double fexp_ms =
+      bench::time_ms(reps, [&] { (void)ctx.final_exponentiation(mval); });
+  double pair_ms = bench::time_ms(reps, [&] { (void)ctx.pair(bp, bq); });
+  double pair_cached_ms =
+      bench::time_ms(reps, [&] { (void)ctx.pair_cached(bp, bq); });
 
   std::printf("%-32s | %8s | %9s | %8s | %8s | %9s | %9s | %s\n", "backend",
               "issue ms", "verify ms", "enc ms", "dec ms", "update B",
@@ -87,9 +127,13 @@ int main(int argc, char** argv) {
                 row.name, row.issue, row.verify, row.enc, row.dec,
                 row.update_point_bytes, row.ct_header_bytes, row.security);
   }
-  std::printf("\n(the BLS12 Miller loop runs untwisted over full F_p12 with no "
-              "sparse-line shortcuts — production pairings are ~20-50x faster; "
-              "the SIZE comparison is exact either way)\n");
+  std::printf("\nbls12-381 speedup vs seed engine: verify %.1fx, encrypt %.1fx, "
+              "decrypt %.1fx\n",
+              kBaseline381.verify / rows[1].verify,
+              kBaseline381.enc / rows[1].enc, kBaseline381.dec / rows[1].dec);
+  std::printf("pairing anatomy: prepare_g2 %.2f ms, miller %.2f ms, "
+              "final_exp %.2f ms, pair %.2f ms, pair(cached lines) %.2f ms\n",
+              prep_ms, miller_ms, fexp_ms, pair_ms, pair_cached_ms);
 
   const char* json_path = argc > 1 ? argv[1] : "BENCH_modern_curve.json";
   if (std::FILE* f = std::fopen(json_path, "w")) {
@@ -103,13 +147,21 @@ int main(int argc, char** argv) {
                    "\"security\": \"%s\", "
                    "\"issue_ms\": %.3f, \"verify_ms\": %.3f, "
                    "\"encrypt_ms\": %.3f, \"decrypt_ms\": %.3f, "
+                   "\"baseline_issue_ms\": %.3f, \"baseline_verify_ms\": %.3f, "
+                   "\"baseline_encrypt_ms\": %.3f, \"baseline_decrypt_ms\": %.3f, "
                    "\"update_point_bytes\": %zu, \"update_wire_bytes\": %zu, "
                    "\"ct_header_bytes\": %zu}%s\n",
                    r.name, r.curve, r.security, r.issue, r.verify, r.enc, r.dec,
-                   r.update_point_bytes, r.update_wire_bytes, r.ct_header_bytes,
-                   i + 1 < 2 ? "," : "");
+                   r.baseline.issue, r.baseline.verify, r.baseline.enc,
+                   r.baseline.dec, r.update_point_bytes, r.update_wire_bytes,
+                   r.ct_header_bytes, i + 1 < 2 ? "," : "");
     }
     std::fprintf(f, "  ],\n");
+    std::fprintf(f,
+                 "  \"pairing_anatomy_bls381\": {\"prepare_g2_ms\": %.3f, "
+                 "\"miller_loop_ms\": %.3f, \"final_exp_ms\": %.3f, "
+                 "\"pair_ms\": %.3f, \"pair_cached_ms\": %.3f},\n",
+                 prep_ms, miller_ms, fexp_ms, pair_ms, pair_cached_ms);
     std::fprintf(f, "%s\n}\n", bench::metrics_json_field(2).c_str());
     std::fclose(f);
     std::printf("wrote %s\n", json_path);

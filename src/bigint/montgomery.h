@@ -47,7 +47,26 @@ class MontCtx {
   }
 
   /// Montgomery product a*b*R^{-1} mod m (CIOS over the active limbs).
+  ///
+  /// The common limb counts dispatch to a kernel whose loop bounds are
+  /// compile-time constants: the compiler fully unrolls the CIOS inner
+  /// loops and keeps t[] in registers, which is worth ~3x over the
+  /// runtime-bounded fallback on 6-limb (381-bit) operands. Both paths
+  /// run the identical algorithm, so results are bit-equal.
   BigInt<L> mul(const BigInt<L>& a, const BigInt<L>& b) const {
+    switch (n_) {
+      case 2: if constexpr (L >= 2) return mul_fixed<2>(a, b); break;
+      case 3: if constexpr (L >= 3) return mul_fixed<3>(a, b); break;
+      case 4: if constexpr (L >= 4) return mul_fixed<4>(a, b); break;
+      case 5: if constexpr (L >= 5) return mul_fixed<5>(a, b); break;
+      case 6: if constexpr (L >= 6) return mul_fixed<6>(a, b); break;
+      case 8: if constexpr (L >= 8) return mul_fixed<8>(a, b); break;
+      default: break;
+    }
+    return mul_any(a, b);
+  }
+
+  BigInt<L> mul_any(const BigInt<L>& a, const BigInt<L>& b) const {
     const size_t n = n_;
     // t has n+2 limbs of live state.
     std::uint64_t t[L + 2] = {};
@@ -97,8 +116,34 @@ class MontCtx {
 
   BigInt<L> sqr(const BigInt<L>& a) const { return mul(a, a); }
 
-  BigInt<L> add(const BigInt<L>& a, const BigInt<L>& b) const { return addmod(a, b, m_); }
-  BigInt<L> sub(const BigInt<L>& a, const BigInt<L>& b) const { return submod(a, b, m_); }
+  /// Modular add/sub of reduced residues (both inputs < m, so the limbs
+  /// above the active count are zero). Same dispatch trick as mul():
+  /// fixed-bound kernels beat the full-width addmod/submod because the
+  /// L-limb compare and conditional correction shrink to n limbs.
+  BigInt<L> add(const BigInt<L>& a, const BigInt<L>& b) const {
+    switch (n_) {
+      case 2: if constexpr (L >= 2) return add_fixed<2>(a, b); break;
+      case 3: if constexpr (L >= 3) return add_fixed<3>(a, b); break;
+      case 4: if constexpr (L >= 4) return add_fixed<4>(a, b); break;
+      case 5: if constexpr (L >= 5) return add_fixed<5>(a, b); break;
+      case 6: if constexpr (L >= 6) return add_fixed<6>(a, b); break;
+      case 8: if constexpr (L >= 8) return add_fixed<8>(a, b); break;
+      default: break;
+    }
+    return addmod(a, b, m_);
+  }
+  BigInt<L> sub(const BigInt<L>& a, const BigInt<L>& b) const {
+    switch (n_) {
+      case 2: if constexpr (L >= 2) return sub_fixed<2>(a, b); break;
+      case 3: if constexpr (L >= 3) return sub_fixed<3>(a, b); break;
+      case 4: if constexpr (L >= 4) return sub_fixed<4>(a, b); break;
+      case 5: if constexpr (L >= 5) return sub_fixed<5>(a, b); break;
+      case 6: if constexpr (L >= 6) return sub_fixed<6>(a, b); break;
+      case 8: if constexpr (L >= 8) return sub_fixed<8>(a, b); break;
+      default: break;
+    }
+    return submod(a, b, m_);
+  }
 
   /// a^e mod m with a in Montgomery form; result in Montgomery form.
   /// Square-and-multiply, MSB first.
@@ -120,6 +165,103 @@ class MontCtx {
   }
 
  private:
+  /// a >= b over the low N limbs (callers guarantee limbs >= N are equal).
+  template <size_t N>
+  static bool geq_fixed(const BigInt<L>& a, const BigInt<L>& b) {
+    for (size_t j = N; j-- > 0;) {
+      if (a.w[j] != b.w[j]) return a.w[j] > b.w[j];
+    }
+    return true;
+  }
+
+  /// CIOS with a compile-time limb bound — same algorithm as mul_any.
+  template <size_t N>
+  BigInt<L> mul_fixed(const BigInt<L>& a, const BigInt<L>& b) const {
+    static_assert(N <= L);
+    std::uint64_t t[N + 2] = {};
+    for (size_t i = 0; i < N; ++i) {
+      // t += a[i] * b
+      unsigned __int128 carry = 0;
+      for (size_t j = 0; j < N; ++j) {
+        unsigned __int128 s = static_cast<unsigned __int128>(a.w[i]) * b.w[j] + t[j] + carry;
+        t[j] = static_cast<std::uint64_t>(s);
+        carry = s >> 64;
+      }
+      unsigned __int128 s = static_cast<unsigned __int128>(t[N]) + carry;
+      t[N] = static_cast<std::uint64_t>(s);
+      t[N + 1] = static_cast<std::uint64_t>(s >> 64);
+
+      // t += (t[0] * n0inv mod 2^64) * m;  then t >>= 64
+      std::uint64_t u = t[0] * n0inv_;
+      carry = 0;
+      for (size_t j = 0; j < N; ++j) {
+        unsigned __int128 s2 = static_cast<unsigned __int128>(u) * m_.w[j] + t[j] + carry;
+        t[j] = static_cast<std::uint64_t>(s2);
+        carry = s2 >> 64;
+      }
+      unsigned __int128 s2 = static_cast<unsigned __int128>(t[N]) + carry;
+      t[N] = static_cast<std::uint64_t>(s2);
+      t[N + 1] += static_cast<std::uint64_t>(s2 >> 64);
+
+      for (size_t j = 0; j <= N; ++j) t[j] = t[j + 1];
+      t[N + 1] = 0;
+    }
+
+    BigInt<L> r;
+    for (size_t j = 0; j < N; ++j) r.w[j] = t[j];
+    if (t[N] != 0 || geq_fixed<N>(r, m_)) {
+      unsigned __int128 borrow = 0;
+      for (size_t j = 0; j < N; ++j) {
+        unsigned __int128 s = static_cast<unsigned __int128>(r.w[j]) - m_.w[j] - borrow;
+        r.w[j] = static_cast<std::uint64_t>(s);
+        borrow = (s >> 64) & 1;
+      }
+    }
+    return r;
+  }
+
+  template <size_t N>
+  BigInt<L> add_fixed(const BigInt<L>& a, const BigInt<L>& b) const {
+    static_assert(N <= L);
+    BigInt<L> r;
+    unsigned __int128 carry = 0;
+    for (size_t j = 0; j < N; ++j) {
+      unsigned __int128 s = static_cast<unsigned __int128>(a.w[j]) + b.w[j] + carry;
+      r.w[j] = static_cast<std::uint64_t>(s);
+      carry = s >> 64;
+    }
+    if (carry != 0 || geq_fixed<N>(r, m_)) {
+      unsigned __int128 borrow = 0;
+      for (size_t j = 0; j < N; ++j) {
+        unsigned __int128 s = static_cast<unsigned __int128>(r.w[j]) - m_.w[j] - borrow;
+        r.w[j] = static_cast<std::uint64_t>(s);
+        borrow = (s >> 64) & 1;
+      }
+    }
+    return r;
+  }
+
+  template <size_t N>
+  BigInt<L> sub_fixed(const BigInt<L>& a, const BigInt<L>& b) const {
+    static_assert(N <= L);
+    BigInt<L> r;
+    unsigned __int128 borrow = 0;
+    for (size_t j = 0; j < N; ++j) {
+      unsigned __int128 s = static_cast<unsigned __int128>(a.w[j]) - b.w[j] - borrow;
+      r.w[j] = static_cast<std::uint64_t>(s);
+      borrow = (s >> 64) & 1;
+    }
+    if (borrow != 0) {
+      unsigned __int128 carry = 0;
+      for (size_t j = 0; j < N; ++j) {
+        unsigned __int128 s = static_cast<unsigned __int128>(r.w[j]) + m_.w[j] + carry;
+        r.w[j] = static_cast<std::uint64_t>(s);
+        carry = s >> 64;
+      }
+    }
+    return r;
+  }
+
   BigInt<L> m_;
   size_t n_;
   std::uint64_t n0inv_;

@@ -31,18 +31,19 @@
 
 namespace tre::bls12 {
 
-/// Stand-in for the type-1 fixed-base comb engine: the reference BLS12
-/// implementation has no precomputation, so the "comb" is just the bound
-/// base point. Cache hits still skip nothing — kept so the generic core's
-/// cache plumbing (and its hit/miss probes) stays identical across
-/// backends.
+/// Fixed-base engine for G_2: a real Lim–Lee comb (G2Comb), built once
+/// per base through the generic core's comb cache. mul_secret keeps the
+/// constant-pattern column walk.
 struct Comb381 {
-  std::shared_ptr<const Bls12Ctx> ctx;
-  G2Point381 base;
-  G2Point381 mul_secret(const core::Scalar& k) const { return ctx->g2_mul(base, k); }
+  std::shared_ptr<const G2Comb> comb;
+  G2Point381 mul_secret(const core::Scalar& k) const { return comb->mul_secret(k); }
 };
 
-/// Stand-in for the type-1 cached Miller lines, same reasoning.
+/// Per-update pairing engine. The G_2 argument here (the ciphertext
+/// header U) is fresh per call, so there are no lines to reuse on that
+/// side; what the fast engine gives this path is the projective Miller
+/// loop + cyclotomic final exponentiation. The G_1 `fixed` point is the
+/// cached state, matching the type-1 engine's shape.
 struct Lines381 {
   std::shared_ptr<const Bls12Ctx> ctx;
   G1Point381 fixed;
@@ -84,10 +85,8 @@ struct Bls381Backend {
   static Gh gh_mul(const Params& p, const Gh& q, const core::Scalar& k) {
     return p.g2_mul(q, k);
   }
-  // The reference ladder is not constant-pattern; mul_secret is the same
-  // double-and-add (documented limitation of the 381 backend, PERF.md).
   static Gh gh_mul_secret(const Params& p, const Gh& q, const core::Scalar& k) {
-    return p.g2_mul(q, k);
+    return p.g2_mul_secret(q, k);  // constant-pattern fixed-window ladder
   }
   static bool gh_is_infinity(const Gh& q) { return q.inf; }
   static bool gh_in_subgroup(const Params& p, const Gh& q) {
@@ -110,7 +109,7 @@ struct Bls381Backend {
     return p.g1_mul(q, k);
   }
   static Gu gu_mul_secret(const Params& p, const Gu& q, const core::Scalar& k) {
-    return p.g1_mul(q, k);
+    return p.g1_mul_secret(q, k);
   }
   static bool gu_is_infinity(const Gu& q) { return q.inf; }
   static bool gu_in_subgroup(const Params& p, const Gu& q) {
@@ -128,16 +127,18 @@ struct Bls381Backend {
 
   // --- precomputation engines -------------------------------------------------
   static std::shared_ptr<const GhPrecomp> make_comb(const Params&, const Gh& base) {
-    return std::make_shared<const Comb381>(Comb381{Bls12Ctx::get(), base});
+    return std::make_shared<const Comb381>(
+        Comb381{std::make_shared<const G2Comb>(Bls12Ctx::get(), base)});
   }
   static std::shared_ptr<const PairPrecomp> make_lines(const Params&, const Gu& fixed) {
     return std::make_shared<const Lines381>(Lines381{Bls12Ctx::get(), fixed});
   }
 
   // --- pairing ----------------------------------------------------------------
-  /// ê(H1(T), asG) — the session key; Bls12Ctx::pair takes (G_1, G_2).
+  /// ê(H1(T), asG) — the session key. asG is a long-lived user key, so
+  /// its Miller lines come from the context's G_2 lines cache.
   static Gt pair_session(const Params& p, const Gh& asg, const Gu& h1t) {
-    return p.pair(h1t, asg);
+    return p.pair_cached(h1t, asg);
   }
   /// ê(I_T, U)^a — decryption; `fixed` is the update/epoch key.
   static Gt pair_decrypt(const Params& p, const Gu& fixed, const Gh& u) {
@@ -157,11 +158,11 @@ struct Bls381Backend {
                           const Gu& cert_ag, const Gh& /*new_g*/) {
     return gu_eq(cand_ag, cert_ag);
   }
-  /// The reference implementation has no cyclotomic/unitary shortcut;
-  /// the tuning flag is accepted and ignored.
+  /// Unitary inputs (pairing outputs) take cyclotomic squarings + wNAF
+  /// with conjugation-inverses; the generic power stays the fallback.
   static Gt gt_pow(const Params& p, const Gt& k, const core::Scalar& e,
-                   bool /*unitary*/) {
-    return p.gt_pow(k, e);
+                   bool unitary) {
+    return unitary ? p.gt_pow_unitary(k, e) : p.gt_pow(k, e);
   }
   static Bytes gt_to_bytes(const Params& p, const Gt& k) { return p.gt_to_bytes(k); }
 };

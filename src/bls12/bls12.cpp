@@ -1,9 +1,12 @@
 #include "bls12/bls12.h"
 
+#include <array>
 #include <mutex>
+#include <string>
 
 #include "bigint/prime.h"
 #include "hashing/kdf.h"
+#include "obs/metrics.h"
 
 namespace tre::bls12 {
 
@@ -13,6 +16,19 @@ namespace {
 constexpr std::uint64_t kAbsZ = 0xd201000000010000ull;  // z = -|z|
 
 using Wide = bigint::BigInt<24>;  // scratch width for p², twist orders
+
+// Pairing-engine probes (docs/OBSERVABILITY.md). These live here rather
+// than in the generic SchemeProbes because the lines cache belongs to
+// the shared Bls12Ctx, not to any one scheme instance.
+struct PairProbes {
+  obs::CounterProbe lines_hit{"core.bls381.pair.lines.hit"};
+  obs::CounterProbe lines_miss{"core.bls381.pair.lines.miss"};
+  obs::CounterProbe finalexp{"core.bls381.finalexp"};
+  static const PairProbes& get() {
+    static const PairProbes p;
+    return p;
+  }
+};
 
 // Integer square root (Newton), with exactness reported separately.
 Wide isqrt(const Wide& n) {
@@ -82,14 +98,79 @@ JacT<T> jac_add(const JacT<T>& p, const JacT<T>& q) {
   return JacT<T>{x3, y3, z3};
 }
 
+template <class T>
+JacT<T> jac_neg(const JacT<T>& p) {
+  return JacT<T>{p.x, -p.y, p.z};
+}
+
+// Width-4 wNAF double-and-add for public scalars: same group element as
+// the plain ladder at ~1/5 the additions.
 template <class T, size_t L>
 JacT<T> jac_mul(const JacT<T>& base, const bigint::BigInt<L>& k) {
   JacT<T> acc{base.x, base.y, base.z - base.z};  // infinity (z = 0)
-  for (size_t i = k.bit_length(); i-- > 0;) {
+  if (base.inf() || k.is_zero()) return acc;
+  // Odd multiples 1B, 3B, 5B, 7B.
+  std::array<JacT<T>, 4> tab;
+  tab[0] = base;
+  JacT<T> twice = jac_dbl(base);
+  for (size_t i = 1; i < 4; ++i) tab[i] = jac_add(tab[i - 1], twice);
+  std::int8_t digits[bigint::kWnafMaxDigits<L>];
+  size_t n = bigint::wnaf_into(k, 4, digits);
+  for (size_t i = n; i-- > 0;) {
     acc = jac_dbl(acc);
-    if (k.bit(i)) acc = jac_add(acc, base);
+    int d = digits[i];
+    if (d > 0) {
+      acc = jac_add(acc, tab[(d - 1) / 2]);
+    } else if (d < 0) {
+      acc = jac_add(acc, jac_neg(tab[(-d - 1) / 2]));
+    }
   }
   return acc;
+}
+
+// Width-4 fixed-window ladder with a constant double/add pattern: every
+// window performs exactly four doublings and one addition (a dummy
+// accumulator absorbs zero windows). Mirrors ec::G1Point::mul_secret —
+// constant-pattern, not constant-time (field ops and the window count
+// still vary; documented limitation, PERF.md).
+template <class T, size_t L>
+JacT<T> jac_mul_secret(const JacT<T>& base, const bigint::BigInt<L>& k) {
+  JacT<T> zero{base.x, base.y, base.z - base.z};
+  if (base.inf() || k.is_zero()) return zero;
+  std::array<JacT<T>, 16> tab;
+  tab[0] = zero;
+  tab[1] = base;
+  for (size_t i = 2; i < 16; ++i) tab[i] = jac_add(tab[i - 1], base);
+  size_t windows = (k.bit_length() + 3) / 4;
+  JacT<T> acc = zero;
+  JacT<T> dummy = base;
+  for (size_t w = windows; w-- > 0;) {
+    for (int s = 0; s < 4; ++s) acc = jac_dbl(acc);
+    unsigned d = 0;
+    for (int s = 3; s >= 0; --s) {
+      d = (d << 1) | (k.bit(4 * w + static_cast<size_t>(s)) ? 1u : 0u);
+    }
+    if (d != 0) {
+      acc = jac_add(acc, tab[d]);
+    } else {
+      dummy = jac_add(dummy, tab[1]);  // keep the addition cadence
+    }
+  }
+  return acc;
+}
+
+G1Point381 jac_to_g1(const JacT<Fp>& j, const FpCtx* fp) {
+  if (j.inf()) return G1Point381{Fp::zero(fp), Fp::zero(fp), true};
+  Fp zi = j.z.inverse();
+  Fp zi2 = zi.squared();
+  return G1Point381{j.x * zi2, j.y * zi2 * zi, false};
+}
+
+G2Point381 jac_to_g2(const JacT<Fp2>& j, const FpCtx* fp) {
+  if (j.inf()) return G2Point381{Fp2::zero(fp), Fp2::zero(fp), true};
+  Fp2 zi = j.z.inverse();
+  Fp2 zi2 = zi.squared();
+  return G2Point381{j.x * zi2, j.y * zi2 * zi, false};
 }
 
 }  // namespace
@@ -133,7 +214,8 @@ Bls12Ctx::Bls12Ctx() : abs_z_(kAbsZ) {
   require(fp_->p_mod_4_is_3, "Bls12Ctx: p != 3 (mod 4)");
   tower_ = std::make_unique<TowerCtx>(fp_.get());
 
-  // G1 cofactor h1 = (z-1)²/3; #E(F_p) = p + |z| = h1·r.
+  // G1 cofactor h1 = (z-1)²/3; #E(F_p) = p + |z| = h1·r. The same
+  // integer seeds the final-exponentiation chain (c3 below).
   FpInt h1, h1_rem;
   bigint::divmod(zp1_sq, FpInt::from_u64(3), h1, h1_rem);
   require(h1_rem.is_zero(), "Bls12Ctx: (z-1)² not divisible by 3");
@@ -142,8 +224,10 @@ Bls12Ctx::Bls12Ctx() : abs_z_(kAbsZ) {
   require(bigint::mul_wide(h1, r).resized<field::kMaxFieldLimbs>() == n1,
           "Bls12Ctx: G1 order identity failed");
 
-  // Twist constant b' = 4(1+u).
+  // Twist constant b' = 4(1+u), and the doubling-step constants.
   twist_b_ = tower_->xi.scale(Fp::from_u64(fp_.get(), 4));
+  twist_b3_ = twist_b_ + twist_b_ + twist_b_;
+  half_ = Fp::from_u64(fp_.get(), 2).inverse();
 
   // Untwist constants 1/w², 1/w³ (w⁶ = ξ so w^{-1} = w⁵/ξ).
   {
@@ -289,24 +373,6 @@ G1Point381 Bls12Ctx::g1_neg(const G1Point381& a) const {
   return G1Point381{a.x, -a.y, false};
 }
 
-namespace {
-
-G1Point381 jac_to_g1(const JacT<Fp>& j, const FpCtx* fp) {
-  if (j.inf()) return G1Point381{Fp::zero(fp), Fp::zero(fp), true};
-  Fp zi = j.z.inverse();
-  Fp zi2 = zi.squared();
-  return G1Point381{j.x * zi2, j.y * zi2 * zi, false};
-}
-
-G2Point381 jac_to_g2(const JacT<Fp2>& j, const FpCtx* fp) {
-  if (j.inf()) return G2Point381{Fp2::zero(fp), Fp2::zero(fp), true};
-  Fp2 zi = j.z.inverse();
-  Fp2 zi2 = zi.squared();
-  return G2Point381{j.x * zi2, j.y * zi2 * zi, false};
-}
-
-}  // namespace
-
 G1Point381 Bls12Ctx::g1_add(const G1Point381& a, const G1Point381& b) const {
   if (a.inf) return b;
   if (b.inf) return a;
@@ -319,6 +385,12 @@ G1Point381 Bls12Ctx::g1_mul(const G1Point381& a, const Scalar& k) const {
   if (a.inf || k.is_zero()) return g1_infinity();
   JacT<Fp> ja{a.x, a.y, Fp::one(fp_.get())};
   return jac_to_g1(jac_mul(ja, k), fp_.get());
+}
+
+G1Point381 Bls12Ctx::g1_mul_secret(const G1Point381& a, const Scalar& k) const {
+  if (a.inf || k.is_zero()) return g1_infinity();
+  JacT<Fp> ja{a.x, a.y, Fp::one(fp_.get())};
+  return jac_to_g1(jac_mul_secret(ja, k), fp_.get());
 }
 
 bool Bls12Ctx::g1_in_subgroup(const G1Point381& a) const {
@@ -397,6 +469,12 @@ G2Point381 Bls12Ctx::g2_mul(const G2Point381& a, const Scalar& k) const {
   return jac_to_g2(jac_mul(ja, k), fp_.get());
 }
 
+G2Point381 Bls12Ctx::g2_mul_secret(const G2Point381& a, const Scalar& k) const {
+  if (a.inf || k.is_zero()) return g2_infinity();
+  JacT<Fp2> ja{a.x, a.y, Fp2::one(fp_.get())};
+  return jac_to_g2(jac_mul_secret(ja, k), fp_.get());
+}
+
 bool Bls12Ctx::g2_in_subgroup(const G2Point381& a) const {
   if (!g2_on_curve(a)) return false;
   return g2_mul(a, r()).inf;
@@ -429,7 +507,269 @@ G2Point381 Bls12Ctx::g2_from_bytes(ByteSpan bytes) const {
 }
 
 // ---------------------------------------------------------------------------
-// Pairing.
+// G2 fixed-base comb.
+
+G2Comb::G2Comb(std::shared_ptr<const Bls12Ctx> ctx, const G2Point381& base)
+    : ctx_(std::move(ctx)), base_(base) {
+  const FpCtx* fp = ctx_->fp();
+  if (base_.inf) {
+    degenerate_ = true;
+    return;
+  }
+  // 256 covers every scalar below r (255 bits) with an even split.
+  constexpr size_t kBits = 256;
+  cols_ = kBits / kTeeth;  // 32
+  // Tooth bases B_t = 2^(t·cols)·base, then all 2^kTeeth − 1 subset sums.
+  std::array<JacT<Fp2>, kTeeth> tooth;
+  JacT<Fp2> cur{base_.x, base_.y, Fp2::one(fp)};
+  for (size_t t = 0; t < kTeeth; ++t) {
+    tooth[t] = cur;
+    if (t + 1 < kTeeth) {
+      for (size_t d = 0; d < cols_; ++d) cur = jac_dbl(cur);
+    }
+  }
+  const size_t n = (size_t{1} << kTeeth) - 1;
+  std::vector<JacT<Fp2>> jac(n + 1);
+  for (size_t m = 1; m <= n; ++m) {
+    size_t low = m & (~m + 1);  // lowest set bit
+    size_t t = 0;
+    while ((low >> t) != 1) ++t;
+    size_t rest = m & (m - 1);
+    jac[m] = rest != 0 ? jac_add(jac[rest], tooth[t]) : tooth[t];
+  }
+  // Batch-normalize the table to affine with one field inversion
+  // (Montgomery's trick over the non-infinity z coordinates).
+  std::vector<Fp2> zs;
+  zs.reserve(n);
+  for (size_t m = 1; m <= n; ++m) {
+    if (!jac[m].inf()) zs.push_back(jac[m].z);
+  }
+  std::vector<Fp2> prefix(zs.size(), Fp2::one(fp));
+  Fp2 acc = Fp2::one(fp);
+  for (size_t i = 0; i < zs.size(); ++i) {
+    prefix[i] = acc;
+    acc = acc * zs[i];
+  }
+  Fp2 inv = acc.inverse();
+  std::vector<Fp2> zinv(zs.size(), Fp2::one(fp));
+  for (size_t i = zs.size(); i-- > 0;) {
+    zinv[i] = inv * prefix[i];
+    inv = inv * zs[i];
+  }
+  table_.resize(n, ctx_->g2_infinity());
+  size_t zi = 0;
+  for (size_t m = 1; m <= n; ++m) {
+    if (jac[m].inf()) continue;  // unreachable for an order-r base; kept safe
+    Fp2 i1 = zinv[zi++];
+    Fp2 i2 = i1.squared();
+    table_[m - 1] = G2Point381{jac[m].x * i2, jac[m].y * i2 * i1, false};
+  }
+}
+
+G2Point381 G2Comb::mul(const Scalar& k) const {
+  const FpCtx* fp = ctx_->fp();
+  if (degenerate_ || k.is_zero()) return ctx_->g2_infinity();
+  if (k.bit_length() > cols_ * kTeeth) return ctx_->g2_mul(base_, k);
+  JacT<Fp2> acc{Fp2::zero(fp), Fp2::zero(fp), Fp2::zero(fp)};
+  for (size_t col = cols_; col-- > 0;) {
+    acc = jac_dbl(acc);
+    unsigned m = 0;
+    for (size_t t = 0; t < kTeeth; ++t) {
+      if (k.bit(t * cols_ + col)) m |= 1u << t;
+    }
+    if (m != 0) {
+      const G2Point381& e = table_[m - 1];
+      acc = jac_add(acc, JacT<Fp2>{e.x, e.y, Fp2::one(fp)});
+    }
+  }
+  return jac_to_g2(acc, fp);
+}
+
+G2Point381 G2Comb::mul_secret(const Scalar& k) const {
+  const FpCtx* fp = ctx_->fp();
+  if (degenerate_ || k.is_zero()) return ctx_->g2_infinity();
+  if (k.bit_length() > cols_ * kTeeth) return ctx_->g2_mul_secret(base_, k);
+  JacT<Fp2> acc{Fp2::zero(fp), Fp2::zero(fp), Fp2::zero(fp)};
+  JacT<Fp2> dummy{base_.x, base_.y, Fp2::one(fp)};
+  for (size_t col = cols_; col-- > 0;) {
+    acc = jac_dbl(acc);
+    unsigned m = 0;
+    for (size_t t = 0; t < kTeeth; ++t) {
+      if (k.bit(t * cols_ + col)) m |= 1u << t;
+    }
+    const G2Point381& e = table_[m != 0 ? m - 1 : 0];
+    JacT<Fp2> ej{e.x, e.y, Fp2::one(fp)};
+    if (m != 0) {
+      acc = jac_add(acc, ej);
+    } else {
+      dummy = jac_add(dummy, ej);  // keep the addition cadence
+    }
+  }
+  return jac_to_g2(acc, fp);
+}
+
+// ---------------------------------------------------------------------------
+// Pairing — fast engine.
+//
+// Optimal ate: f_{z,Q}(P) over 63 iterations of |z| (top bit implicit),
+// point arithmetic in homogeneous projective coordinates ON THE TWIST
+// (all F_p2, no inversions), each line an M-twist-sparse F_p12 element
+// c0 + c1·v + c4·vw folded in via fp12_mul_by_014. The per-line F_p2*
+// and F_p4* scalings (and the implicit w³ twist factor) die in the final
+// exponentiation, so values match the reference affine loop exactly
+// after it.
+
+std::shared_ptr<const G2Prepared> Bls12Ctx::prepare_g2(const G2Point381& q) const {
+  auto out = std::make_shared<G2Prepared>();
+  if (q.inf) {
+    out->inf = true;
+    return out;
+  }
+  out->coeffs.reserve(70);
+  // R = (X : Y : Z), homogeneous; starts at (x_Q : y_Q : 1).
+  Fp2 rx = q.x, ry = q.y, rz = Fp2::one(fp_.get());
+  auto dbl_step = [&]() {
+    // Costello–Lange–Naehrig doubling with line; b' folded via 3b'.
+    Fp2 a = (rx * ry).scale(half_);
+    Fp2 b = ry.squared();
+    Fp2 c = rz.squared();
+    Fp2 e = twist_b3_ * c;  // 3b'·Z²
+    Fp2 f = e + e + e;
+    Fp2 g = (b + f).scale(half_);
+    Fp2 h = (ry + rz).squared() - (b + c);
+    Fp2 i = e - b;
+    Fp2 j = rx.squared();
+    Fp2 e2 = e.squared();
+    rx = a * (b - f);
+    ry = g.squared() - (e2 + e2 + e2);
+    rz = b * h;
+    out->coeffs.push_back(G2Prepared::Coeff{i, j + j + j, -h});
+  };
+  auto add_step = [&]() {
+    Fp2 theta = ry - q.y * rz;
+    Fp2 lambda = rx - q.x * rz;
+    Fp2 c = theta.squared();
+    Fp2 d = lambda.squared();
+    Fp2 e = lambda * d;
+    Fp2 f = rz * c;
+    Fp2 g = rx * d;
+    Fp2 h = e + f - (g + g);
+    rx = lambda * h;
+    ry = theta * (g - h) - e * ry;
+    rz = rz * e;
+    Fp2 j = theta * q.x - lambda * q.y;
+    out->coeffs.push_back(G2Prepared::Coeff{j, -theta, lambda});
+  };
+  FpInt loop = FpInt::from_u64(abs_z_);
+  for (size_t i = loop.bit_length() - 1; i-- > 0;) {
+    dbl_step();
+    if (loop.bit(i)) add_step();
+  }
+  return out;
+}
+
+std::shared_ptr<const G2Prepared> Bls12Ctx::prepare_g2_cached(
+    const G2Point381& q) const {
+  Bytes kb = g2_to_bytes(q);
+  std::string key(reinterpret_cast<const char*>(kb.data()), kb.size());
+  if (auto hit = g2_lines_.find(key)) {
+    PairProbes::get().lines_hit.add();
+    return *hit;
+  }
+  PairProbes::get().lines_miss.add();
+  std::shared_ptr<const G2Prepared> prep = prepare_g2(q);
+  g2_lines_.insert(key, prep);
+  return prep;
+}
+
+Fp12 Bls12Ctx::miller_loop_multi(
+    std::span<const std::pair<G1Point381, const G2Prepared*>> pairs) const {
+  const TowerCtx& t = *tower_;
+  Fp12 f = fp12_one(t);
+  size_t idx = 0;
+  auto fold = [&](const std::pair<G1Point381, const G2Prepared*>& pq) {
+    const G2Prepared::Coeff& c = pq.second->coeffs[idx];
+    f = fp12_mul_by_014(t, f, c.a, c.b.scale(pq.first.x), c.c.scale(pq.first.y));
+  };
+  FpInt loop = FpInt::from_u64(abs_z_);
+  for (size_t i = loop.bit_length() - 1; i-- > 0;) {
+    f = fp12_sqr(t, f);
+    for (const auto& pq : pairs) fold(pq);
+    ++idx;
+    if (loop.bit(i)) {
+      for (const auto& pq : pairs) fold(pq);
+      ++idx;
+    }
+  }
+  // z < 0: conjugation inverts modulo the final-exponentiation kernel.
+  return fp12_conjugate(f);
+}
+
+Fp12 Bls12Ctx::miller_loop(const G1Point381& p, const G2Prepared& q) const {
+  if (p.inf || q.inf) return fp12_one(*tower_);
+  std::pair<G1Point381, const G2Prepared*> one_pair[1] = {{p, &q}};
+  return miller_loop_multi(one_pair);
+}
+
+Fp12 Bls12Ctx::hard_part(const Fp12& m) const {
+  const TowerCtx& t = *tower_;
+  // λ = (p⁴−p²+1)/r decomposes EXACTLY (validated against hard_exponent_
+  // by the r | p⁴−p²+1 construction check plus the vector tests) as
+  //   λ = c0 + c1·p + c2·p² + c3·p³
+  //   c3 = (z−1)²/3 (= the G1 cofactor), c2 = z·c3,
+  //   c1 = z·c2 − c3, c0 = z·c1 + 1.
+  // All arithmetic stays in the cyclotomic subgroup: squarings are
+  // Granger–Scott, inversions are conjugations, z < 0 handled by a final
+  // conjugate in exp_z.
+  auto exp_z = [&](const Fp12& g) {
+    return fp12_conjugate(fp12_cyclotomic_pow(t, g, FpInt::from_u64(abs_z_)));
+  };
+  Fp12 y3 = fp12_cyclotomic_pow(t, m, g1_cofactor_);          // m^c3
+  Fp12 y2 = exp_z(y3);                                        // m^c2
+  Fp12 y1 = fp12_mul(t, exp_z(y2), fp12_conjugate(y3));       // m^c1
+  Fp12 y0 = fp12_mul(t, exp_z(y1), m);                        // m^c0
+  Fp12 acc = fp12_mul(t, y0, fp12_frobenius(t, y1));
+  acc = fp12_mul(t, acc, fp12_frobenius(t, fp12_frobenius(t, y2)));
+  return fp12_mul(
+      t, acc, fp12_frobenius(t, fp12_frobenius(t, fp12_frobenius(t, y3))));
+}
+
+Fp12 Bls12Ctx::final_exponentiation(const Fp12& f) const {
+  PairProbes::get().finalexp.add();
+  const TowerCtx& t = *tower_;
+  // Easy part f^((p⁶−1)(p²+1)): one inversion, conjugation is f^(p⁶).
+  Fp12 f1 = fp12_mul(t, fp12_conjugate(f), fp12_inv(t, f));
+  Fp12 f2 = fp12_mul(t, fp12_frobenius(t, fp12_frobenius(t, f1)), f1);
+  return hard_part(f2);
+}
+
+Gt381 Bls12Ctx::pair(const G1Point381& p, const G2Point381& q) const {
+  if (p.inf || q.inf) return fp12_one(*tower_);
+  return final_exponentiation(miller_loop(p, *prepare_g2(q)));
+}
+
+Gt381 Bls12Ctx::pair_cached(const G1Point381& p, const G2Point381& q) const {
+  if (p.inf || q.inf) return fp12_one(*tower_);
+  return final_exponentiation(miller_loop(p, *prepare_g2_cached(q)));
+}
+
+bool Bls12Ctx::pairings_equal(const G1Point381& a1, const G2Point381& a2,
+                              const G1Point381& b1, const G2Point381& b2) const {
+  if (a1.inf || a2.inf || b1.inf || b2.inf) {
+    return fp12_eq(pair(a1, a2), pair(b1, b2));
+  }
+  // ê(a1,a2)·ê(−b1,b2): one shared-squaring loop, one final
+  // exponentiation. Verification only sees long-lived G_2 keys, so both
+  // line sets come from the cache.
+  auto pa = prepare_g2_cached(a2);
+  auto pb = prepare_g2_cached(b2);
+  std::pair<G1Point381, const G2Prepared*> pairs[2] = {{a1, pa.get()},
+                                                       {g1_neg(b1), pb.get()}};
+  return fp12_is_one(*tower_, final_exponentiation(miller_loop_multi(pairs)));
+}
+
+// ---------------------------------------------------------------------------
+// Pairing — reference engine (the seed implementation, kept as oracle).
 
 Bls12Ctx::PointFp12 Bls12Ctx::untwist(const G2Point381& q) const {
   if (q.inf) return PointFp12{fp12_zero(*tower_), fp12_zero(*tower_), true};
@@ -443,45 +783,87 @@ Bls12Ctx::PointFp12 Bls12Ctx::fp12_point_frobenius(const PointFp12& a) const {
   return PointFp12{fp12_frobenius(*tower_, a.x), fp12_frobenius(*tower_, a.y), false};
 }
 
-Fp12 Bls12Ctx::miller_ate(const G1Point381& p, const G2Point381& q) const {
+Fp12 Bls12Ctx::miller_ate_reference(
+    std::span<const std::pair<G1Point381, G2Point381>> pairs) const {
   const TowerCtx& t = *tower_;
-  PointFp12 quntw = untwist(q);
-  const Fp12 xp = fp12_from_fp(t, p.x);
-  const Fp12 yp = fp12_from_fp(t, p.y);
+  // Affine loop over the untwisted points in F_p12 — the seed engine,
+  // with one change: the N loop instances run in lockstep, so the N
+  // independent slope denominators of each step are inverted with ONE
+  // fp12_inv via Montgomery's trick (for N = 1 this degenerates to
+  // exactly the original per-step inversion).
+  struct Lane {
+    Fp12 xp, yp, qx, qy, tx, ty;
+  };
+  std::vector<Lane> lanes;
+  lanes.reserve(pairs.size());
+  for (const auto& [p, q] : pairs) {
+    PointFp12 quntw = untwist(q);
+    lanes.push_back(Lane{fp12_from_fp(t, p.x), fp12_from_fp(t, p.y), quntw.x,
+                         quntw.y, quntw.x, quntw.y});
+  }
+  // vals <- 1/vals with a single fp12_inv.
+  auto batch_inv = [&](std::vector<Fp12>& vals) {
+    std::vector<Fp12> prefix(vals.size(), fp12_one(t));
+    Fp12 acc = fp12_one(t);
+    for (size_t i = 0; i < vals.size(); ++i) {
+      prefix[i] = acc;
+      acc = fp12_mul(t, acc, vals[i]);
+    }
+    Fp12 inv = fp12_inv(t, acc);
+    for (size_t i = vals.size(); i-- > 0;) {
+      Fp12 vi = fp12_mul(t, inv, prefix[i]);
+      inv = fp12_mul(t, inv, vals[i]);
+      vals[i] = vi;
+    }
+  };
 
   Fp12 f_num = fp12_one(t);
   Fp12 f_den = fp12_one(t);
-  Fp12 tx = quntw.x, ty = quntw.y;  // running point T (affine over F_p12)
+  std::vector<Fp12> denoms(lanes.size(), fp12_one(t));
 
-  FpInt loop = FpInt::from_u64(kAbsZ);
+  FpInt loop = FpInt::from_u64(abs_z_);
   for (size_t i = loop.bit_length() - 1; i-- > 0;) {
     f_num = fp12_sqr(t, f_num);
     f_den = fp12_sqr(t, f_den);
 
     // Tangent at T, evaluated at P; then T = 2T.
-    Fp12 x2 = fp12_sqr(t, tx);
-    Fp12 three_x2 = fp12_add(fp12_add(x2, x2), x2);
-    Fp12 lambda = fp12_mul(t, three_x2, fp12_inv(t, fp12_add(ty, ty)));
-    Fp12 line = fp12_sub(fp12_sub(yp, ty), fp12_mul(t, lambda, fp12_sub(xp, tx)));
-    f_num = fp12_mul(t, f_num, line);
-    Fp12 x_new = fp12_sub(fp12_sub(fp12_sqr(t, lambda), tx), tx);
-    Fp12 y_new = fp12_sub(fp12_mul(t, lambda, fp12_sub(tx, x_new)), ty);
-    tx = x_new;
-    ty = y_new;
-    f_den = fp12_mul(t, f_den, fp12_sub(xp, tx));
+    for (size_t k = 0; k < lanes.size(); ++k) {
+      denoms[k] = fp12_add(lanes[k].ty, lanes[k].ty);
+    }
+    batch_inv(denoms);
+    for (size_t k = 0; k < lanes.size(); ++k) {
+      Lane& ln = lanes[k];
+      Fp12 x2 = fp12_sqr(t, ln.tx);
+      Fp12 three_x2 = fp12_add(fp12_add(x2, x2), x2);
+      Fp12 lambda = fp12_mul(t, three_x2, denoms[k]);
+      Fp12 line =
+          fp12_sub(fp12_sub(ln.yp, ln.ty), fp12_mul(t, lambda, fp12_sub(ln.xp, ln.tx)));
+      f_num = fp12_mul(t, f_num, line);
+      Fp12 x_new = fp12_sub(fp12_sub(fp12_sqr(t, lambda), ln.tx), ln.tx);
+      Fp12 y_new = fp12_sub(fp12_mul(t, lambda, fp12_sub(ln.tx, x_new)), ln.ty);
+      ln.tx = x_new;
+      ln.ty = y_new;
+      f_den = fp12_mul(t, f_den, fp12_sub(ln.xp, ln.tx));
+    }
 
     if (loop.bit(i)) {
       // Chord through T and Q, evaluated at P; then T = T + Q.
-      Fp12 lambda2 = fp12_mul(
-          t, fp12_sub(quntw.y, ty), fp12_inv(t, fp12_sub(quntw.x, tx)));
-      Fp12 line2 =
-          fp12_sub(fp12_sub(yp, ty), fp12_mul(t, lambda2, fp12_sub(xp, tx)));
-      f_num = fp12_mul(t, f_num, line2);
-      Fp12 x3 = fp12_sub(fp12_sub(fp12_sqr(t, lambda2), tx), quntw.x);
-      Fp12 y3 = fp12_sub(fp12_mul(t, lambda2, fp12_sub(tx, x3)), ty);
-      tx = x3;
-      ty = y3;
-      f_den = fp12_mul(t, f_den, fp12_sub(xp, tx));
+      for (size_t k = 0; k < lanes.size(); ++k) {
+        denoms[k] = fp12_sub(lanes[k].qx, lanes[k].tx);
+      }
+      batch_inv(denoms);
+      for (size_t k = 0; k < lanes.size(); ++k) {
+        Lane& ln = lanes[k];
+        Fp12 lambda2 = fp12_mul(t, fp12_sub(ln.qy, ln.ty), denoms[k]);
+        Fp12 line2 = fp12_sub(fp12_sub(ln.yp, ln.ty),
+                              fp12_mul(t, lambda2, fp12_sub(ln.xp, ln.tx)));
+        f_num = fp12_mul(t, f_num, line2);
+        Fp12 x3 = fp12_sub(fp12_sub(fp12_sqr(t, lambda2), ln.tx), ln.qx);
+        Fp12 y3 = fp12_sub(fp12_mul(t, lambda2, fp12_sub(ln.tx, x3)), ln.ty);
+        ln.tx = x3;
+        ln.ty = y3;
+        f_den = fp12_mul(t, f_den, fp12_sub(ln.xp, ln.tx));
+      }
     }
   }
 
@@ -490,34 +872,67 @@ Fp12 Bls12Ctx::miller_ate(const G1Point381& p, const G2Point381& q) const {
   return fp12_mul(t, f_den, fp12_inv(t, f_num));
 }
 
-Fp12 Bls12Ctx::final_exponentiation(const Fp12& f) const {
+Gt381 Bls12Ctx::pair_reference(const G1Point381& p, const G2Point381& q) const {
   const TowerCtx& t = *tower_;
-  // Easy part: f^((p⁶-1)(p²+1)).
-  Fp12 g = f;
-  Fp12 frob6 = g;
+  if (p.inf || q.inf) return fp12_one(t);
+  std::pair<G1Point381, G2Point381> one_pair[1] = {{p, q}};
+  Fp12 m = miller_ate_reference(one_pair);
+  // Reference final exponentiation: structured easy part + generic power
+  // by the validated hard exponent — fully independent of the
+  // cyclotomic chain, so fast-vs-reference tests cross-check both
+  // halves of the fast engine.
+  Fp12 frob6 = m;
   for (int i = 0; i < 6; ++i) frob6 = fp12_frobenius(t, frob6);
-  Fp12 f1 = fp12_mul(t, frob6, fp12_inv(t, g));          // f^(p⁶-1)
-  Fp12 f2 = fp12_mul(t, fp12_frobenius(t, fp12_frobenius(t, f1)), f1);  // ^(p²+1)
-  // Hard part: generic power by (p⁴ - p² + 1)/r.
+  Fp12 f1 = fp12_mul(t, frob6, fp12_inv(t, m));
+  Fp12 f2 = fp12_mul(t, fp12_frobenius(t, fp12_frobenius(t, f1)), f1);
   return fp12_pow(t, f2, hard_exponent_);
 }
 
-Gt381 Bls12Ctx::pair(const G1Point381& p, const G2Point381& q) const {
-  if (p.inf || q.inf) return fp12_one(*tower_);
-  return final_exponentiation(miller_ate(p, q));
+bool Bls12Ctx::pairings_equal_reference(const G1Point381& a1, const G2Point381& a2,
+                                        const G1Point381& b1,
+                                        const G2Point381& b2) const {
+  if (a1.inf || a2.inf || b1.inf || b2.inf) {
+    return fp12_eq(pair_reference(a1, a2), pair_reference(b1, b2));
+  }
+  std::pair<G1Point381, G2Point381> two[2] = {{a1, a2}, {b1, g2_neg(b2)}};
+  Fp12 m = miller_ate_reference(two);
+  const TowerCtx& t = *tower_;
+  Fp12 frob6 = m;
+  for (int i = 0; i < 6; ++i) frob6 = fp12_frobenius(t, frob6);
+  Fp12 f1 = fp12_mul(t, frob6, fp12_inv(t, m));
+  Fp12 f2 = fp12_mul(t, fp12_frobenius(t, fp12_frobenius(t, f1)), f1);
+  return fp12_is_one(t, fp12_pow(t, f2, hard_exponent_));
 }
 
-bool Bls12Ctx::pairings_equal(const G1Point381& a1, const G2Point381& a2,
-                              const G1Point381& b1, const G2Point381& b2) const {
-  if (a1.inf || a2.inf || b1.inf || b2.inf) {
-    return fp12_eq(pair(a1, a2), pair(b1, b2));
-  }
-  Fp12 m = fp12_mul(*tower_, miller_ate(a1, a2), miller_ate(b1, g2_neg(b2)));
-  return fp12_is_one(*tower_, final_exponentiation(m));
-}
+// ---------------------------------------------------------------------------
+// Gt exponentiation.
 
 Gt381 Bls12Ctx::gt_pow(const Gt381& a, const Scalar& e) const {
   return fp12_pow(*tower_, a, e);
+}
+
+Gt381 Bls12Ctx::gt_pow_unitary(const Gt381& a, const Scalar& e) const {
+  const TowerCtx& t = *tower_;
+  if (e.is_zero()) return fp12_one(t);
+  // Width-5 wNAF over cyclotomic squarings; negative digits cost only a
+  // conjugation (the input is unit-norm, e.g. any pairing output).
+  std::int8_t digits[bigint::kWnafMaxDigits<field::kMaxFieldLimbs>];
+  size_t n = bigint::wnaf_into(e, 5, digits);
+  std::array<Fp12, 8> tab;  // a^1, a^3, ..., a^15
+  tab[0] = a;
+  Fp12 a2 = fp12_cyclotomic_sqr(t, a);
+  for (size_t i = 1; i < 8; ++i) tab[i] = fp12_mul(t, tab[i - 1], a2);
+  Fp12 acc = fp12_one(t);
+  for (size_t i = n; i-- > 0;) {
+    acc = fp12_cyclotomic_sqr(t, acc);
+    int d = digits[i];
+    if (d > 0) {
+      acc = fp12_mul(t, acc, tab[static_cast<size_t>(d - 1) / 2]);
+    } else if (d < 0) {
+      acc = fp12_mul(t, acc, fp12_conjugate(tab[static_cast<size_t>(-d - 1) / 2]));
+    }
+  }
+  return acc;
 }
 
 Scalar Bls12Ctx::random_scalar(tre::hashing::RandomSource& rng) const {

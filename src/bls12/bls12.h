@@ -7,7 +7,7 @@
 //
 //   E  : y² = x³ + 4           over F_p           (G_1, 48-byte points)
 //   E' : y² = x³ + 4(1+u)      over F_p2          (G_2, the M-twist)
-//   ê  : G_1 × G_2 -> F_p12,   ate pairing, r = group order
+//   ê  : G_1 × G_2 -> F_p12,   optimal ate pairing, r = group order
 //
 // Everything derives from the single 64-bit BLS parameter z:
 //   r = z⁴ − z² + 1,  p = (z−1)²·r/3 + z
@@ -16,17 +16,34 @@
 // Frobenius eigenvalue π(Q) = [p]Q), so no unchecked magic constants
 // exist in the code.
 //
-// The pairing is a straightforward reference implementation: the Miller
-// loop runs over the untwisted Q in E(F_p12) with full tower arithmetic
-// (no sparse-line or cyclotomic shortcuts) and the final exponentiation
-// uses the structured easy part plus a generic power for the hard part.
-// It is bit-for-bit the mathematical object production libraries
-// compute, at reference-implementation speed (~tens of ms per pairing).
+// Pairing engine (docs/PERF.md "BLS12-381 pairing engine"):
+//   * Miller loop in homogeneous projective coordinates over F_p2 on the
+//     twist — no inversions — with each line folded in through the
+//     sparse fp12_mul_by_014 (M-twist lines are c0 + c1·v + c4·vw).
+//   * The G_2 argument's line coefficients depend only on Q, so they are
+//     precomputed once into a G2Prepared and, for recurring keys (the
+//     server's G and sG, a user's a·sG), memoized in a SnapshotCache
+//     keyed by the compressed point ("core.bls381.pair.lines.*" probes).
+//   * Final exponentiation: Frobenius easy part, then the hard part
+//     (p⁴−p²+1)/r via the exact base-p decomposition in powers of z with
+//     cyclotomic squarings — value-identical to the generic power.
+//   * Scalar multiplication: width-4 wNAF for public scalars, a
+//     constant-pattern fixed-window ladder for secret ones, and a
+//     Lim–Lee comb (G2Comb) for fixed G_2 bases — the backend512
+//     parity set.
+//   * pair_reference()/pairings_equal_reference() keep the original
+//     affine-over-F_p12 loop (inversions batched across lockstep pairs
+//     by Montgomery's trick) as the cross-checked oracle; tests assert
+//     the fast engine agrees bit-for-bit after final exponentiation.
 #pragma once
 
 #include <memory>
+#include <span>
+#include <utility>
+#include <vector>
 
 #include "bls12/tower.h"
+#include "common/snapshot_cache.h"
 #include "hashing/drbg.h"
 
 namespace tre::bls12 {
@@ -49,6 +66,46 @@ struct G2Point381 {
 /// Pairing output: unit-subgroup element of F_p12.
 using Gt381 = Fp12;
 
+/// Precomputed Miller-loop line coefficients for a fixed G_2 argument:
+/// one (a, b, c) triple per doubling step plus one per set bit of |z|.
+/// At evaluation only b·x_P and c·y_P remain, so pairing against a
+/// prepared Q skips all G_2 point arithmetic.
+struct G2Prepared {
+  struct Coeff {
+    Fp2 a, b, c;
+  };
+  std::vector<Coeff> coeffs;
+  bool inf = false;
+};
+
+class Bls12Ctx;
+
+/// Lim–Lee fixed-base comb for G_2 (the analog of ec::G1Precomp):
+/// kTeeth scalar bits per column, a batch-normalized affine table of
+/// 2^kTeeth − 1 combinations, so a 255-bit multiplication costs ~32
+/// doublings + ~32 mixed additions instead of a full ladder.
+class G2Comb {
+ public:
+  G2Comb(std::shared_ptr<const Bls12Ctx> ctx, const G2Point381& base);
+
+  const G2Point381& base() const { return base_; }
+  /// Variable-time comb multiplication (public scalars).
+  G2Point381 mul(const Scalar& k) const;
+  /// Constant-pattern variant: every column performs one table addition
+  /// (a dummy accumulator absorbs zero columns), mirroring the
+  /// mul_secret policy of the type-1 backend.
+  G2Point381 mul_secret(const Scalar& k) const;
+
+  static constexpr size_t kTeeth = 8;
+
+ private:
+  std::shared_ptr<const Bls12Ctx> ctx_;
+  G2Point381 base_;
+  size_t cols_ = 0;
+  bool degenerate_ = false;        // infinity base: mul is always infinity
+  std::vector<G2Point381> table_;  // 2^kTeeth − 1 affine entries
+};
+
 class Bls12Ctx {
  public:
   /// Builds (and caches) the validated context. Throws if any derived
@@ -69,6 +126,9 @@ class Bls12Ctx {
   G1Point381 g1_add(const G1Point381& a, const G1Point381& b) const;
   G1Point381 g1_neg(const G1Point381& a) const;
   G1Point381 g1_mul(const G1Point381& a, const Scalar& k) const;
+  /// Fixed-window ladder with a constant double/add pattern (dummy
+  /// additions on zero windows) — for long-lived secrets.
+  G1Point381 g1_mul_secret(const G1Point381& a, const Scalar& k) const;
   bool g1_eq(const G1Point381& a, const G1Point381& b) const;
   bool g1_on_curve(const G1Point381& a) const;
   bool g1_in_subgroup(const G1Point381& a) const;
@@ -83,6 +143,7 @@ class Bls12Ctx {
   G2Point381 g2_add(const G2Point381& a, const G2Point381& b) const;
   G2Point381 g2_neg(const G2Point381& a) const;
   G2Point381 g2_mul(const G2Point381& a, const Scalar& k) const;
+  G2Point381 g2_mul_secret(const G2Point381& a, const Scalar& k) const;
   bool g2_eq(const G2Point381& a, const G2Point381& b) const;
   bool g2_on_curve(const G2Point381& a) const;
   bool g2_in_subgroup(const G2Point381& a) const;
@@ -93,11 +154,44 @@ class Bls12Ctx {
   /// ê(P, Q) for P ∈ G_1, Q ∈ G_2; returns 1 when either is infinity.
   Gt381 pair(const G1Point381& p, const G2Point381& q) const;
 
-  /// ê(a1, a2) == ê(b1, b2) (the scheme's verification shape).
+  /// ê(P, Q) with Q's Miller lines served from the context's
+  /// SnapshotCache ("core.bls381.pair.lines.{hit,miss}"). Use for
+  /// recurring G_2 arguments (server keys, a·sG); fresh per-ciphertext
+  /// headers should go through pair() to keep the cache hot-key-only.
+  Gt381 pair_cached(const G1Point381& p, const G2Point381& q) const;
+
+  /// ê(a1, a2) == ê(b1, b2) (the scheme's verification shape): one
+  /// shared-squaring Miller loop over both pairs and one final
+  /// exponentiation. Both G_2 arguments are cached — verification only
+  /// ever sees long-lived keys.
   bool pairings_equal(const G1Point381& a1, const G2Point381& a2,
                       const G1Point381& b1, const G2Point381& b2) const;
 
+  /// Line precomputation for a fixed Q (no cache / via the lines cache).
+  std::shared_ptr<const G2Prepared> prepare_g2(const G2Point381& q) const;
+  std::shared_ptr<const G2Prepared> prepare_g2_cached(const G2Point381& q) const;
+
+  /// Un-exponentiated optimal-ate Miller value f_{z,Q}(P). Exposed (with
+  /// final_exponentiation) so products of pairings can share one final
+  /// exponentiation, and for the bench's sub-timings.
+  Fp12 miller_loop(const G1Point381& p, const G2Prepared& q) const;
+
+  /// f^((p¹²−1)/r): Frobenius easy part + cyclotomic hard part
+  /// ("core.bls381.finalexp" counts invocations). Value-identical to the
+  /// generic power by the validated hard exponent.
+  Fp12 final_exponentiation(const Fp12& f) const;
+
+  /// The original affine-over-F_p12 engine, kept as the cross-check
+  /// oracle (slope inversions batched across lockstep pairs via
+  /// Montgomery's trick — the only change from the seed loop).
+  Gt381 pair_reference(const G1Point381& p, const G2Point381& q) const;
+  bool pairings_equal_reference(const G1Point381& a1, const G2Point381& a2,
+                                const G1Point381& b1, const G2Point381& b2) const;
+
   Gt381 gt_pow(const Gt381& a, const Scalar& e) const;
+  /// Same value for unit-norm (pairing-output) elements, via cyclotomic
+  /// squarings and width-5 wNAF with free conjugation-inverses.
+  Gt381 gt_pow_unitary(const Gt381& a, const Scalar& e) const;
   bool gt_eq(const Gt381& a, const Gt381& b) const { return fp12_eq(a, b); }
   Bytes gt_to_bytes(const Gt381& a) const { return fp12_to_bytes(a); }
 
@@ -114,8 +208,11 @@ class Bls12Ctx {
   };
   PointFp12 untwist(const G2Point381& q) const;
   PointFp12 fp12_point_frobenius(const PointFp12& a) const;
-  Fp12 miller_ate(const G1Point381& p, const G2Point381& q) const;
-  Fp12 final_exponentiation(const Fp12& f) const;
+  Fp12 miller_ate_reference(
+      std::span<const std::pair<G1Point381, G2Point381>> pairs) const;
+  Fp12 miller_loop_multi(
+      std::span<const std::pair<G1Point381, const G2Prepared*>> pairs) const;
+  Fp12 hard_part(const Fp12& f) const;
 
   std::uint64_t abs_z_;
   std::shared_ptr<const FpCtx> fp_;
@@ -125,9 +222,15 @@ class Bls12Ctx {
   FpInt g2_cofactor_;                 // #E'(F_p2)/r — derived + validated
   bigint::BigInt<24> hard_exponent_;  // (p⁴ - p² + 1)/r
   Fp2 twist_b_;                       // 4(1+u)
+  Fp2 twist_b3_;                      // 3·4(1+u) — doubling-step constant
+  Fp half_;                           // 1/2 — doubling-step constant
   Fp12 w2_inv_, w3_inv_;              // untwist constants
   G1Point381 g1_gen_;
   G2Point381 g2_gen_;
+  /// Prepared-lines memo for recurring G_2 keys, keyed by compressed
+  /// bytes. Mutable: the context is shared const; the cache is
+  /// first-write-wins over deterministic values.
+  mutable SnapshotCache<std::shared_ptr<const G2Prepared>> g2_lines_;
 };
 
 }  // namespace tre::bls12

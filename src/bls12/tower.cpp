@@ -23,6 +23,20 @@ TowerCtx::TowerCtx(const FpCtx* fp_ctx) : fp(fp_ctx) {
   require(!frob_gamma[1].is_one(), "TowerCtx: xi is a sextic residue");
 }
 
+namespace {
+
+/// Multiplication by ξ = 1 + u, the constant the tower constructor pins:
+/// (a + bu)(1 + u) = (a − b) + (a + b)u — two base-field additions
+/// instead of the three multiplications a generic F_p2 product costs.
+/// Every ξ· below is on a hot path (F_p6/F_p12 reduction terms, the
+/// cyclotomic squaring), so this is one of the larger constant-factor
+/// wins in the whole pairing.
+inline Fp2 mul_by_xi(const Fp2& a) {
+  return Fp2(a.re() - a.im(), a.re() + a.im());
+}
+
+}  // namespace
+
 // --- F_p6 ----------------------------------------------------------------------
 
 Fp6 fp6_zero(const TowerCtx& t) {
@@ -51,30 +65,54 @@ Fp6 fp6_sub(const Fp6& a, const Fp6& b) {
 
 Fp6 fp6_neg(const Fp6& a) { return Fp6{-a.c0, -a.c1, -a.c2}; }
 
-Fp6 fp6_mul(const TowerCtx& t, const Fp6& a, const Fp6& b) {
-  // Schoolbook with v³ = ξ.
-  Fp2 a0b0 = a.c0 * b.c0, a0b1 = a.c0 * b.c1, a0b2 = a.c0 * b.c2;
-  Fp2 a1b0 = a.c1 * b.c0, a1b1 = a.c1 * b.c1, a1b2 = a.c1 * b.c2;
-  Fp2 a2b0 = a.c2 * b.c0, a2b1 = a.c2 * b.c1, a2b2 = a.c2 * b.c2;
-  return Fp6{a0b0 + t.xi * (a1b2 + a2b1), a0b1 + a1b0 + t.xi * a2b2,
-             a0b2 + a1b1 + a2b0};
+Fp6 fp6_mul(const TowerCtx& /*t*/, const Fp6& a, const Fp6& b) {
+  // Toom/Karatsuba with v³ = ξ: 6 Fp2 muls instead of the schoolbook 9.
+  Fp2 t0 = a.c0 * b.c0;
+  Fp2 t1 = a.c1 * b.c1;
+  Fp2 t2 = a.c2 * b.c2;
+  Fp2 c0 = t0 + mul_by_xi((a.c1 + a.c2) * (b.c1 + b.c2) - t1 - t2);
+  Fp2 c1 = (a.c0 + a.c1) * (b.c0 + b.c1) - t0 - t1 + mul_by_xi(t2);
+  Fp2 c2 = (a.c0 + a.c2) * (b.c0 + b.c2) - t0 - t2 + t1;
+  return Fp6{c0, c1, c2};
 }
 
-Fp6 fp6_sqr(const TowerCtx& t, const Fp6& a) { return fp6_mul(t, a, a); }
+Fp6 fp6_sqr(const TowerCtx& /*t*/, const Fp6& a) {
+  // CH-SQR: 2 Fp2 squarings + 3 Fp2 muls.
+  Fp2 s0 = a.c0.squared();
+  Fp2 cross = a.c1 * a.c2;
+  Fp2 s1 = a.c0 * a.c1;
+  Fp2 s2 = a.c1.squared();
+  Fp2 s3 = a.c0 * a.c2;
+  return Fp6{s0 + mul_by_xi(cross + cross), s1 + s1 + mul_by_xi(a.c2.squared()),
+             s2 + s3 + s3};
+}
 
-Fp6 fp6_inv(const TowerCtx& t, const Fp6& a) {
+Fp6 fp6_mul_by_01(const TowerCtx& /*t*/, const Fp6& a, const Fp2& b0, const Fp2& b1) {
+  Fp2 t0 = a.c0 * b0;
+  Fp2 t1 = a.c1 * b1;
+  Fp2 c0 = mul_by_xi((a.c1 + a.c2) * b1 - t1) + t0;
+  Fp2 c1 = (a.c0 + a.c1) * (b0 + b1) - t0 - t1;
+  Fp2 c2 = (a.c0 + a.c2) * b0 - t0 + t1;
+  return Fp6{c0, c1, c2};
+}
+
+Fp6 fp6_mul_by_1(const TowerCtx& /*t*/, const Fp6& a, const Fp2& b1) {
+  return Fp6{mul_by_xi(a.c2 * b1), a.c0 * b1, a.c1 * b1};
+}
+
+Fp6 fp6_inv(const TowerCtx& /*t*/, const Fp6& a) {
   require(!fp6_is_zero(a), "fp6_inv: zero");
   // Standard tower inversion.
-  Fp2 big_a = a.c0.squared() - t.xi * (a.c1 * a.c2);
-  Fp2 big_b = t.xi * a.c2.squared() - a.c0 * a.c1;
+  Fp2 big_a = a.c0.squared() - mul_by_xi(a.c1 * a.c2);
+  Fp2 big_b = mul_by_xi(a.c2.squared()) - a.c0 * a.c1;
   Fp2 big_c = a.c1.squared() - a.c0 * a.c2;
-  Fp2 f = a.c0 * big_a + t.xi * (a.c2 * big_b + a.c1 * big_c);
+  Fp2 f = a.c0 * big_a + mul_by_xi(a.c2 * big_b + a.c1 * big_c);
   Fp2 finv = f.inverse();
   return Fp6{big_a * finv, big_b * finv, big_c * finv};
 }
 
-Fp6 fp6_mul_by_v(const TowerCtx& t, const Fp6& a) {
-  return Fp6{t.xi * a.c2, a.c0, a.c1};
+Fp6 fp6_mul_by_v(const TowerCtx& /*t*/, const Fp6& a) {
+  return Fp6{mul_by_xi(a.c2), a.c0, a.c1};
 }
 
 // --- F_p12 ---------------------------------------------------------------------
@@ -110,7 +148,65 @@ Fp12 fp12_mul(const TowerCtx& t, const Fp12& a, const Fp12& b) {
               fp6_sub(fp6_sub(mixed, t0), t1)};
 }
 
-Fp12 fp12_sqr(const TowerCtx& t, const Fp12& a) { return fp12_mul(t, a, a); }
+Fp12 fp12_sqr(const TowerCtx& t, const Fp12& a) {
+  // Complex squaring over w² = v: 2 Fp6 muls.
+  Fp6 ab = fp6_mul(t, a.c0, a.c1);
+  Fp6 c0 = fp6_sub(
+      fp6_sub(fp6_mul(t, fp6_add(a.c0, a.c1), fp6_add(a.c0, fp6_mul_by_v(t, a.c1))),
+              ab),
+      fp6_mul_by_v(t, ab));
+  return Fp12{c0, fp6_add(ab, ab)};
+}
+
+Fp12 fp12_conjugate(const Fp12& a) { return Fp12{a.c0, fp6_neg(a.c1)}; }
+
+Fp12 fp12_mul_by_014(const TowerCtx& t, const Fp12& a, const Fp2& c0,
+                     const Fp2& c1, const Fp2& c4) {
+  // ℓ = (c0 + c1·v) + (c4·v)·w; Karatsuba over w² = v.
+  Fp6 aa = fp6_mul_by_01(t, a.c0, c0, c1);
+  Fp6 bb = fp6_mul_by_1(t, a.c1, c4);
+  Fp6 hi = fp6_mul_by_01(t, fp6_add(a.c0, a.c1), c0, c1 + c4);
+  return Fp12{fp6_add(aa, fp6_mul_by_v(t, bb)),
+              fp6_sub(fp6_sub(hi, aa), bb)};
+}
+
+Fp12 fp12_cyclotomic_sqr(const TowerCtx& /*t*/, const Fp12& a) {
+  // Granger–Scott. View F_p12 = F_p4[w]/(w³ − s) with F_p4 = F_p2[s],
+  // s² = ξ (s = vw): the element regroups into three F_p4 components
+  //   g0 = (a.c0.c0, a.c1.c1), g1 = (a.c1.c0, a.c0.c2),
+  //   g2 = (a.c0.c1, a.c1.c2)
+  // and for cyclotomic a the square is
+  //   h0 = 3g0² − 2ḡ0,  h1 = 3s·g2² + 2ḡ1,  h2 = 3g1² − 2ḡ2
+  // (bars are the F_p4 conjugation s -> −s).
+  const Fp2& z0 = a.c0.c0;
+  const Fp2& z1 = a.c1.c1;
+  const Fp2& z2 = a.c1.c0;
+  const Fp2& z3 = a.c0.c2;
+  const Fp2& z4 = a.c0.c1;
+  const Fp2& z5 = a.c1.c2;
+  // (x + y·s)² = (x² + ξy²) + 2xy·s, via one cross product.
+  auto fp4_sqr = [&](const Fp2& x, const Fp2& y, Fp2& re, Fp2& im) {
+    Fp2 cross = x * y;
+    re = (x + y) * (x + mul_by_xi(y)) - cross - mul_by_xi(cross);
+    im = cross + cross;
+  };
+  Fp2 t0, t1, t2, t3, t4, t5;
+  fp4_sqr(z0, z1, t0, t1);  // g0²
+  fp4_sqr(z2, z3, t2, t3);  // g1²
+  fp4_sqr(z4, z5, t4, t5);  // g2²
+  Fp12 r;
+  // h0 = 3g0² − 2ḡ0.
+  r.c0.c0 = (t0 - z0) + (t0 - z0) + t0;
+  r.c1.c1 = (t1 + z1) + (t1 + z1) + t1;
+  // h1 = 3s·g2² + 2ḡ1; s·(t4 + t5·s) = ξt5 + t4·s.
+  Fp2 xi_t5 = mul_by_xi(t5);
+  r.c1.c0 = (xi_t5 + z2) + (xi_t5 + z2) + xi_t5;
+  r.c0.c2 = (t4 - z3) + (t4 - z3) + t4;
+  // h2 = 3g1² − 2ḡ2.
+  r.c0.c1 = (t2 - z4) + (t2 - z4) + t2;
+  r.c1.c2 = (t3 + z5) + (t3 + z5) + t3;
+  return r;
+}
 
 Fp12 fp12_inv(const TowerCtx& t, const Fp12& a) {
   // (a0 − a1 w) / (a0² − v a1²)

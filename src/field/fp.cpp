@@ -47,31 +47,6 @@ FpInt Fp::to_int() const {
 
 Bytes Fp::to_bytes() const { return to_int().to_bytes_be(ctx_->byte_len); }
 
-Fp Fp::operator+(const Fp& o) const {
-  require(ctx_ != nullptr && ctx_ == o.ctx_, "Fp: context mismatch");
-  return Fp(ctx_, ctx_->mont.add(v_, o.v_));
-}
-
-Fp Fp::operator-(const Fp& o) const {
-  require(ctx_ != nullptr && ctx_ == o.ctx_, "Fp: context mismatch");
-  return Fp(ctx_, ctx_->mont.sub(v_, o.v_));
-}
-
-Fp Fp::operator*(const Fp& o) const {
-  require(ctx_ != nullptr && ctx_ == o.ctx_, "Fp: context mismatch");
-  return Fp(ctx_, ctx_->mont.mul(v_, o.v_));
-}
-
-Fp Fp::operator-() const {
-  require(ctx_ != nullptr, "Fp: null context");
-  return Fp(ctx_, ctx_->mont.sub(FpInt{}, v_));
-}
-
-Fp Fp::squared() const {
-  require(ctx_ != nullptr, "Fp: null context");
-  return Fp(ctx_, ctx_->mont.sqr(v_));
-}
-
 Fp Fp::inverse() const {
   require(ctx_ != nullptr, "Fp: null context");
   require(!is_zero(), "Fp: inverse of zero");

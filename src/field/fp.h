@@ -61,11 +61,30 @@ class Fp {
   const FpCtx* ctx() const { return ctx_; }
   bool is_zero() const { return v_.is_zero(); }
 
-  Fp operator+(const Fp& o) const;
-  Fp operator-(const Fp& o) const;
-  Fp operator*(const Fp& o) const;
-  Fp operator-() const;
-  Fp squared() const;
+  // The four hot operations are defined inline so the Montgomery kernels
+  // (bigint/montgomery.h) inline straight into the extension-tower code —
+  // an out-of-line call here costs a 96-byte copy per operand on every
+  // one of the dozens of base-field ops inside a single Fp12 multiply.
+  Fp operator+(const Fp& o) const {
+    require(ctx_ != nullptr && ctx_ == o.ctx_, "Fp: context mismatch");
+    return Fp(ctx_, ctx_->mont.add(v_, o.v_));
+  }
+  Fp operator-(const Fp& o) const {
+    require(ctx_ != nullptr && ctx_ == o.ctx_, "Fp: context mismatch");
+    return Fp(ctx_, ctx_->mont.sub(v_, o.v_));
+  }
+  Fp operator*(const Fp& o) const {
+    require(ctx_ != nullptr && ctx_ == o.ctx_, "Fp: context mismatch");
+    return Fp(ctx_, ctx_->mont.mul(v_, o.v_));
+  }
+  Fp operator-() const {
+    require(ctx_ != nullptr, "Fp: null context");
+    return Fp(ctx_, ctx_->mont.sub(FpInt{}, v_));
+  }
+  Fp squared() const {
+    require(ctx_ != nullptr, "Fp: null context");
+    return Fp(ctx_, ctx_->mont.sqr(v_));
+  }
   Fp inverse() const;
   Fp pow(const FpInt& e) const;
   Fp doubled() const { return *this + *this; }

@@ -8,6 +8,7 @@
 #   MATRIX=1 tools/run_tier1.sh              # plain + asan/ubsan + tsan
 #   METRICS=0 tools/run_tier1.sh             # probes compiled out (-DTRE_METRICS=OFF)
 #   SCALING=1 tools/run_tier1.sh             # multicore throughput gate (bench_throughput)
+#   PERF381=1 tools/run_tier1.sh             # BLS12-381 pairing-engine speedup gate
 #   TEST_TIMEOUT=600 tools/run_tier1.sh      # per-test ctest ceiling (s)
 #   BACKEND=381 tools/run_tier1.sh           # BLS12-381 leg only (see below)
 #
@@ -40,6 +41,15 @@
 # with fewer than 8 hardware threads it prints the ratio and skips the
 # verdict, because no scheduler can conjure parallel speedup out of one
 # core.
+#
+# PERF381=1 (after the test leg) runs bench_modern_curve and FAILS if
+# the BLS12-381 fast pairing engine's speedup over the pinned seed
+# baselines (the baseline_* fields in the JSON) falls below the floors:
+# verify and decrypt >= 10x, encrypt >= 5x by default, overridable via
+# PERF381_MIN_VERIFY / PERF381_MIN_ENCRYPT / PERF381_MIN_DECRYPT. Like
+# the scaling gate it is opt-in: the baselines were measured on the
+# reference host, so absolute-ratio floors only mean something on
+# comparable hardware.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -106,6 +116,41 @@ run_scaling_gate() {
   esac
 }
 
+run_perf381_gate() {
+  local build_dir="$1"
+  local json="$build_dir/BENCH_modern_curve_gate.json"
+  echo "=== perf381 gate: bench_modern_curve speedup floors -> $json ==="
+  "$build_dir/bench/bench_modern_curve" "$json"
+  # The bls12-381 backend row is one JSON object per line; pull the
+  # measured and pinned-baseline timings out of it without jq.
+  local verdict
+  verdict="$(awk -v minv="${PERF381_MIN_VERIFY:-10.0}" \
+                 -v mine="${PERF381_MIN_ENCRYPT:-5.0}" \
+                 -v mind="${PERF381_MIN_DECRYPT:-10.0}" '
+    function val(key,   s) {
+      s = $0
+      if (!sub(".*\"" key "\": *", "", s)) return 0
+      sub(/[,}].*/, "", s)
+      return s + 0
+    }
+    /"curve": "bls12-381"/ {
+      sv = val("baseline_verify_ms") / val("verify_ms")
+      se = val("baseline_encrypt_ms") / val("encrypt_ms")
+      sd = val("baseline_decrypt_ms") / val("decrypt_ms")
+      printf "speedup vs seed: verify %.1fx (floor %.1f), encrypt %.1fx (floor %.1f), decrypt %.1fx (floor %.1f)\n", \
+             sv, minv, se, mine, sd, mind
+      print (sv >= minv && se >= mine && sd >= mind) ? "PASS" : "FAIL"
+      exit
+    }' "$json")"
+  echo "$verdict" | head -1
+  if [[ "$(echo "$verdict" | tail -1)" == "PASS" ]]; then
+    echo "perf381 gate: PASS"
+  else
+    echo "perf381 gate: FAIL — pairing-engine speedup below floor" >&2
+    return 1
+  fi
+}
+
 if [[ "${MATRIX:-0}" == "1" ]]; then
   run_one "${BUILD_DIR:-$DEFAULT_DIR}" ""
   run_one "${BUILD_DIR:-$DEFAULT_DIR}-asan" "address,undefined"
@@ -116,4 +161,8 @@ fi
 
 if [[ "${SCALING:-0}" == "1" ]]; then
   run_scaling_gate "${BUILD_DIR:-$DEFAULT_DIR}"
+fi
+
+if [[ "${PERF381:-0}" == "1" ]]; then
+  run_perf381_gate "${BUILD_DIR:-$DEFAULT_DIR}"
 fi
