@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 
 #include "bigint/bigint.h"
 #include "bigint/montgomery.h"
@@ -31,6 +32,31 @@ struct RswPuzzle {
   RswInt a;          // random base
   std::uint64_t t;   // required sequential squarings
   Bytes sealed_key;  // key ⊕ KDF(a^(2^t) mod n)
+
+  /// Wire format: u16 n-length || n be || u16 a-length || a be ||
+  /// t (u64 be) || u16 key-length || sealed key. Used by the hybrid
+  /// fallback envelope (timelock/hybrid.h) and the solver checkpoint
+  /// fingerprint.
+  Bytes to_bytes() const;
+  /// Throws tre::Error on malformed input (truncation, trailing bytes,
+  /// even/unit modulus, base outside [0, n), zero step count).
+  static RswPuzzle from_bytes(ByteSpan bytes);
+  /// Non-throwing parse for untrusted bytes.
+  static std::optional<RswPuzzle> try_from_bytes(ByteSpan bytes);
+
+  friend bool operator==(const RswPuzzle& x, const RswPuzzle& y) {
+    return x.n == y.n && x.a == y.a && x.t == y.t && x.sealed_key == y.sealed_key;
+  }
+};
+
+/// Caller-held intermediate solving state: x = a^(2^steps) mod n in plain
+/// (non-Montgomery) form. A fresh default-constructed progress starts at
+/// the base; solve_with_budget advances it in place, so repeated budgeted
+/// calls continue where the previous call stopped instead of redoing the
+/// whole chain (prerequisite for the timelock/ checkpointed solver).
+struct RswProgress {
+  RswInt x;
+  std::uint64_t steps = 0;
 };
 
 class Rsw {
@@ -49,8 +75,19 @@ class Rsw {
   /// Runs at most `budget` squarings; sets `*done` to true and returns
   /// the key if the puzzle finished, otherwise returns empty. Used by the
   /// precision experiment to model slower/faster machines and preemption.
+  /// This overload always starts from the base (one-shot semantics).
   static Bytes solve_with_budget(const RswPuzzle& puzzle, std::uint64_t budget,
                                  bool* done);
+
+  /// Resumable variant: starts from `*progress` (default-constructed =
+  /// the base), advances at most `budget` squarings, and writes the new
+  /// state back, so successive budgeted calls share one squaring chain.
+  static Bytes solve_with_budget(const RswPuzzle& puzzle, std::uint64_t budget,
+                                 bool* done, RswProgress* progress);
+
+  /// Opens the sealed key given b = a^(2^t) mod n (plain form) — the
+  /// shared tail of solve() and the checkpointed timelock/ solver.
+  static Bytes unseal(const RswPuzzle& puzzle, const RswInt& b);
 
   /// Squarings/second on this machine for `modulus_bits` — calibrates
   /// what real time a given t buys (the sender's only timing dial).

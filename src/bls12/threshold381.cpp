@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "core/wipe.h"
+
 namespace tre::bls12 {
 
 std::pair<ThresholdKey381, std::vector<Share381>> Threshold381::setup(
@@ -79,6 +81,19 @@ Update381 Threshold381::combine(const ThresholdKey381& key,
     combined = ctx_->g1_add(combined, ctx_->g1_mul(pi->sig, lambda.to_int()));
   }
   return Update381{partials.front().tag, combined};
+}
+
+void wipe(Share381& share) {
+  core::wipe(share.share);
+  share.index = 0;
+}
+
+void wipe(ThresholdKey381& key) {
+  key.group_pk = G2Point381{};
+  for (G2Point381& pk : key.share_pks) pk = G2Point381{};
+  key.share_pks.clear();
+  key.n = 0;
+  key.k = 0;
 }
 
 }  // namespace tre::bls12

@@ -60,4 +60,13 @@ class Threshold381 {
   std::shared_ptr<const Bls12Ctx> ctx_;
 };
 
+/// Zeroizes an operator's Shamir share (the scalar limbs are volatile-
+/// cleared via core::wipe).
+void wipe(Share381& share);
+
+/// Structural reset of the group key material: points to infinity, share
+/// list dropped, parameters zeroed. The group key is public, but a
+/// decommissioned service should not leave stale trust anchors around.
+void wipe(ThresholdKey381& key);
+
 }  // namespace tre::bls12

@@ -28,10 +28,12 @@ inline void require(bool cond, const char* msg) {
 /// these exist so server- and distribution-side code can surface faults
 /// as data instead of silent gaps or exceptions across event loops.
 enum class Errc {
-  kFutureInstant,  ///< trust assumption 2: refusing to sign the future
-  kBadRange,       ///< range with from after to
-  kConflict,       ///< archive holds a different artifact for the same key
-  kMalformed,      ///< wire bytes failed to parse or validate
+  kFutureInstant,   ///< trust assumption 2: refusing to sign the future
+  kBadRange,        ///< range with from after to
+  kConflict,        ///< archive holds a different artifact for the same key
+  kMalformed,       ///< wire bytes failed to parse or validate
+  kSelftestFailed,  ///< a power-on known-answer test failed; the library is
+                    ///< poisoned and key-producing entry points fail closed
 };
 
 inline const char* errc_message(Errc code) {
@@ -40,9 +42,20 @@ inline const char* errc_message(Errc code) {
     case Errc::kBadRange: return "range start is after range end";
     case Errc::kConflict: return "conflicting artifact for the same key";
     case Errc::kMalformed: return "malformed wire bytes";
+    case Errc::kSelftestFailed:
+      return "power-on self-test failed: refusing to produce key material";
   }
   return "unknown error";
 }
+
+/// Thrown by gated entry points after a self-test failure has latched the
+/// poisoned state (common/health.h). Carries the typed code so callers can
+/// branch on Errc::kSelftestFailed without string-matching.
+class SelftestError : public Error {
+ public:
+  SelftestError() : Error(errc_message(Errc::kSelftestFailed)) {}
+  Errc code() const { return Errc::kSelftestFailed; }
+};
 
 /// Minimal result-or-typed-error carrier (std::expected is C++23; this
 /// is the subset the library needs). A Result is either a value or an

@@ -51,6 +51,7 @@
 
 #include "bigint/prime.h"
 #include "common/error.h"
+#include "common/health.h"
 #include "field/fp.h"
 #include "common/parallel.h"
 #include "common/snapshot_cache.h"
@@ -62,16 +63,20 @@ namespace tre::core {
 
 using Scalar = field::FpInt;  // value in [1, q); both backends share it
 
-/// The three ciphertext flavours behind one API. kBasic is the §5.1
-/// scheme verbatim (malleable, CPA only); kFo and kReact are the paper's
-/// two CCA transforms. Values are the wire header byte — fixed forever.
-enum class Mode : std::uint8_t { kBasic = 1, kFo = 2, kReact = 3 };
+/// The ciphertext flavours behind one API. kBasic is the §5.1 scheme
+/// verbatim (malleable, CPA only); kFo and kReact are the paper's two
+/// CCA transforms. kHybrid is the defense-in-depth envelope (payload key
+/// sealed under TRE *and* an RSW time-lock puzzle); its encoding lives
+/// in timelock/hybrid.h — here it only reserves the wire byte. Values
+/// are the wire header byte — fixed forever.
+enum class Mode : std::uint8_t { kBasic = 1, kFo = 2, kReact = 3, kHybrid = 4 };
 
 inline const char* mode_name(Mode m) {
   switch (m) {
     case Mode::kBasic: return "basic";
     case Mode::kFo: return "fo";
     case Mode::kReact: return "react";
+    case Mode::kHybrid: return "hybrid";
   }
   return "unknown";
 }
@@ -467,6 +472,10 @@ struct BasicSealedCiphertext {
       case static_cast<std::uint8_t>(Mode::kReact):
         return BasicSealedCiphertext{
             BasicReactCiphertext<B>::from_bytes(params, payload)};
+      case static_cast<std::uint8_t>(Mode::kHybrid):
+        throw Error(
+            "SealedCiphertext: hybrid envelope — parse with "
+            "timelock::BasicHybridEnvelope::from_bytes");
       default:
         throw Error("SealedCiphertext: unknown mode byte");
     }
@@ -513,6 +522,7 @@ class BasicTreScheme {
   /// its generator, mitigating the §5.1-point-6 rogue-generator concern
   /// from the *user's* side: senders may additionally avoid G == H1(T)).
   BasicServerKeyPair<B> server_keygen(tre::hashing::RandomSource& rng) const {
+    health::ensure_operational();
     // G = h·base for random h is a uniform generator of the order-q subgroup.
     Scalar h = B::random_scalar(*params_, rng);
     Scalar s = B::random_scalar(*params_, rng);
@@ -523,6 +533,7 @@ class BasicTreScheme {
 
   BasicUserKeyPair<B> user_keygen(const BasicServerPublicKey<B>& server,
                                   tre::hashing::RandomSource& rng) const {
+    health::ensure_operational();
     Scalar a = B::random_scalar(*params_, rng);
     return BasicUserKeyPair<B>{
         a, BasicUserPublicKey<B>{mul_anchor(server, a),
@@ -533,6 +544,7 @@ class BasicTreScheme {
   /// through a good hash. Deterministic per (password, server key).
   BasicUserKeyPair<B> user_keygen_from_password(const BasicServerPublicKey<B>& server,
                                                 std::string_view password) const {
+    health::ensure_operational();
     // Domain-separate by the server key so one password yields unrelated
     // secrets under different servers.
     Bytes input = concat({tre::to_bytes(password), server.to_bytes()});
@@ -564,6 +576,7 @@ class BasicTreScheme {
   /// I_T = s·H1(T). Stateless: any tag, past or future, any order.
   BasicKeyUpdate<B> issue_update(const BasicServerKeyPair<B>& server,
                                  std::string_view tag) const {
+    health::ensure_operational();
     obs::Span span(probes().issue_update_ns);
     probes().updates_issued.add();
     return BasicKeyUpdate<B>{std::string(tag),
@@ -614,6 +627,8 @@ class BasicTreScheme {
         return BasicSealedCiphertext<B>{seal_fo(msg, user, server, tag, rng, check)};
       case Mode::kReact:
         return BasicSealedCiphertext<B>{seal_react(msg, user, server, tag, rng, check)};
+      case Mode::kHybrid:
+        throw Error("seal: hybrid envelopes are built by timelock::seal_hybrid");
     }
     throw Error("seal: unknown mode");
   }
@@ -706,6 +721,7 @@ class BasicTreScheme {
   /// inputs match the ciphertext (use the FO/REACT variants otherwise).
   Bytes decrypt(const BasicCiphertext<B>& ct, const Scalar& a,
                 const BasicKeyUpdate<B>& update) const {
+    health::ensure_operational();
     obs::Span span(probes().decrypt_ns);
     Gt k = gt_pow(pair_with_lines(update.sig, ct.u), a);
     return xor_bytes(ct.v, mask_h2(k, ct.v.size()));
@@ -726,6 +742,7 @@ class BasicTreScheme {
   std::optional<Bytes> decrypt_fo(const BasicFoCiphertext<B>& ct, const Scalar& a,
                                   const BasicKeyUpdate<B>& update,
                                   const BasicServerPublicKey<B>& server) const {
+    health::ensure_operational();
     if (ct.c_sigma.size() != detail::kSigmaBytes) return std::nullopt;
     obs::Span span(probes().decrypt_ns);
     Gt k = gt_pow(pair_with_lines(update.sig, ct.u), a);
@@ -752,6 +769,7 @@ class BasicTreScheme {
   std::optional<Bytes> decrypt_react(const BasicReactCiphertext<B>& ct,
                                      const Scalar& a,
                                      const BasicKeyUpdate<B>& update) const {
+    health::ensure_operational();
     if (ct.c_r.size() != detail::kSigmaBytes || ct.mac.size() != detail::kMacBytes) {
       return std::nullopt;
     }
@@ -772,6 +790,7 @@ class BasicTreScheme {
   /// Safe-device step: combine the long-term secret with a fresh update.
   BasicEpochKey<B> derive_epoch_key(const Scalar& a,
                                     const BasicKeyUpdate<B>& update) const {
+    health::ensure_operational();
     // a·I_T = a·s·H1(T): all the secret material a ciphertext for tag T
     // needs, and useless for any other tag (CDH). The paper's §5.3.3 text
     // writes the epoch key as aH1(T_i); only a·(s·H1(T_i)) closes the
@@ -1033,6 +1052,7 @@ class BasicTreScheme {
                                 const BasicServerPublicKey<B>& server,
                                 std::string_view tag, tre::hashing::RandomSource& rng,
                                 KeyCheck check) const {
+    health::ensure_operational();
     obs::Span span(probes().encrypt_ns);
     if (check == KeyCheck::kVerify) {
       require(checked_user_key(server, user),
@@ -1053,6 +1073,7 @@ class BasicTreScheme {
                                const BasicServerPublicKey<B>& server,
                                std::string_view tag, tre::hashing::RandomSource& rng,
                                KeyCheck check) const {
+    health::ensure_operational();
     obs::Span span(probes().encrypt_ns);
     if (check == KeyCheck::kVerify) {
       require(checked_user_key(server, user),
@@ -1077,6 +1098,7 @@ class BasicTreScheme {
                                      std::string_view tag,
                                      tre::hashing::RandomSource& rng,
                                      KeyCheck check) const {
+    health::ensure_operational();
     obs::Span span(probes().encrypt_ns);
     if (check == KeyCheck::kVerify) {
       require(checked_user_key(server, user),

@@ -16,4 +16,27 @@ void wipe(ServerKeyPair& keys);
 void wipe(UserKeyPair& keys);
 void wipe(EpochKey& key);
 
+// Backend-generic overloads: the same operations for any scheme backend
+// (BLS12-381 key material was previously not wipeable). The non-template
+// overloads above stay as the exact-match choice for the type-1 aliases,
+// preserving their curve-aware infinity reset.
+
+template <class B>
+void wipe(BasicServerKeyPair<B>& keys) {
+  wipe(keys.s);
+}
+
+template <class B>
+void wipe(BasicUserKeyPair<B>& keys) {
+  wipe(keys.a);
+}
+
+/// Structural reset: the epoch point (secret for its epoch) becomes the
+/// backend's default (point at infinity) and the tag is dropped.
+template <class B>
+void wipe(BasicEpochKey<B>& key) {
+  key.d = typename B::Gu{};
+  key.tag.clear();
+}
+
 }  // namespace tre::core

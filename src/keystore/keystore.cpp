@@ -1,6 +1,7 @@
 #include "keystore/keystore.h"
 
 #include "common/error.h"
+#include "common/health.h"
 #include "hashing/hmac.h"
 #include "hashing/kdf.h"
 
@@ -13,6 +14,7 @@ constexpr size_t kMacLen = 32;
 
 Bytes derive_key(std::string_view password, ByteSpan salt, std::uint32_t iterations,
                  size_t out_len) {
+  health::ensure_operational();
   require(iterations >= 1, "keystore: zero iterations");
   Bytes pw = to_bytes(password);
   Bytes state = hashing::hmac_sha256_concat(pw, {salt, to_bytes("KSv1")});

@@ -1,0 +1,237 @@
+#include "selftest/selftest.h"
+
+#include <cstdlib>
+
+#include "bls12/tre381.h"
+#include "common/bytes.h"
+#include "common/error.h"
+#include "common/health.h"
+#include "core/tre.h"
+#include "core/wipe.h"
+#include "hashing/drbg.h"
+#include "hashing/hmac.h"
+#include "hashing/kdf.h"
+#include "hashing/sha256.h"
+#include "params/params.h"
+
+namespace tre::selftest {
+
+namespace {
+
+// --- Pinned answers ---------------------------------------------------------
+
+// FIPS 180-2 B.1: SHA-256("abc").
+constexpr std::string_view kSha256Expected =
+    "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad";
+
+// RFC 4231 test case 2: HMAC-SHA256("Jefe", "what do ya want for nothing?").
+constexpr std::string_view kHmacExpected =
+    "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843";
+
+// RFC 5869 test case 1: HKDF-SHA256, 42-byte OKM.
+constexpr std::string_view kHkdfIkm = "0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b";
+constexpr std::string_view kHkdfSalt = "000102030405060708090a0b0c";
+constexpr std::string_view kHkdfInfo = "f0f1f2f3f4f5f6f7f8f9";
+constexpr std::string_view kHkdfExpected =
+    "3cb25f25faacd57a90434f64d0362f2a2d2d0a90cf1a5a4c5db02d56ecc4c5bf"
+    "34007208d5b887185865";
+
+// Self-golden: HmacDrbg seeded with "tre-selftest-drbg", first 32 bytes.
+// Pinned from the implementation at the time the harness was added; any
+// drift in the DRBG (or HMAC beneath it) trips this.
+constexpr std::string_view kDrbgExpected =
+    "0b5ef8b01f1ce01b5f7b7eae3496fe3c6fa2c9d7b3bc7d79b5f8bd6b3f85ec8f";
+
+// SHA-256 of tag || serialized update for the fixed-seed key/update
+// chain, one per backend (pinned like kDrbgExpected).
+constexpr std::string_view kPairing512Expected =
+    "105edcaa1d27cb0be7d67aeb18848b546d4cea2cf1e5d994b9cf2dbde7fe8896";
+constexpr std::string_view kPairing381Expected =
+    "4779777d144c3cc82c48ec06478b30569c426062b49acf48c44df3c45df5789c";
+
+// --- Individual KATs --------------------------------------------------------
+// Every KAT takes `fault`: when true it deterministically sabotages its
+// own input (first byte, lowest bit) — or for the wipe KAT skips the
+// wipe — so the ctest fault matrix can prove the gate trips per KAT.
+
+Bytes maybe_flip(Bytes in, bool fault) {
+  if (fault && !in.empty()) in[0] ^= 1;
+  return in;
+}
+
+bool kat_sha256(bool fault) {
+  Bytes input = maybe_flip(to_bytes("abc"), fault);
+  return hashing::sha256(input) == from_hex(kSha256Expected);
+}
+
+bool kat_hmac(bool fault) {
+  Bytes data = maybe_flip(to_bytes("what do ya want for nothing?"), fault);
+  return hashing::hmac_sha256(to_bytes("Jefe"), data) == from_hex(kHmacExpected);
+}
+
+bool kat_hkdf(bool fault) {
+  Bytes ikm = maybe_flip(from_hex(kHkdfIkm), fault);
+  return hashing::hkdf_sha256(from_hex(kHkdfSalt), ikm, from_hex(kHkdfInfo), 42) ==
+         from_hex(kHkdfExpected);
+}
+
+bool kat_drbg(bool fault) {
+  Bytes seed = maybe_flip(to_bytes("tre-selftest-drbg"), fault);
+  hashing::HmacDrbg drbg(seed);
+  return drbg.bytes(32) == from_hex(kDrbgExpected);
+}
+
+/// Fixed-seed keygen → issue_update → (1) bilinear verification and
+/// (2) pinned digest of the serialized update. The digest is the actual
+/// known answer: it moves if anything in the scalar, curve, comb or
+/// pairing layers drifts; bilinearity alone would also pass for a
+/// self-consistently wrong stack.
+template <class Scheme, class B>
+bool kat_pairing(const Scheme& scheme, std::string_view seed,
+                 std::string_view expected_hex, bool fault) {
+  hashing::HmacDrbg rng(maybe_flip(to_bytes(seed), fault));
+  auto server = scheme.server_keygen(rng);
+  auto update = scheme.issue_update(server, "selftest-epoch");
+  if (!scheme.verify_update(server.pub, update)) return false;
+  Bytes digest =
+      hashing::sha256_concat({to_bytes(update.tag), B::gu_to_bytes(update.sig)});
+  return digest == from_hex(expected_hex);
+}
+
+/// Seal/open roundtrip for one flavour. The fault corrupts the message
+/// fed to seal; the comparison is against the pristine constant, so a
+/// sabotaged input (or any seal/open defect) misses the known answer.
+template <class Scheme>
+bool kat_seal_roundtrip(const Scheme& scheme, core::Mode mode, bool fault) {
+  const Bytes msg = to_bytes("tre-selftest-payload");
+  hashing::HmacDrbg rng(to_bytes("tre-selftest-seal"));
+  auto server = scheme.server_keygen(rng);
+  auto user = scheme.user_keygen(server.pub, rng);
+  auto update = scheme.issue_update(server, "selftest-epoch");
+  auto ct = scheme.seal(mode, maybe_flip(msg, fault), user.pub, server.pub,
+                        "selftest-epoch", rng);
+  auto out = scheme.open(ct, user.a, update, server.pub);
+  return out.has_value() && *out == msg;
+}
+
+bool kat_wipe(bool fault) {
+  core::Scalar s = core::Scalar::from_u64(0x5a5a5a5a5a5a5a5aULL);
+  if (!fault) core::wipe(s);  // the fault here is a wipe that never ran
+  volatile const std::uint64_t* p = s.w.data();
+  std::uint64_t acc = 0;
+  for (size_t i = 0; i < s.w.size(); ++i) acc |= p[i];
+  return acc == 0;
+}
+
+bool run_one(Kat kat, bool fault) {
+  switch (kat) {
+    case Kat::kSha256: return kat_sha256(fault);
+    case Kat::kHmac: return kat_hmac(fault);
+    case Kat::kHkdf: return kat_hkdf(fault);
+    case Kat::kDrbg: return kat_drbg(fault);
+    case Kat::kPairing512: {
+      core::TreScheme scheme(params::load("tre-toy-96"));
+      return kat_pairing<core::TreScheme, core::Tre512Backend>(
+          scheme, "tre-selftest-pairing-512", kPairing512Expected, fault);
+    }
+    case Kat::kPairing381: {
+      bls12::Tre381Scheme scheme = bls12::make_tre381();
+      return kat_pairing<bls12::Tre381Scheme, bls12::Bls381Backend>(
+          scheme, "tre-selftest-pairing-381", kPairing381Expected, fault);
+    }
+    case Kat::kSeal512Basic:
+    case Kat::kSeal512Fo:
+    case Kat::kSeal512React: {
+      core::TreScheme scheme(params::load("tre-toy-96"));
+      core::Mode mode = kat == Kat::kSeal512Basic ? core::Mode::kBasic
+                        : kat == Kat::kSeal512Fo  ? core::Mode::kFo
+                                                  : core::Mode::kReact;
+      return kat_seal_roundtrip(scheme, mode, fault);
+    }
+    case Kat::kSeal381Basic:
+    case Kat::kSeal381Fo:
+    case Kat::kSeal381React: {
+      bls12::Tre381Scheme scheme = bls12::make_tre381();
+      core::Mode mode = kat == Kat::kSeal381Basic ? core::Mode::kBasic
+                        : kat == Kat::kSeal381Fo  ? core::Mode::kFo
+                                                  : core::Mode::kReact;
+      return kat_seal_roundtrip(scheme, mode, fault);
+    }
+    case Kat::kWipe: return kat_wipe(fault);
+  }
+  return false;
+}
+
+constexpr Kat kAllKats[] = {
+    Kat::kSha256,       Kat::kHmac,         Kat::kHkdf,        Kat::kDrbg,
+    Kat::kPairing512,   Kat::kPairing381,   Kat::kSeal512Basic, Kat::kSeal512Fo,
+    Kat::kSeal512React, Kat::kSeal381Basic, Kat::kSeal381Fo,   Kat::kSeal381React,
+    Kat::kWipe,
+};
+
+// Arms the gate: from now on the first gated entry point anywhere in
+// this binary executes run_power_on() once.
+const bool g_registered = [] {
+  health::register_runner(&run_power_on);
+  return true;
+}();
+
+}  // namespace
+
+const char* kat_name(Kat k) {
+  switch (k) {
+    case Kat::kSha256: return "sha256";
+    case Kat::kHmac: return "hmac";
+    case Kat::kHkdf: return "hkdf";
+    case Kat::kDrbg: return "drbg";
+    case Kat::kPairing512: return "pairing512";
+    case Kat::kPairing381: return "pairing381";
+    case Kat::kSeal512Basic: return "seal512-basic";
+    case Kat::kSeal512Fo: return "seal512-fo";
+    case Kat::kSeal512React: return "seal512-react";
+    case Kat::kSeal381Basic: return "seal381-basic";
+    case Kat::kSeal381Fo: return "seal381-fo";
+    case Kat::kSeal381React: return "seal381-react";
+    case Kat::kWipe: return "wipe";
+  }
+  return "unknown";
+}
+
+std::span<const Kat> all_kats() { return kAllKats; }
+
+std::optional<Kat> kat_from_name(std::string_view name) {
+  for (Kat k : kAllKats) {
+    if (name == kat_name(k)) return k;
+  }
+  return std::nullopt;
+}
+
+Report run(std::optional<Kat> fault) {
+  Report report;
+  for (Kat k : kAllKats) {
+    bool injected = fault.has_value() && *fault == k;
+    bool ok = false;
+    try {
+      ok = run_one(k, injected);
+    } catch (...) {
+      ok = false;  // a throwing KAT is a failing KAT
+    }
+    (ok ? report.passed : report.failed).push_back(k);
+  }
+  return report;
+}
+
+bool run_power_on() {
+  std::optional<Kat> fault;
+  if (const char* name = std::getenv("TRE_SELFTEST_FAULT")) {
+    fault = kat_from_name(name);
+    // An unrecognized fault name is itself a harness defect: fail closed
+    // rather than silently running the clean suite.
+    if (!fault.has_value()) return false;
+  }
+  return run(fault).ok();
+}
+
+void ensure_registered() { (void)g_registered; }
+
+}  // namespace tre::selftest

@@ -1,0 +1,82 @@
+// FIPS-style power-on known-answer tests (KATs).
+//
+// A miscompiled Montgomery kernel, a corrupted precomputation table or a
+// bit-flipped constant does not crash a cryptographic library — it makes
+// it silently produce forgeable signatures and unopenable ciphertexts.
+// The classical mitigation (FIPS 140-3 §10.3) is a power-on self-test:
+// before the first key-producing operation, run every primitive against
+// a known answer and refuse to operate if anything disagrees.
+//
+// This module is that harness. It covers:
+//   * hashing: SHA-256 (FIPS 180-2 "abc"), HMAC-SHA256 (RFC 4231 #2),
+//     HKDF-SHA256 (RFC 5869 #1), HMAC-DRBG (self-golden vector);
+//   * pairing correctness on BOTH backends: a fixed-seed key/update
+//     chain must verify bilinearly AND match a pinned digest of its
+//     serialized form (so any drift in field, curve, comb, Miller-loop
+//     or final-exponentiation code trips the gate);
+//   * a seal/open roundtrip per ciphertext flavour per backend;
+//   * zeroization: core::wipe must actually clear scalar limbs.
+//
+// Wiring: a static registrar installs run_power_on() as the
+// common/health.h runner, so linking tre_selftest arms the gate in every
+// gated entry point; the first such call executes the suite exactly
+// once. A KAT failure latches the poisoned state — later calls throw
+// tre::SelftestError instead of producing secrets.
+//
+// Fault injection (proving the gate actually trips): set
+// TRE_SELFTEST_FAULT=<kat-name> and the power-on run deterministically
+// corrupts that KAT's input (or, for the wipe KAT, skips the wipe),
+// in the PR-2 FaultPlan style of deterministic sabotage.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace tre::selftest {
+
+enum class Kat {
+  kSha256,
+  kHmac,
+  kHkdf,
+  kDrbg,
+  kPairing512,
+  kPairing381,
+  kSeal512Basic,
+  kSeal512Fo,
+  kSeal512React,
+  kSeal381Basic,
+  kSeal381Fo,
+  kSeal381React,
+  kWipe,
+};
+
+const char* kat_name(Kat k);
+std::span<const Kat> all_kats();
+std::optional<Kat> kat_from_name(std::string_view name);
+
+struct Report {
+  std::vector<Kat> passed;
+  std::vector<Kat> failed;
+
+  bool ok() const { return failed.empty(); }
+};
+
+/// Runs the whole suite, optionally sabotaging one KAT (deterministic
+/// input corruption). Pure: does not read the environment or touch the
+/// health latch — callers decide what to do with the report.
+Report run(std::optional<Kat> fault = std::nullopt);
+
+/// The installed health runner: reads TRE_SELFTEST_FAULT (a kat_name)
+/// for the injection hook and returns whether every KAT passed. The
+/// health latch turns a false return into the poisoned state.
+bool run_power_on();
+
+/// No-op whose presence forces this translation unit (and therefore the
+/// static registrar arming the gate) into the link. Binaries that use
+/// any other selftest:: symbol get it implicitly.
+void ensure_registered();
+
+}  // namespace tre::selftest

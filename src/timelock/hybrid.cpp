@@ -1,0 +1,24 @@
+#include "timelock/hybrid.h"
+
+#include "bls12/backend381.h"
+#include "core/backend512.h"
+
+namespace tre::timelock {
+
+// Compile the envelope for both backends here so template breakage
+// surfaces when this library builds, not first in some downstream test.
+template struct BasicHybridEnvelope<core::Tre512Backend>;
+template struct BasicHybridEnvelope<bls12::Bls381Backend>;
+
+template BasicHybridEnvelope<core::Tre512Backend> seal_hybrid(
+    const core::BasicTreScheme<core::Tre512Backend>&, core::Mode, ByteSpan,
+    const core::BasicUserPublicKey<core::Tre512Backend>&,
+    const core::BasicServerPublicKey<core::Tre512Backend>&, std::string_view,
+    const FallbackParams&, tre::hashing::RandomSource&, core::KeyCheck);
+template BasicHybridEnvelope<bls12::Bls381Backend> seal_hybrid(
+    const core::BasicTreScheme<bls12::Bls381Backend>&, core::Mode, ByteSpan,
+    const core::BasicUserPublicKey<bls12::Bls381Backend>&,
+    const core::BasicServerPublicKey<bls12::Bls381Backend>&, std::string_view,
+    const FallbackParams&, tre::hashing::RandomSource&, core::KeyCheck);
+
+}  // namespace tre::timelock

@@ -101,4 +101,60 @@ if "$CLI" decrypt --user-key user.key --server-pub server.pub --update update.bi
   exit 1
 fi
 
+# ---- Hybrid time-lock fallback. ---------------------------------------
+# Both lanes must open the same envelope: the server lane via decrypt,
+# the fallback lane via solve — bit-identical plaintexts. Tiny modulus
+# and squaring count keep this fast; production dials are far larger.
+"$CLI" encrypt --user-pub user.pub --server-pub server.pub \
+  --tag "2031-05-05T05:05:05Z" --in msg.txt --out ct-hybrid.bin \
+  --fallback 3000 --fallback-modulus-bits 256
+"$CLI" decrypt --user-key user.key --server-pub server.pub --update update.bin \
+  --in ct-hybrid.bin --out out-hybrid-server.txt
+cmp msg.txt out-hybrid-server.txt
+
+# Fallback lane, interrupted: a small budget must exit 3 and leave a
+# checkpoint; the resumed run finishes and matches.
+set +e
+"$CLI" solve --in ct-hybrid.bin --out out-hybrid-solve.txt \
+  --checkpoint ck.bin --budget 1000 --checkpoint-every 400
+rc=$?
+set -e
+if [ "$rc" -ne 3 ]; then
+  echo "FAIL: exhausted solve budget should exit 3 (got $rc)" >&2
+  exit 1
+fi
+test -f ck.bin
+"$CLI" solve --in ct-hybrid.bin --out out-hybrid-solve.txt \
+  --checkpoint ck.bin --checkpoint-every 400 | grep -q 'resumed from'
+cmp msg.txt out-hybrid-solve.txt
+
+# A corrupted checkpoint is rejected, not silently resumed (same size,
+# scrambled contents).
+{ tail -c 308 ck.bin; head -c 308 ck.bin; } > ck-bad.bin
+if "$CLI" solve --in ct-hybrid.bin --out bad.txt --checkpoint ck-bad.bin \
+  --budget 1 2>/dev/null; then
+  echo "FAIL: corrupted checkpoint accepted" >&2
+  exit 1
+fi
+
+# Hybrid on the bls381 backend too.
+"$CLI" encrypt --user-pub user381.pub --server-pub server381.pub \
+  --tag "2031-05-05T05:05:05Z" --in msg.txt --out ct381-hybrid.bin \
+  --fallback 500 --fallback-modulus-bits 256
+"$CLI" solve --in ct381-hybrid.bin --out out381-solve.txt
+cmp msg.txt out381-solve.txt
+
+# ---- Power-on self-tests. ---------------------------------------------
+# Clean suite passes; an injected corruption makes the command fail.
+# (With TRE_SELFTEST=OFF builds the command still reports and passes.)
+"$CLI" selftest | grep -q 'selftest:'
+if TRE_SELFTEST_FAULT=sha256 "$CLI" selftest >/dev/null 2>&1; then
+  echo "FAIL: injected sha256 corruption not detected" >&2
+  exit 1
+fi
+if TRE_SELFTEST_FAULT=not-a-kat "$CLI" selftest >/dev/null 2>&1; then
+  echo "FAIL: unknown fault name should fail closed" >&2
+  exit 1
+fi
+
 echo "cli roundtrip ok"

@@ -9,6 +9,9 @@
 #   METRICS=0 tools/run_tier1.sh             # probes compiled out (-DTRE_METRICS=OFF)
 #   SCALING=1 tools/run_tier1.sh             # multicore throughput gate (bench_throughput)
 #   PERF381=1 tools/run_tier1.sh             # BLS12-381 pairing-engine speedup gate
+#   SELFTEST=1 tools/run_tier1.sh            # power-on KAT gate: every injected
+#                                            # fault must fail, the clean run pass,
+#                                            # plus a TRE_SELFTEST=OFF opt-out build
 #   TEST_TIMEOUT=600 tools/run_tier1.sh      # per-test ctest ceiling (s)
 #   BACKEND=381 tools/run_tier1.sh           # BLS12-381 leg only (see below)
 #
@@ -151,6 +154,40 @@ run_perf381_gate() {
   fi
 }
 
+# SELFTEST=1: prove the power-on gate trips on every single injected KAT
+# corruption (tre_cli selftest must exit nonzero), passes clean, and that
+# a TRE_SELFTEST=OFF tree still passes the whole suite (the gate is an
+# opt-out, not a load-bearing dependency).
+run_selftest_gate() {
+  local build_dir="$1"
+  local cli="$build_dir/tools/tre_cli"
+  echo "=== selftest gate: per-KAT fault injection via $cli ==="
+  "$cli" selftest >/dev/null || {
+    echo "selftest gate: FAIL — clean KAT suite did not pass" >&2; return 1; }
+  local kats
+  kats="$("$cli" selftest | awk '/^  / {print $1}')"
+  local kat
+  for kat in $kats; do
+    if TRE_SELFTEST_FAULT="$kat" "$cli" selftest >/dev/null 2>&1; then
+      echo "selftest gate: FAIL — injected $kat corruption not detected" >&2
+      return 1
+    fi
+    echo "  fault $kat: tripped (ok)"
+  done
+  if TRE_SELFTEST_FAULT="no-such-kat" "$cli" selftest >/dev/null 2>&1; then
+    echo "selftest gate: FAIL — unknown fault name should fail closed" >&2
+    return 1
+  fi
+  echo "selftest gate: PASS (clean suite + $(echo "$kats" | wc -w) fault cases)"
+
+  local off_dir="${build_dir}-noselftest"
+  echo "=== selftest gate: TRE_SELFTEST=OFF opt-out tree -> $off_dir ==="
+  cmake -B "$off_dir" -S . -DTRE_SELFTEST=OFF -DTRE_TEST_TIMEOUT="$TEST_TIMEOUT"
+  cmake --build "$off_dir" -j"$(nproc)"
+  ctest --test-dir "$off_dir" --output-on-failure -j"$(nproc)" \
+        --timeout "$TEST_TIMEOUT" ${CTEST_FILTER[@]+"${CTEST_FILTER[@]}"}
+}
+
 if [[ "${MATRIX:-0}" == "1" ]]; then
   run_one "${BUILD_DIR:-$DEFAULT_DIR}" ""
   run_one "${BUILD_DIR:-$DEFAULT_DIR}-asan" "address,undefined"
@@ -165,4 +202,8 @@ fi
 
 if [[ "${PERF381:-0}" == "1" ]]; then
   run_perf381_gate "${BUILD_DIR:-$DEFAULT_DIR}"
+fi
+
+if [[ "${SELFTEST:-0}" == "1" ]]; then
+  run_selftest_gate "${BUILD_DIR:-$DEFAULT_DIR}"
 fi

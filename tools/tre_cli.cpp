@@ -20,7 +20,10 @@
 // ("bls381" maps to the reserved set name "bls12-381"); downstream
 // commands dispatch on the set name baked into their input files, so keys
 // made on either curve flow through issue/encrypt/decrypt unchanged.
+#include <algorithm>
+#include <cerrno>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <map>
@@ -28,10 +31,14 @@
 #include <string>
 
 #include "bls12/tre381.h"
+#include "common/health.h"
 #include "core/tre.h"
 #include "hashing/drbg.h"
 #include "keystore/keystore.h"
 #include "obs/metrics.h"
+#include "selftest/selftest.h"
+#include "timelock/hybrid.h"
+#include "timelock/solver.h"
 
 namespace {
 
@@ -55,6 +62,7 @@ enum class FileKind : std::uint8_t {
   kServerKeySealed = 9,   // keystore-encrypted under --password
   kUserKeySealed = 10,
   kCiphertextSealed = 11, // mode-tagged core::SealedCiphertext wire
+  kCiphertextHybrid = 12, // timelock::HybridEnvelope (server OR puzzle lane)
 };
 
 struct Envelope {
@@ -170,9 +178,18 @@ int usage() {
                "  verify-update --server-pub FILE --update FILE\n"
                "  encrypt       --user-pub FILE --server-pub FILE --tag T\n"
                "                --in FILE --out FILE [--mode basic|fo|react|sealed[-basic|-fo|-react]]\n"
+               "                [--fallback W [--fallback-modulus-bits N]]\n"
+               "                (--fallback W adds a time-lock lane: W sequential\n"
+               "                 squarings open the ciphertext without the server)\n"
                "  decrypt       --user-key FILE --server-pub FILE --update FILE\n"
                "                --in FILE --out FILE [--mode basic|fo|react]\n"
-               "                (sealed ciphertexts self-describe; no --mode needed)\n"
+               "                (sealed/hybrid ciphertexts self-describe; no --mode needed)\n"
+               "  solve         --in FILE --out FILE [--checkpoint FILE] [--budget N]\n"
+               "                [--checkpoint-every N]\n"
+               "                grind a hybrid ciphertext's time-lock lane; exit 3 when\n"
+               "                the budget runs out (resume later from --checkpoint)\n"
+               "  selftest      run the power-on KAT suite and report per-KAT results\n"
+               "                (TRE_SELFTEST_FAULT=<kat> injects a corruption)\n"
                "  any command   [--metrics FILE]  dump the obs registry as JSON\n"
                "                (FILE = '-' for stdout)\n"
                "  downstream commands infer the backend from their input files;\n"
@@ -285,6 +302,17 @@ int cmd_verify_update_g(std::shared_ptr<const typename B::Params> p,
   return ok ? 0 : 1;
 }
 
+std::uint64_t parse_u64(const std::string& s, const char* what) {
+  if (s.empty() || s.find_first_not_of("0123456789") != std::string::npos)
+    throw Error(std::string(what) + ": expected a decimal number");
+  errno = 0;
+  char* end = nullptr;
+  unsigned long long v = std::strtoull(s.c_str(), &end, 10);
+  if (errno != 0 || end == nullptr || *end != '\0')
+    throw Error(std::string(what) + ": number out of range");
+  return v;
+}
+
 FileKind ct_kind(const std::string& mode) {
   if (mode == "basic") return FileKind::kCiphertextBasic;
   if (mode == "fo") return FileKind::kCiphertextFo;
@@ -314,6 +342,33 @@ int cmd_encrypt_g(std::shared_ptr<const typename B::Params> p,
   if (mode == "sealed" || mode == "sealed-fo") sealed_mode = core::Mode::kFo;
   if (mode == "sealed-basic") sealed_mode = core::Mode::kBasic;
   if (mode == "sealed-react") sealed_mode = core::Mode::kReact;
+
+  // --fallback W adds the time-lock lane: a hybrid envelope whose
+  // payload key also sits behind W sequential squarings, openable with
+  // `solve` when the server never publishes the update.
+  std::string fallback = args.get_or("fallback", "");
+  if (!fallback.empty()) {
+    core::Mode inner = core::Mode::kFo;
+    if (mode == "basic" || mode == "sealed-basic") inner = core::Mode::kBasic;
+    else if (mode == "react" || mode == "sealed-react") inner = core::Mode::kReact;
+    else require(mode == "fo" || mode == "sealed" || mode == "sealed-fo",
+                 "unknown --mode (use basic, fo, react or sealed[-flavour])");
+    timelock::FallbackParams fb;
+    fb.squarings = parse_u64(fallback, "--fallback");
+    fb.modulus_bits = static_cast<size_t>(
+        parse_u64(args.get_or("fallback-modulus-bits", "1024"),
+                  "--fallback-modulus-bits"));
+    timelock::BasicHybridEnvelope<B> env =
+        timelock::seal_hybrid(scheme, inner, msg, user, server, tag, fb, rng);
+    Bytes wire = env.to_bytes();
+    write_envelope(args.get("out"), FileKind::kCiphertextHybrid, set_name, wire);
+    std::printf(
+        "%zu bytes encrypted for release at \"%s\" (hybrid %s mode, "
+        "%llu-squaring fallback, %zu bytes)\n",
+        msg.size(), tag.c_str(), core::mode_name(inner),
+        static_cast<unsigned long long>(fb.squarings), wire.size());
+    return 0;
+  }
 
   Bytes payload;
   FileKind kind;
@@ -360,6 +415,19 @@ int cmd_decrypt_g(std::shared_ptr<const typename B::Params> p,
     return core::BasicServerPublicKey<B>::from_bytes(*p, env.payload);
   };
 
+  if (ct_env.kind == FileKind::kCiphertextHybrid) {
+    // Server lane of a hybrid envelope: the epoch update opens it the
+    // normal way (the time-lock lane is `solve`'s job).
+    core::BasicServerPublicKey<B> server = read_server();
+    timelock::BasicHybridEnvelope<B> env =
+        timelock::BasicHybridEnvelope<B>::from_bytes(*p, ct_env.payload);
+    auto out = timelock::open_hybrid(scheme, env, a, upd, server);
+    require(out.has_value(), "decryption failed: wrong key/update or tampered ciphertext");
+    write_file(args.get("out"), *out);
+    std::printf("%zu bytes decrypted (hybrid envelope, server lane)\n", out->size());
+    return 0;
+  }
+
   if (ct_env.kind == FileKind::kCiphertextSealed) {
     // Self-describing wire: the mode byte picks the flavour, open()
     // dispatches. --server-pub is always required (the FO flavour's
@@ -396,6 +464,98 @@ int cmd_decrypt_g(std::shared_ptr<const typename B::Params> p,
   write_file(args.get("out"), msg);
   std::printf("%zu bytes decrypted\n", msg.size());
   return 0;
+}
+
+// ---- solve: grind the time-lock lane -----------------------------------
+// Opens a hybrid ciphertext WITHOUT the server: restore (or start) the
+// checkpointed solver, advance up to --budget squarings saving a
+// checkpoint every --checkpoint-every, and unseal once done. Exit 3 when
+// the budget ran out first — rerun with the same --checkpoint to resume.
+
+template <class B>
+int cmd_solve_g(std::shared_ptr<const typename B::Params> p,
+                const std::string& /*set_name*/, const Envelope& ct_env,
+                const Args& args) {
+  timelock::BasicHybridEnvelope<B> env =
+      timelock::BasicHybridEnvelope<B>::from_bytes(*p, ct_env.payload);
+
+  std::string ckpt_path = args.get_or("checkpoint", "");
+  std::uint64_t budget = parse_u64(args.get_or("budget", "0"), "--budget");
+  std::uint64_t every =
+      parse_u64(args.get_or("checkpoint-every", "65536"), "--checkpoint-every");
+  require(every >= 1, "--checkpoint-every: must be at least 1");
+
+  std::optional<timelock::RswSolver> solver;
+  if (!ckpt_path.empty()) {
+    std::ifstream probe(ckpt_path, std::ios::binary);
+    if (probe.good()) {
+      probe.close();
+      solver.emplace(timelock::RswSolver::restore(env.puzzle, read_file(ckpt_path)));
+      std::printf("resumed from %s: %llu / %llu squarings done\n", ckpt_path.c_str(),
+                  static_cast<unsigned long long>(solver->steps_done()),
+                  static_cast<unsigned long long>(solver->total_steps()));
+    }
+  }
+  if (!solver) solver.emplace(timelock::RswSolver(env.puzzle));
+
+  std::uint64_t spent = 0;
+  auto save_checkpoint = [&] {
+    if (!ckpt_path.empty()) write_file(ckpt_path, solver->checkpoint());
+  };
+  while (!solver->done()) {
+    std::uint64_t chunk = every;
+    if (budget != 0) {
+      if (spent >= budget) break;
+      chunk = std::min(chunk, budget - spent);
+    }
+    spent += solver->advance(chunk);
+    save_checkpoint();
+  }
+
+  if (!solver->done()) {
+    std::printf("budget exhausted: %llu / %llu squarings done%s\n",
+                static_cast<unsigned long long>(solver->steps_done()),
+                static_cast<unsigned long long>(solver->total_steps()),
+                ckpt_path.empty() ? "" : " (checkpoint saved)");
+    return 3;
+  }
+  auto out = timelock::open_hybrid_with_key(env, solver->key());
+  require(out.has_value(),
+          "solve: puzzle solved but the envelope rejected the key (tampered file?)");
+  write_file(args.get("out"), *out);
+  std::printf("%zu bytes decrypted (hybrid envelope, time-lock lane, "
+              "%llu squarings)\n",
+              out->size(),
+              static_cast<unsigned long long>(solver->total_steps()));
+  return 0;
+}
+
+// ---- selftest: run the power-on KAT suite ------------------------------
+
+int cmd_selftest(const Args&) {
+  selftest::ensure_registered();
+  if (!health::enabled()) {
+    std::printf("selftest: built with TRE_SELFTEST=OFF — gate disabled\n");
+  }
+  std::optional<selftest::Kat> fault;
+  if (const char* env = std::getenv("TRE_SELFTEST_FAULT")) {
+    fault = selftest::kat_from_name(env);
+    if (!fault) {
+      std::printf("selftest: unknown TRE_SELFTEST_FAULT \"%s\" — failing closed\n",
+                  env);
+      return 1;
+    }
+    std::printf("selftest: injecting fault into %s\n", selftest::kat_name(*fault));
+  }
+  selftest::Report report = selftest::run(fault);
+  for (selftest::Kat kat : selftest::all_kats()) {
+    bool failed = std::find(report.failed.begin(), report.failed.end(), kat) !=
+                  report.failed.end();
+    std::printf("  %-14s %s\n", selftest::kat_name(kat), failed ? "FAIL" : "ok");
+  }
+  std::printf("selftest: %zu passed, %zu failed — %s\n", report.passed.size(),
+              report.failed.size(), report.ok() ? "OPERATIONAL" : "POISONED");
+  return report.ok() ? 0 : 1;
 }
 
 // ---- dispatchers -------------------------------------------------------
@@ -460,6 +620,13 @@ int cmd_decrypt(const Args& args) {
   });
 }
 
+int cmd_solve(const Args& args) {
+  Envelope env = read_envelope(args.get("in"), FileKind::kCiphertextHybrid);
+  return with_backend(env.set_name, args, [&](auto b, auto p) {
+    return cmd_solve_g<decltype(b)>(p, env.set_name, env, args);
+  });
+}
+
 }  // namespace
 
 namespace {
@@ -472,6 +639,8 @@ int dispatch(const std::string& cmd, const Args& args) {
   if (cmd == "verify-update") return cmd_verify_update(args);
   if (cmd == "encrypt") return cmd_encrypt(args);
   if (cmd == "decrypt") return cmd_decrypt(args);
+  if (cmd == "solve") return cmd_solve(args);
+  if (cmd == "selftest") return cmd_selftest(args);
   return usage();
 }
 
