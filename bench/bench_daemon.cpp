@@ -1,0 +1,424 @@
+// E20 — the midnight storm: tred under thousands of simultaneous
+// receivers.
+//
+// The paper's scalability argument (§4) is that a passive server's
+// per-receiver cost is zero — everyone wants the SAME update at the
+// release instant, so serving is pure fan-out of one byte string. This
+// harness stages that instant against the real daemon: a fleet of
+// closed-loop clients (nonblocking sockets, single generator thread)
+// ramps up in batches, then hammers kGetUpdate for a fixed window while
+// we record connection-establishment rate, request throughput, and
+// request latency percentiles end to end through the framed protocol.
+//
+//   bench_daemon [--smoke] [--conns N] [--seconds S] [--json PATH]
+//
+// --smoke is the CI leg: fewer seconds, but still >= 1024 concurrent
+// connections — the concurrency claim is the point, so it is never
+// scaled away. Exit is nonzero when any connection fails, any reply
+// mismatches the genuine update bytes, or peak concurrency misses the
+// target.
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/tre.h"
+#include "daemon/daemon.h"
+#include "daemon/frame.h"
+#include "daemon/store.h"
+#include "hashing/drbg.h"
+#include "params/params.h"
+
+namespace {
+
+using namespace tre;
+
+std::int64_t now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+// One storm client: a nonblocking socket running connect -> (request ->
+// reply)* until the window closes. The generator thread multiplexes all
+// of them through one poll set — the daemon must not be able to tell
+// this apart from distinct receivers, and at the socket level it cannot.
+struct Client {
+  enum class State { kConnecting, kSending, kReading, kDone, kFailed };
+  int fd = -1;
+  State state = State::kConnecting;
+  daemon::FrameReader reader{daemon::kMaxPayload};
+  Bytes out;
+  size_t out_off = 0;
+  std::int64_t sent_at_ns = 0;
+  std::uint64_t completed = 0;
+  int retries = 0;  ///< connect attempts burned (transient SYN-burst drops)
+};
+
+struct StormResult {
+  size_t target_conns = 0;
+  size_t established = 0;
+  size_t failed = 0;
+  size_t peak_open = 0;
+  double ramp_seconds = 0;
+  double storm_seconds = 0;
+  std::uint64_t requests = 0;
+  std::uint64_t mismatches = 0;
+  double conns_per_sec = 0;
+  double rps = 0;
+  double p50_ms = 0, p99_ms = 0, max_ms = 0;
+};
+
+int make_nonblock_socket() {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  ::fcntl(fd, F_SETFL, ::fcntl(fd, F_GETFL, 0) | O_NONBLOCK);
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return fd;
+}
+
+/// Runs the whole storm against 127.0.0.1:port. Single thread, one poll
+/// set; kRampBatch bounds outstanding (un-ACKed) connects so the SYN
+/// burst stays inside the daemon's listen backlog.
+StormResult run_storm(std::uint16_t port, size_t target_conns,
+                      double storm_seconds, const Bytes& request_wire,
+                      const Bytes& expected_reply) {
+  constexpr size_t kRampBatch = 256;
+  constexpr int kConnectRetries = 8;  // loopback SYN bursts drop a few
+  StormResult res;
+  res.target_conns = target_conns;
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+
+  std::vector<Client> clients(target_conns);
+  std::vector<pollfd> pfds;
+  std::vector<std::int64_t> latencies_ns;
+  latencies_ns.reserve(1 << 20);
+
+  size_t started = 0, connecting = 0, open_now = 0;
+  const std::int64_t ramp_start = now_ns();
+  std::int64_t storm_start = 0;   // set when the last connect lands
+  std::int64_t deadline_ns = 0;
+  bool window_open = true;
+
+  auto start_request = [&](Client& c) {
+    c.out = request_wire;
+    c.out_off = 0;
+    c.sent_at_ns = now_ns();
+    c.state = Client::State::kSending;
+  };
+
+  // 0 = connected synchronously, 1 = in progress, -1 = hard failure.
+  auto try_connect = [&](Client& c) -> int {
+    c.fd = make_nonblock_socket();
+    if (c.fd < 0) return -1;
+    if (::connect(c.fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) == 0)
+      return 0;
+    if (errno == EINPROGRESS) return 1;
+    ::close(c.fd);
+    c.fd = -1;
+    return -1;
+  };
+
+  auto fail = [&](Client& c) {
+    if (c.fd >= 0) ::close(c.fd);
+    c.fd = -1;
+    if (c.state == Client::State::kConnecting) --connecting;
+    else --open_now;
+    c.state = Client::State::kFailed;
+    ++res.failed;
+  };
+
+  while (true) {
+    // Ramp: keep kRampBatch connects in flight until the fleet is full.
+    while (started < target_conns && connecting < kRampBatch) {
+      Client& c = clients[started];
+      int rc = try_connect(c);
+      while (rc < 0 && ++c.retries <= kConnectRetries) rc = try_connect(c);
+      if (rc == 0) {
+        start_request(c);
+        ++open_now;
+      } else if (rc == 1) {
+        c.state = Client::State::kConnecting;
+        ++connecting;
+      } else {
+        c.state = Client::State::kFailed;
+        ++res.failed;
+      }
+      ++started;
+    }
+    res.peak_open = std::max(res.peak_open, open_now);
+
+    if (storm_start == 0 && started == target_conns && connecting == 0) {
+      storm_start = now_ns();
+      res.ramp_seconds = double(storm_start - ramp_start) / 1e9;
+      deadline_ns = storm_start +
+                    std::int64_t(storm_seconds * 1e9);
+    }
+    if (storm_start != 0 && window_open && now_ns() >= deadline_ns) {
+      window_open = false;  // stop issuing; drain in-flight replies
+    }
+
+    pfds.clear();
+    size_t live = 0;
+    for (Client& c : clients) {
+      if (c.fd < 0) continue;
+      short ev = 0;
+      if (c.state == Client::State::kConnecting) ev = POLLOUT;
+      else if (c.state == Client::State::kSending) ev = POLLOUT;
+      else if (c.state == Client::State::kReading) ev = POLLIN;
+      else continue;  // kDone: parked, holding its connection open
+      pfds.push_back({c.fd, ev, 0});
+      ++live;
+    }
+    if (live == 0) {
+      if (storm_start != 0 && !window_open) break;  // drained
+      if (started == target_conns && open_now == 0) break;  // all failed
+    }
+    if (!pfds.empty()) {
+      (void)::poll(pfds.data(), pfds.size(), 100);
+    }
+
+    size_t pi = 0;
+    for (Client& c : clients) {
+      if (c.fd < 0 || c.state == Client::State::kDone) continue;
+      if (pi >= pfds.size() || pfds[pi].fd != c.fd) continue;
+      short re = pfds[pi++].revents;
+      if (re == 0) continue;
+      if (c.state == Client::State::kConnecting) {
+        int err = 0;
+        socklen_t len = sizeof(err);
+        ::getsockopt(c.fd, SOL_SOCKET, SO_ERROR, &err, &len);
+        if (err == 0 && (re & POLLOUT)) {
+          --connecting;
+          ++open_now;
+          start_request(c);
+          continue;
+        }
+        // Dropped during the burst (RST, queue overflow): fresh socket.
+        ::close(c.fd);
+        c.fd = -1;
+        int rc = -1;
+        while (rc < 0 && ++c.retries <= kConnectRetries) rc = try_connect(c);
+        if (rc == 0) {
+          --connecting;
+          ++open_now;
+          start_request(c);
+        } else if (rc < 0) {
+          --connecting;
+          c.state = Client::State::kFailed;
+          ++res.failed;
+        }  // rc == 1: still kConnecting; the in-flight count is unchanged
+        continue;
+      }
+      if (re & (POLLERR | POLLHUP | POLLNVAL)) {
+        fail(c);
+        continue;
+      }
+      if (c.state == Client::State::kSending && (re & POLLOUT)) {
+        ssize_t n = ::send(c.fd, c.out.data() + c.out_off,
+                           c.out.size() - c.out_off, MSG_NOSIGNAL);
+        if (n < 0 && errno != EAGAIN && errno != EWOULDBLOCK) {
+          fail(c);
+          continue;
+        }
+        if (n > 0) c.out_off += size_t(n);
+        if (c.out_off == c.out.size()) c.state = Client::State::kReading;
+        continue;
+      }
+      if (c.state == Client::State::kReading && (re & POLLIN)) {
+        std::uint8_t buf[16384];
+        ssize_t n = ::recv(c.fd, buf, sizeof(buf), 0);
+        if (n <= 0) {
+          if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) continue;
+          fail(c);
+          continue;
+        }
+        c.reader.feed(ByteSpan(buf, size_t(n)));
+        if (c.reader.broken()) {
+          fail(c);
+          continue;
+        }
+        if (auto f = c.reader.next()) {
+          ++res.requests;
+          ++c.completed;
+          latencies_ns.push_back(now_ns() - c.sent_at_ns);
+          if (f->type != daemon::FrameType::kUpdateReply ||
+              f->payload != expected_reply) {
+            ++res.mismatches;
+          }
+          if (window_open) {
+            start_request(c);
+          } else {
+            c.state = Client::State::kDone;  // hold the conn, stop asking
+          }
+        }
+      }
+    }
+  }
+
+  // Count connects that completed synchronously during the ramp.
+  res.established = 0;
+  for (const Client& c : clients) {
+    if (c.state != Client::State::kFailed) ++res.established;
+    if (c.fd >= 0) ::close(c.fd);
+  }
+
+  res.storm_seconds =
+      storm_start == 0 ? 0 : double(now_ns() - storm_start) / 1e9;
+  res.conns_per_sec =
+      res.ramp_seconds > 0 ? double(res.established) / res.ramp_seconds : 0;
+  res.rps = res.storm_seconds > 0 ? double(res.requests) / res.storm_seconds : 0;
+  if (!latencies_ns.empty()) {
+    std::sort(latencies_ns.begin(), latencies_ns.end());
+    res.p50_ms = double(latencies_ns[latencies_ns.size() / 2]) / 1e6;
+    res.p99_ms = double(latencies_ns[latencies_ns.size() * 99 / 100]) / 1e6;
+    res.max_ms = double(latencies_ns.back()) / 1e6;
+  }
+  return res;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  size_t conns = 1200;
+  double seconds = 5.0;
+  std::string json_path = "BENCH_daemon.json";
+  for (int i = 1; i < argc; ++i) {
+    std::string a = argv[i];
+    if (a == "--smoke") {
+      smoke = true;
+      conns = 1024;
+      seconds = 2.0;
+    } else if (a == "--conns" && i + 1 < argc) {
+      conns = size_t(std::strtoull(argv[++i], nullptr, 10));
+    } else if (a == "--seconds" && i + 1 < argc) {
+      seconds = std::strtod(argv[++i], nullptr);
+    } else if (a == "--json" && i + 1 < argc) {
+      json_path = argv[++i];
+    } else {
+      std::fprintf(stderr,
+                   "usage: bench_daemon [--smoke] [--conns N] [--seconds S] "
+                   "[--json PATH]\n");
+      return 2;
+    }
+  }
+
+  bench::header("E20: tred under the midnight storm",
+                "passive-server fan-out is flat per receiver: thousands of "
+                "concurrent connections fetch the release-instant update at "
+                "interactive latency from one event-loop thread");
+
+  // One genuine update — the exact bytes every receiver wants at the
+  // release instant. Toy parameters: the daemon never touches the group
+  // elements, so payload size is the only thing the curve changes here.
+  auto params = params::load("tre-toy-96");
+  core::TreScheme scheme(params);
+  hashing::HmacDrbg rng(to_bytes("bench-daemon-rng"));
+  core::ServerKeyPair server = scheme.server_keygen(rng);
+  const std::string tag = "2005-06-06T09:00:00Z";
+  core::KeyUpdate genuine = scheme.issue_update(server, tag);
+  const Bytes update_wire = genuine.to_bytes();
+
+  auto store = std::make_shared<daemon::Store>();
+  store->set_server_key("tre-toy-96", server.pub.to_bytes());
+  if (!store->put(tag, update_wire).ok()) {
+    std::fprintf(stderr, "bench_daemon: store.put failed\n");
+    return 1;
+  }
+
+  daemon::DaemonConfig cfg;
+  cfg.max_conns = conns + 64;  // headroom: the storm itself must not shed
+  // The whole fleet can pile into the accept queue before the (single
+  // shared core) daemon thread gets a slice: size the backlog for it.
+  cfg.listen_backlog = static_cast<int>(conns) + 256;
+  daemon::Daemon d(store, cfg);
+  std::thread daemon_thread([&] { d.run(); });
+
+  const Bytes request_wire =
+      daemon::encode_frame(daemon::FrameType::kGetUpdate, to_bytes(tag));
+  StormResult r =
+      run_storm(d.port(), conns, seconds, request_wire, update_wire);
+
+  d.stop();
+  daemon_thread.join();
+  daemon::Daemon::Stats ds = d.stats();
+
+  std::printf("fleet                : %zu clients (%s)\n", r.target_conns,
+              smoke ? "smoke" : "full");
+  std::printf("established          : %zu  (peak open %zu, failed %zu)\n",
+              r.established, r.peak_open, r.failed);
+  std::printf("ramp                 : %.3f s  (%.0f conns/s)\n",
+              r.ramp_seconds, r.conns_per_sec);
+  std::printf("storm window         : %.2f s\n", r.storm_seconds);
+  std::printf("requests served      : %llu  (%.0f req/s)\n",
+              static_cast<unsigned long long>(r.requests), r.rps);
+  std::printf("latency p50/p99/max  : %.3f / %.3f / %.3f ms\n", r.p50_ms,
+              r.p99_ms, r.max_ms);
+  std::printf("payload mismatches   : %llu (must be 0)\n",
+              static_cast<unsigned long long>(r.mismatches));
+  std::printf("daemon: accepted %llu, requests %llu, shed %llu, bad %llu\n",
+              static_cast<unsigned long long>(ds.accepted),
+              static_cast<unsigned long long>(ds.requests),
+              static_cast<unsigned long long>(ds.shed),
+              static_cast<unsigned long long>(ds.bad_frames));
+
+  const bool ok = r.failed == 0 && r.mismatches == 0 &&
+                  r.peak_open >= r.target_conns && ds.shed == 0 &&
+                  r.requests > 0;
+
+  if (std::FILE* f = std::fopen(json_path.c_str(), "w")) {
+    std::fprintf(f, "{\n  \"experiment\": \"E20_daemon_midnight_storm\",\n");
+    std::fprintf(f, "  \"mode\": \"%s\",\n", smoke ? "smoke" : "full");
+    std::fprintf(f, "  \"params\": \"tre-toy-96\",\n");
+    std::fprintf(f, "  \"update_wire_bytes\": %zu,\n", update_wire.size());
+    std::fprintf(f, "  \"target_conns\": %zu,\n", r.target_conns);
+    std::fprintf(f, "  \"established\": %zu,\n", r.established);
+    std::fprintf(f, "  \"peak_open\": %zu,\n", r.peak_open);
+    std::fprintf(f, "  \"failed_conns\": %zu,\n", r.failed);
+    std::fprintf(f, "  \"ramp_seconds\": %.4f,\n", r.ramp_seconds);
+    std::fprintf(f, "  \"conns_per_sec\": %.1f,\n", r.conns_per_sec);
+    std::fprintf(f, "  \"storm_seconds\": %.3f,\n", r.storm_seconds);
+    std::fprintf(f, "  \"requests\": %llu,\n",
+                 static_cast<unsigned long long>(r.requests));
+    std::fprintf(f, "  \"requests_per_sec\": %.1f,\n", r.rps);
+    std::fprintf(f, "  \"latency_ms\": {\"p50\": %.4f, \"p99\": %.4f, "
+                 "\"max\": %.4f},\n",
+                 r.p50_ms, r.p99_ms, r.max_ms);
+    std::fprintf(f, "  \"payload_mismatches\": %llu,\n",
+                 static_cast<unsigned long long>(r.mismatches));
+    std::fprintf(f, "  \"daemon\": {\"accepted\": %llu, \"requests\": %llu, "
+                 "\"shed\": %llu, \"bad_frames\": %llu},\n",
+                 static_cast<unsigned long long>(ds.accepted),
+                 static_cast<unsigned long long>(ds.requests),
+                 static_cast<unsigned long long>(ds.shed),
+                 static_cast<unsigned long long>(ds.bad_frames));
+    std::fprintf(f, "  \"clean\": %s,\n", ok ? "true" : "false");
+    std::fprintf(f, "%s\n}\n", bench::metrics_json_field(2).c_str());
+    std::fclose(f);
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+
+  if (!ok) {
+    std::fprintf(stderr, "bench_daemon: FAILED acceptance gates\n");
+    return 1;
+  }
+  return 0;
+}

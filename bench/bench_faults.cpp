@@ -96,15 +96,18 @@ int main(int argc, char** argv) {
         cfg.failover_after = 2;
         cfg.attempts_per_tag = 160;  // worst cell: 50% loss each way AND
                                      // 3 of 4 replicas hostile
+        std::vector<std::unique_ptr<client::SimnetSource>> sources;
         std::vector<std::unique_ptr<client::UpdateFetcher>> fetchers;
         for (size_t i = 0; i < kReceivers; ++i) {
           ++expected;
           simnet::NodeId rx = net.add_node("rx" + std::to_string(i));
           std::vector<size_t> order(kMirrors);
           for (size_t m = 0; m < kMirrors; ++m) order[m] = (i + m) % kMirrors;
+          sources.push_back(std::make_unique<client::SimnetSource>(
+              cluster, rx,
+              simnet::LinkSpec{.base_delay = 2, .jitter = 1, .loss = loss}));
           fetchers.push_back(std::make_unique<client::UpdateFetcher>(
-              scheme, server.pub, cluster, timeline, rx, order,
-              simnet::LinkSpec{.base_delay = 2, .jitter = 1, .loss = loss},
+              scheme, server.pub, *sources.back(), timeline, order,
               to_bytes("e18-rx-" + tag + "-" + std::to_string(i)), cfg));
           client::UpdateFetcher* f = fetchers.back().get();
           timeline.schedule(10, [&, f] {

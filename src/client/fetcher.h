@@ -16,9 +16,12 @@
 //   * exponential backoff with decorrelated jitter (drawn from the
 //     node's own HmacDrbg — deterministic per seed, uncorrelated across
 //     receivers, so retry storms don't synchronize);
-//   * per-mirror health scores: verified successes promote, every
-//     failure demotes; rotation prefers the healthiest alternative, so
-//     misbehaving replicas starve;
+//   * per-mirror health scores AND per-mirror backoff state, both
+//     persistent across fetches: verified successes promote (and reset
+//     that mirror's backoff), every failure demotes; rotation prefers
+//     the healthiest alternative, so misbehaving replicas starve and a
+//     mirror that was backing off at the end of one fetch is still
+//     backing off when the next begins;
 //   * failover after k consecutive failures on one mirror. Rotation
 //     eventually visits every mirror, giving single-honest-mirror
 //     liveness with NO quorum: one honest replica anywhere keeps every
@@ -39,18 +42,26 @@
 // verification stage B's pairing check, so a reply encoded for the WRONG
 // backend dies at the parse counter, never in the group arithmetic.
 // `UpdateFetcher` is the type-1 instantiation.
+//
+// Transport-generic: the fetcher speaks to a client::UpdateSource
+// (transport.h), never to a concrete network. BasicSimnetSource adapts
+// the discrete-event mirrored archive; SocketTransport speaks tred's
+// framed protocol over real TCP. The trust gate cannot tell them apart —
+// that is the point.
 #pragma once
 
 #include <algorithm>
 #include <functional>
 #include <limits>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "bigint/bigint.h"
+#include "client/simnet_source.h"
+#include "client/transport.h"
 #include "core/tre.h"
 #include "obs/metrics.h"
-#include "simnet/mirrors.h"
 #include "timeserver/resilient.h"
 
 namespace tre::client {
@@ -122,30 +133,26 @@ inline const FetcherProbes& fetcher_probes() {
 template <class B>
 class BasicUpdateFetcher {
  public:
-  /// `mirrors` lists the archive mirror indices this receiver may use,
-  /// preferred first (MirroredArchive::kOrigin is allowed as a last
-  /// resort entry). `seed` drives the backoff jitter. The fetcher must
-  /// outlive every timeline event of its fetches.
+  /// `mirrors` lists the source's mirror indices this receiver may use,
+  /// preferred first (UpdateSource::kOrigin is allowed as a last-resort
+  /// entry when the source has one). `seed` drives the backoff jitter.
+  /// The source and the fetcher must outlive every timeline event of its
+  /// fetches.
   BasicUpdateFetcher(core::BasicTreScheme<B> scheme,
                      core::BasicServerPublicKey<B> server,
-                     simnet::BasicMirroredArchive<B>& archive,
-                     server::Timeline& timeline, simnet::NodeId receiver,
-                     std::vector<size_t> mirrors, simnet::LinkSpec access_link,
-                     ByteSpan seed, FetcherConfig config = {})
+                     UpdateSource& source, server::Timeline& timeline,
+                     std::vector<size_t> mirrors, ByteSpan seed,
+                     FetcherConfig config = {})
       : scheme_(std::move(scheme)),
         server_(std::move(server)),
-        archive_(archive),
+        source_(&source),
         timeline_(timeline),
-        receiver_(receiver),
         mirrors_(std::move(mirrors)),
-        access_link_(access_link),
         config_(config),
         rng_(seed.empty() ? ByteSpan(to_bytes("fetcher-default")) : seed) {
     require(!mirrors_.empty(), "UpdateFetcher: need at least one mirror");
     for (size_t idx : mirrors_) {
-      require(idx == simnet::BasicMirroredArchive<B>::kOrigin ||
-                  idx < archive_.mirror_count(),
-              "UpdateFetcher: bad mirror index");
+      require(source_->valid_mirror(idx), "UpdateFetcher: bad mirror index");
     }
     require(config_.base_backoff > 0 && config_.max_backoff >= config_.base_backoff,
             "UpdateFetcher: bad backoff bounds");
@@ -153,7 +160,27 @@ class BasicUpdateFetcher {
     require(config_.failover_after > 0 && config_.attempts_per_tag > 0,
             "UpdateFetcher: bad budgets");
     health_.assign(mirrors_.size(), 0);
+    // Backoff state is PER MIRROR and persists across fetches: a replica
+    // that kept timing out five minutes ago has not earned a fresh start.
+    slot_backoff_.assign(mirrors_.size(), config_.base_backoff);
   }
+
+  /// Transitional overload for the pre-transport API: wraps the archive
+  /// in an owned BasicSimnetSource. One release only — construct the
+  /// source yourself and use the UpdateSource overload.
+  [[deprecated(
+      "construct a client::BasicSimnetSource and pass it as UpdateSource")]]
+  BasicUpdateFetcher(core::BasicTreScheme<B> scheme,
+                     core::BasicServerPublicKey<B> server,
+                     simnet::BasicMirroredArchive<B>& archive,
+                     server::Timeline& timeline, simnet::NodeId receiver,
+                     std::vector<size_t> mirrors, simnet::LinkSpec access_link,
+                     ByteSpan seed, FetcherConfig config = {})
+      : BasicUpdateFetcher(
+            std::move(scheme), std::move(server),
+            std::make_unique<BasicSimnetSource<B>>(archive, receiver,
+                                                   access_link),
+            timeline, std::move(mirrors), seed, config) {}
 
   using SuccessFn = std::function<void(const BasicFetchResult<B>&)>;
   using FailureFn = std::function<void(const FetchStats&)>;
@@ -201,6 +228,15 @@ class BasicUpdateFetcher {
     return health_[slot];
   }
 
+  /// The backoff seed (seconds) the next failure on `mirrors[slot]` will
+  /// jitter from. base_backoff when the mirror is in good standing;
+  /// larger when it has been failing — including failures from EARLIER
+  /// fetches, since backoff state persists across fetch() calls.
+  std::int64_t backoff_hint(size_t slot) const {
+    require(slot < slot_backoff_.size(), "UpdateFetcher: bad mirror slot");
+    return slot_backoff_[slot];
+  }
+
   /// Accounting for the current/most recent fetch (a view over the
   /// registry counters, relative to the baseline at fetch start).
   FetchStats stats() const {
@@ -233,9 +269,22 @@ class BasicUpdateFetcher {
   const obs::Registry& metrics() const { return reg_; }
 
  private:
+  /// Owning delegate for the deprecated archive overload: keeps the
+  /// adapter alive for the fetcher's lifetime.
+  BasicUpdateFetcher(core::BasicTreScheme<B> scheme,
+                     core::BasicServerPublicKey<B> server,
+                     std::unique_ptr<UpdateSource> owned,
+                     server::Timeline& timeline, std::vector<size_t> mirrors,
+                     ByteSpan seed, FetcherConfig config)
+      : BasicUpdateFetcher(std::move(scheme), std::move(server), *owned,
+                           timeline, std::move(mirrors), seed, config) {
+    owned_source_ = std::move(owned);
+  }
+
   void start_tag() {
     attempts_left_ = config_.attempts_per_tag;
-    prev_sleep_ = config_.base_backoff;
+    // Deliberately NO backoff reset here: slot_backoff_ is per-mirror
+    // state that only a verified success clears.
     if (tag_index_ > 0) {
       fallback_steps_c_.add();
       detail::fetcher_probes().fallback_steps.add();
@@ -266,8 +315,11 @@ class BasicUpdateFetcher {
     detail::fetcher_probes().attempts.add();
     std::uint64_t id = ++attempt_seq_;
     live_attempt_ = id;
-    archive_.request(receiver_, mirrors_[current_slot_], tags_[tag_index_],
-                     access_link_, [this, id](Bytes wire) { on_reply(id, wire); });
+    // A synchronous transport (SocketTransport) may deliver — and settle
+    // the attempt — inside request() itself; the id guards make the
+    // deadline scheduled next a no-op in that case.
+    source_->request(mirrors_[current_slot_], tags_[tag_index_],
+                     [this, id](Bytes wire) { on_reply(id, wire); });
     timeline_.schedule(config_.reply_timeout, [this, id] { on_timeout(id); });
   }
 
@@ -293,6 +345,7 @@ class BasicUpdateFetcher {
       live_attempt_ = 0;
       health_[current_slot_] =
           std::min(config_.max_health, health_[current_slot_] + 1);
+      slot_backoff_[current_slot_] = config_.base_backoff;  // earned a reset
       detail::fetcher_probes().successes.add();
       BasicFetchResult<B> result;
       result.update = std::move(*parsed);
@@ -348,23 +401,27 @@ class BasicUpdateFetcher {
   std::int64_t next_backoff() {
     // Decorrelated jitter: sleep ~ U[base, prev*3], capped. Growth is
     // exponential in expectation, but desynchronized across receivers.
+    // `prev` is the CURRENT MIRROR's last sleep — per-slot and persistent
+    // across tags and fetches, so a chronically failing replica keeps
+    // its earned penalty until it serves a verified update.
     std::int64_t lo = config_.base_backoff;
-    std::int64_t hi = std::min(config_.max_backoff, prev_sleep_ * 3);
+    std::int64_t hi = std::min(config_.max_backoff, slot_backoff_[current_slot_] * 3);
     std::int64_t span = std::max<std::int64_t>(1, hi - lo + 1);
     Bytes draw = rng_.bytes(8);
     std::uint64_t r = bigint::BigInt<1>::from_bytes_be(draw).w[0];
-    prev_sleep_ = lo + static_cast<std::int64_t>(r % static_cast<std::uint64_t>(span));
-    return prev_sleep_;
+    slot_backoff_[current_slot_] =
+        lo + static_cast<std::int64_t>(r % static_cast<std::uint64_t>(span));
+    return slot_backoff_[current_slot_];
   }
 
   core::BasicTreScheme<B> scheme_;
   core::BasicServerPublicKey<B> server_;
-  simnet::BasicMirroredArchive<B>& archive_;
+  UpdateSource* source_;
+  std::unique_ptr<UpdateSource> owned_source_;  // deprecated-overload adapter
   server::Timeline& timeline_;
-  simnet::NodeId receiver_;
-  std::vector<size_t> mirrors_;   // archive mirror indices, preference order
+  std::vector<size_t> mirrors_;   // source mirror indices, preference order
   std::vector<int> health_;
-  simnet::LinkSpec access_link_;
+  std::vector<std::int64_t> slot_backoff_;  // per-mirror, survives fetches
   FetcherConfig config_;
   hashing::HmacDrbg rng_;
 
@@ -375,7 +432,6 @@ class BasicUpdateFetcher {
   size_t current_slot_ = 0;       // into mirrors_
   size_t attempts_left_ = 0;
   size_t consecutive_failures_ = 0;
-  std::int64_t prev_sleep_ = 0;
   std::uint64_t attempt_seq_ = 0;
   std::uint64_t live_attempt_ = 0;  // 0 = none in flight
   // Lifetime accounting in a private registry; handles resolved once

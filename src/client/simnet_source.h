@@ -1,0 +1,47 @@
+// UpdateSource over the discrete-event simnet — the adapter that keeps
+// every E18-style experiment running unchanged through the transport
+// seam. One receiver node, one access link, one mirrored archive; a
+// request() is exactly the MirroredArchive::request primitive the
+// fetcher used to call directly, Byzantine replica behaviour and all.
+#pragma once
+
+#include "client/transport.h"
+#include "simnet/mirrors.h"
+
+namespace tre::client {
+
+template <class B>
+class BasicSimnetSource final : public UpdateSource {
+ public:
+  /// The archive must outlive the source; `receiver` is the polling
+  /// node, `access_link` the loss/latency spec of its last-mile path.
+  BasicSimnetSource(simnet::BasicMirroredArchive<B>& archive,
+                    simnet::NodeId receiver, simnet::LinkSpec access_link)
+      : archive_(archive), receiver_(receiver), access_link_(access_link) {}
+
+  size_t mirror_count() const override { return archive_.mirror_count(); }
+
+  /// The simnet archive HAS an origin, so kOrigin is reachable here.
+  bool valid_mirror(size_t idx) const override {
+    return idx == kOrigin || idx < archive_.mirror_count();
+  }
+
+  void request(size_t idx, const std::string& tag,
+               std::function<void(Bytes)> on_reply) override {
+    // Both sides spell the origin as size_t(-1); translate explicitly
+    // anyway so neither constant silently owns the other.
+    const size_t target =
+        idx == kOrigin ? simnet::BasicMirroredArchive<B>::kOrigin : idx;
+    archive_.request(receiver_, target, tag, access_link_,
+                     std::move(on_reply));
+  }
+
+ private:
+  simnet::BasicMirroredArchive<B>& archive_;
+  simnet::NodeId receiver_;
+  simnet::LinkSpec access_link_;
+};
+
+using SimnetSource = BasicSimnetSource<core::Tre512Backend>;
+
+}  // namespace tre::client

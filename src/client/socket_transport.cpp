@@ -1,0 +1,199 @@
+#include "client/socket_transport.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <ctime>
+
+namespace tre::client {
+
+namespace {
+
+std::int64_t monotonic_ms() {
+  timespec ts{};
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return std::int64_t{ts.tv_sec} * 1000 + ts.tv_nsec / 1000000;
+}
+
+/// poll() one fd for `events`, honouring an absolute deadline.
+bool wait_fd(int fd, short events, std::int64_t deadline_ms) {
+  for (;;) {
+    std::int64_t left = deadline_ms - monotonic_ms();
+    if (left <= 0) return false;
+    pollfd p{fd, events, 0};
+    int rc = ::poll(&p, 1, static_cast<int>(left));
+    if (rc > 0) return (p.revents & (events | POLLERR | POLLHUP)) != 0;
+    if (rc == 0) return false;
+    if (errno != EINTR) return false;
+  }
+}
+
+}  // namespace
+
+SocketTransport::SocketTransport(std::vector<Endpoint> endpoints,
+                                 int io_timeout_ms)
+    : endpoints_(std::move(endpoints)), io_timeout_ms_(io_timeout_ms) {
+  require(!endpoints_.empty(), "SocketTransport: need at least one endpoint");
+  require(io_timeout_ms_ > 0, "SocketTransport: bad timeout");
+  fds_.assign(endpoints_.size(), -1);
+}
+
+SocketTransport::~SocketTransport() {
+  for (int fd : fds_) {
+    if (fd >= 0) ::close(fd);
+  }
+}
+
+void SocketTransport::drop(size_t idx) {
+  if (fds_[idx] >= 0) {
+    ::close(fds_[idx]);
+    fds_[idx] = -1;
+  }
+}
+
+int SocketTransport::ensure_connected(size_t idx) {
+  if (fds_[idx] >= 0) return fds_[idx];
+
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  int flags = ::fcntl(fd, F_GETFL, 0);
+  ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(endpoints_[idx].port);
+  if (::inet_pton(AF_INET, endpoints_[idx].host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return -1;
+  }
+
+  const std::int64_t deadline = monotonic_ms() + io_timeout_ms_;
+  int rc = ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+  if (rc != 0 && errno == EINPROGRESS) {
+    if (!wait_fd(fd, POLLOUT, deadline)) {
+      ::close(fd);
+      return -1;
+    }
+    int err = 0;
+    socklen_t len = sizeof(err);
+    ::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len);
+    if (err != 0) rc = -1;
+    else rc = 0;
+  }
+  if (rc != 0) {
+    ::close(fd);
+    return -1;
+  }
+  fds_[idx] = fd;
+  ++connects_;
+  return fd;
+}
+
+bool SocketTransport::send_all(size_t idx, ByteSpan bytes,
+                               std::int64_t deadline_ms) {
+  size_t off = 0;
+  while (off < bytes.size()) {
+    ssize_t n = ::send(fds_[idx], bytes.data() + off, bytes.size() - off,
+                       MSG_NOSIGNAL);
+    if (n > 0) {
+      off += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      if (!wait_fd(fds_[idx], POLLOUT, deadline_ms)) return false;
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return false;
+  }
+  return true;
+}
+
+std::optional<daemon::Frame> SocketTransport::roundtrip(size_t idx,
+                                                        daemon::FrameType type,
+                                                        ByteSpan payload) {
+  require(idx < endpoints_.size(), "SocketTransport: bad mirror index");
+  last_error_.reset();
+  if (ensure_connected(idx) < 0) return std::nullopt;
+
+  const std::int64_t deadline = monotonic_ms() + io_timeout_ms_;
+  Bytes wire = daemon::encode_frame(type, payload);
+  if (!send_all(idx, wire, deadline)) {
+    drop(idx);
+    return std::nullopt;
+  }
+
+  // Exactly one reply frame per request: a fresh reader per round trip
+  // is sound because failures (below) drop the connection, so a reused
+  // socket never carries residue from an earlier exchange.
+  daemon::FrameReader reader;
+  std::uint8_t buf[16384];
+  for (;;) {
+    if (auto frame = reader.next()) {
+      if (frame->type == daemon::FrameType::kError) {
+        last_error_ = daemon::try_parse_error(frame->payload)
+                          .value_or(daemon::WireError{});
+      }
+      return frame;
+    }
+    if (reader.broken()) {
+      // Framing damage: this byte stream can never be trusted again.
+      drop(idx);
+      return std::nullopt;
+    }
+    if (!wait_fd(fds_[idx], POLLIN, deadline)) {
+      drop(idx);  // a late reply must not poison the next request
+      return std::nullopt;
+    }
+    ssize_t n = ::recv(fds_[idx], buf, sizeof(buf), 0);
+    if (n == 0 || (n < 0 && errno != EAGAIN && errno != EWOULDBLOCK &&
+                   errno != EINTR)) {
+      drop(idx);
+      return std::nullopt;
+    }
+    if (n > 0) reader.feed(ByteSpan(buf, static_cast<size_t>(n)));
+  }
+}
+
+void SocketTransport::request(size_t idx, const std::string& tag,
+                              std::function<void(Bytes)> on_reply) {
+  auto frame = roundtrip(idx, daemon::FrameType::kGetUpdate, to_bytes(tag));
+  // Only a well-formed kUpdateReply delivers bytes; its payload is still
+  // judged by the fetcher's trust boundary. Everything else — kError,
+  // timeout, damage — is the "no reply" path of the contract.
+  if (frame && frame->type == daemon::FrameType::kUpdateReply) {
+    on_reply(std::move(frame->payload));
+  }
+}
+
+std::optional<daemon::KeyReply> SocketTransport::get_key(size_t idx) {
+  auto frame = roundtrip(idx, daemon::FrameType::kGetKey, {});
+  if (!frame || frame->type != daemon::FrameType::kKeyReply) return std::nullopt;
+  return daemon::try_parse_key_reply(frame->payload);
+}
+
+std::optional<daemon::RangeReply> SocketTransport::get_range(
+    size_t idx, std::uint64_t start, std::uint32_t max_count) {
+  auto frame = roundtrip(idx, daemon::FrameType::kGetRange,
+                         daemon::encode_get_range(start, max_count));
+  if (!frame || frame->type != daemon::FrameType::kRangeReply) return std::nullopt;
+  return daemon::try_parse_range_reply(frame->payload);
+}
+
+bool SocketTransport::ping(size_t idx) {
+  const Bytes probe = to_bytes("ping");
+  auto frame = roundtrip(idx, daemon::FrameType::kPing, probe);
+  return frame && frame->type == daemon::FrameType::kPong &&
+         frame->payload == probe;
+}
+
+}  // namespace tre::client

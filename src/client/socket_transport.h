@@ -1,0 +1,93 @@
+// UpdateSource over real TCP sockets — the fetcher's road to tred.
+//
+// Each mirror slot is one daemon endpoint (host:port). request() is a
+// blocking-with-deadline round trip in tred's framed protocol
+// (daemon/frame.h): connect (lazily, connections persist across
+// requests), send kGetUpdate, read one reply frame. A kUpdateReply
+// delivers its payload to the callback VERBATIM — the payload may still
+// be hostile; judging it is the fetcher's trust boundary, not ours. A
+// kError reply, a timeout, framing damage, or a dropped connection
+// deliver nothing: per the UpdateSource contract the callback simply
+// never fires and the caller's retry machinery takes over. Framing
+// damage and timeouts also drop the cached connection, so one poisoned
+// byte stream can never desynchronize a later request.
+//
+// Synchronous delivery meets the discrete-event Timeline like this: the
+// fetcher's reply either arrives before request() returns, or never —
+// so the Timeline timeout the fetcher schedules is purely the "never"
+// path. Callers drive `while (fetcher.busy()) timeline.advance_by(1)`.
+//
+// Beyond the fetcher's kGetUpdate, the transport exposes the rest of
+// the protocol (get_key, get_range, ping) for tre_cli fetch --remote
+// and catch-up tooling.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "client/transport.h"
+#include "daemon/frame.h"
+
+namespace tre::client {
+
+class SocketTransport final : public UpdateSource {
+ public:
+  struct Endpoint {
+    std::string host = "127.0.0.1";
+    std::uint16_t port = 0;
+  };
+
+  /// `io_timeout_ms` bounds EVERY socket wait (connect, send, reply).
+  explicit SocketTransport(std::vector<Endpoint> endpoints,
+                           int io_timeout_ms = 2000);
+  ~SocketTransport() override;
+
+  SocketTransport(const SocketTransport&) = delete;
+  SocketTransport& operator=(const SocketTransport&) = delete;
+
+  size_t mirror_count() const override { return endpoints_.size(); }
+
+  /// No origin over sockets: every endpoint is just a daemon.
+  void request(size_t idx, const std::string& tag,
+               std::function<void(Bytes)> on_reply) override;
+
+  /// kGetKey round trip; nullopt on any failure (see last_error()).
+  std::optional<daemon::KeyReply> get_key(size_t idx);
+
+  /// kGetRange round trip; nullopt on any failure.
+  std::optional<daemon::RangeReply> get_range(size_t idx, std::uint64_t start,
+                                              std::uint32_t max_count);
+
+  /// kPing/kPong liveness probe.
+  bool ping(size_t idx);
+
+  /// The most recent kError frame any round trip received (distinguishes
+  /// "the daemon said kNotFound" from "the wire went dark"). Cleared at
+  /// the start of each round trip.
+  const std::optional<daemon::WireError>& last_error() const {
+    return last_error_;
+  }
+
+  /// Sockets opened over this transport's lifetime (reconnect accounting).
+  std::uint64_t connects() const { return connects_; }
+
+ private:
+  int ensure_connected(size_t idx);  ///< fd, or -1 within the deadline
+  void drop(size_t idx);
+  bool send_all(size_t idx, ByteSpan bytes, std::int64_t deadline_ms);
+
+  /// One framed round trip; nullopt on connect/send/read/framing failure
+  /// (the connection is dropped so the next request starts clean).
+  std::optional<daemon::Frame> roundtrip(size_t idx, daemon::FrameType type,
+                                         ByteSpan payload);
+
+  std::vector<Endpoint> endpoints_;
+  std::vector<int> fds_;  ///< -1 = not connected
+  int io_timeout_ms_;
+  std::optional<daemon::WireError> last_error_;
+  std::uint64_t connects_ = 0;
+};
+
+}  // namespace tre::client

@@ -1,0 +1,54 @@
+// The transport seam of the fetch pipeline.
+//
+// The paper's trust argument (§3) is what makes this interface small:
+// an update is self-authenticating, so the TRANSPORT has no security
+// obligations at all. Whatever carries the bytes — the discrete-event
+// simnet, a real TCP socket to tred, sneakernet — the fetcher runs the
+// identical parse → tag → pairing-check boundary on whatever arrives,
+// and the identical liveness machinery (backoff, health, failover)
+// around it. UpdateSource is that seam: the six lines of contract the
+// Byzantine trust gate actually needs from a wire.
+//
+// Contract, shared by every implementation:
+//   * mirrors are dense indices [0, mirror_count()); kOrigin optionally
+//     names a distinguished last-resort endpoint (valid_mirror says
+//     whether this source has one);
+//   * request() is ONE request/response round trip: `on_reply` fires at
+//     most once with the served bytes exactly as the peer sent them —
+//     honest, corrupted, relabelled, or garbage. It may fire
+//     synchronously (a blocking socket) or later (a simulated network);
+//   * when no reply materializes — loss, timeout, a silent or shedding
+//     mirror, framing damage — the callback simply never fires. The
+//     CALLER owns retry timing; the source never retries on its own.
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "common/bytes.h"
+
+namespace tre::client {
+
+class UpdateSource {
+ public:
+  virtual ~UpdateSource() = default;
+
+  /// Distinguished last-resort endpoint (the archive origin, when the
+  /// source has one — see valid_mirror).
+  static constexpr size_t kOrigin = static_cast<size_t>(-1);
+
+  virtual size_t mirror_count() const = 0;
+
+  /// Whether `idx` names an endpoint this source can reach. The default
+  /// admits the dense range only; sources with an origin also admit
+  /// kOrigin.
+  virtual bool valid_mirror(size_t idx) const { return idx < mirror_count(); }
+
+  /// One round trip against mirror `idx` for `tag`. `on_reply` receives
+  /// the reply bytes verbatim (possibly hostile), at most once, possibly
+  /// synchronously — or never, when no reply materializes.
+  virtual void request(size_t idx, const std::string& tag,
+                       std::function<void(Bytes)> on_reply) = 0;
+};
+
+}  // namespace tre::client

@@ -34,6 +34,9 @@ enum class Errc {
   kMalformed,       ///< wire bytes failed to parse or validate
   kSelftestFailed,  ///< a power-on known-answer test failed; the library is
                     ///< poisoned and key-producing entry points fail closed
+  kNotFound,        ///< the requested artifact is not in the archive
+  kOverloaded,      ///< the server is shedding load (connection cap reached)
+  kUnsupportedVersion,  ///< peer speaks a protocol version we do not
 };
 
 inline const char* errc_message(Errc code) {
@@ -44,6 +47,9 @@ inline const char* errc_message(Errc code) {
     case Errc::kMalformed: return "malformed wire bytes";
     case Errc::kSelftestFailed:
       return "power-on self-test failed: refusing to produce key material";
+    case Errc::kNotFound: return "requested artifact is not archived";
+    case Errc::kOverloaded: return "server overloaded: connection shed";
+    case Errc::kUnsupportedVersion: return "unsupported protocol version";
   }
   return "unknown error";
 }

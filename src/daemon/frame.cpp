@@ -1,0 +1,227 @@
+#include "daemon/frame.h"
+
+#include <cstring>
+
+namespace tre::daemon {
+
+namespace {
+
+std::uint32_t read_be32(const std::uint8_t* p) {
+  return (std::uint32_t{p[0]} << 24) | (std::uint32_t{p[1]} << 16) |
+         (std::uint32_t{p[2]} << 8) | std::uint32_t{p[3]};
+}
+
+std::uint64_t read_be64(const std::uint8_t* p) {
+  return (std::uint64_t{read_be32(p)} << 32) | read_be32(p + 4);
+}
+
+}  // namespace
+
+bool known_frame_type(std::uint8_t raw) {
+  switch (static_cast<FrameType>(raw)) {
+    case FrameType::kGetKey:
+    case FrameType::kGetUpdate:
+    case FrameType::kGetRange:
+    case FrameType::kPing:
+    case FrameType::kKeyReply:
+    case FrameType::kUpdateReply:
+    case FrameType::kRangeReply:
+    case FrameType::kPong:
+    case FrameType::kError:
+      return true;
+  }
+  return false;
+}
+
+Bytes encode_frame(FrameType type, ByteSpan payload) {
+  require(payload.size() <= kMaxPayload, "encode_frame: payload over the wire cap");
+  Bytes out;
+  out.reserve(kHeaderBytes + payload.size());
+  out.insert(out.end(), kMagic.begin(), kMagic.end());
+  out.push_back(kVersion);
+  out.push_back(static_cast<std::uint8_t>(type));
+  Bytes len = be32(static_cast<std::uint32_t>(payload.size()));
+  out.insert(out.end(), len.begin(), len.end());
+  out.insert(out.end(), payload.begin(), payload.end());
+  return out;
+}
+
+const char* frame_error_name(FrameError e) {
+  switch (e) {
+    case FrameError::kNone: return "none";
+    case FrameError::kBadMagic: return "bad magic";
+    case FrameError::kBadVersion: return "bad version";
+    case FrameError::kUnknownType: return "unknown frame type";
+    case FrameError::kOversized: return "oversized payload";
+  }
+  return "unknown";
+}
+
+void FrameReader::feed(ByteSpan data) {
+  if (err_ != FrameError::kNone) return;  // broken: drop everything
+  // Compact once the consumed prefix dominates, keeping feed() amortized
+  // O(bytes) without per-frame erases.
+  if (off_ > 0 && off_ >= buf_.size() / 2) {
+    buf_.erase(buf_.begin(), buf_.begin() + static_cast<long>(off_));
+    off_ = 0;
+  }
+  buf_.insert(buf_.end(), data.begin(), data.end());
+}
+
+std::optional<Frame> FrameReader::next() {
+  if (err_ != FrameError::kNone) return std::nullopt;
+  if (buffered() < kHeaderBytes) return std::nullopt;
+  const std::uint8_t* h = buf_.data() + off_;
+  if (std::memcmp(h, kMagic.data(), kMagic.size()) != 0) {
+    err_ = FrameError::kBadMagic;
+    return std::nullopt;
+  }
+  if (h[4] != kVersion) {
+    err_ = FrameError::kBadVersion;
+    return std::nullopt;
+  }
+  if (!known_frame_type(h[5])) {
+    err_ = FrameError::kUnknownType;
+    return std::nullopt;
+  }
+  const std::uint64_t len = read_be32(h + 6);
+  if (len > max_payload_) {
+    err_ = FrameError::kOversized;
+    return std::nullopt;
+  }
+  if (buffered() < kHeaderBytes + len) return std::nullopt;  // need more bytes
+  Frame f;
+  f.type = static_cast<FrameType>(h[5]);
+  f.payload.assign(h + kHeaderBytes, h + kHeaderBytes + len);
+  off_ += kHeaderBytes + static_cast<size_t>(len);
+  return f;
+}
+
+// --- kError ------------------------------------------------------------------
+
+std::uint8_t errc_wire_code(Errc code) {
+  switch (code) {
+    case Errc::kFutureInstant: return 1;
+    case Errc::kBadRange: return 2;
+    case Errc::kConflict: return 3;
+    case Errc::kMalformed: return 4;
+    case Errc::kSelftestFailed: return 5;
+    case Errc::kNotFound: return 6;
+    case Errc::kOverloaded: return 7;
+    case Errc::kUnsupportedVersion: return 8;
+  }
+  return 0;
+}
+
+std::optional<Errc> errc_from_wire(std::uint8_t raw) {
+  switch (raw) {
+    case 1: return Errc::kFutureInstant;
+    case 2: return Errc::kBadRange;
+    case 3: return Errc::kConflict;
+    case 4: return Errc::kMalformed;
+    case 5: return Errc::kSelftestFailed;
+    case 6: return Errc::kNotFound;
+    case 7: return Errc::kOverloaded;
+    case 8: return Errc::kUnsupportedVersion;
+  }
+  return std::nullopt;
+}
+
+Bytes encode_error(Errc code, std::string_view message) {
+  Bytes out;
+  out.reserve(1 + message.size());
+  out.push_back(errc_wire_code(code));
+  out.insert(out.end(), message.begin(), message.end());
+  return out;
+}
+
+std::optional<WireError> try_parse_error(ByteSpan payload) {
+  if (payload.empty()) return std::nullopt;
+  std::optional<Errc> code = errc_from_wire(payload[0]);
+  if (!code) return std::nullopt;
+  WireError e;
+  e.code = *code;
+  e.message.assign(payload.begin() + 1, payload.end());
+  return e;
+}
+
+// --- kKeyReply ---------------------------------------------------------------
+
+Bytes encode_key_reply(std::string_view set_name, ByteSpan pub) {
+  require(set_name.size() <= 255, "encode_key_reply: set name too long");
+  Bytes out;
+  out.reserve(1 + set_name.size() + pub.size());
+  out.push_back(static_cast<std::uint8_t>(set_name.size()));
+  out.insert(out.end(), set_name.begin(), set_name.end());
+  out.insert(out.end(), pub.begin(), pub.end());
+  return out;
+}
+
+std::optional<KeyReply> try_parse_key_reply(ByteSpan payload) {
+  if (payload.empty()) return std::nullopt;
+  const size_t name_len = payload[0];
+  if (payload.size() < 1 + name_len) return std::nullopt;
+  KeyReply r;
+  r.set_name.assign(payload.begin() + 1, payload.begin() + 1 + static_cast<long>(name_len));
+  r.pub.assign(payload.begin() + 1 + static_cast<long>(name_len), payload.end());
+  if (r.pub.empty()) return std::nullopt;  // a key reply without a key
+  return r;
+}
+
+// --- kGetRange / kRangeReply -------------------------------------------------
+
+Bytes encode_get_range(std::uint64_t start, std::uint32_t max_count) {
+  Bytes out = be64(start);
+  Bytes cnt = be32(max_count);
+  out.insert(out.end(), cnt.begin(), cnt.end());
+  return out;
+}
+
+std::optional<RangeRequest> try_parse_get_range(ByteSpan payload) {
+  if (payload.size() != 12) return std::nullopt;
+  RangeRequest r;
+  r.start = read_be64(payload.data());
+  r.max_count = read_be32(payload.data() + 8);
+  return r;
+}
+
+Bytes encode_range_reply(std::uint64_t total, std::uint64_t start,
+                         const std::vector<Bytes>& updates) {
+  Bytes out = be64(total);
+  Bytes s = be64(start);
+  out.insert(out.end(), s.begin(), s.end());
+  Bytes cnt = be32(static_cast<std::uint32_t>(updates.size()));
+  out.insert(out.end(), cnt.begin(), cnt.end());
+  for (const Bytes& u : updates) {
+    Bytes len = be32(static_cast<std::uint32_t>(u.size()));
+    out.insert(out.end(), len.begin(), len.end());
+    out.insert(out.end(), u.begin(), u.end());
+  }
+  require(out.size() <= kMaxPayload, "encode_range_reply: reply over the wire cap");
+  return out;
+}
+
+std::optional<RangeReply> try_parse_range_reply(ByteSpan payload) {
+  if (payload.size() < 20) return std::nullopt;
+  RangeReply r;
+  r.total = read_be64(payload.data());
+  r.start = read_be64(payload.data() + 8);
+  const std::uint32_t count = read_be32(payload.data() + 16);
+  size_t off = 20;
+  // Each item needs at least its 4-byte length; a hostile count dies on
+  // the bounds checks below instead of pre-reserving unbounded memory.
+  r.updates.reserve(std::min<size_t>(count, payload.size() / 4));
+  for (std::uint32_t i = 0; i < count; ++i) {
+    if (payload.size() - off < 4) return std::nullopt;
+    const std::uint32_t len = read_be32(payload.data() + off);
+    off += 4;
+    if (payload.size() - off < len) return std::nullopt;
+    r.updates.emplace_back(payload.begin() + static_cast<long>(off),
+                           payload.begin() + static_cast<long>(off + len));
+    off += len;
+  }
+  if (off != payload.size()) return std::nullopt;  // trailing bytes
+  return r;
+}
+
+}  // namespace tre::daemon

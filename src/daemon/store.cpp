@@ -1,0 +1,64 @@
+#include "daemon/store.h"
+
+namespace tre::daemon {
+
+void Store::set_server_key(std::string set_name, Bytes pub_wire) {
+  std::unique_lock lock(mu_);
+  set_name_ = std::move(set_name);
+  pub_ = std::move(pub_wire);
+}
+
+std::pair<std::string, Bytes> Store::server_key() const {
+  std::shared_lock lock(mu_);
+  return {set_name_, pub_};
+}
+
+Result<bool> Store::put(const std::string& tag, Bytes wire) {
+  std::unique_lock lock(mu_);
+  auto it = index_.find(tag);
+  if (it != index_.end()) {
+    if (ordered_[it->second].second != wire) return Errc::kConflict;
+    return false;  // identical re-publish: nothing to do
+  }
+  index_.emplace(tag, ordered_.size());
+  total_bytes_ += wire.size();
+  ordered_.emplace_back(tag, std::move(wire));
+  return true;
+}
+
+std::optional<Bytes> Store::find(std::string_view tag) const {
+  std::shared_lock lock(mu_);
+  auto it = index_.find(std::string(tag));
+  if (it == index_.end()) return std::nullopt;
+  return ordered_[it->second].second;
+}
+
+Store::RangeView Store::range(std::uint64_t start, std::uint32_t max_count,
+                              size_t max_reply_bytes) const {
+  std::shared_lock lock(mu_);
+  RangeView view;
+  view.total = ordered_.size();
+  // Reply framing overhead per item is 4 length bytes; leave room for
+  // the fixed 20-byte range header too.
+  size_t budget = max_reply_bytes > 20 ? max_reply_bytes - 20 : 0;
+  for (std::uint64_t i = start;
+       i < view.total && view.updates.size() < max_count; ++i) {
+    const Bytes& wire = ordered_[static_cast<size_t>(i)].second;
+    if (wire.size() + 4 > budget) break;
+    budget -= wire.size() + 4;
+    view.updates.push_back(wire);
+  }
+  return view;
+}
+
+size_t Store::size() const {
+  std::shared_lock lock(mu_);
+  return ordered_.size();
+}
+
+size_t Store::total_bytes() const {
+  std::shared_lock lock(mu_);
+  return total_bytes_;
+}
+
+}  // namespace tre::daemon

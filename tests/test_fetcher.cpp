@@ -40,12 +40,20 @@ class FetcherTest : public ::testing::Test {
     return c;
   }
 
+  // The simnet leg of the transport seam; sources must outlive fetchers.
+  SimnetSource& source(MirroredArchive& archive,
+                       LinkSpec access = LinkSpec{.base_delay = 1}) {
+    sources_.push_back(
+        std::make_unique<SimnetSource>(archive, rx_, access));
+    return *sources_.back();
+  }
+
   std::unique_ptr<UpdateFetcher> fetcher(MirroredArchive& archive,
                                          FetcherConfig cfg = {}) {
     std::vector<size_t> order(archive.mirror_count());
     for (size_t i = 0; i < order.size(); ++i) order[i] = i;
-    return std::make_unique<UpdateFetcher>(scheme_, server_.pub, archive, timeline_,
-                                           rx_, order, LinkSpec{.base_delay = 1},
+    return std::make_unique<UpdateFetcher>(scheme_, server_.pub,
+                                           source(archive), timeline_, order,
                                            to_bytes("fetcher-jitter"), cfg);
   }
 
@@ -61,6 +69,7 @@ class FetcherTest : public ::testing::Test {
   hashing::HmacDrbg rng_;
   core::ServerKeyPair server_;
   NodeId rx_ = 0;
+  std::vector<std::unique_ptr<SimnetSource>> sources_;
 };
 
 TEST_F(FetcherTest, HonestMirrorHappyPath) {
@@ -157,9 +166,9 @@ TEST_F(FetcherTest, SurvivesHeavyLossAndJitter) {
   FetcherConfig cfg;
   cfg.reply_timeout = 10;  // > worst-case RTT under jitter
   cfg.attempts_per_tag = 64;
-  UpdateFetcher f(scheme_, server_.pub, *c, timeline_, rx_, order,
-                  LinkSpec{.base_delay = 1, .jitter = 3, .loss = 0.5},
-                  to_bytes("lossy-jitter"), cfg);
+  UpdateFetcher f(scheme_, server_.pub,
+                  source(*c, LinkSpec{.base_delay = 1, .jitter = 3, .loss = 0.5}),
+                  timeline_, order, to_bytes("lossy-jitter"), cfg);
   std::optional<FetchResult> got;
   f.fetch_verified({"T1"}, [&](const FetchResult& r) { got = r; });
   timeline_.advance_to(5000);
@@ -235,8 +244,8 @@ TEST_F(FetcherTest, DeterministicPerSeed) {
     plan.set_byzantine(c.mirror_node(0), ByzantineMode::kGarbage);
     c.publish(update("T1"));
     NodeId rx = net.add_node("rx");
-    UpdateFetcher f(scheme_, server_.pub, c, timeline, rx, {0, 1},
-                    LinkSpec{.base_delay = 1, .loss = 0.3},
+    SimnetSource src(c, rx, LinkSpec{.base_delay = 1, .loss = 0.3});
+    UpdateFetcher f(scheme_, server_.pub, src, timeline, {0, 1},
                     to_bytes("det-jitter"), {});
     std::int64_t done_at = -1;
     timeline.schedule(2, [&] {
@@ -259,14 +268,84 @@ TEST_F(FetcherTest, ValidatesConfigurationAndUsage) {
   EXPECT_TRUE(f->busy());
   EXPECT_THROW(f->fetch_verified({"T"}, [](const FetchResult&) {}), Error);
 
-  EXPECT_THROW(UpdateFetcher(scheme_, server_.pub, *c, timeline_, rx_, {},
-                             LinkSpec{}, to_bytes("s"), {}),
+  SimnetSource& src = source(*c);
+  EXPECT_THROW(UpdateFetcher(scheme_, server_.pub, src, timeline_, {},
+                             to_bytes("s"), {}),
                Error);
+  // Slot 2 is out of range for a 2-mirror source; kOrigin is in range
+  // because the simnet adapter HAS an origin.
+  EXPECT_THROW(UpdateFetcher(scheme_, server_.pub, src, timeline_, {0, 2},
+                             to_bytes("s"), {}),
+               Error);
+  UpdateFetcher origin_ok(scheme_, server_.pub, src, timeline_,
+                          {0, UpdateSource::kOrigin}, to_bytes("s"), {});
+  EXPECT_FALSE(origin_ok.busy());
   FetcherConfig bad;
   bad.base_backoff = 0;
-  EXPECT_THROW(UpdateFetcher(scheme_, server_.pub, *c, timeline_, rx_, {0},
-                             LinkSpec{}, to_bytes("s"), bad),
+  EXPECT_THROW(UpdateFetcher(scheme_, server_.pub, src, timeline_, {0},
+                             to_bytes("s"), bad),
                Error);
+}
+
+// Satellite of the transport redesign: per-mirror backoff state survives
+// fetch() boundaries. A mirror that kept failing through fetch #1 starts
+// fetch #2 still penalized; a verified success resets only that mirror.
+TEST_F(FetcherTest, BackoffStatePersistsAcrossFetches) {
+  auto c = cluster(1);
+  plan_.set_byzantine(c->mirror_node(0), ByzantineMode::kDrop);
+  c->publish(update("T1"));
+  timeline_.advance_to(2);
+
+  FetcherConfig cfg;
+  cfg.base_backoff = 1;
+  cfg.max_backoff = 64;
+  cfg.attempts_per_tag = 8;
+  auto f = fetcher(*c, cfg);
+  EXPECT_EQ(f->backoff_hint(0), cfg.base_backoff);
+
+  bool failed = false;
+  f->fetch_verified({"T1"}, [](const FetchResult&) {},
+                    [&](const FetchStats&) { failed = true; });
+  timeline_.advance_to(5000);
+  ASSERT_TRUE(failed);
+  const std::int64_t penalty = f->backoff_hint(0);
+  EXPECT_GT(penalty, cfg.base_backoff);  // dropping cost the mirror its standing
+
+  // Fetch #2 starts from the penalty, not from a fresh base_backoff: the
+  // very first retry sleep already jitters within [base, penalty*3].
+  f->fetch_verified({"T1"}, [](const FetchResult&) {},
+                    [&](const FetchStats&) {});
+  timeline_.advance_to(10000);
+  EXPECT_GE(f->backoff_hint(0), cfg.base_backoff);
+
+  // Mirror heals: a verified success is the only thing that resets it.
+  plan_.set_byzantine(c->mirror_node(0), ByzantineMode::kHonest);
+  c->publish(update("T1"));  // replica missed replication while dropping
+  std::optional<FetchResult> got;
+  f->fetch_verified({"T1"}, [&](const FetchResult& r) { got = r; });
+  timeline_.advance_to(20000);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(f->backoff_hint(0), cfg.base_backoff);
+}
+
+// The transitional archive-reference overload still runs the pipeline
+// (kept for one release; new code constructs the source explicitly).
+TEST_F(FetcherTest, DeprecatedArchiveOverloadStillWorks) {
+  auto c = cluster(2);
+  c->publish(update("T1"));
+  timeline_.advance_to(2);
+
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+  UpdateFetcher f(scheme_, server_.pub, *c, timeline_, rx_, {0, 1},
+                  LinkSpec{.base_delay = 1}, to_bytes("fetcher-jitter"), {});
+#pragma GCC diagnostic pop
+
+  std::optional<FetchResult> got;
+  f.fetch_verified({"T1"}, [&](const FetchResult& r) { got = r; });
+  timeline_.advance_to(50);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_TRUE(scheme_.verify_update(server_.pub, got->update));
 }
 
 }  // namespace

@@ -12,6 +12,10 @@
 #   SELFTEST=1 tools/run_tier1.sh            # power-on KAT gate: every injected
 #                                            # fault must fail, the clean run pass,
 #                                            # plus a TRE_SELFTEST=OFF opt-out build
+#   DAEMON=1 tools/run_tier1.sh              # networked-daemon gate: boot tred,
+#                                            # socket fetch, bit-identical verify,
+#                                            # then bench_daemon --smoke (>= 1024
+#                                            # concurrent connections)
 #   TEST_TIMEOUT=600 tools/run_tier1.sh      # per-test ctest ceiling (s)
 #   BACKEND=381 tools/run_tier1.sh           # BLS12-381 leg only (see below)
 #
@@ -154,6 +158,68 @@ run_perf381_gate() {
   fi
 }
 
+# DAEMON=1: end-to-end over real sockets. Issues a key pair + one update,
+# boots tred on an ephemeral port (readiness = --port-file appearing),
+# fetches through the Byzantine-hardened client with tre_cli fetch
+# --remote, proves the fetched file is bit-identical AND independently
+# verifiable, then runs the bench_daemon smoke (>= 1024 concurrent
+# connections, zero shed, zero mismatches). The daemon is always torn
+# down, pass or fail.
+run_daemon_gate() {
+  local build_dir="$1"
+  local cli="$build_dir/tools/tre_cli"
+  local tred="$build_dir/tools/tred"
+  local work tred_pid=""
+  work="$(mktemp -d)"
+  cleanup_daemon() {
+    trap - RETURN  # fire once: RETURN traps outlive the setting function
+    if [[ -n "${tred_pid:-}" ]] && kill -0 "$tred_pid" 2>/dev/null; then
+      kill "$tred_pid" 2>/dev/null || true
+      wait "$tred_pid" 2>/dev/null || true
+    fi
+    rm -rf "$work"
+  }
+  trap cleanup_daemon RETURN
+
+  echo "=== daemon gate: tred socket roundtrip + midnight-storm smoke ==="
+  "$cli" server-keygen --set tre-toy-96 \
+         --key "$work/server.key" --pub "$work/server.pub"
+  "$cli" issue --server-key "$work/server.key" \
+         --tag "2005-06-06T09:00:00Z" --out "$work/update.bin"
+
+  "$tred" --pub "$work/server.pub" --updates "$work/update.bin" \
+          --port 0 --port-file "$work/port" &
+  tred_pid=$!
+  local i port=""
+  for i in $(seq 1 100); do
+    [[ -s "$work/port" ]] && { port="$(cat "$work/port")"; break; }
+    kill -0 "$tred_pid" 2>/dev/null || break
+    sleep 0.05
+  done
+  if [[ -z "$port" ]]; then
+    echo "daemon gate: FAIL — tred never wrote its port file" >&2
+    return 1
+  fi
+
+  "$cli" fetch --server-pub "$work/server.pub" --remote "127.0.0.1:$port" \
+         --tag "2005-06-06T09:00:00Z" --out "$work/fetched.bin"
+  if ! cmp -s "$work/update.bin" "$work/fetched.bin"; then
+    echo "daemon gate: FAIL — fetched update is not bit-identical" >&2
+    return 1
+  fi
+  "$cli" verify-update --server-pub "$work/server.pub" \
+         --update "$work/fetched.bin" >/dev/null
+  echo "daemon gate: socket fetch bit-identical and VERIFIED"
+
+  kill "$tred_pid"
+  wait "$tred_pid" 2>/dev/null || true
+  tred_pid=""
+
+  "$build_dir/bench/bench_daemon" --smoke \
+      --json "$build_dir/BENCH_daemon_smoke.json"
+  echo "daemon gate: PASS"
+}
+
 # SELFTEST=1: prove the power-on gate trips on every single injected KAT
 # corruption (tre_cli selftest must exit nonzero), passes clean, and that
 # a TRE_SELFTEST=OFF tree still passes the whole suite (the gate is an
@@ -206,4 +272,8 @@ fi
 
 if [[ "${SELFTEST:-0}" == "1" ]]; then
   run_selftest_gate "${BUILD_DIR:-$DEFAULT_DIR}"
+fi
+
+if [[ "${DAEMON:-0}" == "1" ]]; then
+  run_daemon_gate "${BUILD_DIR:-$DEFAULT_DIR}"
 fi

@@ -21,99 +21,41 @@
 // commands dispatch on the set name baked into their input files, so keys
 // made on either curve flow through issue/encrypt/decrypt unchanged.
 #include <algorithm>
-#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
-#include <cstring>
+#include <csignal>
+#include <ctime>
 #include <fstream>
-#include <map>
 #include <optional>
 #include <string>
 
 #include "bls12/tre381.h"
+#include "client/fetcher.h"
+#include "client/socket_transport.h"
 #include "common/health.h"
 #include "core/tre.h"
+#include "daemon/daemon.h"
 #include "hashing/drbg.h"
 #include "keystore/keystore.h"
 #include "obs/metrics.h"
 #include "selftest/selftest.h"
 #include "timelock/hybrid.h"
 #include "timelock/solver.h"
+#include "cli_common.h"
 
 namespace {
 
 using namespace tre;
-
-constexpr char kMagic[4] = {'T', 'R', 'E', '1'};
-
-// The set name that routes an envelope to the BLS12-381 backend; type-1
-// envelopes carry a params::available() name instead.
-constexpr const char* kBls381Set = "bls12-381";
-
-enum class FileKind : std::uint8_t {
-  kServerKey = 1,
-  kServerPub = 2,
-  kUserKey = 3,
-  kUserPub = 4,
-  kUpdate = 5,
-  kCiphertextBasic = 6,
-  kCiphertextFo = 7,
-  kCiphertextReact = 8,
-  kServerKeySealed = 9,   // keystore-encrypted under --password
-  kUserKeySealed = 10,
-  kCiphertextSealed = 11, // mode-tagged core::SealedCiphertext wire
-  kCiphertextHybrid = 12, // timelock::HybridEnvelope (server OR puzzle lane)
-};
-
-struct Envelope {
-  FileKind kind;
-  std::string set_name;
-  Bytes payload;
-};
-
-Bytes read_file(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  require(in.good(), "cannot open input file");
-  return Bytes(std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>());
-}
-
-void write_file(const std::string& path, ByteSpan data) {
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  require(out.good(), "cannot open output file");
-  out.write(reinterpret_cast<const char*>(data.data()),
-            static_cast<std::streamsize>(data.size()));
-  require(out.good(), "short write");
-}
-
-void write_envelope(const std::string& path, FileKind kind,
-                    const std::string& set_name, ByteSpan payload) {
-  Bytes out(kMagic, kMagic + 4);
-  out.push_back(static_cast<std::uint8_t>(kind));
-  require(set_name.size() <= 255, "parameter set name too long");
-  out.push_back(static_cast<std::uint8_t>(set_name.size()));
-  out.insert(out.end(), set_name.begin(), set_name.end());
-  out.insert(out.end(), payload.begin(), payload.end());
-  write_file(path, out);
-}
-
-Envelope parse_envelope(const std::string& path) {
-  Bytes raw = read_file(path);
-  require(raw.size() >= 6 && std::memcmp(raw.data(), kMagic, 4) == 0,
-          "not a tre_cli file (bad magic)");
-  Envelope env;
-  env.kind = static_cast<FileKind>(raw[4]);
-  size_t name_len = raw[5];
-  require(raw.size() >= 6 + name_len, "truncated file header");
-  env.set_name.assign(raw.begin() + 6, raw.begin() + 6 + static_cast<long>(name_len));
-  env.payload.assign(raw.begin() + 6 + static_cast<long>(name_len), raw.end());
-  return env;
-}
-
-Envelope read_envelope(const std::string& path, FileKind expected) {
-  Envelope env = parse_envelope(path);
-  require(env.kind == expected, "wrong file kind for this option");
-  return env;
-}
+using cli::Args;
+using cli::Envelope;
+using cli::FileKind;
+using cli::kBls381Set;
+using cli::parse_envelope;
+using cli::parse_u64;
+using cli::read_envelope;
+using cli::read_file;
+using cli::write_envelope;
+using cli::write_file;
 
 // Reads a secret-key file, opening the keystore seal when present.
 Envelope read_secret(const std::string& path, FileKind plain_kind,
@@ -141,32 +83,6 @@ void write_secret(const std::string& path, FileKind plain_kind, FileKind sealed_
   }
 }
 
-class Args {
- public:
-  Args(int argc, char** argv) {
-    for (int i = 2; i < argc; ++i) {
-      std::string key = argv[i];
-      require(key.size() > 2 && key.rfind("--", 0) == 0, "options look like --name value");
-      require(i + 1 < argc, "missing value for option");
-      values_[key.substr(2)] = argv[++i];
-    }
-  }
-
-  std::string get(const std::string& name) const {
-    auto it = values_.find(name);
-    require(it != values_.end(), "missing required option (see usage in --help)");
-    return it->second;
-  }
-
-  std::string get_or(const std::string& name, const std::string& fallback) const {
-    auto it = values_.find(name);
-    return it == values_.end() ? fallback : it->second;
-  }
-
- private:
-  std::map<std::string, std::string> values_;
-};
-
 int usage() {
   std::fprintf(stderr,
                "usage: tre_cli <command> [--opt value ...]\n"
@@ -190,6 +106,17 @@ int usage() {
                "                the budget runs out (resume later from --checkpoint)\n"
                "  selftest      run the power-on KAT suite and report per-KAT results\n"
                "                (TRE_SELFTEST_FAULT=<kat> injects a corruption)\n"
+               "  serve         --pub FILE [--updates F1,F2,...]\n"
+               "                [--server-key FILE --tags T1,T2,... [--password PW]]\n"
+               "                [--bind ADDR] [--port N] [--port-file FILE]\n"
+               "                [--max-conns N] [--idle-timeout-ms N]\n"
+               "                serve artifacts over tred's framed TCP protocol;\n"
+               "                --tags issues on the fly but REFUSES instants still\n"
+               "                in the future (the server must never pre-disclose)\n"
+               "  fetch         --remote HOST:PORT[,HOST:PORT...] --server-pub FILE\n"
+               "                --tag T --out FILE [--timeout-ms N] [--attempts N]\n"
+               "                fetch a key update from remote daemon(s) through the\n"
+               "                full Byzantine trust gate (parse/tag/pairing check)\n"
                "  any command   [--metrics FILE]  dump the obs registry as JSON\n"
                "                (FILE = '-' for stdout)\n"
                "  downstream commands infer the backend from their input files;\n"
@@ -300,17 +227,6 @@ int cmd_verify_update_g(std::shared_ptr<const typename B::Params> p,
   bool ok = scheme.verify_update(server, upd);
   std::printf("update for \"%s\": %s\n", upd.tag.c_str(), ok ? "VALID" : "INVALID");
   return ok ? 0 : 1;
-}
-
-std::uint64_t parse_u64(const std::string& s, const char* what) {
-  if (s.empty() || s.find_first_not_of("0123456789") != std::string::npos)
-    throw Error(std::string(what) + ": expected a decimal number");
-  errno = 0;
-  char* end = nullptr;
-  unsigned long long v = std::strtoull(s.c_str(), &end, 10);
-  if (errno != 0 || end == nullptr || *end != '\0')
-    throw Error(std::string(what) + ": number out of range");
-  return v;
 }
 
 FileKind ct_kind(const std::string& mode) {
@@ -530,6 +446,195 @@ int cmd_solve_g(std::shared_ptr<const typename B::Params> p,
   return 0;
 }
 
+// Runs `fn<B>(params, set_name)` for the backend `set_name` selects.
+template <class Fn>
+int with_backend(const std::string& set_name, const Args& args, Fn&& fn) {
+  check_backend_flag(args, set_name);
+  if (set_name == kBls381Set) {
+    return fn(bls12::Bls381Backend{}, bls12::Bls12Ctx::get());
+  }
+  return fn(core::Tre512Backend{}, load_set(set_name));
+}
+
+// ---- serve: the all-in-one daemon front end ----------------------------
+// tred with an issuing convenience: --server-key/--tags signs updates at
+// boot. Trust assumption 2 (the server never discloses I_T early) is
+// enforced here with the WALL CLOCK: a tag that parses as a time
+// specification still in the future is refused outright.
+
+tre::daemon::Daemon* g_serve_daemon = nullptr;
+
+void serve_signal(int) {
+  if (g_serve_daemon != nullptr) g_serve_daemon->stop();
+}
+
+template <class B>
+void serve_issue_g(std::shared_ptr<const typename B::Params> p,
+                   const std::string& set_name, const Envelope& key_env,
+                   const std::vector<std::string>& tags,
+                   daemon::Store& store) {
+  core::BasicTreScheme<B> scheme(p);
+  size_t sw = B::scalar_bytes(*p);
+  require(key_env.payload.size() > sw, "corrupt server key file");
+  core::Scalar s = core::Scalar::from_bytes_be(ByteSpan(key_env.payload.data(), sw));
+  core::BasicServerPublicKey<B> pub = core::BasicServerPublicKey<B>::from_bytes(
+      *p, ByteSpan(key_env.payload.data() + sw, key_env.payload.size() - sw));
+  store.set_server_key(set_name, pub.to_bytes());
+
+  const std::int64_t now = static_cast<std::int64_t>(std::time(nullptr));
+  for (const std::string& tag : tags) {
+    if (auto spec = server::TimeSpec::parse(tag)) {
+      require(spec->unix_seconds() <= now,
+              "serve: refusing to issue an update for a FUTURE instant — the "
+              "time server must never pre-disclose (trust assumption 2)");
+    }
+    core::BasicKeyUpdate<B> upd =
+        scheme.issue_update(core::BasicServerKeyPair<B>{s, pub}, tag);
+    auto r = store.put(tag, upd.to_bytes());
+    require(r.ok(), "serve: conflicting update for the same tag");
+  }
+}
+
+int cmd_serve(const Args& args) {
+  auto store = std::make_shared<daemon::Store>();
+
+  std::string key_path = args.get_or("server-key", "");
+  if (!key_path.empty()) {
+    Envelope env = read_secret(key_path, FileKind::kServerKey,
+                               FileKind::kServerKeySealed,
+                               args.get_or("password", ""));
+    std::vector<std::string> tags = cli::split_commas(args.get_or("tags", ""));
+    with_backend(env.set_name, args, [&](auto b, auto p) {
+      serve_issue_g<decltype(b)>(p, env.set_name, env, tags, *store);
+      return 0;
+    });
+    // --pub is optional on this path (the public key came off the secret).
+    if (args.has("pub")) {
+      Envelope pub = read_envelope(args.get("pub"), FileKind::kServerPub);
+      require(pub.set_name == env.set_name,
+              "serve: --pub and --server-key use different parameter sets");
+    }
+  } else {
+    cli::load_store(*store, args.get("pub"),
+                    cli::split_commas(args.get_or("updates", "")));
+  }
+  if (!key_path.empty() && args.has("updates")) {
+    // Pre-issued files can ride along with the issuing path too.
+    auto [set_name, pub_wire] = store->server_key();
+    for (const std::string& path : cli::split_commas(args.get("updates"))) {
+      Envelope upd = read_envelope(path, FileKind::kUpdate);
+      require(upd.set_name == set_name,
+              "update and server key use different parameter sets");
+      auto r = store->put(cli::update_wire_tag(upd.payload), upd.payload);
+      require(r.ok(), "conflicting update for the same tag");
+    }
+  }
+
+  daemon::DaemonConfig cfg;
+  cfg.bind_address = args.get_or("bind", "127.0.0.1");
+  cfg.port = static_cast<std::uint16_t>(
+      parse_u64(args.get_or("port", "0"), "--port"));
+  cfg.max_conns = static_cast<size_t>(
+      parse_u64(args.get_or("max-conns", "4096"), "--max-conns"));
+  cfg.idle_timeout_ms = static_cast<std::int64_t>(
+      parse_u64(args.get_or("idle-timeout-ms", "30000"), "--idle-timeout-ms"));
+
+  daemon::Daemon d(store, cfg);
+  g_serve_daemon = &d;
+  std::signal(SIGINT, serve_signal);
+  std::signal(SIGTERM, serve_signal);
+  std::signal(SIGPIPE, SIG_IGN);
+
+  std::string port_file = args.get_or("port-file", "");
+  if (!port_file.empty()) {
+    std::string text = std::to_string(d.port()) + "\n";
+    write_file(port_file,
+               ByteSpan(reinterpret_cast<const std::uint8_t*>(text.data()),
+                        text.size()));
+  }
+  std::printf("serving %zu updates on %s:%u\n", store->size(),
+              cfg.bind_address.c_str(), d.port());
+  std::fflush(stdout);
+
+  d.run();
+  g_serve_daemon = nullptr;
+  daemon::Daemon::Stats s = d.stats();
+  std::printf("shut down: %llu accepted, %llu requests, %llu shed\n",
+              static_cast<unsigned long long>(s.accepted),
+              static_cast<unsigned long long>(s.requests),
+              static_cast<unsigned long long>(s.shed));
+  return 0;
+}
+
+// ---- fetch: the Byzantine trust gate over real sockets -----------------
+// The same UpdateFetcher pipeline the simnet experiments harden — parse,
+// tag check, pairing check, health-scored failover — pointed at live
+// tred endpoints through a SocketTransport.
+
+template <class B>
+int cmd_fetch_g(std::shared_ptr<const typename B::Params> p,
+                const std::string& set_name, const Envelope& server_env,
+                const Args& args) {
+  core::BasicServerPublicKey<B> server =
+      core::BasicServerPublicKey<B>::from_bytes(*p, server_env.payload);
+  core::BasicTreScheme<B> scheme(p);
+
+  std::vector<client::SocketTransport::Endpoint> endpoints;
+  for (const std::string& hp : cli::split_commas(args.get("remote"))) {
+    cli::HostPort parsed = cli::parse_host_port(hp, "--remote");
+    endpoints.push_back({parsed.host, parsed.port});
+  }
+  require(!endpoints.empty(), "fetch: --remote needs at least one HOST:PORT");
+  int timeout_ms = static_cast<int>(
+      parse_u64(args.get_or("timeout-ms", "2000"), "--timeout-ms"));
+  client::SocketTransport transport(endpoints, timeout_ms);
+
+  std::vector<size_t> order(endpoints.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  client::FetcherConfig cfg;
+  cfg.attempts_per_tag = static_cast<size_t>(
+      parse_u64(args.get_or("attempts", "8"), "--attempts"));
+  server::Timeline timeline(0);
+  client::BasicUpdateFetcher<B> fetcher(scheme, server, transport, timeline,
+                                        order, to_bytes("tre-cli-fetch"), cfg);
+
+  std::string tag = args.get("tag");
+  std::optional<core::BasicKeyUpdate<B>> got;
+  bool failed = false;
+  fetcher.fetch_verified({tag},
+                         [&](const client::BasicFetchResult<B>& r) {
+                           got = r.update;
+                         },
+                         [&](const client::FetchStats&) { failed = true; });
+  // Socket replies land synchronously inside request(); the timeline only
+  // drives the retry/backoff schedule, so advancing one tick at a time
+  // runs the state machine to completion.
+  while (fetcher.busy()) timeline.advance_by(1);
+  (void)failed;
+
+  client::FetchStats stats = fetcher.stats();
+  if (!got) {
+    std::fprintf(stderr,
+                 "fetch: no verifiable update for \"%s\" (%zu attempts, "
+                 "%zu rejected, %zu timeouts)\n",
+                 tag.c_str(), stats.attempts, stats.total_rejected(),
+                 stats.timeouts);
+    return 1;
+  }
+  write_envelope(args.get("out"), FileKind::kUpdate, set_name, got->to_bytes());
+  std::printf("update for \"%s\" fetched and VERIFIED (%zu attempts, "
+              "%zu rejected)\n",
+              got->tag.c_str(), stats.attempts, stats.total_rejected());
+  return 0;
+}
+
+int cmd_fetch(const Args& args) {
+  Envelope env = read_envelope(args.get("server-pub"), FileKind::kServerPub);
+  return with_backend(env.set_name, args, [&](auto b, auto p) {
+    return cmd_fetch_g<decltype(b)>(p, env.set_name, env, args);
+  });
+}
+
 // ---- selftest: run the power-on KAT suite ------------------------------
 
 int cmd_selftest(const Args&) {
@@ -571,16 +676,6 @@ int cmd_server_keygen(const Args& args) {
   require(backend == "tre512", "unknown --backend (use tre512 or bls381)");
   auto p = load_set(args.get_or("set", "tre-512"));
   return cmd_server_keygen_g<core::Tre512Backend>(p, p->name, args);
-}
-
-// Runs `fn<B>(params, set_name)` for the backend `set_name` selects.
-template <class Fn>
-int with_backend(const std::string& set_name, const Args& args, Fn&& fn) {
-  check_backend_flag(args, set_name);
-  if (set_name == kBls381Set) {
-    return fn(bls12::Bls381Backend{}, bls12::Bls12Ctx::get());
-  }
-  return fn(core::Tre512Backend{}, load_set(set_name));
 }
 
 int cmd_user_keygen(const Args& args) {
@@ -641,6 +736,8 @@ int dispatch(const std::string& cmd, const Args& args) {
   if (cmd == "decrypt") return cmd_decrypt(args);
   if (cmd == "solve") return cmd_solve(args);
   if (cmd == "selftest") return cmd_selftest(args);
+  if (cmd == "serve") return cmd_serve(args);
+  if (cmd == "fetch") return cmd_fetch(args);
   return usage();
 }
 
