@@ -17,6 +17,7 @@
 
 #include "bench_util.h"
 #include "client/fetcher.h"
+#include "client/simnet_source.h"
 #include "core/tre.h"
 #include "hashing/drbg.h"
 

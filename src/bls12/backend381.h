@@ -111,6 +111,12 @@ struct Bls381Backend {
   static Gu gu_mul_secret(const Params& p, const Gu& q, const core::Scalar& k) {
     return p.g1_mul_secret(q, k);
   }
+  /// Σᵢ scalars[i]·points[i] via bucketed Pippenger on the work pool.
+  static Gu gu_multiexp(const Params& p, std::span<const Gu> points,
+                        std::span<const core::Scalar> scalars,
+                        unsigned threads) {
+    return p.g1_multiexp(points, scalars, threads);
+  }
   static bool gu_is_infinity(const Gu& q) { return q.inf; }
   static bool gu_in_subgroup(const Params& p, const Gu& q) {
     return p.g1_in_subgroup(q);

@@ -129,6 +129,12 @@ class Bls12Ctx {
   /// Fixed-window ladder with a constant double/add pattern (dummy
   /// additions on zero windows) — for long-lived secrets.
   G1Point381 g1_mul_secret(const G1Point381& a, const Scalar& k) const;
+  /// Σᵢ scalars[i]·points[i] via bucketed Pippenger (src/ec/multiexp.h);
+  /// windows fan out on the persistent work pool (`threads` as in
+  /// tre::parallel_for). Sizes must match; infinity for an empty batch.
+  G1Point381 g1_multiexp(std::span<const G1Point381> points,
+                         std::span<const Scalar> scalars,
+                         unsigned threads = 0) const;
   bool g1_eq(const G1Point381& a, const G1Point381& b) const;
   bool g1_on_curve(const G1Point381& a) const;
   bool g1_in_subgroup(const G1Point381& a) const;

@@ -53,13 +53,13 @@
 #include <algorithm>
 #include <functional>
 #include <limits>
-#include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "bigint/bigint.h"
-#include "client/simnet_source.h"
 #include "client/transport.h"
+#include "timeserver/timeline.h"
 #include "core/tre.h"
 #include "obs/metrics.h"
 #include "timeserver/resilient.h"
@@ -104,6 +104,19 @@ struct BasicFetchResult {
   FetchStats stats;
 };
 
+/// One batch-verified catch-up page (BasicUpdateFetcher::
+/// fetch_range_verified): everything in `updates` passed the trust
+/// boundary; the reject counts attribute what did not.
+template <class B>
+struct BasicRangeFetchResult {
+  std::vector<core::BasicKeyUpdate<B>> updates;  ///< VERIFIED, archive order
+  std::uint64_t total = 0;    ///< mirror's claimed archive size
+  std::uint64_t start = 0;    ///< archive index of the page's first item
+  size_t served = 0;          ///< raw items in the page, rejects included
+  size_t rejected_parse = 0;  ///< malformed page items
+  size_t rejected_sig = 0;    ///< forged/relabeled items bisected out
+};
+
 namespace detail {
 
 // Fleet-wide mirrors of the per-instance counters: every fetcher in the
@@ -121,6 +134,10 @@ struct FetcherProbes {
   obs::CounterProbe backoff_wait{"client.fetch.backoff_wait_s"};
   obs::CounterProbe successes{"client.fetch.successes"};
   obs::CounterProbe failures{"client.fetch.failures"};
+  // Batch-verified catch-up (fetch_range_verified): updates accepted
+  // through an RLC batch, and batches whose RLC failed and bisected.
+  obs::CounterProbe batch_accept{"client.batch.accept"};
+  obs::CounterProbe batch_bisect{"client.batch.bisect"};
 };
 
 inline const FetcherProbes& fetcher_probes() {
@@ -165,23 +182,6 @@ class BasicUpdateFetcher {
     slot_backoff_.assign(mirrors_.size(), config_.base_backoff);
   }
 
-  /// Transitional overload for the pre-transport API: wraps the archive
-  /// in an owned BasicSimnetSource. One release only — construct the
-  /// source yourself and use the UpdateSource overload.
-  [[deprecated(
-      "construct a client::BasicSimnetSource and pass it as UpdateSource")]]
-  BasicUpdateFetcher(core::BasicTreScheme<B> scheme,
-                     core::BasicServerPublicKey<B> server,
-                     simnet::BasicMirroredArchive<B>& archive,
-                     server::Timeline& timeline, simnet::NodeId receiver,
-                     std::vector<size_t> mirrors, simnet::LinkSpec access_link,
-                     ByteSpan seed, FetcherConfig config = {})
-      : BasicUpdateFetcher(
-            std::move(scheme), std::move(server),
-            std::make_unique<BasicSimnetSource<B>>(archive, receiver,
-                                                   access_link),
-            timeline, std::move(mirrors), seed, config) {}
-
   using SuccessFn = std::function<void(const BasicFetchResult<B>&)>;
   using FailureFn = std::function<void(const FetchStats&)>;
 
@@ -221,6 +221,73 @@ class BasicUpdateFetcher {
   }
 
   bool busy() const { return busy_; }
+
+  /// Batch-verified catch-up: one range page from `mirrors[slot]`, pushed
+  /// through the SAME parse → pairing trust boundary as fetch_verified,
+  /// but with the N pairing checks folded into one RLC batch
+  /// (TreScheme::verify_updates_batch); when the batch fails, bisection
+  /// attributes the guilty items and they are dropped, never surfaced.
+  /// There is no per-item tag stage here — a range scan requests no
+  /// specific tag — so a relabeled item dies at the signature stage
+  /// instead: the pairing check binds each sig to its update's own tag.
+  ///
+  /// Synchronous (catch-up is a bulk path, not a latency path) and
+  /// independent of any in-flight fetch_verified state machine. Returns
+  /// nullopt when the source has no range facility or the round trip
+  /// failed; mirror health and backoff react exactly like the per-tag
+  /// path (clean page promotes and resets backoff, rejects demote).
+  std::optional<BasicRangeFetchResult<B>> fetch_range_verified(
+      size_t slot, std::uint64_t start, std::uint32_t max_count,
+      unsigned rlc_bits = 128) {
+    require(slot < mirrors_.size(), "UpdateFetcher: bad mirror slot");
+    std::optional<RangePage> page =
+        source_->request_range(mirrors_[slot], start, max_count);
+    if (!page) {
+      health_[slot] = std::max(config_.min_health, health_[slot] - 1);
+      return std::nullopt;
+    }
+    BasicRangeFetchResult<B> out;
+    out.total = page->total;
+    out.start = page->start;
+    out.served = page->updates.size();
+    std::vector<core::BasicKeyUpdate<B>> parsed;
+    parsed.reserve(page->updates.size());
+    for (const Bytes& wire : page->updates) {
+      std::optional<core::BasicKeyUpdate<B>> u =
+          core::BasicKeyUpdate<B>::try_from_bytes(scheme_.params(), wire);
+      if (!u) {
+        ++out.rejected_parse;
+        rejected_parse_c_.add();
+        detail::fetcher_probes().rejected_parse.add();
+        continue;
+      }
+      parsed.push_back(std::move(*u));
+    }
+    std::vector<size_t> bad =
+        scheme_.verify_updates_batch(server_, parsed, rng_, rlc_bits);
+    if (!bad.empty()) detail::fetcher_probes().batch_bisect.add();
+    out.rejected_sig = bad.size();
+    rejected_sig_c_.add(bad.size());
+    detail::fetcher_probes().rejected_sig.add(bad.size());
+    size_t next_bad = 0;
+    for (size_t i = 0; i < parsed.size(); ++i) {
+      if (next_bad < bad.size() && bad[next_bad] == i) {
+        ++next_bad;
+        continue;
+      }
+      out.updates.push_back(std::move(parsed[i]));
+    }
+    detail::fetcher_probes().batch_accept.add(out.updates.size());
+    if (out.rejected_parse == 0 && out.rejected_sig == 0) {
+      if (!out.updates.empty()) {
+        health_[slot] = std::min(config_.max_health, health_[slot] + 1);
+        slot_backoff_[slot] = config_.base_backoff;
+      }
+    } else {
+      health_[slot] = std::max(config_.min_health, health_[slot] - 1);
+    }
+    return out;
+  }
 
   /// Health score of `mirrors[slot]` (0 = neutral; negative = demoted).
   int health(size_t slot) const {
@@ -269,18 +336,6 @@ class BasicUpdateFetcher {
   const obs::Registry& metrics() const { return reg_; }
 
  private:
-  /// Owning delegate for the deprecated archive overload: keeps the
-  /// adapter alive for the fetcher's lifetime.
-  BasicUpdateFetcher(core::BasicTreScheme<B> scheme,
-                     core::BasicServerPublicKey<B> server,
-                     std::unique_ptr<UpdateSource> owned,
-                     server::Timeline& timeline, std::vector<size_t> mirrors,
-                     ByteSpan seed, FetcherConfig config)
-      : BasicUpdateFetcher(std::move(scheme), std::move(server), *owned,
-                           timeline, std::move(mirrors), seed, config) {
-    owned_source_ = std::move(owned);
-  }
-
   void start_tag() {
     attempts_left_ = config_.attempts_per_tag;
     // Deliberately NO backoff reset here: slot_backoff_ is per-mirror
@@ -417,7 +472,6 @@ class BasicUpdateFetcher {
   core::BasicTreScheme<B> scheme_;
   core::BasicServerPublicKey<B> server_;
   UpdateSource* source_;
-  std::unique_ptr<UpdateSource> owned_source_;  // deprecated-overload adapter
   server::Timeline& timeline_;
   std::vector<size_t> mirrors_;   // source mirror indices, preference order
   std::vector<int> health_;

@@ -60,6 +60,15 @@ class SocketTransport final : public UpdateSource {
   std::optional<daemon::RangeReply> get_range(size_t idx, std::uint64_t start,
                                               std::uint32_t max_count);
 
+  /// The UpdateSource range seam, mapped onto kGetRange: lets the
+  /// fetcher's batch-verified catch-up run transport-generically.
+  std::optional<RangePage> request_range(size_t idx, std::uint64_t start,
+                                         std::uint32_t max_count) override {
+    std::optional<daemon::RangeReply> reply = get_range(idx, start, max_count);
+    if (!reply) return std::nullopt;
+    return RangePage{reply->total, reply->start, std::move(reply->updates)};
+  }
+
   /// kPing/kPong liveness probe.
   bool ping(size_t idx);
 

@@ -22,12 +22,25 @@
 //     CALLER owns retry timing; the source never retries on its own.
 #pragma once
 
+#include <cstdint>
 #include <functional>
+#include <optional>
 #include <string>
+#include <vector>
 
 #include "common/bytes.h"
 
 namespace tre::client {
+
+/// One page of a mirror's archive scan, transport-agnostic: `updates`
+/// carries the raw wire bytes of each item exactly as the peer sent
+/// them (possibly hostile), `total`/`start` echo the peer's claim about
+/// the archive extent so the caller can page through it.
+struct RangePage {
+  std::uint64_t total = 0;  // peer's claimed archive size
+  std::uint64_t start = 0;  // index of updates.front() in the archive
+  std::vector<Bytes> updates;
+};
 
 class UpdateSource {
  public:
@@ -49,6 +62,21 @@ class UpdateSource {
   /// synchronously — or never, when no reply materializes.
   virtual void request(size_t idx, const std::string& tag,
                        std::function<void(Bytes)> on_reply) = 0;
+
+  /// One archive-scan round trip against mirror `idx`: up to `max_count`
+  /// consecutive updates starting at archive index `start`. Synchronous
+  /// (catch-up is a bulk path, not a latency path); nullopt when the
+  /// transport has no range facility (the default) or the round trip
+  /// failed. Bytes are verbatim from the peer — the caller still owns
+  /// the full parse → batch-verify trust gate.
+  virtual std::optional<RangePage> request_range(size_t idx,
+                                                 std::uint64_t start,
+                                                 std::uint32_t max_count) {
+    (void)idx;
+    (void)start;
+    (void)max_count;
+    return std::nullopt;
+  }
 };
 
 }  // namespace tre::client

@@ -72,6 +72,11 @@ struct Tre512Backend {
   static Gu gu_mul_secret(const Params& p, const Gu& q, const Scalar& k) {
     return gh_mul_secret(p, q, k);
   }
+  /// Σᵢ scalars[i]·points[i] via bucketed Pippenger on the work pool.
+  static Gu gu_multiexp(const Params& p, std::span<const Gu> points,
+                        std::span<const Scalar> scalars, unsigned threads) {
+    return ec::g1_multiexp(p.ctx(), points, scalars, threads);
+  }
   static bool gu_is_infinity(const Gu& p) { return p.is_infinity(); }
   static bool gu_in_subgroup(const Params& p, const Gu& q) {
     return gh_in_subgroup(p, q);

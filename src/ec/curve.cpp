@@ -3,6 +3,7 @@
 
 #include <array>
 #include <vector>
+#include "ec/multiexp.h"
 #include "hashing/kdf.h"
 
 namespace tre::ec {
@@ -450,6 +451,38 @@ G1Point hash_to_g1(const CurveCtx* curve, ByteSpan msg) {
     G1Point cleared = p.mul(curve->cofactor);
     if (!cleared.is_infinity()) return cleared;
   }
+}
+
+namespace {
+
+// Adapter handing the private Jacobian kernel to the generic Pippenger
+// engine: buckets accumulate with the mixed add (affine point into
+// Jacobian bucket), bucket folding uses the full add.
+struct MultiexpOps {
+  using Acc = Jac;
+
+  std::span<const G1Point> points;
+  const field::FpCtx* fp;
+
+  Acc zero() const { return {Fp::one(fp), Fp::one(fp), Fp::zero(fp)}; }
+  void add_point(Acc& acc, size_t i) const {
+    const G1Point& p = points[i];
+    if (p.is_infinity()) return;
+    acc = jac_add_affine(acc, p.x(), p.y(), fp);
+  }
+  void add(Acc& acc, const Acc& other) const { acc = jac_add(acc, other, fp); }
+  void dbl(Acc& acc) const { acc = jac_double(acc, fp); }
+};
+
+}  // namespace
+
+G1Point g1_multiexp(const CurveCtx* curve, std::span<const G1Point> points,
+                    std::span<const field::FpInt> scalars, unsigned threads) {
+  require(curve != nullptr, "g1_multiexp: null curve");
+  require(points.size() == scalars.size(), "g1_multiexp: size mismatch");
+  MultiexpOps ops{points, curve->fp.get()};
+  Jac acc = multiexp_pippenger(ops, scalars, threads);
+  return jac_to_affine(acc, curve);
 }
 
 }  // namespace tre::ec

@@ -10,6 +10,7 @@
 #pragma once
 
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -146,5 +147,14 @@ bool on_curve(const CurveCtx* curve, const field::Fp& x, const field::Fp& y);
 /// (the cube-root map, a bijection since p ≡ 2 mod 3), then cofactor
 /// clearing; retries with a counter on the rare degenerate output.
 G1Point hash_to_g1(const CurveCtx* curve, ByteSpan msg);
+
+/// Σᵢ scalars[i]·points[i] via bucketed Pippenger multi-exponentiation
+/// (src/ec/multiexp.h); windows fan out across the persistent work pool
+/// (`threads` as in tre::parallel_for: 0 = all, 1 = serial). Sizes must
+/// match; returns infinity for an empty batch. `curve` anchors the result
+/// when every point is infinity.
+G1Point g1_multiexp(const CurveCtx* curve, std::span<const G1Point> points,
+                    std::span<const field::FpInt> scalars,
+                    unsigned threads = 0);
 
 }  // namespace tre::ec

@@ -19,6 +19,7 @@
 
 #include "common/error.h"
 #include "core/tre.h"
+#include "hashing/drbg.h"
 #include "obs/metrics.h"
 #include "timeserver/archive.h"
 #include "timeserver/broadcast.h"
@@ -63,7 +64,8 @@ class BasicTimeServer {
       : scheme_(std::move(params)),
         keys_(scheme_.server_keygen(rng)),
         timeline_(timeline),
-        bus_(timeline) {
+        bus_(timeline),
+        check_rng_(rng.bytes(32)) {
     require(!levels.empty(), "TimeServer: no granularities");
     // Finest first; duplicates removed.
     std::sort(levels.begin(), levels.end(),
@@ -161,6 +163,15 @@ class BasicTimeServer {
     }
     std::vector<core::BasicKeyUpdate<B>> fresh =
         scheme_.issue_updates(keys_, missing_tags, threads);
+    // Issuer fault detection: one RLC batch check over everything just
+    // signed (two multi-exps + two pairings regardless of batch size).
+    // A corrupted signer or memory fault is caught here, before any bad
+    // update reaches the archive or the broadcast bus.
+    require(scheme_
+                .verify_updates_batch(keys_.pub, fresh, check_rng_,
+                                      /*rlc_bits=*/128, threads)
+                .empty(),
+            "issue_range: freshly issued updates failed the batch self-check");
     for (size_t j = 0; j < fresh.size(); ++j) {
       archive_.put(fresh[j]);
       bus_.publish(fresh[j]);
@@ -224,6 +235,9 @@ class BasicTimeServer {
   std::vector<Level> levels_;  // finest first
   BasicUpdateArchive<B> archive_;
   BasicBroadcastBus<B> bus_;
+  // Dedicated DRBG for the issue_range batch self-check, forked from the
+  // keygen rng at construction so check scalars never touch key material.
+  tre::hashing::HmacDrbg check_rng_;
   Stats stats_;
 };
 

@@ -780,5 +780,64 @@ TEST_F(SocketFetcherTest, RangeCatchUpServesVerifiableHistory) {
   th.join();
 }
 
+TEST_F(SocketFetcherTest, BatchedRangeCatchUpDropsForgedHistory) {
+  // The fetcher-side catch-up path: one kGetRange page, parsed and then
+  // RLC-batch-verified in one shot. The store (a hostile mirror's view)
+  // hides a relabeled update and a signature substitution mid-history;
+  // bisection must attribute exactly those two and surface the rest.
+  auto store = std::make_shared<Store>();
+  store->set_server_key("tre-toy-96", server_.pub.to_bytes());
+  std::vector<core::KeyUpdate> history;
+  for (int i = 0; i < 8; ++i) history.push_back(update("T" + std::to_string(i)));
+
+  core::KeyUpdate relabeled = history[2];
+  relabeled.tag = "T-relabeled";  // honest sig, foreign tag
+  core::KeyUpdate substituted = history[5];
+  substituted.sig = history[6].sig;  // wrong tag's honest sig
+  for (int i = 0; i < 8; ++i) {
+    const core::KeyUpdate& u =
+        i == 2 ? relabeled : (i == 5 ? substituted : history[i]);
+    ASSERT_TRUE(store->put(u.tag, u.to_bytes()).ok());
+  }
+
+  Daemon d(store, {});
+  std::thread th([&] { d.run(); });
+  client::SocketTransport t({{"127.0.0.1", d.port()}});
+  server::Timeline timeline(0);
+  client::UpdateFetcher fetcher(scheme_, server_.pub, t, timeline, {0},
+                                to_bytes("catchup-jitter"), {});
+
+  auto page = fetcher.fetch_range_verified(0, 0, 100);
+  ASSERT_TRUE(page.has_value());
+  EXPECT_EQ(page->total, 8u);
+  EXPECT_EQ(page->served, 8u);
+  EXPECT_EQ(page->rejected_parse, 0u);
+  EXPECT_EQ(page->rejected_sig, 2u);  // exactly the two planted items
+  ASSERT_EQ(page->updates.size(), 6u);
+  for (const core::KeyUpdate& u : page->updates) {
+    EXPECT_TRUE(scheme_.verify_update(server_.pub, u));  // zero forged accepts
+    EXPECT_NE(u.tag, relabeled.tag);
+    EXPECT_NE(u.tag, substituted.tag);
+  }
+  // Forged items in the page demote the mirror like any failed attempt.
+  EXPECT_LT(fetcher.health(0), 0);
+
+  // Paged catch-up sees the same world: three pages of ≤3, same rejects.
+  size_t verified = 0, dropped = 0;
+  for (std::uint64_t pos = 0; pos < 8;) {
+    auto chunk = fetcher.fetch_range_verified(0, pos, 3);
+    ASSERT_TRUE(chunk.has_value());
+    ASSERT_GT(chunk->served, 0u);
+    verified += chunk->updates.size();
+    dropped += chunk->rejected_sig;
+    pos += chunk->served;
+  }
+  EXPECT_EQ(verified, 6u);
+  EXPECT_EQ(dropped, 2u);
+
+  d.stop();
+  th.join();
+}
+
 }  // namespace
 }  // namespace tre::daemon

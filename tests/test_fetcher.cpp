@@ -4,6 +4,7 @@
 // misbehaviour as long as ONE honest replica exists, and never accept
 // bytes that fail the pairing check.
 #include "client/fetcher.h"
+#include "client/simnet_source.h"
 
 #include <gtest/gtest.h>
 
@@ -326,26 +327,6 @@ TEST_F(FetcherTest, BackoffStatePersistsAcrossFetches) {
   timeline_.advance_to(20000);
   ASSERT_TRUE(got.has_value());
   EXPECT_EQ(f->backoff_hint(0), cfg.base_backoff);
-}
-
-// The transitional archive-reference overload still runs the pipeline
-// (kept for one release; new code constructs the source explicitly).
-TEST_F(FetcherTest, DeprecatedArchiveOverloadStillWorks) {
-  auto c = cluster(2);
-  c->publish(update("T1"));
-  timeline_.advance_to(2);
-
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-  UpdateFetcher f(scheme_, server_.pub, *c, timeline_, rx_, {0, 1},
-                  LinkSpec{.base_delay = 1}, to_bytes("fetcher-jitter"), {});
-#pragma GCC diagnostic pop
-
-  std::optional<FetchResult> got;
-  f.fetch_verified({"T1"}, [&](const FetchResult& r) { got = r; });
-  timeline_.advance_to(50);
-  ASSERT_TRUE(got.has_value());
-  EXPECT_TRUE(scheme_.verify_update(server_.pub, got->update));
 }
 
 }  // namespace

@@ -8,6 +8,10 @@
 #   MATRIX=1 tools/run_tier1.sh              # plain + asan/ubsan + tsan
 #   METRICS=0 tools/run_tier1.sh             # probes compiled out (-DTRE_METRICS=OFF)
 #   SCALING=1 tools/run_tier1.sh             # multicore throughput gate (bench_throughput)
+#   BATCH=1 tools/run_tier1.sh               # batch-verification gate: E21 sweep
+#                                            # must show >= BATCH_MIN (default 5.0)
+#                                            # speedup over per-item verification
+#                                            # at N=10^4 on bls12-381
 #   PERF381=1 tools/run_tier1.sh             # BLS12-381 pairing-engine speedup gate
 #   SELFTEST=1 tools/run_tier1.sh            # power-on KAT gate: every injected
 #                                            # fault must fail, the clean run pass,
@@ -121,6 +125,43 @@ run_scaling_gate() {
                "an 8-thread speedup gate is meaningless below 8 cores" ;;
     FAIL) echo "scaling gate: FAIL — multicore throughput regressed" >&2; return 1 ;;
   esac
+}
+
+# BATCH=1: run the E21 batch-verification sweep inside bench_throughput
+# and FAIL unless the randomized-RLC batch path beats per-item
+# verification by at least BATCH_MIN (default 5.0x) at N=10^4 on the
+# bls12-381 backend. The floor is a ratio measured within one run on the
+# same host, so unlike PERF381 it needs no pinned reference hardware.
+run_batch_gate() {
+  local build_dir="$1" min_speedup="${BATCH_MIN:-5.0}"
+  local json="$build_dir/BENCH_batch_gate.json"
+  echo "=== batch gate: bench_throughput E21 sweep -> $json ==="
+  "$build_dir/bench/bench_throughput" "$json"
+  # The bls12-381 N=10000 row is one JSON object per line; pull the
+  # speedup field out of it without jq. ("n": 10000 followed by a comma
+  # or brace cannot match the N=100000 row.)
+  local verdict
+  verdict="$(awk -v min="$min_speedup" '
+    function val(key,   s) {
+      s = $0
+      if (!sub(".*\"" key "\": *", "", s)) return 0
+      sub(/[,}].*/, "", s)
+      return s + 0
+    }
+    /"curve": "bls12-381"/ && /"n": 10000[,}]/ {
+      sp = val("speedup")
+      printf "bls12-381 N=10^4: batch/per-item speedup = %.2fx (floor %.2f)\n", \
+             sp, min
+      print (sp >= min) ? "PASS" : "FAIL"
+      exit
+    }' "$json")"
+  echo "$verdict" | head -1
+  if [[ "$(echo "$verdict" | tail -1)" == "PASS" ]]; then
+    echo "batch gate: PASS"
+  else
+    echo "batch gate: FAIL — batch verification speedup below floor" >&2
+    return 1
+  fi
 }
 
 run_perf381_gate() {
@@ -264,6 +305,10 @@ fi
 
 if [[ "${SCALING:-0}" == "1" ]]; then
   run_scaling_gate "${BUILD_DIR:-$DEFAULT_DIR}"
+fi
+
+if [[ "${BATCH:-0}" == "1" ]]; then
+  run_batch_gate "${BUILD_DIR:-$DEFAULT_DIR}"
 fi
 
 if [[ "${PERF381:-0}" == "1" ]]; then
