@@ -71,6 +71,8 @@ struct Bls381Backend {
   }
   static size_t scalar_bytes(const Params& p) { return p.fr()->byte_len; }
   static const field::FpInt& group_order(const Params& p) { return p.r(); }
+  /// The scalar field F_r (Shamir polynomials, Lagrange coefficients).
+  static const field::FpCtx* scalar_field(const Params& p) { return p.fr(); }
 
   // --- hashing / generators --------------------------------------------------
   static Gu hash_tag(const Params& p, ByteSpan msg) { return p.hash_to_g1(msg); }
@@ -100,6 +102,13 @@ struct Bls381Backend {
   }
   static Bytes gh_to_bytes(const Gh& q) { return Bls12Ctx::get()->g2_to_bytes(q); }
   static size_t gh_wire_bytes(const Params& p) { return 1 + 2 * p.fp()->byte_len; }
+  /// Σᵢ scalars[i]·points[i] on the twist (Feldman checks, RLC partial
+  /// verification).
+  static Gh gh_multiexp(const Params& p, std::span<const Gh> points,
+                        std::span<const core::Scalar> scalars,
+                        unsigned threads) {
+    return p.g2_multiexp(points, scalars, threads);
+  }
   static Gh gh_from_bytes(const Params& p, ByteSpan bytes) {
     return p.g2_from_bytes(bytes);  // throws tre::Error; subgroup-checked
   }

@@ -442,6 +442,34 @@ struct G1MultiexpOps {
   }
   void add(Acc& acc, const Acc& other) const { acc = jac_add(acc, other); }
   void dbl(Acc& acc) const { acc = jac_dbl(acc); }
+  void sub_point(Acc& acc, size_t i) const {
+    const G1Point381& p = points[i];
+    if (p.inf) return;
+    acc = jac_add_affine(acc, p.x, -p.y, Fp::one(fp));
+  }
+};
+
+// The same adapter over the twist: JacT is generic in its field, so the
+// G2 multi-exp reuses every Jacobian kernel verbatim.
+struct G2MultiexpOps {
+  using Acc = JacT<Fp2>;
+
+  std::span<const G2Point381> points;
+  const FpCtx* fp;
+
+  Acc zero() const { return {Fp2::one(fp), Fp2::one(fp), Fp2::zero(fp)}; }
+  void add_point(Acc& acc, size_t i) const {
+    const G2Point381& p = points[i];
+    if (p.inf) return;
+    acc = jac_add_affine(acc, p.x, p.y, Fp2::one(fp));
+  }
+  void add(Acc& acc, const Acc& other) const { acc = jac_add(acc, other); }
+  void dbl(Acc& acc) const { acc = jac_dbl(acc); }
+  void sub_point(Acc& acc, size_t i) const {
+    const G2Point381& p = points[i];
+    if (p.inf) return;
+    acc = jac_add_affine(acc, p.x, -p.y, Fp2::one(fp));
+  }
 };
 
 }  // namespace
@@ -451,8 +479,26 @@ G1Point381 Bls12Ctx::g1_multiexp(std::span<const G1Point381> points,
                                  unsigned threads) const {
   require(points.size() == scalars.size(), "g1_multiexp: size mismatch");
   G1MultiexpOps ops{points, fp_.get()};
+  JacT<Fp> acc = ec::multiexp_auto(ops, scalars, threads);
+  return jac_to_g1(acc, fp_.get());
+}
+
+G1Point381 Bls12Ctx::g1_multiexp_unsigned(std::span<const G1Point381> points,
+                                          std::span<const Scalar> scalars,
+                                          unsigned threads) const {
+  require(points.size() == scalars.size(), "g1_multiexp: size mismatch");
+  G1MultiexpOps ops{points, fp_.get()};
   JacT<Fp> acc = ec::multiexp_pippenger(ops, scalars, threads);
   return jac_to_g1(acc, fp_.get());
+}
+
+G2Point381 Bls12Ctx::g2_multiexp(std::span<const G2Point381> points,
+                                 std::span<const Scalar> scalars,
+                                 unsigned threads) const {
+  require(points.size() == scalars.size(), "g2_multiexp: size mismatch");
+  G2MultiexpOps ops{points, fp_.get()};
+  JacT<Fp2> acc = ec::multiexp_auto(ops, scalars, threads);
+  return jac_to_g2(acc, fp_.get());
 }
 
 bool Bls12Ctx::g1_in_subgroup(const G1Point381& a) const {

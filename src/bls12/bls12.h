@@ -135,6 +135,11 @@ class Bls12Ctx {
   G1Point381 g1_multiexp(std::span<const G1Point381> points,
                          std::span<const Scalar> scalars,
                          unsigned threads = 0) const;
+  /// Unsigned running-sum fold only — parity reference for the
+  /// signed-digit auto-selection (tests/test_bls12.cpp).
+  G1Point381 g1_multiexp_unsigned(std::span<const G1Point381> points,
+                                  std::span<const Scalar> scalars,
+                                  unsigned threads = 0) const;
   bool g1_eq(const G1Point381& a, const G1Point381& b) const;
   bool g1_on_curve(const G1Point381& a) const;
   bool g1_in_subgroup(const G1Point381& a) const;
@@ -150,6 +155,12 @@ class Bls12Ctx {
   G2Point381 g2_neg(const G2Point381& a) const;
   G2Point381 g2_mul(const G2Point381& a, const Scalar& k) const;
   G2Point381 g2_mul_secret(const G2Point381& a, const Scalar& k) const;
+  /// Σᵢ scalars[i]·points[i] on the twist — same engine as g1_multiexp
+  /// (JacT is field-generic). Feeds Feldman commitment checks and RLC
+  /// batch verification of threshold public shares.
+  G2Point381 g2_multiexp(std::span<const G2Point381> points,
+                         std::span<const Scalar> scalars,
+                         unsigned threads = 0) const;
   bool g2_eq(const G2Point381& a, const G2Point381& b) const;
   bool g2_on_curve(const G2Point381& a) const;
   bool g2_in_subgroup(const G2Point381& a) const;

@@ -3,70 +3,32 @@
 // Shamir shares of s, publish partial G_1 signatures on the round/time
 // tag, and any k of them combine into the ordinary 48-byte update that
 // decrypts Tre381 ciphertexts.
+//
+// The implementation lives in the backend-generic layer
+// (threshold/threshold.h, DKG in threshold/dkg.h); these are the
+// BLS12-381 instantiations under the historical names. The group key
+// uses the context's fixed G_2 generator (the drand layout), so
+// `ThresholdKey381::as_server_public_key()` keeps producing a key that
+// verifies and decrypts through Tre381Scheme exactly like a
+// single-server key with G = G_2gen.
 #pragma once
 
-#include <span>
-#include <vector>
-
+#include "bls12/backend381.h"
 #include "bls12/tre381.h"
+#include "threshold/threshold.h"
 
 namespace tre::bls12 {
 
-struct ThresholdKey381 {
-  size_t n = 0;
-  size_t k = 0;
-  G2Point381 group_pk;                    // s·G_2: what users bind to
-  std::vector<G2Point381> share_pks;      // s_i·G_2 per operator
+/// Public material: the group key s·G_2 users bind to (`.group`), plus
+/// per-operator share commitments s_i·G_2 (`.pub_shares`).
+using ThresholdKey381 = threshold::BasicThresholdKey<Bls381Backend>;
 
-  /// The group key viewed as a generic scheme server key: the threshold
-  /// service uses the context's fixed G_2 generator (the drand layout),
-  /// so combined updates verify and decrypt through Tre381Scheme exactly
-  /// like a single-server key with G = G_2gen.
-  ServerPublicKey381 as_server_public_key() const {
-    return ServerPublicKey381{Bls12Ctx::get()->g2_generator(), group_pk};
-  }
-};
+/// One operator's Shamir share s_i (zeroize with threshold::wipe).
+using Share381 = threshold::BasicServerShare<Bls381Backend>;
 
-struct Share381 {
-  size_t index;  // 1..n
-  Scalar share;
-};
+/// s_i·H1(tag): one operator's partial G_1 signature.
+using Partial381 = threshold::BasicPartialUpdate<Bls381Backend>;
 
-struct Partial381 {
-  size_t index;
-  std::string tag;
-  G1Point381 sig;  // s_i·H1(tag)
-};
-
-class Threshold381 {
- public:
-  Threshold381() : ctx_(Bls12Ctx::get()) {}
-
-  /// Dealer-based setup (a DKG can replace the dealer, same types).
-  std::pair<ThresholdKey381, std::vector<Share381>> setup(
-      size_t n, size_t k, tre::hashing::RandomSource& rng) const;
-
-  Partial381 issue_partial(const Share381& share, std::string_view tag) const;
-
-  /// ê(sig, G_2) == ê(H1(tag), s_i·G_2).
-  bool verify_partial(const ThresholdKey381& key, const Partial381& partial) const;
-
-  /// Lagrange combination of >= k distinct-index partials (same tag)
-  /// into a standard Update381 for the group key.
-  Update381 combine(const ThresholdKey381& key,
-                    std::span<const Partial381> partials) const;
-
- private:
-  std::shared_ptr<const Bls12Ctx> ctx_;
-};
-
-/// Zeroizes an operator's Shamir share (the scalar limbs are volatile-
-/// cleared via core::wipe).
-void wipe(Share381& share);
-
-/// Structural reset of the group key material: points to infinity, share
-/// list dropped, parameters zeroed. The group key is public, but a
-/// decommissioned service should not leave stale trust anchors around.
-void wipe(ThresholdKey381& key);
+using Threshold381 = threshold::BasicThresholdScheme<Bls381Backend>;
 
 }  // namespace tre::bls12

@@ -62,6 +62,7 @@
 #include "timeserver/timeline.h"
 #include "core/tre.h"
 #include "obs/metrics.h"
+#include "threshold/threshold.h"
 #include "timeserver/resilient.h"
 
 namespace tre::client {
@@ -117,6 +118,27 @@ struct BasicRangeFetchResult {
   size_t rejected_sig = 0;    ///< forged/relabeled items bisected out
 };
 
+/// Quorum collection over a t-of-n threshold beacon
+/// (BasicUpdateFetcher::fetch_threshold): `update` is the ordinary
+/// s·H1(T) update, Lagrange-aggregated client-side from `partials_used`
+/// verified partials and bit-identical to what a single server holding s
+/// would have issued. The reject counts attribute what each gate threw
+/// away, and `byzantine_nodes` names the beacon nodes (1-based share
+/// indices) whose partials failed the pairing check — exact attribution,
+/// courtesy of the RLC batch's bisection.
+template <class B>
+struct BasicThresholdFetchResult {
+  core::BasicKeyUpdate<B> update;  ///< VERIFIED against the group key
+  size_t partials_used = 0;        ///< quorum size actually combined (k)
+  size_t slots_polled = 0;         ///< mirror slots asked for a partial
+  size_t silent = 0;               ///< slots with no reply (crash/drop)
+  size_t rejected_parse = 0;       ///< malformed partial bytes
+  size_t rejected_tag = 0;         ///< well-formed partial, wrong tag
+  size_t rejected_dup = 0;         ///< share index already in hand
+  size_t rejected_sig = 0;         ///< failed the pairing check (forged)
+  std::vector<size_t> byzantine_nodes;  ///< share indices of forgers, sorted
+};
+
 namespace detail {
 
 // Fleet-wide mirrors of the per-instance counters: every fetcher in the
@@ -138,6 +160,13 @@ struct FetcherProbes {
   // through an RLC batch, and batches whose RLC failed and bisected.
   obs::CounterProbe batch_accept{"client.batch.accept"};
   obs::CounterProbe batch_bisect{"client.batch.bisect"};
+  // Threshold-beacon quorum collection (fetch_threshold): partial
+  // requests sent, partials surviving the RLC batch, partials rejected
+  // at any gate, and quorums successfully Lagrange-combined.
+  obs::CounterProbe partial_requests{"client.partials.requests"};
+  obs::CounterProbe partial_accepted{"client.partials.accepted"};
+  obs::CounterProbe partial_rejected{"client.partials.rejected"};
+  obs::CounterProbe threshold_combines{"client.partials.combines"};
 };
 
 inline const FetcherProbes& fetcher_probes() {
@@ -286,6 +315,140 @@ class BasicUpdateFetcher {
     } else {
       health_[slot] = std::max(config_.min_health, health_[slot] - 1);
     }
+    return out;
+  }
+
+  /// Threshold-beacon fetch: collects partial updates for `tag` from the
+  /// fetcher's mirrors — healthiest slots first, so known-good beacon
+  /// nodes are polled before previously demoted ones — until k = key
+  /// threshold distinct share indices survive the trust boundary, then
+  /// Lagrange-aggregates them (threshold/threshold.h) into the ordinary
+  /// update and verifies THAT against the group key.
+  ///
+  /// Each reply crosses the same boundary shape as fetch_verified —
+  /// parse, tag check, pairing check — but the pairing stage is the RLC
+  /// batch with bisection, so a whole quorum costs two multi-exps and
+  /// two pairings when honest, and forged partials are attributed to
+  /// their exact share indices when not. Health and backoff react per
+  /// slot: a verified partial promotes and resets backoff, every reject
+  /// or silence demotes.
+  ///
+  /// Synchronous (quorum collection is a bulk path, like range catch-up)
+  /// and independent of any in-flight fetch_verified. Errors:
+  /// Errc::kInsufficientPartials when the mirror set cannot field k valid
+  /// partials; Errc::kBadPartial when the aggregate fails the final group
+  /// check (cannot happen unless the threshold key itself is wrong).
+  Result<BasicThresholdFetchResult<B>> fetch_threshold(
+      const threshold::BasicThresholdScheme<B>& tscheme,
+      const threshold::BasicThresholdKey<B>& key, const std::string& tag,
+      unsigned rlc_bits = 128) {
+    const size_t k = key.config.k;
+    require(k >= 1, "fetch_threshold: malformed threshold key");
+
+    // Healthiest first; ties keep preference order (stable sort).
+    std::vector<size_t> order(mirrors_.size());
+    for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+    std::stable_sort(order.begin(), order.end(), [this](size_t a, size_t b) {
+      return health_[a] > health_[b];
+    });
+
+    BasicThresholdFetchResult<B> out;
+    std::vector<threshold::BasicPartialUpdate<B>> verified;
+    std::vector<threshold::BasicPartialUpdate<B>> pending;
+    std::vector<size_t> pending_slots;  // slot that served pending[i]
+    std::vector<size_t> seen_indices;   // share indices already in hand
+
+    const auto demote = [this](size_t slot) {
+      health_[slot] = std::max(config_.min_health, health_[slot] - 1);
+    };
+    const auto reject = [&](size_t slot, size_t& counter,
+                            obs::Counter& instance_c,
+                            const obs::CounterProbe& fleet_c) {
+      ++counter;
+      instance_c.add();
+      fleet_c.add();
+      detail::fetcher_probes().partial_rejected.add();
+      demote(slot);
+    };
+
+    // The pending batch holds structurally clean partials whose pairing
+    // check is deferred; one RLC batch settles them all, bisection
+    // attributing any forgery to its exact share index and slot.
+    const auto flush_pending = [&]() {
+      if (pending.empty()) return;
+      std::vector<size_t> bad =
+          tscheme.verify_partials_batch(key, pending, rng_, rlc_bits);
+      size_t next_bad = 0;
+      for (size_t i = 0; i < pending.size(); ++i) {
+        if (next_bad < bad.size() && bad[next_bad] == i) {
+          ++next_bad;
+          out.byzantine_nodes.push_back(pending[i].index);
+          reject(pending_slots[i], out.rejected_sig, rejected_sig_c_,
+                 detail::fetcher_probes().rejected_sig);
+          continue;
+        }
+        // Verified: promote the slot, the partial joins the quorum.
+        health_[pending_slots[i]] =
+            std::min(config_.max_health, health_[pending_slots[i]] + 1);
+        slot_backoff_[pending_slots[i]] = config_.base_backoff;
+        detail::fetcher_probes().partial_accepted.add();
+        verified.push_back(std::move(pending[i]));
+      }
+      pending.clear();
+      pending_slots.clear();
+    };
+
+    for (size_t slot : order) {
+      if (verified.size() >= k) break;
+      ++out.slots_polled;
+      detail::fetcher_probes().partial_requests.add();
+      std::optional<Bytes> wire = source_->request_partial(mirrors_[slot], tag);
+      if (!wire) {
+        ++out.silent;
+        demote(slot);
+        continue;
+      }
+      std::optional<threshold::BasicPartialUpdate<B>> partial =
+          threshold::BasicPartialUpdate<B>::try_from_bytes(tscheme.params(),
+                                                           *wire);
+      if (!partial) {
+        reject(slot, out.rejected_parse, rejected_parse_c_,
+               detail::fetcher_probes().rejected_parse);
+        continue;
+      }
+      if (partial->tag != tag) {
+        reject(slot, out.rejected_tag, rejected_tag_c_,
+               detail::fetcher_probes().rejected_tag);
+        continue;
+      }
+      if (std::find(seen_indices.begin(), seen_indices.end(),
+                    partial->index) != seen_indices.end()) {
+        // A share index can only contribute once to the quorum; a second
+        // copy (honest echo or replayed forgery) is dead weight.
+        ++out.rejected_dup;
+        detail::fetcher_probes().partial_rejected.add();
+        demote(slot);
+        continue;
+      }
+      seen_indices.push_back(partial->index);
+      pending.push_back(std::move(*partial));
+      pending_slots.push_back(slot);
+      if (verified.size() + pending.size() >= k) flush_pending();
+    }
+    flush_pending();
+
+    if (verified.size() < k) return Errc::kInsufficientPartials;
+    core::BasicKeyUpdate<B> update = tscheme.combine(key, verified);
+    // Belt and braces: the aggregate must verify as an ORDINARY update
+    // under the group key — the same check any non-threshold-aware
+    // receiver would apply.
+    if (!scheme_.verify_update(key.as_server_public_key(), update)) {
+      return Errc::kBadPartial;
+    }
+    std::sort(out.byzantine_nodes.begin(), out.byzantine_nodes.end());
+    detail::fetcher_probes().threshold_combines.add();
+    out.update = std::move(update);
+    out.partials_used = k;
     return out;
   }
 

@@ -36,6 +36,14 @@ class BasicSimnetSource final : public UpdateSource {
                      std::move(on_reply));
   }
 
+  /// Beacon seam: the origin holds no share, only mirror nodes issue
+  /// partials — kOrigin is a silent miss here.
+  std::optional<Bytes> request_partial(size_t idx,
+                                       const std::string& tag) override {
+    if (idx == kOrigin || idx >= archive_.mirror_count()) return std::nullopt;
+    return archive_.partial_reply(idx, tag);
+  }
+
  private:
   simnet::BasicMirroredArchive<B>& archive_;
   simnet::NodeId receiver_;

@@ -189,6 +189,15 @@ std::optional<daemon::RangeReply> SocketTransport::get_range(
   return daemon::try_parse_range_reply(frame->payload);
 }
 
+std::optional<Bytes> SocketTransport::request_partial(size_t idx,
+                                                      const std::string& tag) {
+  auto frame = roundtrip(idx, daemon::FrameType::kGetPartial, to_bytes(tag));
+  if (!frame || frame->type != daemon::FrameType::kPartialReply) {
+    return std::nullopt;
+  }
+  return std::move(frame->payload);
+}
+
 bool SocketTransport::ping(size_t idx) {
   const Bytes probe = to_bytes("ping");
   auto frame = roundtrip(idx, daemon::FrameType::kPing, probe);

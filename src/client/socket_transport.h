@@ -69,6 +69,13 @@ class SocketTransport final : public UpdateSource {
     return RangePage{reply->total, reply->start, std::move(reply->updates)};
   }
 
+  /// The UpdateSource threshold-beacon seam, mapped onto kGetPartial:
+  /// one round trip for endpoint `idx`'s partial update on `tag`.
+  /// Payload bytes verbatim (possibly hostile); nullopt on kError,
+  /// timeout, or damage.
+  std::optional<Bytes> request_partial(size_t idx,
+                                       const std::string& tag) override;
+
   /// kPing/kPong liveness probe.
   bool ping(size_t idx);
 

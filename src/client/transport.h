@@ -77,6 +77,21 @@ class UpdateSource {
     (void)max_count;
     return std::nullopt;
   }
+
+  /// One threshold-beacon round trip against mirror `idx`: the mirror's
+  /// PARTIAL update s_i·H1(tag), as raw wire bytes
+  /// (threshold::BasicPartialUpdate<B>::to_bytes, possibly hostile).
+  /// Synchronous like request_range — collecting t-of-n partials is a
+  /// quorum path, not a latency path. nullopt when the transport has no
+  /// beacon facility (the default), the mirror holds no share, or the
+  /// round trip failed. The caller owns the parse → tag → pairing gate
+  /// (client::BasicUpdateFetcher::fetch_threshold).
+  virtual std::optional<Bytes> request_partial(size_t idx,
+                                               const std::string& tag) {
+    (void)idx;
+    (void)tag;
+    return std::nullopt;
+  }
 };
 
 }  // namespace tre::client

@@ -37,6 +37,10 @@ enum class Errc {
   kNotFound,        ///< the requested artifact is not in the archive
   kOverloaded,      ///< the server is shedding load (connection cap reached)
   kUnsupportedVersion,  ///< peer speaks a protocol version we do not
+  kBadPartial,          ///< a threshold partial update failed its pairing check
+  kInsufficientPartials,  ///< fewer than t valid partials could be collected
+  kDkgComplaint,        ///< DKG aborted: too few qualified dealers survived
+                        ///< the complaint round
 };
 
 inline const char* errc_message(Errc code) {
@@ -50,6 +54,11 @@ inline const char* errc_message(Errc code) {
     case Errc::kNotFound: return "requested artifact is not archived";
     case Errc::kOverloaded: return "server overloaded: connection shed";
     case Errc::kUnsupportedVersion: return "unsupported protocol version";
+    case Errc::kBadPartial: return "partial update failed verification";
+    case Errc::kInsufficientPartials:
+      return "not enough valid partial updates to reach the threshold";
+    case Errc::kDkgComplaint:
+      return "distributed key generation aborted: qualified set below threshold";
   }
   return "unknown error";
 }
@@ -86,10 +95,21 @@ class Result {
     if (!ok()) throw Error(errc_message(code_));
     return *value_;
   }
+  T& value() & {
+    if (!ok()) throw Error(errc_message(code_));
+    return *value_;
+  }
   T&& value() && {
     if (!ok()) throw Error(errc_message(code_));
     return std::move(*value_);
   }
+
+  // Pointer-style access to the success value; throws like value() when
+  // the result holds an error, so misuse fails loudly, never silently.
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
 
  private:
   std::optional<T> value_;

@@ -38,6 +38,9 @@ struct Tre512Backend {
   }
   static size_t scalar_bytes(const Params& p) { return p.scalar_bytes(); }
   static const field::FpInt& group_order(const Params& p) { return p.group_order(); }
+  /// The scalar field F_q (mod-group-order arithmetic for Shamir
+  /// polynomials and Lagrange coefficients).
+  static const field::FpCtx* scalar_field(const Params& p) { return p.curve->fq.get(); }
 
   // --- hashing / generators --------------------------------------------------
   static Gu hash_tag(const Params& p, ByteSpan msg) {
@@ -57,6 +60,11 @@ struct Tre512Backend {
   static bool gh_eq(const Gh& a, const Gh& b) { return a == b; }
   static Bytes gh_to_bytes(const Gh& p) { return p.to_bytes_compressed(); }
   static size_t gh_wire_bytes(const Params& p) { return p.g1_compressed_bytes(); }
+  /// Σᵢ scalars[i]·points[i] in the header group (same subgroup here).
+  static Gh gh_multiexp(const Params& p, std::span<const Gh> points,
+                        std::span<const Scalar> scalars, unsigned threads) {
+    return ec::g1_multiexp(p.ctx(), points, scalars, threads);
+  }
   static Gh gh_from_bytes(const Params& p, ByteSpan bytes) {
     Gh q = ec::G1Point::from_bytes(p.ctx(), bytes);
     // Reject points on the curve but outside the order-q subgroup

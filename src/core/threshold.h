@@ -1,83 +1,35 @@
-// k-of-n threshold time server.
+// k-of-n threshold time server — type-1 instantiation.
 //
-// §5.3.5 distributes trust so that a receiver must corrupt ALL N servers
-// — but decryption then also needs all N updates, so one crashed server
-// halts every release. This module provides the complementary k-of-n
-// design (the architecture later deployed by drand/tlock): a master
-// secret s is Shamir-shared across n servers; each publishes a PARTIAL
-// update s_i·H1(T); any k valid partials Lagrange-combine into the
-// ordinary update s·H1(T).
+// The implementation lives in the backend-generic layer
+// (threshold/threshold.h, DKG in threshold/dkg.h); this header keeps the
+// historical type-1 names as thin aliases. §5.3.5 background and the
+// drand/tlock framing are documented there.
 //
-// The combined update verifies against the ordinary group key (G, sG),
-// so everything else in the library — encryption, CCA transforms, key
-// insulation, archives — runs unchanged on top. Corruption resistance is
-// k-1 servers; liveness tolerates n-k failures.
-//
-// Setup here is dealer-based (a trusted dealer samples the polynomial
-// and then forgets it); a distributed key generation protocol can
-// replace the dealer without changing any type below.
+// One deliberate behaviour change from the pre-generic sketch: setup now
+// uses the parameter set's FIXED base point as the group generator
+// (B::header_base — the drand layout, matching the BLS12-381
+// instantiation) instead of sampling a random generator per network. The
+// combined update s·H1(T) never involves the generator, so nothing
+// downstream observes the difference.
 #pragma once
 
-#include <span>
-#include <vector>
-
 #include "core/tre.h"
+#include "threshold/threshold.h"
 
 namespace tre::core {
 
-struct ThresholdConfig {
-  size_t n;  // servers
-  size_t k;  // required partials, 1 <= k <= n
-};
+using ThresholdConfig = threshold::ThresholdConfig;
 
 /// One server's secret share s_i = f(i).
-struct ServerShare {
-  size_t index;  // 1..n (the Shamir evaluation point)
-  Scalar share;
-};
+using ServerShare = threshold::BasicServerShare<Tre512Backend>;
 
 /// Public material: the group key users bind to, plus per-server share
 /// commitments for partial-update verification.
-struct ThresholdServerKey {
-  ThresholdConfig config;
-  ServerPublicKey group;                // (G, s·G)
-  std::vector<ec::G1Point> pub_shares;  // s_i·G, index i-1
-};
+using ThresholdServerKey = threshold::BasicThresholdKey<Tre512Backend>;
 
 /// s_i·H1(T), broadcast by server i at instant T.
-struct PartialUpdate {
-  size_t index;
-  std::string tag;
-  ec::G1Point sig;
-};
+using PartialUpdate = threshold::BasicPartialUpdate<Tre512Backend>;
 
-class ThresholdTre {
- public:
-  explicit ThresholdTre(std::shared_ptr<const params::GdhParams> params);
-
-  const params::GdhParams& params() const { return scheme_.params(); }
-  const TreScheme& scheme() const { return scheme_; }
-
-  /// Dealer setup: samples s and a degree-(k-1) polynomial, returns the
-  /// public key material and the n secret shares.
-  std::pair<ThresholdServerKey, std::vector<ServerShare>> setup(
-      ThresholdConfig config, tre::hashing::RandomSource& rng) const;
-
-  PartialUpdate issue_partial(const ServerShare& share, std::string_view tag) const;
-
-  /// BLS check of one partial against its share commitment:
-  /// ê(s_i·G, H1(T)) == ê(G, sig).
-  bool verify_partial(const ThresholdServerKey& key, const PartialUpdate& partial) const;
-
-  /// Lagrange-combines >= k partials (distinct indices, same tag) into
-  /// the ordinary s·H1(T) update. Throws on malformed input sets; the
-  /// caller should verify_partial() first (an unverified bad partial
-  /// yields an update that fails verify_update()).
-  KeyUpdate combine(const ThresholdServerKey& key,
-                    std::span<const PartialUpdate> partials) const;
-
- private:
-  TreScheme scheme_;
-};
+using ThresholdTre = threshold::BasicThresholdScheme<Tre512Backend>;
 
 }  // namespace tre::core

@@ -313,6 +313,21 @@ void Daemon::handle_frame(Conn& c, Frame frame) {
       break;
     }
 
+    case FrameType::kGetPartial: {
+      std::string_view tag(reinterpret_cast<const char*>(frame.payload.data()),
+                           frame.payload.size());
+      if (tag.empty()) {
+        enqueue_error(c, Errc::kMalformed, "empty tag");
+        break;
+      }
+      if (auto wire = store_->find_partial(tag)) {
+        enqueue(c, FrameType::kPartialReply, *wire);
+      } else {
+        enqueue_error(c, Errc::kNotFound, "no partial for tag");
+      }
+      break;
+    }
+
     case FrameType::kGetRange: {
       auto req = try_parse_get_range(frame.payload);
       if (!req) {

@@ -23,10 +23,12 @@ bool known_frame_type(std::uint8_t raw) {
     case FrameType::kGetUpdate:
     case FrameType::kGetRange:
     case FrameType::kPing:
+    case FrameType::kGetPartial:
     case FrameType::kKeyReply:
     case FrameType::kUpdateReply:
     case FrameType::kRangeReply:
     case FrameType::kPong:
+    case FrameType::kPartialReply:
     case FrameType::kError:
       return true;
   }
@@ -109,6 +111,9 @@ std::uint8_t errc_wire_code(Errc code) {
     case Errc::kNotFound: return 6;
     case Errc::kOverloaded: return 7;
     case Errc::kUnsupportedVersion: return 8;
+    case Errc::kBadPartial: return 9;
+    case Errc::kInsufficientPartials: return 10;
+    case Errc::kDkgComplaint: return 11;
   }
   return 0;
 }
@@ -123,6 +128,9 @@ std::optional<Errc> errc_from_wire(std::uint8_t raw) {
     case 6: return Errc::kNotFound;
     case 7: return Errc::kOverloaded;
     case 8: return Errc::kUnsupportedVersion;
+    case 9: return Errc::kBadPartial;
+    case 10: return Errc::kInsufficientPartials;
+    case 11: return Errc::kDkgComplaint;
   }
   return std::nullopt;
 }

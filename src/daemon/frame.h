@@ -48,14 +48,18 @@ inline constexpr size_t kMaxRequestPayload = 4096;
 
 /// Request types occupy the low half, replies have the top bit set.
 enum class FrameType : std::uint8_t {
-  kGetKey = 0x01,     ///< -> kKeyReply: the server public key
-  kGetUpdate = 0x02,  ///< payload = tag bytes -> kUpdateReply
-  kGetRange = 0x03,   ///< payload = be64 start, be32 max -> kRangeReply
-  kPing = 0x04,       ///< liveness probe -> kPong (payload echoed)
+  kGetKey = 0x01,      ///< -> kKeyReply: the server public key
+  kGetUpdate = 0x02,   ///< payload = tag bytes -> kUpdateReply
+  kGetRange = 0x03,    ///< payload = be64 start, be32 max -> kRangeReply
+  kPing = 0x04,        ///< liveness probe -> kPong (payload echoed)
+  kGetPartial = 0x05,  ///< payload = tag bytes -> kPartialReply (beacon nodes)
   kKeyReply = 0x81,
   kUpdateReply = 0x82,
   kRangeReply = 0x83,
   kPong = 0x84,
+  /// Payload = threshold::BasicPartialUpdate<B>::to_bytes() verbatim: a
+  /// beacon node's s_i·H1(tag). Like updates, the daemon never parses it.
+  kPartialReply = 0x85,
   kError = 0xff,  ///< payload = 1-byte wire code, then a UTF-8 message
 };
 

@@ -51,6 +51,30 @@ Store::RangeView Store::range(std::uint64_t start, std::uint32_t max_count,
   return view;
 }
 
+Result<bool> Store::put_partial(const std::string& tag, Bytes wire) {
+  std::unique_lock lock(mu_);
+  auto it = partials_.find(tag);
+  if (it != partials_.end()) {
+    if (it->second != wire) return Errc::kConflict;
+    return false;  // identical re-publish: nothing to do
+  }
+  total_bytes_ += wire.size();
+  partials_.emplace(tag, std::move(wire));
+  return true;
+}
+
+std::optional<Bytes> Store::find_partial(std::string_view tag) const {
+  std::shared_lock lock(mu_);
+  auto it = partials_.find(std::string(tag));
+  if (it == partials_.end()) return std::nullopt;
+  return it->second;
+}
+
+size_t Store::partial_count() const {
+  std::shared_lock lock(mu_);
+  return partials_.size();
+}
+
 size_t Store::size() const {
   std::shared_lock lock(mu_);
   return ordered_.size();

@@ -57,6 +57,17 @@ class Store {
   RangeView range(std::uint64_t start, std::uint32_t max_count,
                   size_t max_reply_bytes) const;
 
+  /// Archives this beacon node's PARTIAL update wire bytes
+  /// (threshold::BasicPartialUpdate<B>::to_bytes) under `tag`, same
+  /// no-equivocation discipline as put(). A daemon serving partials is
+  /// one node of a t-of-n beacon: it stores its OWN share's partial per
+  /// tag, never anyone else's.
+  Result<bool> put_partial(const std::string& tag, Bytes wire);
+
+  std::optional<Bytes> find_partial(std::string_view tag) const;
+
+  size_t partial_count() const;
+
   size_t size() const;
   size_t total_bytes() const;
 
@@ -66,6 +77,7 @@ class Store {
   Bytes pub_;
   std::vector<std::pair<std::string, Bytes>> ordered_;  // (tag, wire)
   std::unordered_map<std::string, size_t> index_;       // tag -> position
+  std::unordered_map<std::string, Bytes> partials_;     // tag -> partial wire
   size_t total_bytes_ = 0;
 };
 

@@ -472,12 +472,28 @@ struct MultiexpOps {
   }
   void add(Acc& acc, const Acc& other) const { acc = jac_add(acc, other, fp); }
   void dbl(Acc& acc) const { acc = jac_double(acc, fp); }
+  void sub_point(Acc& acc, size_t i) const {
+    const G1Point& p = points[i];
+    if (p.is_infinity()) return;
+    acc = jac_add_affine(acc, p.x(), -p.y(), fp);
+  }
 };
 
 }  // namespace
 
 G1Point g1_multiexp(const CurveCtx* curve, std::span<const G1Point> points,
                     std::span<const field::FpInt> scalars, unsigned threads) {
+  require(curve != nullptr, "g1_multiexp: null curve");
+  require(points.size() == scalars.size(), "g1_multiexp: size mismatch");
+  MultiexpOps ops{points, curve->fp.get()};
+  Jac acc = multiexp_auto(ops, scalars, threads);
+  return jac_to_affine(acc, curve);
+}
+
+G1Point g1_multiexp_unsigned(const CurveCtx* curve,
+                             std::span<const G1Point> points,
+                             std::span<const field::FpInt> scalars,
+                             unsigned threads) {
   require(curve != nullptr, "g1_multiexp: null curve");
   require(points.size() == scalars.size(), "g1_multiexp: size mismatch");
   MultiexpOps ops{points, curve->fp.get()};

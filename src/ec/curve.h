@@ -157,4 +157,11 @@ G1Point g1_multiexp(const CurveCtx* curve, std::span<const G1Point> points,
                     std::span<const field::FpInt> scalars,
                     unsigned threads = 0);
 
+/// Same sum via the unsigned running-sum fold only: the reference the
+/// signed-digit auto-selection is parity-tested against.
+G1Point g1_multiexp_unsigned(const CurveCtx* curve,
+                             std::span<const G1Point> points,
+                             std::span<const field::FpInt> scalars,
+                             unsigned threads = 0);
+
 }  // namespace tre::ec

@@ -23,10 +23,13 @@
 #pragma once
 
 #include <algorithm>
+#include <map>
 #include <optional>
+#include <string>
 
 #include "core/tre.h"
 #include "simnet/network.h"
+#include "threshold/threshold.h"
 #include "timeserver/archive.h"
 
 namespace tre::simnet {
@@ -48,6 +51,10 @@ struct MirrorProbes {
   obs::CounterProbe fetch_successes{"simnet.archive.fetch_successes"};
   obs::CounterProbe fetch_rejected{"simnet.archive.fetch_rejected"};
   obs::CounterProbe fetch_timeouts{"simnet.archive.fetch_timeouts"};
+  // Threshold-beacon traffic: mirrors doubling as beacon nodes serving
+  // their own partial updates.
+  obs::CounterProbe partial_publishes{"simnet.archive.partial_publishes"};
+  obs::CounterProbe partial_requests{"simnet.archive.partial_requests"};
 };
 
 inline const MirrorProbes& mirror_probes() {
@@ -141,6 +148,70 @@ class BasicMirroredArchive {
               });
   }
 
+  /// Beacon-node side: mirror `mirror_idx` doubles as node i of a t-of-n
+  /// threshold beacon and stores ITS OWN partial update for later
+  /// serving. There is no origin replication here — partials originate
+  /// at the node that holds the share.
+  void publish_partial(size_t mirror_idx,
+                       threshold::BasicPartialUpdate<B> partial) {
+    require(mirror_idx < mirrors_.size(), "MirroredArchive: bad mirror index");
+    detail::mirror_probes().partial_publishes.add();
+    mirrors_[mirror_idx].partials[partial.tag] = std::move(partial);
+  }
+
+  /// Wire-level beacon reply, synchronous (quorum collection is a bulk
+  /// path — see UpdateSource::request_partial): what mirror `mirror_idx`
+  /// puts on the wire for its partial on `tag`. Honest nodes serve
+  /// PartialUpdate::to_bytes(); Byzantine nodes (per the network's
+  /// FaultPlan) serve bit-flipped, relabelled, or garbage bytes; crashed
+  /// or dropping nodes stay silent (nullopt).
+  std::optional<Bytes> partial_reply(size_t mirror_idx, const std::string& tag) {
+    require(mirror_idx < mirrors_.size(), "MirroredArchive: bad mirror index");
+    detail::mirror_probes().partial_requests.add();
+    FaultPlan* plan = net_.fault_plan();
+    NodeId node = mirrors_[mirror_idx].node;
+    if (plan && !plan->node_up(node, timeline_.now())) {
+      return std::nullopt;  // crashed
+    }
+    const auto& partials = mirrors_[mirror_idx].partials;
+    auto found = partials.find(tag);
+
+    ByzantineMode mode = ByzantineMode::kHonest;
+    if (plan) mode = plan->behaviour(node);
+    switch (mode) {
+      case ByzantineMode::kHonest:
+        if (found == partials.end()) return std::nullopt;
+        return found->second.to_bytes();
+      case ByzantineMode::kDrop:
+        return std::nullopt;
+      case ByzantineMode::kBitFlip:
+        if (found == partials.end()) return std::nullopt;
+        count_byzantine(detail::mirror_probes().byzantine_bitflip);
+        return plan->flip_one_bit(found->second.to_bytes());
+      case ByzantineMode::kRelabel: {
+        // Serve some OTHER tag's partial signature under the requested
+        // tag — well-formed bytes that fail the pairing check.
+        for (const auto& [other_tag, other] : partials) {
+          if (other_tag == tag) continue;
+          count_byzantine(detail::mirror_probes().byzantine_relabel);
+          return threshold::BasicPartialUpdate<B>{other.index, tag, other.sig}
+              .to_bytes();
+        }
+        if (found == partials.end()) return std::nullopt;
+        count_byzantine(detail::mirror_probes().byzantine_garbage);
+        return plan->garbage(found->second.to_bytes().size());
+      }
+      case ByzantineMode::kGarbage: {
+        size_t len = found != partials.end()
+                         ? found->second.to_bytes().size()
+                         : 4 + tag.size() + B::gu_wire_bytes(*params_);
+        count_byzantine(detail::mirror_probes().byzantine_garbage);
+        return plan->garbage(len);
+      }
+    }
+    return std::nullopt;
+  }
+
   /// Receiver-side convenience poller: polls `mirror_idx` (or the origin
   /// when mirror_idx == kOrigin) over `access_link` until a reply parses
   /// as an update for `tag` (and passes `verify` when provided), then
@@ -196,7 +267,15 @@ class BasicMirroredArchive {
   struct Replica {
     NodeId node;
     server::BasicUpdateArchive<B> archive;
+    // Beacon-node state: this node's own partials, keyed by tag.
+    std::map<std::string, threshold::BasicPartialUpdate<B>> partials;
   };
+
+  void count_byzantine(const obs::CounterProbe& breakdown) {
+    byzantine_replies_.add();
+    detail::mirror_probes().byzantine_replies.add();
+    breakdown.add();
+  }
 
   struct FetchJob {
     NodeId receiver;

@@ -1,0 +1,95 @@
+// Round-number addressing — the tlock/drand-shaped envelope.
+//
+// drand-style beacons do not sign calendar strings: they sign round
+// numbers, with round r's message fixed as SHA256(BE64(r)). A tlock
+// ciphertext therefore names a ROUND, and anyone can map a wall-clock
+// release time to the round that covers it from the beacon's genesis
+// time and period. This header pins down the repo's version of that
+// contract so the threshold-beacon pipeline (threshold/, tre_cli
+// --round) interoperates at the envelope level:
+//
+//   * round_tag(r) — the canonical tag string "round:<r>" a round's
+//     update/partials are issued under. The TRE scheme signs
+//     H1(round_tag(r)); the tag string, not the raw digest, is what
+//     crosses every existing wire format unchanged.
+//   * round_message(r) — SHA256(BE64(r)), drand's per-round message,
+//     recorded for deployments that bridge to a real drand beacon (the
+//     digest would then replace the tag string at the hash-to-curve
+//     boundary).
+//   * round_for / round_time — wall-clock <-> round conversion from a
+//     (genesis, period) beacon chain description, matching drand's
+//     `CurrentRound` arithmetic: round 1 is the first beacon, emitted
+//     AT genesis_seconds.
+#pragma once
+
+#include <charconv>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "common/bytes.h"
+#include "common/error.h"
+#include "hashing/sha256.h"
+
+namespace tre::server {
+
+/// Canonical tag string for beacon round `round`: "round:<decimal>".
+inline std::string round_tag(std::uint64_t round) {
+  return "round:" + std::to_string(round);
+}
+
+/// Inverse of round_tag; nullopt for any tag that is not one of its
+/// outputs (non-canonical digits, leading zeros, overflow, other tags).
+inline std::optional<std::uint64_t> parse_round_tag(std::string_view tag) {
+  constexpr std::string_view kPrefix = "round:";
+  if (tag.size() <= kPrefix.size() || tag.substr(0, kPrefix.size()) != kPrefix)
+    return std::nullopt;
+  std::string_view digits = tag.substr(kPrefix.size());
+  if (digits.size() > 1 && digits.front() == '0') return std::nullopt;
+  std::uint64_t value = 0;
+  auto [end, ec] = std::from_chars(digits.data(), digits.data() + digits.size(),
+                                   value);
+  if (ec != std::errc() || end != digits.data() + digits.size())
+    return std::nullopt;
+  return value;
+}
+
+/// drand's per-round message: SHA256(BE64(round)).
+inline Bytes round_message(std::uint64_t round) {
+  std::uint8_t be[8];
+  for (int i = 7; i >= 0; --i) {
+    be[i] = static_cast<std::uint8_t>(round & 0xff);
+    round >>= 8;
+  }
+  return hashing::sha256(ByteSpan(be, sizeof be));
+}
+
+/// A beacon chain's timing description: the first round (round 1) is
+/// emitted at `genesis_seconds`, one round every `period_seconds`.
+struct BeaconChain {
+  std::int64_t genesis_seconds = 0;
+  std::int64_t period_seconds = 30;  // drand mainnet default
+};
+
+/// The latest round emitted at or before `unix_seconds` (0 = pre-genesis
+/// — no round exists yet). An encryptor addressing a future release time
+/// uses this round + 1 onward.
+inline std::uint64_t round_for(const BeaconChain& chain,
+                               std::int64_t unix_seconds) {
+  require(chain.period_seconds > 0, "BeaconChain: period must be positive");
+  if (unix_seconds < chain.genesis_seconds) return 0;
+  return static_cast<std::uint64_t>(
+             (unix_seconds - chain.genesis_seconds) / chain.period_seconds) +
+         1;
+}
+
+/// The instant round `round` is emitted (round >= 1).
+inline std::int64_t round_time(const BeaconChain& chain, std::uint64_t round) {
+  require(round >= 1, "round_time: rounds start at 1");
+  require(chain.period_seconds > 0, "BeaconChain: period must be positive");
+  return chain.genesis_seconds +
+         static_cast<std::int64_t>(round - 1) * chain.period_seconds;
+}
+
+}  // namespace tre::server

@@ -16,11 +16,13 @@
 #pragma once
 
 #include <algorithm>
+#include <optional>
 
 #include "common/error.h"
 #include "core/tre.h"
 #include "hashing/drbg.h"
 #include "obs/metrics.h"
+#include "threshold/threshold.h"
 #include "timeserver/archive.h"
 #include "timeserver/broadcast.h"
 #include "timeserver/timespec.h"
@@ -33,6 +35,7 @@ namespace detail {
 // BasicTimeServer::Stats remains the per-instance view.
 struct ServerProbes {
   obs::CounterProbe updates_issued{"server.updates_issued"};
+  obs::CounterProbe partials_issued{"server.partials_issued"};
   obs::CounterProbe broadcast_bytes{"server.broadcast_bytes"};
   obs::HistogramProbe issue_ns{"server.issue_ns"};
 };
@@ -61,7 +64,8 @@ class BasicTimeServer {
   BasicTimeServer(std::shared_ptr<const typename B::Params> params,
                   Timeline& timeline, std::vector<Granularity> levels,
                   tre::hashing::RandomSource& rng)
-      : scheme_(std::move(params)),
+      : params_(std::move(params)),
+        scheme_(params_),
         keys_(scheme_.server_keygen(rng)),
         timeline_(timeline),
         bus_(timeline),
@@ -120,6 +124,62 @@ class BasicTimeServer {
     if (t.unix_seconds() > timeline_.now()) return Errc::kFutureInstant;
     if (auto existing = archive_.find(t.canonical())) return *existing;
     return issue_unchecked(t);
+  }
+
+  // --- Beacon-node mode ------------------------------------------------------
+  //
+  // In a t-of-n threshold beacon no single server holds the master
+  // secret: a DKG (threshold/dkg.h) hands each node one Shamir share,
+  // and every node signs each instant with its share alone. A beacon
+  // node therefore issues PARTIAL updates — fragments clients
+  // Lagrange-aggregate into the ordinary update once any t of them are
+  // in hand. Trust assumption 2 (no early release) binds each node
+  // exactly as it binds the single server.
+
+  /// Switches this server into beacon-node mode: `key` is the DKG's
+  /// public output (group key + per-node verification keys), `share`
+  /// this node's secret share. The server's own keypair stays live —
+  /// beacon mode is additive, not a replacement.
+  void enable_beacon(threshold::BasicThresholdKey<B> key,
+                     threshold::BasicServerShare<B> share) {
+    require(share.index >= 1 && share.index <= key.config.n,
+            "enable_beacon: share index out of range");
+    beacon_.emplace(Beacon{
+        threshold::BasicThresholdScheme<B>(params_, scheme_.tuning()),
+        std::move(key), std::move(share)});
+  }
+
+  bool beacon_enabled() const { return beacon_.has_value(); }
+
+  /// The beacon key this node participates in (beacon mode only).
+  const threshold::BasicThresholdKey<B>& beacon_key() const {
+    require(beacon_.has_value(), "beacon_key: beacon mode not enabled");
+    return beacon_->key;
+  }
+
+  /// One partial update for instant `t`, signed with this node's share.
+  /// Errc::kFutureInstant if `t` violates trust assumption 2;
+  /// Errc::kBadPartial if the fresh partial fails its own pairing check
+  /// (issuer fault detection, mirroring issue_range's batch self-check).
+  Result<threshold::BasicPartialUpdate<B>> try_issue_partial_for(
+      const TimeSpec& t) {
+    require(beacon_.has_value(),
+            "try_issue_partial_for: beacon mode not enabled");
+    // Trust assumption 2: never sign a future instant, not even partially.
+    if (t.unix_seconds() > timeline_.now()) return Errc::kFutureInstant;
+    threshold::BasicPartialUpdate<B> partial =
+        beacon_->scheme.issue_partial(beacon_->share, t.canonical());
+    if (!beacon_->scheme.verify_partial(beacon_->key, partial)) {
+      return Errc::kBadPartial;
+    }
+    ++stats_.partials_issued;
+    detail::server_probes().partials_issued.add();
+    return partial;
+  }
+
+  /// Throwing convenience over try_issue_partial_for.
+  threshold::BasicPartialUpdate<B> issue_partial_for(const TimeSpec& t) {
+    return try_issue_partial_for(t).value();
   }
 
   /// Bulk issuance for every instant in [from, to] at `from`'s
@@ -194,6 +254,7 @@ class BasicTimeServer {
 
   struct Stats {
     std::uint64_t updates_issued = 0;
+    std::uint64_t partials_issued = 0;  // beacon mode only
     std::uint64_t bytes_published = 0;  // update wire bytes (once per instant)
   };
   const Stats& stats() const { return stats_; }
@@ -206,6 +267,12 @@ class BasicTimeServer {
   struct Level {
     Granularity granularity;
     TimeSpec next_due;
+  };
+
+  struct Beacon {
+    threshold::BasicThresholdScheme<B> scheme;
+    threshold::BasicThresholdKey<B> key;
+    threshold::BasicServerShare<B> share;
   };
 
   core::BasicKeyUpdate<B> issue_unchecked(const TimeSpec& t) {
@@ -229,6 +296,7 @@ class BasicTimeServer {
     return soonest;
   }
 
+  std::shared_ptr<const typename B::Params> params_;
   core::BasicTreScheme<B> scheme_;
   core::BasicServerKeyPair<B> keys_;
   Timeline& timeline_;
@@ -238,6 +306,7 @@ class BasicTimeServer {
   // Dedicated DRBG for the issue_range batch self-check, forked from the
   // keygen rng at construction so check scalars never touch key material.
   tre::hashing::HmacDrbg check_rng_;
+  std::optional<Beacon> beacon_;
   Stats stats_;
 };
 

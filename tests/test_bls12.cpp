@@ -247,11 +247,11 @@ TEST_F(Tre381Test, WireRoundtrips) {
 // --- drand-shaped threshold network on BLS12-381 ---------------------------------
 
 TEST(Threshold381Test, ThreeOfFiveEndToEnd) {
-  Threshold381 net;
+  Threshold381 net(Bls12Ctx::get());
   Tre381Scheme scheme = make_tre381();
   auto ctx = Bls12Ctx::get();
   hashing::HmacDrbg rng(to_bytes("threshold381-tests"));
-  auto [key, shares] = net.setup(5, 3, rng);
+  auto [key, shares] = net.setup({5, 3}, rng);
 
   // User binds to the group key (seen as an ordinary server key over the
   // fixed G_2 generator); the sharing is invisible.

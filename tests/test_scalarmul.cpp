@@ -175,6 +175,88 @@ TEST_F(ScalarMulTest, Fp2UnitaryPowRejectsNonUnitary) {
   EXPECT_THROW(z.pow_unitary(FpInt::from_u64(5)), Error);
 }
 
+// --- multi-exponentiation (signed-digit vs unsigned vs naive) ----------------
+//
+// The parity the engine's header promises: the signed-digit recoding
+// (src/ec/multiexp.h) must agree with the unsigned running-sum fold and
+// with the naive per-point reference on random batches AND on every
+// carry-propagation edge (all-ones digits, top-window borrow, q-sized
+// scalars). g1_multiexp auto-selects between the two folds by cost, so
+// checking it against g1_multiexp_unsigned exercises whichever variant
+// the estimate picked for each shape.
+
+TEST_F(ScalarMulTest, MultiexpMatchesNaiveSum) {
+  for (size_t n : {size_t{1}, size_t{2}, size_t{5}, size_t{33}}) {
+    std::vector<G1Point> pts;
+    std::vector<FpInt> ks;
+    G1Point want = G1Point::infinity(curve_.get());
+    for (size_t i = 0; i < n; ++i) {
+      pts.push_back(random_point(static_cast<int>(100 * n + i)));
+      ks.push_back(random_scalar(static_cast<int>(100 * n + i)));
+      want = want + naive_mul(pts[i], ks[i]);
+    }
+    EXPECT_EQ(g1_multiexp(curve_.get(), pts, ks), want) << "n=" << n;
+    EXPECT_EQ(g1_multiexp_unsigned(curve_.get(), pts, ks), want) << "n=" << n;
+  }
+}
+
+TEST_F(ScalarMulTest, MultiexpSignedCarryEdges) {
+  // Scalars built to stress the signed recode: maximal digits in every
+  // window (so each window borrows into the next), the borrow landing in
+  // the synthetic top window, and the group-order boundary.
+  std::vector<FpInt> edges = edge_scalars();
+  edges.push_back(FpInt::from_hex("ffffffffffffffffffffffff"));  // all ones
+  edges.push_back(FpInt::from_hex("800000000000000000000001"));
+  edges.push_back(FpInt::from_hex("7fffffffffffffffffffffff"));
+  for (size_t i = 0; i < edges.size(); ++i) {
+    // A batch of identical edge scalars: every point hits the same
+    // bucket, the worst case for a recode bug to survive averaging.
+    std::vector<G1Point> pts;
+    std::vector<FpInt> ks;
+    G1Point want = G1Point::infinity(curve_.get());
+    for (int j = 0; j < 4; ++j) {
+      pts.push_back(random_point(300 + static_cast<int>(i) * 4 + j));
+      ks.push_back(edges[i]);
+      want = want + naive_mul(pts[j], edges[i]);
+    }
+    EXPECT_EQ(g1_multiexp(curve_.get(), pts, ks), want) << "edge #" << i;
+    EXPECT_EQ(g1_multiexp_unsigned(curve_.get(), pts, ks), want)
+        << "edge #" << i;
+    // Single wide scalar: the shape whose cost estimate favours the
+    // signed fold — the regression that pins the carry bug.
+    std::vector<G1Point> one_pt = {pts[0]};
+    std::vector<FpInt> one_k = {edges[i]};
+    EXPECT_EQ(g1_multiexp(curve_.get(), one_pt, one_k),
+              naive_mul(pts[0], edges[i]))
+        << "edge #" << i;
+  }
+}
+
+TEST_F(ScalarMulTest, MultiexpSignedAndUnsignedAgreeOnMixedBatch) {
+  // Mixed magnitudes so different windows go dark for different points;
+  // both folds and the naive sum must agree regardless of which variant
+  // the auto-dispatch picks.
+  std::vector<G1Point> pts;
+  std::vector<FpInt> ks;
+  G1Point want = G1Point::infinity(curve_.get());
+  std::vector<FpInt> mixed = {FpInt{},
+                              FpInt::from_u64(1),
+                              FpInt::from_u64(0xff),
+                              FpInt::from_u64(0x8000),
+                              random_scalar(400),
+                              bigint::sub(curve_->q, FpInt::from_u64(1))};
+  for (size_t i = 0; i < mixed.size(); ++i) {
+    pts.push_back(random_point(400 + static_cast<int>(i)));
+    ks.push_back(mixed[i]);
+    want = want + naive_mul(pts[i], mixed[i]);
+  }
+  G1Point auto_sum = g1_multiexp(curve_.get(), pts, ks);
+  G1Point unsigned_sum = g1_multiexp_unsigned(curve_.get(), pts, ks);
+  EXPECT_EQ(auto_sum, want);
+  EXPECT_EQ(unsigned_sum, want);
+  EXPECT_EQ(auto_sum, unsigned_sum);
+}
+
 // --- Fp inversion (single-mul Montgomery re-entry) --------------------------
 
 TEST_F(ScalarMulTest, FpInverseRoundTrip) {

@@ -179,6 +179,70 @@ TEST_F(SealOpen, KeyCheckSkipStillRoundTrips) {
   EXPECT_EQ(*out, msg);
 }
 
+// --- open_batch --------------------------------------------------------------
+
+TEST_F(SealOpen, OpenBatchMatchesPerItemOpen) {
+  // Three ciphertexts per mode, one receiver, one tag: the batch path
+  // (shared epoch key, cached Miller lines, folded FO re-encryption
+  // check) must produce exactly what per-item open() produces.
+  std::vector<SealedCiphertext> cts;
+  std::vector<Bytes> msgs;
+  for (Mode mode : kAllModes) {
+    for (int i = 0; i < 3; ++i) {
+      msgs.push_back(to_bytes("batch msg " + std::to_string(msgs.size())));
+      cts.push_back(scheme_.seal(mode, msgs.back(), user_.pub, server_.pub, "T", rng_));
+    }
+  }
+
+  auto batch = scheme_.open_batch(cts, user_.a, update_, server_.pub, rng_);
+  ASSERT_EQ(batch.size(), cts.size());
+  for (size_t i = 0; i < cts.size(); ++i) {
+    auto single = scheme_.open(cts[i], user_.a, update_, server_.pub);
+    ASSERT_TRUE(single.has_value()) << "item " << i;
+    ASSERT_TRUE(batch[i].has_value()) << "item " << i;
+    EXPECT_EQ(*batch[i], *single) << "item " << i;
+    EXPECT_EQ(*batch[i], msgs[i]) << "item " << i;
+  }
+}
+
+TEST_F(SealOpen, OpenBatchEmptyAndSingleton) {
+  EXPECT_TRUE(
+      scheme_.open_batch({}, user_.a, update_, server_.pub, rng_).empty());
+  Bytes msg = to_bytes("lone");
+  std::vector<SealedCiphertext> one = {
+      scheme_.seal(Mode::kFo, msg, user_.pub, server_.pub, "T", rng_)};
+  auto out = scheme_.open_batch(one, user_.a, update_, server_.pub, rng_);
+  ASSERT_EQ(out.size(), 1u);
+  ASSERT_TRUE(out[0].has_value());
+  EXPECT_EQ(*out[0], msg);
+}
+
+TEST_F(SealOpen, OpenBatchAttributesTamperExactly) {
+  // Tampered FO and REACT items fail closed in THEIR slots only; honest
+  // siblings in the same batch still open. This is the bisection analogue
+  // of the fetcher's Byzantine attribution, receiver-side.
+  std::vector<SealedCiphertext> cts;
+  std::vector<Bytes> msgs;
+  for (int i = 0; i < 6; ++i) {
+    Mode mode = (i % 2 == 0) ? Mode::kFo : Mode::kReact;
+    msgs.push_back(to_bytes("attrib msg " + std::to_string(i)));
+    cts.push_back(scheme_.seal(mode, msgs.back(), user_.pub, server_.pub, "T", rng_));
+  }
+  std::get<FoCiphertext>(cts[2].body).c_msg[0] ^= 0x01;  // tampered FO
+  std::get<ReactCiphertext>(cts[3].body).mac[0] ^= 0x01; // tampered REACT
+
+  auto out = scheme_.open_batch(cts, user_.a, update_, server_.pub, rng_);
+  ASSERT_EQ(out.size(), 6u);
+  for (size_t i = 0; i < 6; ++i) {
+    if (i == 2 || i == 3) {
+      EXPECT_FALSE(out[i].has_value()) << "tampered item " << i;
+    } else {
+      ASSERT_TRUE(out[i].has_value()) << "honest item " << i;
+      EXPECT_EQ(*out[i], msgs[i]) << "honest item " << i;
+    }
+  }
+}
+
 TEST_F(SealOpen, SealAndOpenProbesCount) {
   obs::Registry& g = obs::Registry::global();
   std::uint64_t seals0 = g.counter_value("core.seals");

@@ -104,24 +104,24 @@ TEST_F(Wipe381, EpochKey) {
 }
 
 TEST_F(Wipe381, ThresholdShareAndGroupKey) {
-  bls12::Threshold381 service;
-  auto [key, shares] = service.setup(5, 3, rng_);
+  bls12::Threshold381 service(bls12::Bls12Ctx::get());
+  auto [key, shares] = service.setup({5, 3}, rng_);
   ASSERT_FALSE(shares.empty());
 
   for (auto& share : shares) {
     ASSERT_NE(volatile_or(share.share), 0u);
-    bls12::wipe(share);
+    threshold::wipe(share);
     EXPECT_EQ(volatile_or(share.share), 0u);
     EXPECT_EQ(share.index, 0u);
   }
 
-  ASSERT_FALSE(key.group_pk.inf);
-  ASSERT_EQ(key.share_pks.size(), 5u);
-  bls12::wipe(key);
-  EXPECT_TRUE(key.group_pk.inf);
-  EXPECT_TRUE(key.share_pks.empty());
-  EXPECT_EQ(key.n, 0u);
-  EXPECT_EQ(key.k, 0u);
+  ASSERT_FALSE(key.group.sg.inf);
+  ASSERT_EQ(key.pub_shares.size(), 5u);
+  threshold::wipe(key);
+  EXPECT_TRUE(key.group.sg.inf);
+  EXPECT_TRUE(key.pub_shares.empty());
+  EXPECT_EQ(key.config.n, 0u);
+  EXPECT_EQ(key.config.k, 0u);
 }
 
 }  // namespace

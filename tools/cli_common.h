@@ -41,6 +41,10 @@ enum class FileKind : std::uint8_t {
   kUserKeySealed = 10,
   kCiphertextSealed = 11, // mode-tagged core::SealedCiphertext wire
   kCiphertextHybrid = 12, // timelock::HybridEnvelope (server OR puzzle lane)
+  kThresholdKey = 13,     // threshold::BasicThresholdKey wire (public)
+  kThresholdShare = 14,   // threshold::BasicServerShare wire (SECRET)
+  kThresholdShareSealed = 15,  // keystore-encrypted under --password
+  kPartialUpdate = 16,    // threshold::BasicPartialUpdate wire
 };
 
 struct Envelope {
@@ -183,6 +187,15 @@ inline std::string update_wire_tag(const Bytes& wire) {
   const size_t tag_len = (size_t(wire[0]) << 8) | wire[1];
   require(wire.size() >= 2 + tag_len, "update wire too short for its tag");
   return std::string(wire.begin() + 2, wire.begin() + 2 + static_cast<long>(tag_len));
+}
+
+/// Tag of a PartialUpdate wire (u16 index || u16 tag len || tag || point)
+/// without parsing the point — both backends share the layout.
+inline std::string partial_wire_tag(const Bytes& wire) {
+  require(wire.size() >= 4, "partial wire too short");
+  const size_t tag_len = (size_t(wire[2]) << 8) | wire[3];
+  require(wire.size() >= 4 + tag_len, "partial wire too short for its tag");
+  return std::string(wire.begin() + 4, wire.begin() + 4 + static_cast<long>(tag_len));
 }
 
 inline void load_store(daemon::Store& store, const std::string& pub_path,

@@ -20,6 +20,11 @@
 #                                            # socket fetch, bit-identical verify,
 #                                            # then bench_daemon --smoke (>= 1024
 #                                            # concurrent connections)
+#   THRESH=1 tools/run_tier1.sh              # threshold-beacon gate: 3-of-4 DKG,
+#                                            # partials over sockets, two quorums
+#                                            # must aggregate bit-identically and
+#                                            # decrypt; then bench_threshold's
+#                                            # invariant sweep (E22)
 #   TEST_TIMEOUT=600 tools/run_tier1.sh      # per-test ctest ceiling (s)
 #   BACKEND=381 tools/run_tier1.sh           # BLS12-381 leg only (see below)
 #
@@ -261,6 +266,97 @@ run_daemon_gate() {
   echo "daemon gate: PASS"
 }
 
+# THRESH=1: t-of-n beacon end to end over real sockets. Runs the DKG
+# (no dealer), issues one partial per node, boots n single-partial
+# daemons, and fetches --threshold twice with opposite endpoint
+# orderings: different quorums MUST aggregate to bit-identical updates,
+# and the aggregate must verify against the group key and decrypt a
+# ciphertext that was encrypted against beacon.pub as an ordinary
+# server-pub. Finishes with bench_threshold, whose exit code gates the
+# bit-identity / liveness / exact-attribution invariants per quorum size.
+run_thresh_gate() {
+  local build_dir="$1"
+  local cli="$build_dir/tools/tre_cli"
+  local n=4 t=3 tag="2031-01-01T00:00:00Z"
+  local work pids=()
+  work="$(mktemp -d)"
+  cleanup_thresh() {
+    trap - RETURN
+    local p
+    for p in ${pids[@]+"${pids[@]}"}; do
+      kill "$p" 2>/dev/null || true
+      wait "$p" 2>/dev/null || true
+    done
+    rm -rf "$work"
+  }
+  trap cleanup_thresh RETURN
+
+  echo "=== threshold gate: $t-of-$n DKG beacon over sockets ==="
+  "$cli" threshold-setup --set tre-toy-96 --n "$n" --t "$t" \
+         --out-prefix "$work/beacon"
+
+  local i remotes=""
+  for i in $(seq 1 "$n"); do
+    "$cli" issue-partial --share "$work/beacon-share-$i.key" \
+           --tkey "$work/beacon.tkey" --tag "$tag" \
+           --out "$work/partial-$i.bin"
+    "$cli" serve --pub "$work/beacon.pub" --partials "$work/partial-$i.bin" \
+           --port 0 --port-file "$work/port-$i" &
+    pids+=("$!")
+  done
+  local j port
+  for i in $(seq 1 "$n"); do
+    port=""
+    for j in $(seq 1 100); do
+      [[ -s "$work/port-$i" ]] && { port="$(cat "$work/port-$i")"; break; }
+      sleep 0.05
+    done
+    if [[ -z "$port" ]]; then
+      echo "threshold gate: FAIL — node $i never wrote its port file" >&2
+      return 1
+    fi
+    remotes="$remotes${remotes:+,}127.0.0.1:$port"
+  done
+  local reversed
+  reversed="$(echo "$remotes" | tr ',' '\n' | tac | paste -sd,)"
+
+  "$cli" fetch --threshold "$t" --tkey "$work/beacon.tkey" \
+         --remote "$remotes" --tag "$tag" --out "$work/agg-fwd.bin"
+  "$cli" fetch --threshold "$t" --tkey "$work/beacon.tkey" \
+         --remote "$reversed" --tag "$tag" --out "$work/agg-rev.bin"
+  if ! cmp -s "$work/agg-fwd.bin" "$work/agg-rev.bin"; then
+    echo "threshold gate: FAIL — quorums {1..$t} and {$n..$((n-t+1))}" \
+         "aggregated different updates" >&2
+    return 1
+  fi
+  "$cli" verify-update --server-pub "$work/beacon.pub" \
+         --update "$work/agg-fwd.bin" >/dev/null
+
+  "$cli" user-keygen --server-pub "$work/beacon.pub" \
+         --key "$work/user.key" --pub "$work/user.pub"
+  printf 'threshold beacon roundtrip\n' > "$work/msg.txt"
+  "$cli" encrypt --user-pub "$work/user.pub" --server-pub "$work/beacon.pub" \
+         --tag "$tag" --mode fo --in "$work/msg.txt" --out "$work/ct.bin"
+  "$cli" decrypt --user-key "$work/user.key" --server-pub "$work/beacon.pub" \
+         --update "$work/agg-fwd.bin" --mode fo \
+         --in "$work/ct.bin" --out "$work/msg.out"
+  if ! cmp -s "$work/msg.txt" "$work/msg.out"; then
+    echo "threshold gate: FAIL — decrypt under the aggregate is not" \
+         "bit-identical to the plaintext" >&2
+    return 1
+  fi
+  echo "threshold gate: quorum-independent aggregate VERIFIED + decrypts"
+
+  for i in ${pids[@]+"${pids[@]}"}; do
+    kill "$i" 2>/dev/null || true
+    wait "$i" 2>/dev/null || true
+  done
+  pids=()
+
+  "$build_dir/bench/bench_threshold" "$build_dir/BENCH_threshold.json"
+  echo "threshold gate: PASS"
+}
+
 # SELFTEST=1: prove the power-on gate trips on every single injected KAT
 # corruption (tre_cli selftest must exit nonzero), passes clean, and that
 # a TRE_SELFTEST=OFF tree still passes the whole suite (the gate is an
@@ -321,4 +417,8 @@ fi
 
 if [[ "${DAEMON:-0}" == "1" ]]; then
   run_daemon_gate "${BUILD_DIR:-$DEFAULT_DIR}"
+fi
+
+if [[ "${THRESH:-0}" == "1" ]]; then
+  run_thresh_gate "${BUILD_DIR:-$DEFAULT_DIR}"
 fi

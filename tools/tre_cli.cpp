@@ -28,6 +28,7 @@
 #include <fstream>
 #include <optional>
 #include <string>
+#include <tuple>
 
 #include "bls12/tre381.h"
 #include "client/fetcher.h"
@@ -39,8 +40,11 @@
 #include "keystore/keystore.h"
 #include "obs/metrics.h"
 #include "selftest/selftest.h"
+#include "threshold/dkg.h"
+#include "threshold/threshold.h"
 #include "timelock/hybrid.h"
 #include "timelock/solver.h"
+#include "timeserver/round.h"
 #include "cli_common.h"
 
 namespace {
@@ -69,6 +73,16 @@ Envelope read_secret(const std::string& path, FileKind plain_kind,
   env.payload = std::move(*opened);
   env.kind = plain_kind;
   return env;
+}
+
+// Release addressing: --tag takes a literal tag string, --round N the
+// tlock-shaped round envelope (tag = "round:<N>", timeserver/round.h).
+std::string tag_arg(const Args& args) {
+  if (args.has("round")) {
+    require(!args.has("tag"), "give --tag or --round, not both");
+    return server::round_tag(cli::parse_u64(args.get("round"), "--round"));
+  }
+  return args.get("tag");
 }
 
 // Writes a secret-key file, sealed under `password` when one is given.
@@ -106,7 +120,17 @@ int usage() {
                "                the budget runs out (resume later from --checkpoint)\n"
                "  selftest      run the power-on KAT suite and report per-KAT results\n"
                "                (TRE_SELFTEST_FAULT=<kat> injects a corruption)\n"
-               "  serve         --pub FILE [--updates F1,F2,...]\n"
+               "  threshold-setup --n N --t K --out-prefix P [--password PW]\n"
+               "                [--backend tre512|bls381] [--set NAME] [--dealer 1]\n"
+               "                t-of-n beacon setup via Pedersen-style DKG (or a\n"
+               "                trusted dealer with --dealer 1): writes P.tkey (public\n"
+               "                threshold key), P.pub (the group key as an ORDINARY\n"
+               "                server-pub — encrypt binds to it unchanged) and\n"
+               "                P-share-i.key for i = 1..N\n"
+               "  issue-partial --share FILE --tkey FILE (--tag T | --round N)\n"
+               "                --out FILE [--password PW]\n"
+               "                one beacon node's partial update s_i*H1(T)\n"
+               "  serve         --pub FILE [--updates F1,F2,...] [--partials F1,F2,...]\n"
                "                [--server-key FILE --tags T1,T2,... [--password PW]]\n"
                "                [--bind ADDR] [--port N] [--port-file FILE]\n"
                "                [--max-conns N] [--idle-timeout-ms N]\n"
@@ -121,6 +145,11 @@ int usage() {
                "                catch-up: page the archive via kGetRange and verify\n"
                "                each page as ONE randomized batch (forged items are\n"
                "                bisected out); writes one envelope per update\n"
+               "           or:  --threshold K --tkey FILE --remote ... (--tag T |\n"
+               "                --round N) --out FILE\n"
+               "                collect >= K partials across the endpoints, batch-\n"
+               "                verify with Byzantine attribution, and Lagrange-\n"
+               "                aggregate into the ordinary (verified) update\n"
                "  any command   [--metrics FILE]  dump the obs registry as JSON\n"
                "                (FILE = '-' for stdout)\n"
                "  downstream commands infer the backend from their input files;\n"
@@ -211,7 +240,7 @@ int cmd_issue_g(std::shared_ptr<const typename B::Params> p,
   core::BasicServerPublicKey<B> pub = core::BasicServerPublicKey<B>::from_bytes(
       *p, ByteSpan(env.payload.data() + sw, env.payload.size() - sw));
   core::BasicKeyUpdate<B> upd =
-      scheme.issue_update(core::BasicServerKeyPair<B>{s, pub}, args.get("tag"));
+      scheme.issue_update(core::BasicServerKeyPair<B>{s, pub}, tag_arg(args));
   write_envelope(args.get("out"), FileKind::kUpdate, set_name, upd.to_bytes());
   std::printf("update issued for \"%s\" (%zu bytes)\n", upd.tag.c_str(),
               upd.to_bytes().size());
@@ -253,7 +282,7 @@ int cmd_encrypt_g(std::shared_ptr<const typename B::Params> p,
   core::BasicTreScheme<B> scheme(p);
   hashing::SystemRandom rng;
   Bytes msg = read_file(args.get("in"));
-  std::string tag = args.get("tag");
+  std::string tag = tag_arg(args);
   std::string mode = args.get_or("mode", "fo");
 
   // "sealed[-flavour]" uses the unified seal() API and the mode-tagged
@@ -450,6 +479,141 @@ int cmd_solve_g(std::shared_ptr<const typename B::Params> p,
   return 0;
 }
 
+// ---- threshold beacon: setup / issue-partial / fetch --threshold -------
+// The t-of-n pipeline of threshold/: no single machine ever holds the
+// group secret (DKG path), each beacon node signs with its share alone,
+// and any K verified partials Lagrange-aggregate into the ordinary
+// update — byte-identical to what a single server holding s would issue.
+
+template <class B>
+int cmd_threshold_setup_g(std::shared_ptr<const typename B::Params> p,
+                          const std::string& set_name, const Args& args) {
+  threshold::ThresholdConfig cfg;
+  cfg.n = static_cast<size_t>(parse_u64(args.get("n"), "--n"));
+  cfg.k = static_cast<size_t>(parse_u64(args.get("t"), "--t"));
+  require(cfg.k >= 1 && cfg.k <= cfg.n, "threshold-setup: need 1 <= t <= n");
+  const std::string prefix = args.get("out-prefix");
+  hashing::SystemRandom rng;
+
+  threshold::BasicThresholdKey<B> key;
+  std::vector<threshold::BasicServerShare<B>> shares;
+  const bool dealer = args.get_or("dealer", "0") == "1";
+  if (dealer) {
+    threshold::BasicThresholdScheme<B> ts(p);
+    std::tie(key, shares) = ts.setup(cfg, rng);
+  } else {
+    auto dkg = threshold::run_dkg<B>(p, cfg, rng);
+    require(dkg.ok(), "threshold-setup: DKG failed (complaints disqualified "
+                      "too many dealers)");
+    key = std::move(dkg->key);
+    shares = std::move(dkg->shares);
+  }
+
+  write_envelope(prefix + ".tkey", FileKind::kThresholdKey, set_name,
+                 key.to_bytes());
+  // The group key doubles as an ordinary server-pub: every existing
+  // command (encrypt, verify-update, fetch) binds to it unchanged.
+  write_envelope(prefix + ".pub", FileKind::kServerPub, set_name,
+                 key.group.to_bytes());
+  const std::string password = args.get_or("password", "");
+  for (const threshold::BasicServerShare<B>& share : shares) {
+    write_secret(prefix + "-share-" + std::to_string(share.index) + ".key",
+                 FileKind::kThresholdShare, FileKind::kThresholdShareSealed,
+                 set_name, share.to_bytes(*p), password, rng);
+  }
+  std::printf("%zu-of-%zu threshold beacon set up via %s (%s): %s.tkey, "
+              "%s.pub, %zu share files\n",
+              cfg.k, cfg.n, dealer ? "trusted dealer" : "DKG",
+              set_name.c_str(), prefix.c_str(), prefix.c_str(), shares.size());
+  return 0;
+}
+
+template <class B>
+int cmd_issue_partial_g(std::shared_ptr<const typename B::Params> p,
+                        const std::string& set_name, const Envelope& share_env,
+                        const Args& args) {
+  Envelope key_env = read_envelope(args.get("tkey"), FileKind::kThresholdKey);
+  require(key_env.set_name == set_name,
+          "share and threshold key use different parameter sets");
+  threshold::BasicThresholdKey<B> key =
+      threshold::BasicThresholdKey<B>::from_bytes(*p, key_env.payload);
+  threshold::BasicServerShare<B> share =
+      threshold::BasicServerShare<B>::from_bytes(*p, share_env.payload);
+  require(share.index >= 1 && share.index <= key.config.n,
+          "share index out of range for this threshold key");
+
+  threshold::BasicThresholdScheme<B> ts(p);
+  threshold::BasicPartialUpdate<B> partial =
+      ts.issue_partial(share, tag_arg(args));
+  require(ts.verify_partial(key, partial),
+          "issue-partial: fresh partial failed its own pairing check "
+          "(share does not match the threshold key?)");
+  write_envelope(args.get("out"), FileKind::kPartialUpdate, set_name,
+                 partial.to_bytes());
+  std::printf("partial update %zu/%zu issued for \"%s\" (%zu bytes)\n",
+              partial.index, key.config.n, partial.tag.c_str(),
+              partial.to_bytes().size());
+  return 0;
+}
+
+// fetch --threshold K: quorum collection over live tred endpoints. Every
+// endpoint is one beacon node; the fetcher's RLC batch attributes forged
+// partials to their exact share indices before aggregation.
+template <class B>
+int cmd_fetch_threshold_g(std::shared_ptr<const typename B::Params> p,
+                          const std::string& set_name,
+                          const Envelope& key_env, const Args& args) {
+  threshold::BasicThresholdKey<B> key =
+      threshold::BasicThresholdKey<B>::from_bytes(*p, key_env.payload);
+  const size_t want_k =
+      static_cast<size_t>(parse_u64(args.get("threshold"), "--threshold"));
+  require(want_k == key.config.k,
+          "fetch: --threshold does not match the key's t (cross-check)");
+
+  threshold::BasicThresholdScheme<B> ts(p);
+  core::BasicTreScheme<B> scheme(p);
+
+  std::vector<client::SocketTransport::Endpoint> endpoints;
+  for (const std::string& hp : cli::split_commas(args.get("remote"))) {
+    cli::HostPort parsed = cli::parse_host_port(hp, "--remote");
+    endpoints.push_back({parsed.host, parsed.port});
+  }
+  require(!endpoints.empty(), "fetch: --remote needs at least one HOST:PORT");
+  int timeout_ms = static_cast<int>(
+      parse_u64(args.get_or("timeout-ms", "2000"), "--timeout-ms"));
+  client::SocketTransport transport(endpoints, timeout_ms);
+
+  std::vector<size_t> order(endpoints.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  server::Timeline timeline(0);
+  client::BasicUpdateFetcher<B> fetcher(scheme, key.as_server_public_key(),
+                                        transport, timeline, order,
+                                        to_bytes("tre-cli-threshold"), {});
+
+  const std::string tag = tag_arg(args);
+  auto res = fetcher.fetch_threshold(ts, key, tag);
+  if (!res.ok()) {
+    std::fprintf(stderr,
+                 "fetch: could not field %zu valid partials for \"%s\" "
+                 "from %zu endpoints\n",
+                 key.config.k, tag.c_str(), endpoints.size());
+    return 1;
+  }
+  write_envelope(args.get("out"), FileKind::kUpdate, set_name,
+                 res->update.to_bytes());
+  std::printf("update for \"%s\" aggregated from %zu partials and VERIFIED "
+              "(%zu slots polled, %zu rejected",
+              tag.c_str(), res->partials_used, res->slots_polled,
+              res->rejected_parse + res->rejected_tag + res->rejected_dup +
+                  res->rejected_sig);
+  if (!res->byzantine_nodes.empty()) {
+    std::printf("; Byzantine nodes:");
+    for (size_t idx : res->byzantine_nodes) std::printf(" %zu", idx);
+  }
+  std::printf(")\n");
+  return 0;
+}
+
 // Runs `fn<B>(params, set_name)` for the backend `set_name` selects.
 template <class Fn>
 int with_backend(const std::string& set_name, const Args& args, Fn&& fn) {
@@ -532,6 +696,17 @@ int cmd_serve(const Args& args) {
       auto r = store->put(cli::update_wire_tag(upd.payload), upd.payload);
       require(r.ok(), "conflicting update for the same tag");
     }
+  }
+
+  // Beacon-node serving: pre-issued partial updates ride the kGetPartial
+  // lane (one partial per tag per node — this daemon IS one node).
+  for (const std::string& path : cli::split_commas(args.get_or("partials", ""))) {
+    Envelope part = read_envelope(path, FileKind::kPartialUpdate);
+    auto [set_name, pub_wire] = store->server_key();
+    require(pub_wire.empty() || part.set_name == set_name,
+            "partial and server key use different parameter sets");
+    auto r = store->put_partial(cli::partial_wire_tag(part.payload), part.payload);
+    require(r.ok(), "serve: conflicting partial for the same tag");
   }
 
   daemon::DaemonConfig cfg;
@@ -690,7 +865,7 @@ int cmd_fetch_g(std::shared_ptr<const typename B::Params> p,
   client::BasicUpdateFetcher<B> fetcher(scheme, server, transport, timeline,
                                         order, to_bytes("tre-cli-fetch"), cfg);
 
-  std::string tag = args.get("tag");
+  std::string tag = tag_arg(args);
   std::optional<core::BasicKeyUpdate<B>> got;
   bool failed = false;
   fetcher.fetch_verified({tag},
@@ -721,6 +896,12 @@ int cmd_fetch_g(std::shared_ptr<const typename B::Params> p,
 }
 
 int cmd_fetch(const Args& args) {
+  if (args.has("threshold")) {
+    Envelope env = read_envelope(args.get("tkey"), FileKind::kThresholdKey);
+    return with_backend(env.set_name, args, [&](auto b, auto p) {
+      return cmd_fetch_threshold_g<decltype(b)>(p, env.set_name, env, args);
+    });
+  }
   Envelope env = read_envelope(args.get("server-pub"), FileKind::kServerPub);
   return with_backend(env.set_name, args, [&](auto b, auto p) {
     return cmd_fetch_g<decltype(b)>(p, env.set_name, env, args);
@@ -768,6 +949,26 @@ int cmd_server_keygen(const Args& args) {
   require(backend == "tre512", "unknown --backend (use tre512 or bls381)");
   auto p = load_set(args.get_or("set", "tre-512"));
   return cmd_server_keygen_g<core::Tre512Backend>(p, p->name, args);
+}
+
+int cmd_threshold_setup(const Args& args) {
+  std::string backend = args.get_or("backend", "tre512");
+  if (backend == "bls381") {
+    return cmd_threshold_setup_g<bls12::Bls381Backend>(bls12::Bls12Ctx::get(),
+                                                       kBls381Set, args);
+  }
+  require(backend == "tre512", "unknown --backend (use tre512 or bls381)");
+  auto p = load_set(args.get_or("set", "tre-512"));
+  return cmd_threshold_setup_g<core::Tre512Backend>(p, p->name, args);
+}
+
+int cmd_issue_partial(const Args& args) {
+  Envelope env = read_secret(args.get("share"), FileKind::kThresholdShare,
+                             FileKind::kThresholdShareSealed,
+                             args.get_or("password", ""));
+  return with_backend(env.set_name, args, [&](auto b, auto p) {
+    return cmd_issue_partial_g<decltype(b)>(p, env.set_name, env, args);
+  });
 }
 
 int cmd_user_keygen(const Args& args) {
@@ -827,6 +1028,8 @@ int dispatch(const std::string& cmd, const Args& args) {
   if (cmd == "encrypt") return cmd_encrypt(args);
   if (cmd == "decrypt") return cmd_decrypt(args);
   if (cmd == "solve") return cmd_solve(args);
+  if (cmd == "threshold-setup") return cmd_threshold_setup(args);
+  if (cmd == "issue-partial") return cmd_issue_partial(args);
   if (cmd == "selftest") return cmd_selftest(args);
   if (cmd == "serve") return cmd_serve(args);
   if (cmd == "fetch") return cmd_fetch(args);
